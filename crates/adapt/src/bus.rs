@@ -1,0 +1,291 @@
+//! A publish/subscribe notification bus.
+//!
+//! The paper's adaptivity components "can subscribe to each other and
+//! communicate asynchronously via notifications", which decouples them
+//! enough to be distributed across autonomous services. This module
+//! provides that fabric for components living in one process (the
+//! threaded executor, tests, and examples): publishers enqueue typed
+//! notifications on topics; subscribers are drained in FIFO order, and
+//! anything they publish while handling a notification is delivered in a
+//! later round — asynchronous semantics with deterministic ordering.
+//!
+//! The virtual-time simulator routes the same notification types through
+//! its event queue instead, attaching network control latencies.
+
+use std::collections::VecDeque;
+
+use crate::detector::{CommUpdate, CostUpdate};
+use crate::diagnoser::Imbalance;
+use crate::notifications::{M1, M2};
+use crate::responder::AdaptationCommand;
+
+/// Topics on the bus; one per notification kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Topic {
+    /// Raw engine events (M1/M2), consumed by detectors.
+    RawMonitoring,
+    /// Detector outputs, consumed by Diagnosers.
+    CostChanges,
+    /// Diagnoser outputs, consumed by Responders.
+    Imbalances,
+    /// Responder outputs, consumed by exchange producers.
+    Adaptations,
+}
+
+/// A typed notification carried by the bus.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Notification {
+    /// A raw M1 event.
+    RawM1(M1),
+    /// A raw M2 event.
+    RawM2(M2),
+    /// A filtered processing-cost change.
+    Cost(CostUpdate),
+    /// A filtered communication-cost change.
+    Comm(CommUpdate),
+    /// A diagnosed imbalance with a proposed distribution.
+    Imbalance(Imbalance),
+    /// A deployed adaptation command.
+    Adaptation(AdaptationCommand),
+}
+
+impl Notification {
+    /// The topic a notification belongs on.
+    pub fn topic(&self) -> Topic {
+        match self {
+            Notification::RawM1(_) | Notification::RawM2(_) => Topic::RawMonitoring,
+            Notification::Cost(_) | Notification::Comm(_) => Topic::CostChanges,
+            Notification::Imbalance(_) => Topic::Imbalances,
+            Notification::Adaptation(_) => Topic::Adaptations,
+        }
+    }
+}
+
+/// A subscriber callback: receives a notification, may publish more.
+pub type SubscriberFn<'a> = Box<dyn FnMut(&Notification, &mut Publisher) + 'a>;
+
+/// Handle through which subscribers publish follow-up notifications.
+#[derive(Debug, Default)]
+pub struct Publisher {
+    outbox: Vec<Notification>,
+}
+
+impl Publisher {
+    /// Publishes a notification for delivery in a later round.
+    pub fn publish(&mut self, n: Notification) {
+        self.outbox.push(n);
+    }
+}
+
+/// A single-process publish/subscribe bus with deterministic FIFO
+/// delivery.
+#[derive(Default)]
+pub struct PubSubBus<'a> {
+    subscribers: Vec<(Topic, SubscriberFn<'a>)>,
+    queue: VecDeque<Notification>,
+    /// Notifications delivered so far.
+    pub delivered: u64,
+}
+
+impl<'a> PubSubBus<'a> {
+    /// Creates an empty bus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Subscribes a callback to a topic.
+    pub fn subscribe(&mut self, topic: Topic, f: impl FnMut(&Notification, &mut Publisher) + 'a) {
+        self.subscribers.push((topic, Box::new(f)));
+    }
+
+    /// Publishes a notification.
+    pub fn publish(&mut self, n: Notification) {
+        self.queue.push_back(n);
+    }
+
+    /// Number of undelivered notifications.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Delivers queued notifications until the bus drains (bounded by
+    /// `max_rounds` deliveries to guard against feedback loops). Returns
+    /// the number delivered.
+    pub fn run(&mut self, max_rounds: u64) -> u64 {
+        let mut delivered = 0;
+        while delivered < max_rounds {
+            let Some(n) = self.queue.pop_front() else {
+                break;
+            };
+            let topic = n.topic();
+            let mut publisher = Publisher::default();
+            for (t, f) in self.subscribers.iter_mut() {
+                if *t == topic {
+                    f(&n, &mut publisher);
+                }
+            }
+            self.queue.extend(publisher.outbox);
+            delivered += 1;
+        }
+        self.delivered += delivered;
+        delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridq_common::{NodeId, PartitionId, QueryId, SimTime, SubplanId};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn m1() -> M1 {
+        M1 {
+            query: QueryId::new(0),
+            partition: PartitionId::new(SubplanId::new(1), 0),
+            node: NodeId::new(1),
+            cost_per_tuple_ms: 1.0,
+            leaf_wait_ms: 0.0,
+            selectivity: 1.0,
+            tuples_produced: 10,
+            at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn delivers_to_matching_topic_only() {
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let mut bus = PubSubBus::new();
+        let seen_raw = Rc::clone(&seen);
+        bus.subscribe(Topic::RawMonitoring, move |n, _| {
+            seen_raw.borrow_mut().push(n.topic());
+        });
+        let seen_imb = Rc::clone(&seen);
+        bus.subscribe(Topic::Imbalances, move |n, _| {
+            seen_imb.borrow_mut().push(n.topic());
+        });
+        bus.publish(Notification::RawM1(m1()));
+        assert_eq!(bus.run(10), 1);
+        assert_eq!(seen.borrow().as_slice(), &[Topic::RawMonitoring]);
+    }
+
+    #[test]
+    fn subscribers_can_republish() {
+        let costs = Rc::new(RefCell::new(0u32));
+        let mut bus = PubSubBus::new();
+        bus.subscribe(Topic::RawMonitoring, |_, publisher| {
+            publisher.publish(Notification::Cost(CostUpdate {
+                partition: PartitionId::new(SubplanId::new(1), 0),
+                avg_cost_ms: 1.0,
+                avg_wait_ms: 0.0,
+                selectivity: 1.0,
+                at: SimTime::ZERO,
+            }));
+        });
+        let costs2 = Rc::clone(&costs);
+        bus.subscribe(Topic::CostChanges, move |_, _| {
+            *costs2.borrow_mut() += 1;
+        });
+        bus.publish(Notification::RawM1(m1()));
+        assert_eq!(bus.run(10), 2);
+        assert_eq!(*costs.borrow(), 1);
+        assert_eq!(bus.pending(), 0);
+    }
+
+    #[test]
+    fn run_bound_stops_feedback_loops() {
+        let mut bus = PubSubBus::new();
+        bus.subscribe(Topic::RawMonitoring, |n, publisher| {
+            // Pathological: re-publish the same notification forever.
+            publisher.publish(n.clone());
+        });
+        bus.publish(Notification::RawM1(m1()));
+        assert_eq!(bus.run(5), 5);
+        assert!(bus.pending() > 0);
+    }
+
+    #[test]
+    fn full_pipeline_over_the_bus() {
+        // Wire detector -> diagnoser -> responder through the bus and push
+        // raw events showing a 10x imbalance; an adaptation must come out.
+        use crate::config::AdaptivityConfig;
+        use crate::detector::{DetectorOutput, MonitoringEventDetector};
+        use crate::diagnoser::Diagnoser;
+        use crate::responder::Responder;
+        use gridq_common::DistributionVector;
+
+        let config = AdaptivityConfig::default();
+        let detector = Rc::new(RefCell::new(MonitoringEventDetector::new(&config)));
+        let diagnoser = Rc::new(RefCell::new(Diagnoser::new(
+            SubplanId::new(1),
+            2,
+            DistributionVector::uniform(2),
+            &config,
+        )));
+        let responder = Rc::new(RefCell::new(Responder::new(&config)));
+        let adaptations = Rc::new(RefCell::new(Vec::new()));
+
+        let mut bus = PubSubBus::new();
+        let det = Rc::clone(&detector);
+        bus.subscribe(Topic::RawMonitoring, move |n, publisher| {
+            if let Notification::RawM1(event) = n {
+                if let DetectorOutput::Cost(update) = det.borrow_mut().on_m1(event) {
+                    publisher.publish(Notification::Cost(update));
+                }
+            }
+        });
+        let dia = Rc::clone(&diagnoser);
+        bus.subscribe(Topic::CostChanges, move |n, publisher| {
+            if let Notification::Cost(update) = n {
+                if let Some(imbalance) = dia.borrow_mut().on_cost_update(update) {
+                    publisher.publish(Notification::Imbalance(imbalance));
+                }
+            }
+        });
+        let res = Rc::clone(&responder);
+        bus.subscribe(Topic::Imbalances, move |n, publisher| {
+            if let Notification::Imbalance(imbalance) = n {
+                let (_, cmd) = res.borrow_mut().on_imbalance(imbalance, 0.2);
+                if let Some(cmd) = cmd {
+                    publisher.publish(Notification::Adaptation(cmd));
+                }
+            }
+        });
+        let ad = Rc::clone(&adaptations);
+        bus.subscribe(Topic::Adaptations, move |n, _| {
+            if let Notification::Adaptation(cmd) = n {
+                ad.borrow_mut().push(cmd.clone());
+            }
+        });
+
+        for i in 0..5 {
+            let fast = M1 {
+                partition: PartitionId::new(SubplanId::new(1), 0),
+                cost_per_tuple_ms: 2.0,
+                at: SimTime::from_millis(i as f64),
+                ..m1()
+            };
+            let slow = M1 {
+                partition: PartitionId::new(SubplanId::new(1), 1),
+                cost_per_tuple_ms: 20.0,
+                at: SimTime::from_millis(i as f64),
+                ..m1()
+            };
+            bus.publish(Notification::RawM1(fast));
+            bus.publish(Notification::RawM2(M2 {
+                query: QueryId::new(0),
+                producer: crate::notifications::ProducerId::Source(0),
+                recipient: PartitionId::new(SubplanId::new(1), 0),
+                send_cost_ms: 1.0,
+                tuples_in_buffer: 10,
+                at: SimTime::from_millis(i as f64),
+            }));
+            bus.publish(Notification::RawM1(slow));
+        }
+        bus.run(1000);
+        let ads = adaptations.borrow();
+        assert!(!ads.is_empty(), "pipeline must produce an adaptation");
+        let w = ads[0].new_distribution.weights();
+        assert!(w[0] > 0.8, "fast partition gets most work: {w:?}");
+    }
+}

@@ -1,0 +1,271 @@
+//! The MonitoringEventDetector.
+//!
+//! "The MonitoringEventDetector component collects such information and
+//! acts as a source of notifications on the dynamic behaviour of
+//! distributed resources and of query execution": it groups M1 events by
+//! the generating operator and M2 events by the (producer, recipient)
+//! pair, computes a running average over a window of fixed length
+//! discarding the minimum and maximum values, and emits a notification to
+//! subscribed Diagnosers only when that average changes by more than
+//! `thres_m`.
+
+use std::collections::HashMap;
+
+use gridq_common::stats::ChangeDetector;
+use gridq_common::{PartitionId, SimTime, TrimmedWindow};
+
+use crate::config::AdaptivityConfig;
+use crate::notifications::{ProducerId, M1, M2};
+
+/// A filtered cost notification sent to the Diagnoser: the windowed
+/// per-tuple processing cost of one subplan partition changed
+/// significantly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostUpdate {
+    /// The partition whose cost changed.
+    pub partition: PartitionId,
+    /// Trimmed windowed average processing cost per tuple, milliseconds.
+    pub avg_cost_ms: f64,
+    /// Trimmed windowed average leaf wait per tuple, milliseconds.
+    pub avg_wait_ms: f64,
+    /// Latest observed selectivity.
+    pub selectivity: f64,
+    /// Time of the triggering raw event.
+    pub at: SimTime,
+}
+
+/// A filtered communication-cost notification: the windowed per-tuple
+/// send cost on one producer→recipient stream changed significantly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommUpdate {
+    /// The sending producer.
+    pub producer: ProducerId,
+    /// The receiving partition.
+    pub recipient: PartitionId,
+    /// Trimmed windowed average send cost per tuple, milliseconds.
+    pub avg_cost_per_tuple_ms: f64,
+    /// Time of the triggering raw event.
+    pub at: SimTime,
+}
+
+/// Output of feeding one raw event to the detector.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DetectorOutput {
+    /// Nothing crossed the threshold.
+    Quiet,
+    /// Notify the Diagnoser of a processing-cost change.
+    Cost(CostUpdate),
+    /// Notify the Diagnoser of a communication-cost change.
+    Comm(CommUpdate),
+}
+
+#[derive(Debug)]
+struct Tracked {
+    window: TrimmedWindow,
+    gate: ChangeDetector,
+    wait_window: TrimmedWindow,
+}
+
+/// Groups and filters raw monitoring events. One detector instance runs
+/// on each node hosting a monitored subplan (grouping keys keep streams
+/// from different partitions separate even when co-hosted).
+#[derive(Debug)]
+pub struct MonitoringEventDetector {
+    window_len: usize,
+    thres_m: f64,
+    m1: HashMap<PartitionId, Tracked>,
+    m2: HashMap<(ProducerId, PartitionId), Tracked>,
+    /// Raw events received.
+    pub raw_events_seen: u64,
+    /// Notifications emitted to Diagnosers.
+    pub notifications_sent: u64,
+}
+
+impl MonitoringEventDetector {
+    /// Creates a detector with the configured window and threshold.
+    pub fn new(config: &AdaptivityConfig) -> Self {
+        MonitoringEventDetector {
+            window_len: config.detector_window,
+            thres_m: config.thres_m,
+            m1: HashMap::new(),
+            m2: HashMap::new(),
+            raw_events_seen: 0,
+            notifications_sent: 0,
+        }
+    }
+
+    fn tracked<K: std::hash::Hash + Eq + Copy>(
+        map: &mut HashMap<K, Tracked>,
+        key: K,
+        window_len: usize,
+        thres_m: f64,
+    ) -> &mut Tracked {
+        map.entry(key).or_insert_with(|| Tracked {
+            window: TrimmedWindow::new(window_len),
+            gate: ChangeDetector::new(thres_m),
+            wait_window: TrimmedWindow::new(window_len),
+        })
+    }
+
+    /// Feeds an M1 event.
+    pub fn on_m1(&mut self, event: &M1) -> DetectorOutput {
+        self.raw_events_seen += 1;
+        let tracked = Self::tracked(&mut self.m1, event.partition, self.window_len, self.thres_m);
+        tracked.window.push(event.cost_per_tuple_ms);
+        tracked.wait_window.push(event.leaf_wait_ms);
+        let avg = tracked
+            .window
+            .trimmed_mean()
+            .expect("window just received a sample");
+        if tracked.gate.observe(avg) {
+            self.notifications_sent += 1;
+            DetectorOutput::Cost(CostUpdate {
+                partition: event.partition,
+                avg_cost_ms: avg,
+                avg_wait_ms: tracked.wait_window.trimmed_mean().unwrap_or(0.0),
+                selectivity: event.selectivity,
+                at: event.at,
+            })
+        } else {
+            DetectorOutput::Quiet
+        }
+    }
+
+    /// Feeds an M2 event.
+    pub fn on_m2(&mut self, event: &M2) -> DetectorOutput {
+        self.raw_events_seen += 1;
+        let key = (event.producer, event.recipient);
+        let tracked = Self::tracked(&mut self.m2, key, self.window_len, self.thres_m);
+        tracked.window.push(event.cost_per_tuple_ms());
+        let avg = tracked
+            .window
+            .trimmed_mean()
+            .expect("window just received a sample");
+        if tracked.gate.observe(avg) {
+            self.notifications_sent += 1;
+            DetectorOutput::Comm(CommUpdate {
+                producer: event.producer,
+                recipient: event.recipient,
+                avg_cost_per_tuple_ms: avg,
+                at: event.at,
+            })
+        } else {
+            DetectorOutput::Quiet
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridq_common::{NodeId, QueryId, SubplanId};
+
+    fn config() -> AdaptivityConfig {
+        AdaptivityConfig::default()
+    }
+
+    fn m1(partition_index: u32, cost: f64, at_ms: f64) -> M1 {
+        M1 {
+            query: QueryId::new(0),
+            partition: PartitionId::new(SubplanId::new(1), partition_index),
+            node: NodeId::new(partition_index + 1),
+            cost_per_tuple_ms: cost,
+            leaf_wait_ms: 0.1,
+            selectivity: 1.0,
+            tuples_produced: 10,
+            at: SimTime::from_millis(at_ms),
+        }
+    }
+
+    fn m2(recipient_index: u32, cost: f64, tuples: usize) -> M2 {
+        M2 {
+            query: QueryId::new(0),
+            producer: ProducerId::Source(0),
+            recipient: PartitionId::new(SubplanId::new(1), recipient_index),
+            send_cost_ms: cost,
+            tuples_in_buffer: tuples,
+            at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn first_event_always_notifies() {
+        let mut d = MonitoringEventDetector::new(&config());
+        assert!(matches!(d.on_m1(&m1(0, 2.0, 0.0)), DetectorOutput::Cost(_)));
+        assert_eq!(d.notifications_sent, 1);
+    }
+
+    #[test]
+    fn stable_costs_stay_quiet() {
+        let mut d = MonitoringEventDetector::new(&config());
+        let _ = d.on_m1(&m1(0, 2.0, 0.0));
+        for i in 1..50 {
+            // ±5% jitter — under the 20% threshold.
+            let cost = 2.0 * (1.0 + if i % 2 == 0 { 0.05 } else { -0.05 });
+            assert_eq!(d.on_m1(&m1(0, cost, i as f64)), DetectorOutput::Quiet);
+        }
+        assert_eq!(d.notifications_sent, 1);
+        assert_eq!(d.raw_events_seen, 50);
+    }
+
+    #[test]
+    fn sustained_change_notifies() {
+        let mut d = MonitoringEventDetector::new(&config());
+        let _ = d.on_m1(&m1(0, 2.0, 0.0));
+        // Cost jumps 10x; the windowed average needs a few samples to
+        // cross the 20% gate, then fires.
+        let mut fired_at = None;
+        for i in 1..30 {
+            if let DetectorOutput::Cost(u) = d.on_m1(&m1(0, 20.0, i as f64)) {
+                fired_at = Some((i, u.avg_cost_ms));
+                break;
+            }
+        }
+        let (i, avg) = fired_at.expect("detector must notice a 10x change");
+        assert!(i <= 3, "should fire within a few samples, fired at {i}");
+        assert!(avg > 2.4, "reported average {avg} must reflect the jump");
+    }
+
+    #[test]
+    fn outlier_spike_is_discarded_by_trimming() {
+        let mut d = MonitoringEventDetector::new(&config());
+        let _ = d.on_m1(&m1(0, 2.0, 0.0));
+        // Fill the window with stable samples.
+        for i in 1..20 {
+            let _ = d.on_m1(&m1(0, 2.0, i as f64));
+        }
+        let before = d.notifications_sent;
+        // One enormous spike: the trimmed mean discards the max, so no
+        // notification fires.
+        assert_eq!(d.on_m1(&m1(0, 200.0, 20.0)), DetectorOutput::Quiet);
+        assert_eq!(d.notifications_sent, before);
+    }
+
+    #[test]
+    fn partitions_are_tracked_independently() {
+        let mut d = MonitoringEventDetector::new(&config());
+        assert!(matches!(d.on_m1(&m1(0, 2.0, 0.0)), DetectorOutput::Cost(_)));
+        // A different partition gets its own window and fires its own
+        // first notification.
+        assert!(matches!(d.on_m1(&m1(1, 2.0, 0.0)), DetectorOutput::Cost(_)));
+    }
+
+    #[test]
+    fn m2_streams_grouped_by_producer_recipient() {
+        let mut d = MonitoringEventDetector::new(&config());
+        assert!(matches!(d.on_m2(&m2(0, 5.0, 50)), DetectorOutput::Comm(_)));
+        assert!(matches!(d.on_m2(&m2(1, 5.0, 50)), DetectorOutput::Comm(_)));
+        // Stable costs on an existing stream stay quiet.
+        assert_eq!(d.on_m2(&m2(0, 5.0, 50)), DetectorOutput::Quiet);
+    }
+
+    #[test]
+    fn m2_reports_per_tuple_cost() {
+        let mut d = MonitoringEventDetector::new(&config());
+        if let DetectorOutput::Comm(u) = d.on_m2(&m2(0, 10.0, 100)) {
+            assert!((u.avg_cost_per_tuple_ms - 0.1).abs() < 1e-12);
+        } else {
+            panic!("first M2 must notify");
+        }
+    }
+}

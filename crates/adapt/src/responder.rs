@@ -1,0 +1,175 @@
+//! The Responder: the response stage.
+//!
+//! "The Responder receives notifications about imbalance from the
+//! Diagnoser in the form of proposed enhanced workload distribution
+//! vectors W'. To decide whether to accept this proposal, it contacts all
+//! the evaluators that produce data to estimate the progress of
+//! execution. If the execution is not close to completion, it notifies
+//! the evaluators that need to change their distribution policy, and the
+//! Diagnosers that need to update the information about the current tuple
+//! distribution."
+
+use gridq_common::{DistributionVector, SimTime, SubplanId};
+
+use crate::config::{AdaptivityConfig, ResponsePolicy};
+use crate::diagnoser::Imbalance;
+
+/// The command issued to the execution substrate when a proposal is
+/// accepted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptationCommand {
+    /// The stage whose exchange routing changes.
+    pub stage: SubplanId,
+    /// The new distribution `W'` to deploy.
+    pub new_distribution: DistributionVector,
+    /// When true (R1), producers additionally recall the unacknowledged
+    /// tuples from their recovery logs and redistribute them (recreating
+    /// operator state on the new owners); when false (R2) only future
+    /// tuples are affected.
+    pub retrospective: bool,
+    /// Decision time.
+    pub at: SimTime,
+}
+
+/// Why a proposal was declined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResponderDecision {
+    /// The proposal was deployed.
+    Accepted,
+    /// The query was too close to completion for the adaptation to pay
+    /// off.
+    NearCompletion,
+    /// A previous adaptation was deployed too recently.
+    CoolingDown,
+}
+
+/// Accepts or declines imbalance proposals.
+#[derive(Debug)]
+pub struct Responder {
+    response: ResponsePolicy,
+    progress_cutoff: f64,
+    cooldown_ms: f64,
+    last_adaptation: Option<SimTime>,
+    /// Proposals received.
+    pub proposals_received: u64,
+    /// Adaptations deployed.
+    pub adaptations_deployed: u64,
+    /// Proposals declined near completion.
+    pub declined_near_completion: u64,
+    /// Proposals declined during cooldown.
+    pub declined_cooldown: u64,
+}
+
+impl Responder {
+    /// Creates a responder with the configured policy and gates.
+    pub fn new(config: &AdaptivityConfig) -> Self {
+        Responder {
+            response: config.response,
+            progress_cutoff: config.progress_cutoff,
+            cooldown_ms: config.cooldown_ms,
+            last_adaptation: None,
+            proposals_received: 0,
+            adaptations_deployed: 0,
+            declined_near_completion: 0,
+            declined_cooldown: 0,
+        }
+    }
+
+    /// The configured response policy.
+    pub fn policy(&self) -> ResponsePolicy {
+        self.response
+    }
+
+    /// Considers an imbalance proposal. `progress` is the estimated
+    /// fraction of the query's input already routed (obtained from the
+    /// producing evaluators). Returns the command to deploy, if accepted.
+    pub fn on_imbalance(
+        &mut self,
+        imbalance: &Imbalance,
+        progress: f64,
+    ) -> (ResponderDecision, Option<AdaptationCommand>) {
+        self.proposals_received += 1;
+        if progress >= self.progress_cutoff {
+            self.declined_near_completion += 1;
+            return (ResponderDecision::NearCompletion, None);
+        }
+        if let Some(last) = self.last_adaptation {
+            if imbalance.at.since(last) < self.cooldown_ms {
+                self.declined_cooldown += 1;
+                return (ResponderDecision::CoolingDown, None);
+            }
+        }
+        self.last_adaptation = Some(imbalance.at);
+        self.adaptations_deployed += 1;
+        let command = AdaptationCommand {
+            stage: imbalance.stage,
+            new_distribution: imbalance.proposed.clone(),
+            retrospective: self.response == ResponsePolicy::R1,
+            at: imbalance.at,
+        };
+        (ResponderDecision::Accepted, Some(command))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AssessmentPolicy;
+
+    fn imbalance(at_ms: f64) -> Imbalance {
+        Imbalance {
+            stage: SubplanId::new(1),
+            proposed: DistributionVector::new(&[0.9, 0.1]).unwrap(),
+            costs: vec![1.0, 9.0],
+            at: SimTime::from_millis(at_ms),
+        }
+    }
+
+    #[test]
+    fn accepts_and_reports_policy() {
+        let config = AdaptivityConfig::with_policies(AssessmentPolicy::A1, ResponsePolicy::R1);
+        let mut r = Responder::new(&config);
+        let (decision, cmd) = r.on_imbalance(&imbalance(100.0), 0.3);
+        assert_eq!(decision, ResponderDecision::Accepted);
+        let cmd = cmd.unwrap();
+        assert!(cmd.retrospective);
+        assert_eq!(cmd.stage, SubplanId::new(1));
+        assert_eq!(r.adaptations_deployed, 1);
+    }
+
+    #[test]
+    fn prospective_commands_are_not_retrospective() {
+        let config = AdaptivityConfig::with_policies(AssessmentPolicy::A1, ResponsePolicy::R2);
+        let mut r = Responder::new(&config);
+        let (_, cmd) = r.on_imbalance(&imbalance(100.0), 0.3);
+        assert!(!cmd.unwrap().retrospective);
+    }
+
+    #[test]
+    fn declines_near_completion() {
+        let mut r = Responder::new(&AdaptivityConfig::default());
+        let (decision, cmd) = r.on_imbalance(&imbalance(100.0), 0.99);
+        assert_eq!(decision, ResponderDecision::NearCompletion);
+        assert!(cmd.is_none());
+        assert_eq!(r.declined_near_completion, 1);
+        assert_eq!(r.adaptations_deployed, 0);
+    }
+
+    #[test]
+    fn cooldown_gates_back_to_back_adaptations() {
+        let config = AdaptivityConfig {
+            cooldown_ms: 100.0,
+            ..Default::default()
+        };
+        let mut r = Responder::new(&config);
+        let (d1, _) = r.on_imbalance(&imbalance(10.0), 0.1);
+        assert_eq!(d1, ResponderDecision::Accepted);
+        let (d2, _) = r.on_imbalance(&imbalance(50.0), 0.1);
+        assert_eq!(d2, ResponderDecision::CoolingDown);
+        let (d3, _) = r.on_imbalance(&imbalance(150.0), 0.1);
+        assert_eq!(d3, ResponderDecision::Accepted);
+        assert_eq!(r.proposals_received, 3);
+        assert_eq!(r.adaptations_deployed, 2);
+        assert_eq!(r.declined_cooldown, 1);
+    }
+}

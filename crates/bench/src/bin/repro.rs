@@ -1,0 +1,68 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro [table1|fig2a|fig2b|fig3a|fig3b|fig4|fig5|overheads|monfreq|ablation|all] [--small]
+//! ```
+//!
+//! Values are response times normalised to the unperturbed static
+//! system, printed alongside the paper's reported value where the paper
+//! states one numerically (— otherwise).
+
+use gridq_bench::runners::{self, ReproConfig, Series};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let small = args.iter().any(|a| a == "--small");
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+    let config = if small {
+        ReproConfig::small()
+    } else {
+        ReproConfig::default()
+    };
+    let result = run(which, &config);
+    match result {
+        Ok(series) => {
+            println!(
+                "Reproduction of Gounaris et al., \"Adapting to Changing Resource \
+                 Performance in Grid Query Processing\" (VLDB DMG 2005)\n\
+                 scale: {}\n",
+                if small {
+                    "small (--small)"
+                } else {
+                    "paper (Q1: 3000 tuples, Q2: 3000 x 4700)"
+                }
+            );
+            for s in series {
+                println!("{}", s.render());
+            }
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run(which: &str, config: &ReproConfig) -> gridq_common::Result<Vec<Series>> {
+    match which {
+        "table1" => runners::table1(config),
+        "fig2a" => runners::fig2a(config),
+        "fig2b" => runners::fig2b(config),
+        "fig3a" => runners::fig3a(config),
+        "fig3b" => runners::fig3b(config),
+        "fig4" => runners::fig4(config),
+        "fig5" => runners::fig5(config),
+        "overheads" => runners::overheads(config),
+        "monfreq" => runners::monitor_freq(config),
+        "ablation" => runners::ablation(config),
+        "all" => runners::all(config),
+        other => Err(gridq_common::GridError::Config(format!(
+            "unknown experiment `{other}`; expected one of table1, fig2a, fig2b, \
+             fig3a, fig3b, fig4, fig5, overheads, monfreq, ablation, all"
+        ))),
+    }
+}

@@ -1,0 +1,88 @@
+//! The error type shared across the workspace.
+
+use std::fmt;
+
+/// Convenience alias used throughout the `gridq` crates.
+pub type Result<T> = std::result::Result<T, GridError>;
+
+/// Errors produced by planning, scheduling, or executing queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GridError {
+    /// A column name did not resolve against a schema.
+    UnknownColumn(String),
+    /// A bare column name matched more than one qualified column.
+    AmbiguousColumn(String),
+    /// A table name was not present in the catalog.
+    UnknownTable(String),
+    /// A function/web-service name was not registered.
+    UnknownFunction(String),
+    /// SQL text failed to lex or parse.
+    Parse {
+        /// Byte offset of the failure in the input.
+        pos: usize,
+        /// What the parser expected or found.
+        message: String,
+    },
+    /// A plan was structurally invalid (e.g. type mismatch, missing input).
+    Plan(String),
+    /// The scheduler could not satisfy resource requirements.
+    Schedule(String),
+    /// A runtime failure during (simulated or threaded) execution.
+    Execution(String),
+    /// The adaptivity subsystem was misconfigured.
+    Adaptivity(String),
+    /// Configuration values were out of range.
+    Config(String),
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridError::UnknownColumn(name) => write!(f, "unknown column `{name}`"),
+            GridError::AmbiguousColumn(name) => write!(f, "ambiguous column `{name}`"),
+            GridError::UnknownTable(name) => write!(f, "unknown table `{name}`"),
+            GridError::UnknownFunction(name) => write!(f, "unknown function `{name}`"),
+            GridError::Parse { pos, message } => {
+                write!(f, "parse error at byte {pos}: {message}")
+            }
+            GridError::Plan(msg) => write!(f, "plan error: {msg}"),
+            GridError::Schedule(msg) => write!(f, "scheduling error: {msg}"),
+            GridError::Execution(msg) => write!(f, "execution error: {msg}"),
+            GridError::Adaptivity(msg) => write!(f, "adaptivity error: {msg}"),
+            GridError::Config(msg) => write!(f, "configuration error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            GridError::UnknownColumn("x".into()).to_string(),
+            "unknown column `x`"
+        );
+        assert_eq!(
+            GridError::Parse {
+                pos: 4,
+                message: "expected FROM".into()
+            }
+            .to_string(),
+            "parse error at byte 4: expected FROM"
+        );
+        assert_eq!(
+            GridError::Schedule("no nodes".into()).to_string(),
+            "scheduling error: no nodes"
+        );
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<GridError>();
+    }
+}

@@ -1,0 +1,134 @@
+//! Strongly-typed identifiers.
+//!
+//! Every entity that crosses a crate boundary — Grid nodes, query operators,
+//! subplan fragments, hash buckets — is addressed by a dedicated newtype so
+//! that identifiers cannot be confused with one another or with plain
+//! integers.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Creates an identifier from a raw index.
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw index.
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// Returns the raw index as a `usize`, for vector indexing.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A Grid node (machine) hosting a query evaluation service.
+    NodeId,
+    "node"
+);
+id_type!(
+    /// A physical query operator instance within a plan.
+    OperatorId,
+    "op"
+);
+id_type!(
+    /// A subplan fragment; partitioned subplans are identified by the pair
+    /// `(SubplanId, partition index)`.
+    SubplanId,
+    "sp"
+);
+id_type!(
+    /// A query submitted to the distributed query service.
+    QueryId,
+    "q"
+);
+id_type!(
+    /// A hash bucket used by stateful repartitioning: tuples are routed by
+    /// `hash(key) % bucket_count`, and adaptation reassigns buckets to nodes.
+    BucketId,
+    "b"
+);
+
+/// Identifies one clone of a partitioned subplan: the fragment evaluated on
+/// one particular node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PartitionId {
+    /// The subplan this partition is a clone of.
+    pub subplan: SubplanId,
+    /// Index of the clone among the subplan's partitions.
+    pub index: u32,
+}
+
+impl PartitionId {
+    /// Creates a partition identifier.
+    pub const fn new(subplan: SubplanId, index: u32) -> Self {
+        Self { subplan, index }
+    }
+}
+
+impl fmt::Display for PartitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.subplan, self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_prefix() {
+        assert_eq!(NodeId::new(3).to_string(), "node3");
+        assert_eq!(OperatorId::new(0).to_string(), "op0");
+        assert_eq!(SubplanId::new(7).to_string(), "sp7");
+        assert_eq!(QueryId::new(1).to_string(), "q1");
+        assert_eq!(BucketId::new(12).to_string(), "b12");
+    }
+
+    #[test]
+    fn raw_round_trips() {
+        let id = NodeId::from(42u32);
+        assert_eq!(id.raw(), 42);
+        assert_eq!(id.index(), 42usize);
+    }
+
+    #[test]
+    fn partition_id_display() {
+        let p = PartitionId::new(SubplanId::new(2), 1);
+        assert_eq!(p.to_string(), "sp2.1");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(NodeId::new(1));
+        set.insert(NodeId::new(1));
+        set.insert(NodeId::new(2));
+        assert_eq!(set.len(), 2);
+        assert!(NodeId::new(1) < NodeId::new(2));
+    }
+}

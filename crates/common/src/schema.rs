@@ -1,0 +1,237 @@
+//! Schemas: ordered, named, typed columns.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{GridError, Result};
+
+/// The type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// Boolean.
+    Bool,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int => "INT",
+            DataType::Float => "FLOAT",
+            DataType::Str => "STRING",
+            DataType::Bool => "BOOL",
+        };
+        f.write_str(s)
+    }
+}
+
+impl DataType {
+    /// True if values of this type can be compared numerically with the
+    /// other type.
+    pub fn numeric_compatible(self, other: DataType) -> bool {
+        let num = |t| matches!(t, DataType::Int | DataType::Float);
+        self == other || (num(self) && num(other))
+    }
+}
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Field {
+    /// Column name. Qualified names use `table.column`.
+    pub name: String,
+    /// Column type.
+    pub data_type: DataType,
+}
+
+impl Field {
+    /// Creates a field.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Field {
+            name: name.into(),
+            data_type,
+        }
+    }
+
+    /// The part of the name after the last `.`, i.e. the bare column name.
+    pub fn short_name(&self) -> &str {
+        self.name.rsplit('.').next().unwrap_or(&self.name)
+    }
+}
+
+/// An ordered collection of fields. Cheap to clone (internally shared).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    fields: Arc<[Field]>,
+}
+
+impl Schema {
+    /// Creates a schema from fields.
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema {
+            fields: fields.into(),
+        }
+    }
+
+    /// An empty schema.
+    pub fn empty() -> Self {
+        Schema::new(Vec::new())
+    }
+
+    /// The fields in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True if the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// The field at `idx`.
+    pub fn field(&self, idx: usize) -> &Field {
+        &self.fields[idx]
+    }
+
+    /// Finds a column index by name. Accepts either the exact (possibly
+    /// qualified) name or an unambiguous bare column name.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        if let Some(i) = self.fields.iter().position(|f| f.name == name) {
+            return Ok(i);
+        }
+        let matches: Vec<usize> = self
+            .fields
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.short_name() == name)
+            .map(|(i, _)| i)
+            .collect();
+        match matches.as_slice() {
+            [i] => Ok(*i),
+            [] => Err(GridError::UnknownColumn(name.to_string())),
+            _ => Err(GridError::AmbiguousColumn(name.to_string())),
+        }
+    }
+
+    /// Concatenates two schemas (the output of a join).
+    pub fn join(&self, right: &Schema) -> Schema {
+        let mut fields = self.fields.to_vec();
+        fields.extend(right.fields.iter().cloned());
+        Schema::new(fields)
+    }
+
+    /// Returns a schema with all field names prefixed by `qualifier.`, used
+    /// when binding a table alias.
+    pub fn qualified(&self, qualifier: &str) -> Schema {
+        let fields = self
+            .fields
+            .iter()
+            .map(|f| Field::new(format!("{qualifier}.{}", f.short_name()), f.data_type))
+            .collect();
+        Schema::new(fields)
+    }
+
+    /// Projects the schema onto the given column indices.
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema::new(indices.iter().map(|&i| self.fields[i].clone()).collect())
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", field.name, field.data_type)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            Field::new("p.orf", DataType::Str),
+            Field::new("p.sequence", DataType::Str),
+            Field::new("i.orf1", DataType::Str),
+        ])
+    }
+
+    #[test]
+    fn index_of_exact_and_short() {
+        let s = sample();
+        assert_eq!(s.index_of("p.orf").unwrap(), 0);
+        assert_eq!(s.index_of("sequence").unwrap(), 1);
+        assert_eq!(s.index_of("orf1").unwrap(), 2);
+    }
+
+    #[test]
+    fn index_of_unknown_and_ambiguous() {
+        let s = Schema::new(vec![
+            Field::new("a.x", DataType::Int),
+            Field::new("b.x", DataType::Int),
+        ]);
+        assert!(matches!(s.index_of("y"), Err(GridError::UnknownColumn(_))));
+        assert!(matches!(
+            s.index_of("x"),
+            Err(GridError::AmbiguousColumn(_))
+        ));
+        // Exact qualified lookup resolves the ambiguity.
+        assert_eq!(s.index_of("a.x").unwrap(), 0);
+    }
+
+    #[test]
+    fn join_concatenates() {
+        let l = Schema::new(vec![Field::new("a", DataType::Int)]);
+        let r = Schema::new(vec![Field::new("b", DataType::Str)]);
+        let j = l.join(&r);
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.field(1).name, "b");
+    }
+
+    #[test]
+    fn qualify_rewrites_names() {
+        let s = Schema::new(vec![Field::new("orf", DataType::Str)]);
+        let q = s.qualified("p");
+        assert_eq!(q.field(0).name, "p.orf");
+        // Re-qualifying replaces the old qualifier.
+        let q2 = q.qualified("x");
+        assert_eq!(q2.field(0).name, "x.orf");
+    }
+
+    #[test]
+    fn project_selects_columns() {
+        let s = sample();
+        let p = s.project(&[2, 0]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.field(0).name, "i.orf1");
+        assert_eq!(p.field(1).name, "p.orf");
+    }
+
+    #[test]
+    fn numeric_compatibility() {
+        assert!(DataType::Int.numeric_compatible(DataType::Float));
+        assert!(DataType::Str.numeric_compatible(DataType::Str));
+        assert!(!DataType::Str.numeric_compatible(DataType::Int));
+    }
+
+    #[test]
+    fn display_format() {
+        let s = Schema::new(vec![Field::new("a", DataType::Int)]);
+        assert_eq!(s.to_string(), "(a: INT)");
+    }
+}

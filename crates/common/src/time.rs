@@ -1,0 +1,153 @@
+//! Virtual time.
+//!
+//! The discrete-event simulator and the adaptivity components both reason
+//! about time as milliseconds since the start of a query. Using a dedicated
+//! type keeps virtual timestamps from mixing with wall-clock durations and
+//! gives us a total order usable inside the event queue (`SimTime` is never
+//! NaN by construction).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time, in milliseconds since query start.
+///
+/// Construction clamps NaN to zero so that `SimTime` is totally ordered and
+/// can be used as a key in the simulator's event queue.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Time zero: the start of the simulation.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a timestamp from milliseconds. Negative or NaN inputs clamp
+    /// to zero: virtual time never runs backwards.
+    pub fn from_millis(ms: f64) -> Self {
+        if ms.is_nan() || ms < 0.0 {
+            SimTime(0.0)
+        } else {
+            SimTime(ms)
+        }
+    }
+
+    /// Milliseconds since simulation start.
+    pub fn as_millis(self) -> f64 {
+        self.0
+    }
+
+    /// Seconds since simulation start.
+    pub fn as_secs(self) -> f64 {
+        self.0 / 1000.0
+    }
+
+    /// Adds a duration in milliseconds, saturating at zero for negative
+    /// results.
+    pub fn offset(self, delta_ms: f64) -> Self {
+        SimTime::from_millis(self.0 + delta_ms)
+    }
+
+    /// Returns the non-negative elapsed milliseconds since `earlier`.
+    pub fn since(self, earlier: SimTime) -> f64 {
+        (self.0 - earlier.0).max(0.0)
+    }
+
+    /// The later of two timestamps.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Safe: construction forbids NaN.
+        self.0.partial_cmp(&other.0).expect("SimTime is never NaN")
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, delta_ms: f64) -> SimTime {
+        self.offset(delta_ms)
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    fn add_assign(&mut self, delta_ms: f64) {
+        *self = self.offset(delta_ms);
+    }
+}
+
+impl Sub for SimTime {
+    type Output = f64;
+
+    fn sub(self, rhs: SimTime) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_clamps_invalid() {
+        assert_eq!(SimTime::from_millis(-5.0), SimTime::ZERO);
+        assert_eq!(SimTime::from_millis(f64::NAN), SimTime::ZERO);
+        assert_eq!(SimTime::from_millis(3.5).as_millis(), 3.5);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::from_millis(1.0);
+        let b = SimTime::from_millis(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(b.max(a), b);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_millis(10.0);
+        assert_eq!((t + 5.0).as_millis(), 15.0);
+        assert_eq!(t.offset(-20.0), SimTime::ZERO);
+        assert_eq!(t.since(SimTime::from_millis(4.0)), 6.0);
+        assert_eq!(t.since(SimTime::from_millis(40.0)), 0.0);
+        assert_eq!(SimTime::from_millis(2500.0).as_secs(), 2.5);
+    }
+
+    #[test]
+    fn add_assign_advances() {
+        let mut t = SimTime::ZERO;
+        t += 2.0;
+        t += 3.0;
+        assert_eq!(t.as_millis(), 5.0);
+    }
+
+    #[test]
+    fn sub_gives_signed_delta() {
+        let a = SimTime::from_millis(3.0);
+        let b = SimTime::from_millis(7.0);
+        assert_eq!(b - a, 4.0);
+        assert_eq!(a - b, -4.0);
+    }
+}

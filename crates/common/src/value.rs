@@ -1,0 +1,280 @@
+//! Relational values.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use crate::schema::DataType;
+
+/// A single column value inside a tuple.
+///
+/// Strings are reference counted so that cloning tuples while routing them
+/// through exchanges does not copy payload bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string (shared).
+    Str(Arc<str>),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Creates a string value from anything stringy.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// The data type this value inhabits, or `None` for NULL (which
+    /// inhabits every type).
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Str),
+            Value::Bool(_) => Some(DataType::Bool),
+        }
+    }
+
+    /// True if the value is SQL NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Integer view, if the value is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Float view: floats directly, integers widened.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            Value::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// String view, if the value is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view, if the value is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Approximate in-memory/serialized size in bytes, used by the network
+    /// cost model.
+    pub fn byte_size(&self) -> usize {
+        match self {
+            Value::Null => 1,
+            Value::Int(_) => 8,
+            Value::Float(_) => 8,
+            Value::Bool(_) => 1,
+            Value::Str(s) => s.len(),
+        }
+    }
+
+    /// A stable 64-bit hash used for hash partitioning. NULL hashes to a
+    /// fixed sentinel; numeric types hash by bit pattern so that the same
+    /// logical key always lands in the same bucket.
+    pub fn stable_hash(&self) -> u64 {
+        // FNV-1a over a type tag plus the payload bytes: simple, stable
+        // across runs and platforms, and good enough for bucket routing.
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn fnv(mut h: u64, bytes: &[u8]) -> u64 {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+            h
+        }
+        match self {
+            Value::Null => fnv(OFFSET, &[0]),
+            Value::Int(v) => fnv(OFFSET ^ 1, &v.to_le_bytes()),
+            Value::Float(v) => fnv(OFFSET ^ 2, &v.to_bits().to_le_bytes()),
+            Value::Str(s) => fnv(OFFSET ^ 3, s.as_bytes()),
+            Value::Bool(b) => fnv(OFFSET ^ 4, &[u8::from(*b)]),
+        }
+    }
+
+    /// SQL-style equality: NULL equals nothing, numeric types compare by
+    /// value across Int/Float.
+    pub fn sql_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => false,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (a, b) => match (a.as_float(), b.as_float()) {
+                (Some(x), Some(y)) => x == y,
+                _ => false,
+            },
+        }
+    }
+
+    /// SQL-style ordering comparison; `None` when either side is NULL or
+    /// the types are incomparable.
+    pub fn sql_cmp(&self, other: &Value) -> Option<std::cmp::Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            (a, b) => match (a.as_float(), b.as_float()) {
+                (Some(x), Some(y)) => x.partial_cmp(&y),
+                _ => None,
+            },
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.stable_hash().hash(state);
+    }
+}
+
+impl Eq for Value {}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(4).as_int(), Some(4));
+        assert_eq!(Value::Int(4).as_float(), Some(4.0));
+        assert_eq!(Value::Float(2.5).as_float(), Some(2.5));
+        assert_eq!(Value::str("ab").as_str(), Some("ab"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Null.as_int(), None);
+    }
+
+    #[test]
+    fn data_types() {
+        assert_eq!(Value::Int(1).data_type(), Some(DataType::Int));
+        assert_eq!(Value::Null.data_type(), None);
+    }
+
+    #[test]
+    fn byte_sizes() {
+        assert_eq!(Value::Int(0).byte_size(), 8);
+        assert_eq!(Value::str("abcd").byte_size(), 4);
+        assert_eq!(Value::Null.byte_size(), 1);
+    }
+
+    #[test]
+    fn stable_hash_is_deterministic_and_discriminates() {
+        assert_eq!(Value::Int(7).stable_hash(), Value::Int(7).stable_hash());
+        assert_ne!(Value::Int(7).stable_hash(), Value::Int(8).stable_hash());
+        assert_ne!(Value::str("a").stable_hash(), Value::str("b").stable_hash());
+        // Type-tagged: Int(0) and Bool(false) must not collide by accident
+        // of byte representation.
+        assert_ne!(
+            Value::Int(0).stable_hash(),
+            Value::Bool(false).stable_hash()
+        );
+    }
+
+    #[test]
+    fn sql_eq_null_semantics() {
+        assert!(!Value::Null.sql_eq(&Value::Null));
+        assert!(!Value::Int(1).sql_eq(&Value::Null));
+        assert!(Value::Int(1).sql_eq(&Value::Int(1)));
+        assert!(Value::Int(1).sql_eq(&Value::Float(1.0)));
+        assert!(!Value::str("x").sql_eq(&Value::Int(1)));
+    }
+
+    #[test]
+    fn sql_cmp_numeric_and_string() {
+        assert_eq!(
+            Value::Int(1).sql_cmp(&Value::Float(2.0)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::str("b").sql_cmp(&Value::str("a")),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::str("a").sql_cmp(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("hi"), Value::str("hi"));
+        assert_eq!(Value::from(String::from("hi")), Value::str("hi"));
+        assert_eq!(Value::from(1.25f64), Value::Float(1.25));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(-2).to_string(), "-2");
+        assert_eq!(Value::str("p").to_string(), "p");
+    }
+}

@@ -1,0 +1,551 @@
+//! Scalar expressions evaluated against tuples.
+
+use std::fmt;
+
+use gridq_common::{DataType, GridError, Result, Schema, Tuple, Value};
+
+use crate::service::ServiceRegistry;
+
+/// A binary operator in an expression tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+impl BinOp {
+    /// True for comparison operators producing booleans.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+
+    /// True for boolean connectives.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Eq => "=",
+            BinOp::Ne => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A scalar expression. Column references are resolved to positional
+/// indices at bind time, so evaluation needs no name lookups.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A bound column reference (index into the input schema).
+    Column(usize),
+    /// A literal value.
+    Literal(Value),
+    /// A binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// `NOT expr`.
+    Not(Box<Expr>),
+    /// A call to a registered service/function (the paper's
+    /// "operation call" over a typed web service).
+    Call {
+        /// Registered service name.
+        name: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+}
+
+impl Expr {
+    /// A bound column reference.
+    pub fn col(idx: usize) -> Expr {
+        Expr::Column(idx)
+    }
+
+    /// A literal.
+    pub fn lit(value: impl Into<Value>) -> Expr {
+        Expr::Literal(value.into())
+    }
+
+    /// `self = other`.
+    pub fn eq(self, other: Expr) -> Expr {
+        Expr::Binary {
+            op: BinOp::Eq,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+
+    /// `self AND other`.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::Binary {
+            op: BinOp::And,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+
+    /// Evaluates the expression against a tuple.
+    ///
+    /// `services` resolves `Call` expressions; passing an empty registry is
+    /// fine for plans without operation calls.
+    pub fn eval(&self, tuple: &Tuple, services: &ServiceRegistry) -> Result<Value> {
+        match self {
+            Expr::Column(idx) => {
+                let values = tuple.values();
+                values.get(*idx).cloned().ok_or_else(|| {
+                    GridError::Execution(format!(
+                        "column index {idx} out of bounds for arity {}",
+                        values.len()
+                    ))
+                })
+            }
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Not(inner) => match inner.eval(tuple, services)? {
+                Value::Bool(b) => Ok(Value::Bool(!b)),
+                Value::Null => Ok(Value::Null),
+                other => Err(GridError::Execution(format!(
+                    "NOT applied to non-boolean {other}"
+                ))),
+            },
+            Expr::Binary { op, left, right } => {
+                let l = left.eval(tuple, services)?;
+                let r = right.eval(tuple, services)?;
+                eval_binary(*op, &l, &r)
+            }
+            Expr::Call { name, args } => {
+                let mut arg_values = Vec::with_capacity(args.len());
+                for a in args {
+                    arg_values.push(a.eval(tuple, services)?);
+                }
+                services.invoke(name, &arg_values)
+            }
+        }
+    }
+
+    /// Evaluates the expression as a predicate: NULL counts as false.
+    pub fn eval_predicate(&self, tuple: &Tuple, services: &ServiceRegistry) -> Result<bool> {
+        match self.eval(tuple, services)? {
+            Value::Bool(b) => Ok(b),
+            Value::Null => Ok(false),
+            other => Err(GridError::Execution(format!(
+                "predicate evaluated to non-boolean {other}"
+            ))),
+        }
+    }
+
+    /// Infers the output type against an input schema, validating the tree.
+    pub fn data_type(&self, schema: &Schema, services: &ServiceRegistry) -> Result<DataType> {
+        match self {
+            Expr::Column(idx) => {
+                if *idx >= schema.len() {
+                    return Err(GridError::Plan(format!(
+                        "column index {idx} out of bounds for schema {schema}"
+                    )));
+                }
+                Ok(schema.field(*idx).data_type)
+            }
+            Expr::Literal(v) => v
+                .data_type()
+                .ok_or_else(|| GridError::Plan("untyped NULL literal needs a cast".to_string())),
+            Expr::Not(inner) => {
+                let t = inner.data_type(schema, services)?;
+                if t != DataType::Bool {
+                    return Err(GridError::Plan(format!("NOT applied to {t}")));
+                }
+                Ok(DataType::Bool)
+            }
+            Expr::Binary { op, left, right } => {
+                let lt = left.data_type(schema, services)?;
+                let rt = right.data_type(schema, services)?;
+                if op.is_logical() {
+                    if lt != DataType::Bool || rt != DataType::Bool {
+                        return Err(GridError::Plan(format!(
+                            "{op} requires boolean operands, got {lt} and {rt}"
+                        )));
+                    }
+                    Ok(DataType::Bool)
+                } else if op.is_comparison() {
+                    if !lt.numeric_compatible(rt) {
+                        return Err(GridError::Plan(format!("cannot compare {lt} with {rt}")));
+                    }
+                    Ok(DataType::Bool)
+                } else {
+                    // Arithmetic.
+                    match (lt, rt) {
+                        (DataType::Int, DataType::Int) if *op != BinOp::Div => Ok(DataType::Int),
+                        (DataType::Int | DataType::Float, DataType::Int | DataType::Float) => {
+                            Ok(DataType::Float)
+                        }
+                        _ => Err(GridError::Plan(format!("arithmetic {op} on {lt} and {rt}"))),
+                    }
+                }
+            }
+            Expr::Call { name, args } => {
+                let sig = services.signature(name)?;
+                if args.len() != sig.arg_types.len() {
+                    return Err(GridError::Plan(format!(
+                        "function {name} expects {} arguments, got {}",
+                        sig.arg_types.len(),
+                        args.len()
+                    )));
+                }
+                for (arg, expected) in args.iter().zip(sig.arg_types.iter()) {
+                    let got = arg.data_type(schema, services)?;
+                    if got != *expected {
+                        return Err(GridError::Plan(format!(
+                            "function {name}: expected {expected}, got {got}"
+                        )));
+                    }
+                }
+                Ok(sig.return_type)
+            }
+        }
+    }
+
+    /// Collects the column indices referenced by this expression.
+    pub fn referenced_columns(&self, out: &mut Vec<usize>) {
+        match self {
+            Expr::Column(idx) => out.push(*idx),
+            Expr::Literal(_) => {}
+            Expr::Not(inner) => inner.referenced_columns(out),
+            Expr::Binary { left, right, .. } => {
+                left.referenced_columns(out);
+                right.referenced_columns(out);
+            }
+            Expr::Call { args, .. } => {
+                for a in args {
+                    a.referenced_columns(out);
+                }
+            }
+        }
+    }
+}
+
+fn eval_binary(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
+    use std::cmp::Ordering;
+    if op.is_logical() {
+        // Three-valued logic with NULL.
+        let lb = match l {
+            Value::Bool(b) => Some(*b),
+            Value::Null => None,
+            other => return Err(GridError::Execution(format!("{op} on non-boolean {other}"))),
+        };
+        let rb = match r {
+            Value::Bool(b) => Some(*b),
+            Value::Null => None,
+            other => return Err(GridError::Execution(format!("{op} on non-boolean {other}"))),
+        };
+        let out = match op {
+            BinOp::And => match (lb, rb) {
+                (Some(false), _) | (_, Some(false)) => Some(false),
+                (Some(true), Some(true)) => Some(true),
+                _ => None,
+            },
+            BinOp::Or => match (lb, rb) {
+                (Some(true), _) | (_, Some(true)) => Some(true),
+                (Some(false), Some(false)) => Some(false),
+                _ => None,
+            },
+            _ => unreachable!(),
+        };
+        return Ok(out.map_or(Value::Null, Value::Bool));
+    }
+    if op.is_comparison() {
+        if l.is_null() || r.is_null() {
+            return Ok(Value::Null);
+        }
+        if matches!(op, BinOp::Eq | BinOp::Ne) {
+            let eq = l.sql_eq(r);
+            return Ok(Value::Bool(if op == BinOp::Eq { eq } else { !eq }));
+        }
+        let ord = l
+            .sql_cmp(r)
+            .ok_or_else(|| GridError::Execution(format!("cannot compare {l} with {r}")))?;
+        let out = match op {
+            BinOp::Lt => ord == Ordering::Less,
+            BinOp::Le => ord != Ordering::Greater,
+            BinOp::Gt => ord == Ordering::Greater,
+            BinOp::Ge => ord != Ordering::Less,
+            _ => unreachable!(),
+        };
+        return Ok(Value::Bool(out));
+    }
+    // Arithmetic.
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    if let (Value::Int(a), Value::Int(b)) = (l, r) {
+        if op != BinOp::Div {
+            let out = match op {
+                BinOp::Add => a.wrapping_add(*b),
+                BinOp::Sub => a.wrapping_sub(*b),
+                BinOp::Mul => a.wrapping_mul(*b),
+                _ => unreachable!(),
+            };
+            return Ok(Value::Int(out));
+        }
+    }
+    let (a, b) = match (l.as_float(), r.as_float()) {
+        (Some(a), Some(b)) => (a, b),
+        _ => {
+            return Err(GridError::Execution(format!(
+                "arithmetic {op} on {l} and {r}"
+            )))
+        }
+    };
+    let out = match op {
+        BinOp::Add => a + b,
+        BinOp::Sub => a - b,
+        BinOp::Mul => a * b,
+        BinOp::Div => {
+            if b == 0.0 {
+                return Ok(Value::Null);
+            }
+            a / b
+        }
+        _ => unreachable!(),
+    };
+    Ok(Value::Float(out))
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(idx) => write!(f, "#{idx}"),
+            Expr::Literal(v) => match v {
+                Value::Str(s) => write!(f, "'{s}'"),
+                other => write!(f, "{other}"),
+            },
+            Expr::Not(inner) => write!(f, "NOT ({inner})"),
+            Expr::Binary { op, left, right } => write!(f, "({left} {op} {right})"),
+            Expr::Call { name, args } => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridq_common::Field;
+
+    fn registry() -> ServiceRegistry {
+        ServiceRegistry::new()
+    }
+
+    fn tup(vals: Vec<Value>) -> Tuple {
+        Tuple::new(vals)
+    }
+
+    #[test]
+    fn column_and_literal() {
+        let t = tup(vec![Value::Int(7), Value::str("x")]);
+        assert_eq!(Expr::col(0).eval(&t, &registry()).unwrap(), Value::Int(7));
+        assert_eq!(
+            Expr::lit(3i64).eval(&t, &registry()).unwrap(),
+            Value::Int(3)
+        );
+    }
+
+    #[test]
+    fn column_out_of_bounds_is_execution_error() {
+        let t = tup(vec![Value::Int(7)]);
+        assert!(matches!(
+            Expr::col(5).eval(&t, &registry()),
+            Err(GridError::Execution(_))
+        ));
+    }
+
+    #[test]
+    fn comparisons() {
+        let t = tup(vec![Value::Int(2), Value::Int(3)]);
+        let lt = Expr::Binary {
+            op: BinOp::Lt,
+            left: Box::new(Expr::col(0)),
+            right: Box::new(Expr::col(1)),
+        };
+        assert_eq!(lt.eval(&t, &registry()).unwrap(), Value::Bool(true));
+        let eq = Expr::col(0).eq(Expr::lit(2i64));
+        assert_eq!(eq.eval(&t, &registry()).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn null_comparison_yields_null_and_predicate_false() {
+        let t = tup(vec![Value::Null, Value::Int(3)]);
+        let eq = Expr::col(0).eq(Expr::col(1));
+        assert_eq!(eq.eval(&t, &registry()).unwrap(), Value::Null);
+        assert!(!eq.eval_predicate(&t, &registry()).unwrap());
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        let t = tup(vec![Value::Null]);
+        let null_pred = Expr::col(0).eq(Expr::lit(1i64)); // NULL
+        let false_lit = Expr::lit(false);
+        let true_lit = Expr::lit(true);
+        // NULL AND false = false
+        let e = null_pred.clone().and(false_lit);
+        assert_eq!(e.eval(&t, &registry()).unwrap(), Value::Bool(false));
+        // NULL AND true = NULL
+        let e = null_pred.clone().and(true_lit.clone());
+        assert_eq!(e.eval(&t, &registry()).unwrap(), Value::Null);
+        // NULL OR true = true
+        let e = Expr::Binary {
+            op: BinOp::Or,
+            left: Box::new(null_pred),
+            right: Box::new(true_lit),
+        };
+        assert_eq!(e.eval(&t, &registry()).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = tup(vec![Value::Int(6), Value::Int(4)]);
+        let add = Expr::Binary {
+            op: BinOp::Add,
+            left: Box::new(Expr::col(0)),
+            right: Box::new(Expr::col(1)),
+        };
+        assert_eq!(add.eval(&t, &registry()).unwrap(), Value::Int(10));
+        let div = Expr::Binary {
+            op: BinOp::Div,
+            left: Box::new(Expr::col(0)),
+            right: Box::new(Expr::col(1)),
+        };
+        assert_eq!(div.eval(&t, &registry()).unwrap(), Value::Float(1.5));
+        let div0 = Expr::Binary {
+            op: BinOp::Div,
+            left: Box::new(Expr::col(0)),
+            right: Box::new(Expr::lit(0i64)),
+        };
+        assert_eq!(div0.eval(&t, &registry()).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn mixed_int_float_arithmetic_widen() {
+        let t = tup(vec![Value::Int(1), Value::Float(0.5)]);
+        let add = Expr::Binary {
+            op: BinOp::Add,
+            left: Box::new(Expr::col(0)),
+            right: Box::new(Expr::col(1)),
+        };
+        assert_eq!(add.eval(&t, &registry()).unwrap(), Value::Float(1.5));
+    }
+
+    #[test]
+    fn not_operator() {
+        let t = tup(vec![Value::Bool(true)]);
+        let e = Expr::Not(Box::new(Expr::col(0)));
+        assert_eq!(e.eval(&t, &registry()).unwrap(), Value::Bool(false));
+        let e = Expr::Not(Box::new(Expr::lit(5i64)));
+        assert!(e.eval(&t, &registry()).is_err());
+    }
+
+    #[test]
+    fn type_inference() {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("s", DataType::Str),
+        ]);
+        let reg = registry();
+        assert_eq!(
+            Expr::col(0).data_type(&schema, &reg).unwrap(),
+            DataType::Int
+        );
+        let cmp = Expr::col(0).eq(Expr::lit(1i64));
+        assert_eq!(cmp.data_type(&schema, &reg).unwrap(), DataType::Bool);
+        let bad = Expr::col(0).eq(Expr::col(1));
+        assert!(bad.data_type(&schema, &reg).is_err());
+        let div = Expr::Binary {
+            op: BinOp::Div,
+            left: Box::new(Expr::col(0)),
+            right: Box::new(Expr::col(0)),
+        };
+        assert_eq!(div.data_type(&schema, &reg).unwrap(), DataType::Float);
+    }
+
+    #[test]
+    fn referenced_columns_collects_all() {
+        let e = Expr::col(2).eq(Expr::col(0)).and(Expr::lit(true));
+        let mut cols = Vec::new();
+        e.referenced_columns(&mut cols);
+        cols.sort_unstable();
+        assert_eq!(cols, vec![0, 2]);
+    }
+
+    #[test]
+    fn display_round_trip_shape() {
+        let e = Expr::col(0).eq(Expr::lit("abc"));
+        assert_eq!(e.to_string(), "(#0 = 'abc')");
+        let c = Expr::Call {
+            name: "EntropyAnalyser".into(),
+            args: vec![Expr::col(1)],
+        };
+        assert_eq!(c.to_string(), "EntropyAnalyser(#1)");
+    }
+
+    #[test]
+    fn unknown_function_errors() {
+        let t = tup(vec![Value::Int(1)]);
+        let e = Expr::Call {
+            name: "nope".into(),
+            args: vec![],
+        };
+        assert!(matches!(
+            e.eval(&t, &registry()),
+            Err(GridError::UnknownFunction(_))
+        ));
+    }
+}

@@ -1,0 +1,73 @@
+//! Selection.
+
+use gridq_common::{Result, Schema, Tuple};
+
+use super::{BoxedOperator, Operator};
+use crate::expr::Expr;
+use crate::service::ServiceRegistry;
+
+/// Emits input tuples for which the predicate evaluates to true.
+pub struct Filter {
+    input: BoxedOperator,
+    predicate: Expr,
+    services: ServiceRegistry,
+    schema: Schema,
+}
+
+impl Filter {
+    /// Creates a filter over `input`.
+    pub fn new(input: BoxedOperator, predicate: Expr, services: ServiceRegistry) -> Self {
+        let schema = input.schema().clone();
+        Filter {
+            input,
+            predicate,
+            services,
+            schema,
+        }
+    }
+}
+
+impl Operator for Filter {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        while let Some(t) = self.input.next()? {
+            if self.predicate.eval_predicate(&t, &self.services)? {
+                return Ok(Some(t));
+            }
+        }
+        Ok(None)
+    }
+
+    fn name(&self) -> &'static str {
+        "filter"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{collect, TableScan};
+    use crate::table::Table;
+    use gridq_common::{DataType, Field, Value};
+    use std::sync::Arc;
+
+    #[test]
+    fn filters_by_predicate() {
+        let schema = Schema::new(vec![Field::new("x", DataType::Int)]);
+        let rows = (0..10).map(|i| Tuple::new(vec![Value::Int(i)])).collect();
+        let table = Arc::new(Table::new("t", schema, rows).unwrap());
+        let scan = Box::new(TableScan::new(table));
+        let pred = crate::expr::Expr::Binary {
+            op: crate::expr::BinOp::Ge,
+            left: Box::new(Expr::col(0)),
+            right: Box::new(Expr::lit(7i64)),
+        };
+        let mut filter = Filter::new(scan, pred, ServiceRegistry::new());
+        let out = collect(&mut filter).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].value(0).as_int(), Some(7));
+    }
+}

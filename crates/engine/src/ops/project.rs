@@ -1,0 +1,95 @@
+//! Projection.
+
+use gridq_common::{Field, Result, Schema, Tuple};
+
+use super::{BoxedOperator, Operator};
+use crate::expr::Expr;
+use crate::service::ServiceRegistry;
+
+/// Evaluates a list of expressions against each input tuple.
+pub struct Project {
+    input: BoxedOperator,
+    exprs: Vec<Expr>,
+    services: ServiceRegistry,
+    schema: Schema,
+}
+
+impl Project {
+    /// Creates a projection. `fields` names and types the output columns
+    /// (validated by the planner before construction).
+    pub fn new(
+        input: BoxedOperator,
+        exprs: Vec<Expr>,
+        fields: Vec<Field>,
+        services: ServiceRegistry,
+    ) -> Self {
+        debug_assert_eq!(exprs.len(), fields.len());
+        Project {
+            input,
+            exprs,
+            services,
+            schema: Schema::new(fields),
+        }
+    }
+}
+
+impl Operator for Project {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        match self.input.next()? {
+            None => Ok(None),
+            Some(t) => {
+                let mut values = Vec::with_capacity(self.exprs.len());
+                for e in &self.exprs {
+                    values.push(e.eval(&t, &self.services)?);
+                }
+                Ok(Some(Tuple::with_seq(values, t.seq())))
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "project"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{collect, TableScan};
+    use crate::table::Table;
+    use gridq_common::{DataType, Value};
+    use std::sync::Arc;
+
+    #[test]
+    fn projects_expressions_and_keeps_seq() {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Int),
+        ]);
+        let rows = vec![Tuple::new(vec![Value::Int(2), Value::Int(3)])];
+        let table = Arc::new(Table::new("t", schema, rows).unwrap());
+        let scan = Box::new(TableScan::new(table));
+        let sum = Expr::Binary {
+            op: crate::expr::BinOp::Add,
+            left: Box::new(Expr::col(0)),
+            right: Box::new(Expr::col(1)),
+        };
+        let mut proj = Project::new(
+            scan,
+            vec![sum, Expr::col(0)],
+            vec![
+                Field::new("sum", DataType::Int),
+                Field::new("a", DataType::Int),
+            ],
+            ServiceRegistry::new(),
+        );
+        let out = collect(&mut proj).unwrap();
+        assert_eq!(out[0].values(), &[Value::Int(5), Value::Int(2)]);
+        assert_eq!(out[0].seq(), 0);
+        assert_eq!(proj.schema().field(0).name, "sum");
+    }
+}

@@ -1,0 +1,99 @@
+//! Table scan.
+
+use std::sync::Arc;
+
+use gridq_common::{Result, Schema, Tuple};
+
+use super::Operator;
+use crate::table::Table;
+
+/// Scans an in-memory table in row order, optionally restricted to a
+/// contiguous row range (used when a table is range-partitioned across
+/// source nodes).
+pub struct TableScan {
+    table: Arc<Table>,
+    pos: usize,
+    end: usize,
+    schema: Schema,
+}
+
+impl TableScan {
+    /// Scans the whole table.
+    pub fn new(table: Arc<Table>) -> Self {
+        let end = table.len();
+        Self::with_range(table, 0, end)
+    }
+
+    /// Scans rows `[start, end)`, clamped to the table length.
+    pub fn with_range(table: Arc<Table>, start: usize, end: usize) -> Self {
+        let len = table.len();
+        let schema = table.schema().clone();
+        TableScan {
+            table,
+            pos: start.min(len),
+            end: end.min(len),
+            schema,
+        }
+    }
+
+    /// Rows remaining to be produced.
+    pub fn remaining(&self) -> usize {
+        self.end.saturating_sub(self.pos)
+    }
+}
+
+impl Operator for TableScan {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        if self.pos >= self.end {
+            return Ok(None);
+        }
+        let t = self.table.rows()[self.pos].clone();
+        self.pos += 1;
+        Ok(Some(t))
+    }
+
+    fn name(&self) -> &'static str {
+        "scan"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridq_common::{DataType, Field, Value};
+
+    fn table(n: usize) -> Arc<Table> {
+        let schema = Schema::new(vec![Field::new("x", DataType::Int)]);
+        let rows = (0..n)
+            .map(|i| Tuple::new(vec![Value::Int(i as i64)]))
+            .collect();
+        Arc::new(Table::new("t", schema, rows).unwrap())
+    }
+
+    #[test]
+    fn full_scan_in_order() {
+        let mut scan = TableScan::new(table(3));
+        let mut seen = Vec::new();
+        while let Some(t) = scan.next().unwrap() {
+            seen.push(t.value(0).as_int().unwrap());
+        }
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn range_scan_clamps() {
+        let mut scan = TableScan::with_range(table(5), 2, 100);
+        assert_eq!(scan.remaining(), 3);
+        assert_eq!(scan.next().unwrap().unwrap().value(0).as_int(), Some(2));
+    }
+
+    #[test]
+    fn empty_range() {
+        let mut scan = TableScan::with_range(table(5), 4, 2);
+        assert!(scan.next().unwrap().is_none());
+    }
+}

@@ -1,0 +1,251 @@
+//! Callable services ("typed foreign functions").
+//!
+//! In OGSA-DQP arbitrary web services can be invoked from queries through
+//! the *operation call* operator. Here a [`Service`] is any object that
+//! maps argument values to a result value and advertises a base invocation
+//! cost; the Grid substrate scales that cost by the hosting node's current
+//! performance.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use gridq_common::{DataType, GridError, Result, Value};
+
+/// The type signature of a service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceSignature {
+    /// Argument types, in order.
+    pub arg_types: Vec<DataType>,
+    /// Result type.
+    pub return_type: DataType,
+}
+
+/// A callable service.
+pub trait Service: Send + Sync {
+    /// The registered name (case-sensitive, as written in queries).
+    fn name(&self) -> &str;
+
+    /// The type signature.
+    fn signature(&self) -> ServiceSignature;
+
+    /// Invokes the service.
+    fn invoke(&self, args: &[Value]) -> Result<Value>;
+
+    /// Base per-invocation cost in milliseconds on an unperturbed
+    /// reference node. The execution substrate multiplies this by the
+    /// hosting node's current performance factor.
+    fn base_cost_ms(&self) -> f64 {
+        0.0
+    }
+}
+
+/// A registry of services, consulted at bind time and at run time.
+#[derive(Clone, Default)]
+pub struct ServiceRegistry {
+    services: HashMap<String, Arc<dyn Service>>,
+}
+
+impl ServiceRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a service, replacing any previous one with the same name.
+    pub fn register(&mut self, service: Arc<dyn Service>) {
+        self.services.insert(service.name().to_string(), service);
+    }
+
+    /// Looks up a service by name.
+    pub fn get(&self, name: &str) -> Result<&Arc<dyn Service>> {
+        self.services
+            .get(name)
+            .ok_or_else(|| GridError::UnknownFunction(name.to_string()))
+    }
+
+    /// The signature of a registered service.
+    pub fn signature(&self, name: &str) -> Result<ServiceSignature> {
+        Ok(self.get(name)?.signature())
+    }
+
+    /// Invokes a registered service.
+    pub fn invoke(&self, name: &str, args: &[Value]) -> Result<Value> {
+        self.get(name)?.invoke(args)
+    }
+
+    /// Registered service names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.services.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Number of registered services.
+    pub fn len(&self) -> usize {
+        self.services.len()
+    }
+
+    /// True when no services are registered.
+    pub fn is_empty(&self) -> bool {
+        self.services.is_empty()
+    }
+}
+
+impl fmt::Debug for ServiceRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServiceRegistry")
+            .field("services", &self.names())
+            .finish()
+    }
+}
+
+/// A service implemented by a closure, convenient for tests and examples.
+pub struct FnService<F> {
+    name: String,
+    signature: ServiceSignature,
+    base_cost_ms: f64,
+    f: F,
+}
+
+impl<F> FnService<F>
+where
+    F: Fn(&[Value]) -> Result<Value> + Send + Sync,
+{
+    /// Creates a closure-backed service.
+    pub fn new(
+        name: impl Into<String>,
+        arg_types: Vec<DataType>,
+        return_type: DataType,
+        base_cost_ms: f64,
+        f: F,
+    ) -> Self {
+        FnService {
+            name: name.into(),
+            signature: ServiceSignature {
+                arg_types,
+                return_type,
+            },
+            base_cost_ms,
+            f,
+        }
+    }
+}
+
+impl<F> Service for FnService<F>
+where
+    F: Fn(&[Value]) -> Result<Value> + Send + Sync,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn signature(&self) -> ServiceSignature {
+        self.signature.clone()
+    }
+
+    fn invoke(&self, args: &[Value]) -> Result<Value> {
+        if args.len() != self.signature.arg_types.len() {
+            return Err(GridError::Execution(format!(
+                "service {} called with {} arguments, expected {}",
+                self.name,
+                args.len(),
+                self.signature.arg_types.len()
+            )));
+        }
+        (self.f)(args)
+    }
+
+    fn base_cost_ms(&self) -> f64 {
+        self.base_cost_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn double() -> Arc<dyn Service> {
+        Arc::new(FnService::new(
+            "Double",
+            vec![DataType::Int],
+            DataType::Int,
+            1.5,
+            |args| Ok(Value::Int(args[0].as_int().unwrap_or(0) * 2)),
+        ))
+    }
+
+    #[test]
+    fn register_and_invoke() {
+        let mut reg = ServiceRegistry::new();
+        reg.register(double());
+        assert_eq!(
+            reg.invoke("Double", &[Value::Int(21)]).unwrap(),
+            Value::Int(42)
+        );
+    }
+
+    #[test]
+    fn unknown_service_errors() {
+        let reg = ServiceRegistry::new();
+        assert!(matches!(
+            reg.invoke("Nope", &[]),
+            Err(GridError::UnknownFunction(_))
+        ));
+        assert!(reg.signature("Nope").is_err());
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut reg = ServiceRegistry::new();
+        reg.register(double());
+        assert!(matches!(
+            reg.invoke("Double", &[]),
+            Err(GridError::Execution(_))
+        ));
+    }
+
+    #[test]
+    fn signature_and_cost_exposed() {
+        let mut reg = ServiceRegistry::new();
+        reg.register(double());
+        let sig = reg.signature("Double").unwrap();
+        assert_eq!(sig.arg_types, vec![DataType::Int]);
+        assert_eq!(sig.return_type, DataType::Int);
+        assert_eq!(reg.get("Double").unwrap().base_cost_ms(), 1.5);
+    }
+
+    #[test]
+    fn names_sorted_and_len() {
+        let mut reg = ServiceRegistry::new();
+        assert!(reg.is_empty());
+        reg.register(double());
+        reg.register(Arc::new(FnService::new(
+            "Abs",
+            vec![DataType::Int],
+            DataType::Int,
+            0.0,
+            |args| Ok(Value::Int(args[0].as_int().unwrap_or(0).abs())),
+        )));
+        assert_eq!(reg.names(), vec!["Abs", "Double"]);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn re_register_replaces() {
+        let mut reg = ServiceRegistry::new();
+        reg.register(double());
+        reg.register(Arc::new(FnService::new(
+            "Double",
+            vec![DataType::Int],
+            DataType::Int,
+            0.0,
+            |args| Ok(Value::Int(args[0].as_int().unwrap_or(0) * 4)),
+        )));
+        assert_eq!(
+            reg.invoke("Double", &[Value::Int(1)]).unwrap(),
+            Value::Int(4)
+        );
+        assert_eq!(reg.len(), 1);
+    }
+}

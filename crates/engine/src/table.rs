@@ -1,0 +1,130 @@
+//! In-memory tables, standing in for the OGSA-DAI Grid Data Services that
+//! expose remote databases to scan operators.
+
+use std::sync::Arc;
+
+use gridq_common::{GridError, Result, Schema, Tuple};
+
+/// An immutable in-memory table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    rows: Arc<[Tuple]>,
+}
+
+impl Table {
+    /// Creates a table, validating row arity against the schema and
+    /// assigning sequence numbers 0..n in row order (scans produce tuples
+    /// in this order, and checkpoints/acknowledgements reference these
+    /// sequence numbers).
+    pub fn new(name: impl Into<String>, schema: Schema, rows: Vec<Tuple>) -> Result<Self> {
+        let name = name.into();
+        for (i, row) in rows.iter().enumerate() {
+            if row.arity() != schema.len() {
+                return Err(GridError::Plan(format!(
+                    "table {name}: row {i} has arity {} but schema has {} columns",
+                    row.arity(),
+                    schema.len()
+                )));
+            }
+        }
+        let rows: Vec<Tuple> = rows
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| t.renumbered(i as u64))
+            .collect();
+        Ok(Table {
+            name,
+            schema,
+            rows: rows.into(),
+        })
+    }
+
+    /// The table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The rows, in scan order.
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Average serialized tuple size in bytes (0 for an empty table); used
+    /// by the network cost model.
+    pub fn avg_tuple_bytes(&self) -> usize {
+        if self.rows.is_empty() {
+            0
+        } else {
+            self.rows.iter().map(Tuple::byte_size).sum::<usize>() / self.rows.len()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridq_common::{DataType, Field, Value};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("orf", DataType::Str),
+            Field::new("len", DataType::Int),
+        ])
+    }
+
+    #[test]
+    fn rows_get_sequence_numbers() {
+        let t = Table::new(
+            "t",
+            schema(),
+            vec![
+                Tuple::new(vec![Value::str("a"), Value::Int(1)]),
+                Tuple::new(vec![Value::str("b"), Value::Int(2)]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.rows()[0].seq(), 0);
+        assert_eq!(t.rows()[1].seq(), 1);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let err = Table::new("t", schema(), vec![Tuple::new(vec![Value::str("a")])]);
+        assert!(matches!(err, Err(GridError::Plan(_))));
+    }
+
+    #[test]
+    fn avg_tuple_bytes() {
+        let t = Table::new(
+            "t",
+            schema(),
+            vec![
+                Tuple::new(vec![Value::str("ab"), Value::Int(1)]), // 2 + 8
+                Tuple::new(vec![Value::str("abcd"), Value::Int(2)]), // 4 + 8
+            ],
+        )
+        .unwrap();
+        assert_eq!(t.avg_tuple_bytes(), 11);
+        let empty = Table::new("e", schema(), vec![]).unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(empty.avg_tuple_bytes(), 0);
+    }
+}

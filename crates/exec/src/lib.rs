@@ -1,0 +1,640 @@
+#![warn(missing_docs)]
+
+//! A real multi-threaded executor for partitioned plans.
+//!
+//! The simulator (`gridq-sim`) reproduces the paper's *measurements* in
+//! virtual time; this crate demonstrates that the adaptivity architecture
+//! is substrate-independent by running the same [`DistributedPlan`]s over
+//! OS threads and crossbeam channels against the wall clock:
+//!
+//! - one producer thread per source scan, routing tuples through the
+//!   shared exchange [`Router`] and sending buffers over channels;
+//! - one consumer thread per stage partition, evaluating the same
+//!   [`gridq_engine::evaluator::PartitionEvaluator`] clones and *actually spending CPU/sleep time*
+//!   proportional to the cost model (scaled down by `cost_scale` to keep
+//!   tests fast);
+//! - an adaptivity thread hosting the MonitoringEventDetector, Diagnoser,
+//!   and Responder, fed by real M1/M2 notifications and deploying new
+//!   distribution vectors into the shared router while the query runs.
+//!
+//! The threaded executor deploys **prospective (R2)** adaptations on
+//! stateless stages. Retrospective (R1) responses and stateful
+//! repartitioning need the recall protocol that the simulator implements
+//! in full; here a stateful stage runs with adaptivity disabled rather
+//! than risking result corruption.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use gridq_adapt::{
+    AdaptivityConfig, DetectorOutput, Diagnoser, MonitoringEventDetector, ProducerId, Responder,
+    ResponsePolicy, M1, M2,
+};
+use gridq_common::{GridError, NodeId, PartitionId, Result, SimTime, Tuple};
+use gridq_engine::distributed::{DistributedPlan, Router};
+use gridq_engine::evaluator::StreamTag;
+use gridq_engine::physical::Catalog;
+use gridq_grid::Perturbation;
+use parking_lot::Mutex;
+
+/// Configuration of a threaded execution.
+#[derive(Debug, Clone)]
+pub struct ThreadedConfig {
+    /// Adaptivity configuration (R2/stateless only; see crate docs).
+    pub adaptivity: AdaptivityConfig,
+    /// Multiplier from model milliseconds to real milliseconds
+    /// (e.g. `0.02` runs a 3000-tuple query in a couple of seconds).
+    pub cost_scale: f64,
+    /// Per-node perturbations, applied as real extra work.
+    pub perturbations: HashMap<NodeId, Perturbation>,
+    /// Per-tuple receive cost in model milliseconds.
+    pub receive_cost_ms: f64,
+}
+
+impl Default for ThreadedConfig {
+    fn default() -> Self {
+        ThreadedConfig {
+            adaptivity: AdaptivityConfig::default(),
+            cost_scale: 0.02,
+            perturbations: HashMap::new(),
+            receive_cost_ms: 1.0,
+        }
+    }
+}
+
+/// What a threaded execution measured.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadedReport {
+    /// Wall-clock duration of the run, milliseconds.
+    pub wall_ms: f64,
+    /// Result tuples collected.
+    pub results: Vec<Tuple>,
+    /// Input tuples processed per partition.
+    pub per_partition_processed: Vec<u64>,
+    /// Raw M1 events emitted.
+    pub raw_m1_events: u64,
+    /// Raw M2 events emitted.
+    pub raw_m2_events: u64,
+    /// Adaptations deployed into the router.
+    pub adaptations_deployed: u64,
+    /// The final routing distribution.
+    pub final_distribution: Vec<f64>,
+}
+
+enum Msg {
+    Tuple(StreamTag, Tuple),
+    /// End of one source's stream; carries the stream tag so consumers
+    /// can tell when the build phase is complete.
+    Eos(StreamTag),
+}
+
+enum Raw {
+    M1(M1),
+    M2(M2),
+    ProducersDone,
+}
+
+fn spin_for(model_ms: f64, scale: f64) {
+    let dur = Duration::from_secs_f64((model_ms * scale / 1000.0).max(0.0));
+    if !dur.is_zero() {
+        thread::sleep(dur);
+    }
+}
+
+fn perturbed(base_ms: f64, perturbation: Option<&Perturbation>) -> f64 {
+    match perturbation {
+        None | Some(Perturbation::None) => base_ms,
+        Some(Perturbation::CostFactor(k)) => base_ms * k,
+        Some(Perturbation::SleepMs(extra)) => base_ms + extra,
+        Some(Perturbation::NormalFactor { mean, .. }) => base_ms * mean,
+    }
+}
+
+/// Executes a single-stage distributed plan over real threads.
+pub struct ThreadedExecutor {
+    catalog: Catalog,
+    config: ThreadedConfig,
+}
+
+impl ThreadedExecutor {
+    /// Creates an executor over the catalog.
+    pub fn new(catalog: Catalog, config: ThreadedConfig) -> Self {
+        ThreadedExecutor { catalog, config }
+    }
+
+    /// Runs the plan to completion.
+    pub fn run(&self, plan: &DistributedPlan) -> Result<ThreadedReport> {
+        plan.validate()?;
+        if plan.stages.len() != 1 {
+            return Err(GridError::Execution(
+                "the threaded executor runs single-stage plans".into(),
+            ));
+        }
+        let stage = &plan.stages[0];
+        let adaptivity_on = self.config.adaptivity.monitoring_active()
+            && !stage.factory.stateful()
+            && self.config.adaptivity.response == ResponsePolicy::R2;
+        if self.config.adaptivity.enabled
+            && stage.factory.stateful()
+            && self.config.adaptivity.response == ResponsePolicy::R1
+        {
+            return Err(GridError::Config(
+                "retrospective responses are implemented by the simulator; \
+                 run stateful adaptive plans on gridq-sim"
+                    .into(),
+            ));
+        }
+        let partitions = stage.nodes.len();
+        let router = Arc::new(Mutex::new(Router::from_policy(
+            &stage.exchange.routing,
+            partitions as u32,
+        )?));
+
+        // Channels: producers -> consumers, consumers -> collector,
+        // everyone -> adaptivity thread.
+        let mut to_consumer: Vec<Sender<Msg>> = Vec::new();
+        let mut consumer_rx: Vec<Receiver<Msg>> = Vec::new();
+        for _ in 0..partitions {
+            let (tx, rx) = unbounded();
+            to_consumer.push(tx);
+            consumer_rx.push(rx);
+        }
+        let (result_tx, result_rx) = unbounded::<Vec<Tuple>>();
+        let (raw_tx, raw_rx) = unbounded::<Raw>();
+
+        let started = Instant::now();
+        let routed_total = Arc::new(AtomicU64::new(0));
+        let total_rows: u64 = {
+            let mut sum = 0;
+            for s in &plan.sources {
+                sum += self.catalog.get(&s.table)?.len() as u64;
+            }
+            sum
+        };
+
+        // Producer threads.
+        let mut producer_handles = Vec::new();
+        for (sidx, source) in plan.sources.iter().enumerate() {
+            let table = self.catalog.get(&source.table)?;
+            let router = Arc::clone(&router);
+            let senders = to_consumer.clone();
+            let raw = raw_tx.clone();
+            let routed_total = Arc::clone(&routed_total);
+            let scan_cost = source.scan_cost_ms;
+            let stream = source.stream;
+            let scale = self.config.cost_scale;
+            let buffer_tuples = stage.exchange.buffer_tuples;
+            let stage_id = stage.id;
+            let query = plan.query;
+            let monitoring = adaptivity_on;
+            producer_handles.push(thread::spawn(move || {
+                let mut buffers: Vec<Vec<(StreamTag, Tuple)>> = vec![Vec::new(); senders.len()];
+                let flush =
+                    |dest: usize, buffers: &mut Vec<Vec<(StreamTag, Tuple)>>, started: &Instant| {
+                        let items = std::mem::take(&mut buffers[dest]);
+                        if items.is_empty() {
+                            return;
+                        }
+                        let send_started = Instant::now();
+                        let count = items.len();
+                        for (tag, t) in items {
+                            let _ = senders[dest].send(Msg::Tuple(tag, t));
+                        }
+                        if monitoring {
+                            let send_cost =
+                                send_started.elapsed().as_secs_f64() * 1000.0 / scale.max(1e-9);
+                            let _ = raw.send(Raw::M2(M2 {
+                                query,
+                                producer: ProducerId::Source(sidx as u32),
+                                recipient: PartitionId::new(stage_id, dest as u32),
+                                send_cost_ms: send_cost,
+                                tuples_in_buffer: count,
+                                // Wall-clock -> model milliseconds, so the
+                                // Responder's cooldown compares like units.
+                                at: SimTime::from_millis(
+                                    started.elapsed().as_secs_f64() * 1000.0 / scale.max(1e-9),
+                                ),
+                            }));
+                        }
+                    };
+                let started_local = Instant::now();
+                for row in table.rows() {
+                    spin_for(scan_cost, scale);
+                    let dest = {
+                        let mut r = router.lock();
+                        r.route(stream, row).unwrap_or(0)
+                    } as usize;
+                    buffers[dest].push((stream, row.clone()));
+                    routed_total.fetch_add(1, Ordering::Relaxed);
+                    if buffers[dest].len() >= buffer_tuples {
+                        flush(dest, &mut buffers, &started_local);
+                    }
+                }
+                for (dest, sender) in senders.iter().enumerate() {
+                    flush(dest, &mut buffers, &started_local);
+                    let _ = sender.send(Msg::Eos(stream));
+                }
+            }));
+        }
+        drop(to_consumer);
+
+        // Consumer threads.
+        let eos_needed = plan.sources.len();
+        let build_eos_needed = plan
+            .sources
+            .iter()
+            .filter(|s| s.stream == StreamTag::Build)
+            .count();
+        let mut consumer_handles = Vec::new();
+        for (i, rx) in consumer_rx.into_iter().enumerate() {
+            let mut evaluator = stage.factory.create(i as u32);
+            let node = stage.nodes[i];
+            let perturbation = self.config.perturbations.get(&node).cloned();
+            let results = result_tx.clone();
+            let raw = raw_tx.clone();
+            let scale = self.config.cost_scale;
+            let receive_cost = self.config.receive_cost_ms;
+            let monitoring = adaptivity_on;
+            let interval = self.config.adaptivity.monitoring_interval_tuples.max(1);
+            let stage_id = stage.id;
+            let query = plan.query;
+            consumer_handles.push(thread::spawn(move || -> (u64, Vec<Tuple>) {
+                let started = Instant::now();
+                let mut processed = 0u64;
+                let mut outputs_total = 0u64;
+                let mut batch = 0u32;
+                let mut batch_cost = 0.0;
+                let mut batch_wait = 0.0;
+                let mut out: Vec<Tuple> = Vec::new();
+                let mut eos_seen = 0usize;
+                let mut build_eos_seen = 0usize;
+                // Probe tuples that arrived before the build phase
+                // completed; replayed once every build source is done
+                // (the iterator model consumes the build input first).
+                let mut held_probes: Vec<Tuple> = Vec::new();
+                loop {
+                    let wait_started = Instant::now();
+                    let msg = match rx.recv_timeout(Duration::from_millis(50)) {
+                        Ok(m) => m,
+                        Err(RecvTimeoutError::Timeout) => continue,
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    };
+                    batch_wait += wait_started.elapsed().as_secs_f64() * 1000.0;
+                    match msg {
+                        Msg::Eos(tag) => {
+                            eos_seen += 1;
+                            if tag == StreamTag::Build {
+                                build_eos_seen += 1;
+                            }
+                            if build_eos_seen == build_eos_needed {
+                                for tuple in held_probes.drain(..) {
+                                    if let Ok(outcome) = evaluator.process(StreamTag::Probe, &tuple)
+                                    {
+                                        let model_cost =
+                                            perturbed(outcome.base_cost_ms, perturbation.as_ref())
+                                                + receive_cost;
+                                        spin_for(model_cost, scale);
+                                        processed += 1;
+                                        outputs_total += outcome.outputs.len() as u64;
+                                        out.extend(outcome.outputs);
+                                    }
+                                }
+                            }
+                            if eos_seen == eos_needed {
+                                break;
+                            }
+                        }
+                        Msg::Tuple(StreamTag::Probe, tuple)
+                            if build_eos_needed > 0 && build_eos_seen < build_eos_needed =>
+                        {
+                            held_probes.push(tuple);
+                        }
+                        Msg::Tuple(tag, tuple) => {
+                            let outcome = match evaluator.process(tag, &tuple) {
+                                Ok(o) => o,
+                                Err(_) => continue,
+                            };
+                            let model_cost = perturbed(outcome.base_cost_ms, perturbation.as_ref())
+                                + receive_cost;
+                            spin_for(model_cost, scale);
+                            processed += 1;
+                            batch += 1;
+                            batch_cost += model_cost;
+                            outputs_total += outcome.outputs.len() as u64;
+                            out.extend(outcome.outputs);
+                            if monitoring && batch >= interval {
+                                let _ = raw.send(Raw::M1(M1 {
+                                    query,
+                                    partition: PartitionId::new(stage_id, i as u32),
+                                    node,
+                                    cost_per_tuple_ms: batch_cost / f64::from(batch),
+                                    leaf_wait_ms: batch_wait / f64::from(batch) / scale,
+                                    selectivity: if processed == 0 {
+                                        1.0
+                                    } else {
+                                        outputs_total as f64 / processed as f64
+                                    },
+                                    tuples_produced: outputs_total,
+                                    at: SimTime::from_millis(
+                                        started.elapsed().as_secs_f64() * 1000.0 / scale.max(1e-9),
+                                    ),
+                                }));
+                                batch = 0;
+                                batch_cost = 0.0;
+                                batch_wait = 0.0;
+                            }
+                        }
+                    }
+                }
+                let _ = results.send(std::mem::take(&mut out));
+                (processed, Vec::new())
+            }));
+        }
+        drop(result_tx);
+
+        // Adaptivity thread: detector -> diagnoser -> responder ->
+        // shared router.
+        let adapt_handle = {
+            let adapt = self.config.adaptivity.clone();
+            let router = Arc::clone(&router);
+            let routed_total = Arc::clone(&routed_total);
+            let initial = router.lock().current_distribution();
+            let stage_id = stage.id;
+            let partitions = partitions as u32;
+            thread::spawn(move || -> (u64, u64, u64) {
+                let mut detector = MonitoringEventDetector::new(&adapt);
+                let mut diagnoser = Diagnoser::new(stage_id, partitions, initial, &adapt);
+                let mut responder = Responder::new(&adapt);
+                let mut m1 = 0u64;
+                let mut m2 = 0u64;
+                let mut deployed = 0u64;
+                while let Ok(raw) = raw_rx.recv() {
+                    let output = match raw {
+                        Raw::M1(event) => {
+                            m1 += 1;
+                            detector.on_m1(&event)
+                        }
+                        Raw::M2(event) => {
+                            m2 += 1;
+                            detector.on_m2(&event)
+                        }
+                        Raw::ProducersDone => break,
+                    };
+                    let imbalance = match output {
+                        DetectorOutput::Quiet => None,
+                        DetectorOutput::Cost(update) => diagnoser.on_cost_update(&update),
+                        DetectorOutput::Comm(update) => diagnoser.on_comm_update(&update),
+                    };
+                    if let Some(imbalance) = imbalance {
+                        let progress =
+                            routed_total.load(Ordering::Relaxed) as f64 / total_rows.max(1) as f64;
+                        let (_, cmd) = responder.on_imbalance(&imbalance, progress);
+                        if let Some(cmd) = cmd {
+                            diagnoser.set_distribution(cmd.new_distribution.clone());
+                            if router
+                                .lock()
+                                .apply_distribution(&cmd.new_distribution)
+                                .is_ok()
+                            {
+                                deployed += 1;
+                            }
+                        }
+                    }
+                }
+                (m1, m2, deployed)
+            })
+        };
+
+        // Wait for producers, then consumers.
+        for h in producer_handles {
+            h.join()
+                .map_err(|_| GridError::Execution("producer thread panicked".into()))?;
+        }
+        let mut per_partition = Vec::with_capacity(partitions);
+        for h in consumer_handles {
+            let (processed, _) = h
+                .join()
+                .map_err(|_| GridError::Execution("consumer thread panicked".into()))?;
+            per_partition.push(processed);
+        }
+        let _ = raw_tx.send(Raw::ProducersDone);
+        drop(raw_tx);
+        let (m1, m2, deployed) = adapt_handle
+            .join()
+            .map_err(|_| GridError::Execution("adaptivity thread panicked".into()))?;
+
+        let mut results = Vec::new();
+        while let Ok(batch) = result_rx.try_recv() {
+            results.extend(batch);
+        }
+        let final_distribution = router.lock().current_distribution().weights().to_vec();
+        Ok(ThreadedReport {
+            wall_ms: started.elapsed().as_secs_f64() * 1000.0,
+            results,
+            per_partition_processed: per_partition,
+            raw_m1_events: m1,
+            raw_m2_events: m2,
+            adaptations_deployed: deployed,
+            final_distribution,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridq_common::{DataType, DistributionVector, Field, QueryId, Schema, SubplanId, Value};
+    use gridq_engine::distributed::{
+        ExchangeSpec, ParallelStageSpec, RoutingPolicy, SourceSpec, StreamKeys,
+    };
+    use gridq_engine::evaluator::{HashJoinFactory, ServiceCallFactory};
+    use gridq_engine::service::{FnService, Service, ServiceRegistry};
+    use gridq_engine::table::Table;
+    use gridq_engine::Expr;
+
+    fn int_table(name: &str, n: usize) -> Arc<Table> {
+        let schema = Schema::new(vec![Field::new("x", DataType::Int)]);
+        let rows = (0..n)
+            .map(|i| Tuple::new(vec![Value::Int(i as i64)]))
+            .collect();
+        Arc::new(Table::new(name, schema, rows).unwrap())
+    }
+
+    fn square() -> Arc<dyn Service> {
+        Arc::new(FnService::new(
+            "Square",
+            vec![DataType::Int],
+            DataType::Int,
+            1.0,
+            |args| Ok(Value::Int(args[0].as_int().unwrap().pow(2))),
+        ))
+    }
+
+    fn call_plan(table: &Arc<Table>, partitions: usize) -> DistributedPlan {
+        let factory = ServiceCallFactory::new(
+            table.schema(),
+            square(),
+            vec![Expr::col(0)],
+            "sq",
+            false,
+            ServiceRegistry::new(),
+        );
+        DistributedPlan {
+            query: QueryId::new(1),
+            sources: vec![SourceSpec {
+                table: table.name().to_string(),
+                node: NodeId::new(0),
+                stream: StreamTag::Single,
+                scan_cost_ms: 0.4,
+            }],
+            stages: vec![ParallelStageSpec {
+                id: SubplanId::new(1),
+                factory: Arc::new(factory),
+                nodes: (0..partitions).map(|i| NodeId::new(i as u32 + 1)).collect(),
+                exchange: ExchangeSpec {
+                    routing: RoutingPolicy::Weighted {
+                        initial: DistributionVector::uniform(partitions),
+                    },
+                    buffer_tuples: 10,
+                },
+            }],
+            collect_node: NodeId::new(0),
+        }
+    }
+
+    fn catalog(tables: &[&Arc<Table>]) -> Catalog {
+        let mut c = Catalog::new();
+        for t in tables {
+            c.register(Arc::clone(t));
+        }
+        c
+    }
+
+    #[test]
+    fn static_run_produces_all_results() {
+        let table = int_table("t", 200);
+        let plan = call_plan(&table, 2);
+        let exec = ThreadedExecutor::new(
+            catalog(&[&table]),
+            ThreadedConfig {
+                adaptivity: AdaptivityConfig::disabled(),
+                cost_scale: 0.002,
+                ..Default::default()
+            },
+        );
+        let report = exec.run(&plan).unwrap();
+        assert_eq!(report.results.len(), 200);
+        assert_eq!(report.per_partition_processed.iter().sum::<u64>(), 200);
+        assert_eq!(report.adaptations_deployed, 0);
+        // Spot-check a value.
+        let mut values: Vec<i64> = report
+            .results
+            .iter()
+            .map(|t| t.value(0).as_int().unwrap())
+            .collect();
+        values.sort_unstable();
+        assert_eq!(values[0], 0);
+        assert_eq!(values[199], 199 * 199);
+    }
+
+    #[test]
+    fn adaptive_run_shifts_load_away_from_perturbed_node() {
+        let table = int_table("t", 400);
+        let plan = call_plan(&table, 2);
+        let mut perturbations = HashMap::new();
+        perturbations.insert(NodeId::new(2), Perturbation::CostFactor(10.0));
+        let exec = ThreadedExecutor::new(
+            catalog(&[&table]),
+            ThreadedConfig {
+                adaptivity: AdaptivityConfig::default(),
+                cost_scale: 0.01,
+                perturbations,
+                receive_cost_ms: 1.0,
+            },
+        );
+        let report = exec.run(&plan).unwrap();
+        assert_eq!(report.results.len(), 400);
+        assert!(report.adaptations_deployed >= 1, "must adapt: {report:?}");
+        assert!(
+            report.final_distribution[0] > 0.6,
+            "router must favour the fast node: {:?}",
+            report.final_distribution
+        );
+        assert!(
+            report.per_partition_processed[0] > report.per_partition_processed[1],
+            "fast node should process more: {:?}",
+            report.per_partition_processed
+        );
+        assert!(report.raw_m1_events > 0);
+    }
+
+    #[test]
+    fn stateful_plan_with_r1_is_rejected() {
+        let build = int_table("b", 20);
+        let probe = int_table("p", 20);
+        let factory = HashJoinFactory::new(build.schema(), probe.schema(), 0, 0, 0.1, 0.5);
+        let plan = DistributedPlan {
+            query: QueryId::new(2),
+            sources: vec![
+                SourceSpec {
+                    table: "b".into(),
+                    node: NodeId::new(0),
+                    stream: StreamTag::Build,
+                    scan_cost_ms: 0.1,
+                },
+                SourceSpec {
+                    table: "p".into(),
+                    node: NodeId::new(0),
+                    stream: StreamTag::Probe,
+                    scan_cost_ms: 0.1,
+                },
+            ],
+            stages: vec![ParallelStageSpec {
+                id: SubplanId::new(1),
+                factory: Arc::new(factory),
+                nodes: vec![NodeId::new(1), NodeId::new(2)],
+                exchange: ExchangeSpec {
+                    routing: RoutingPolicy::HashBuckets {
+                        bucket_count: 16,
+                        initial: DistributionVector::uniform(2),
+                        keys: StreamKeys {
+                            build: Some(0),
+                            probe: Some(0),
+                            single: None,
+                        },
+                    },
+                    buffer_tuples: 10,
+                },
+            }],
+            collect_node: NodeId::new(0),
+        };
+        let adapt = AdaptivityConfig {
+            response: ResponsePolicy::R1,
+            ..Default::default()
+        };
+        let exec = ThreadedExecutor::new(
+            catalog(&[&build, &probe]),
+            ThreadedConfig {
+                adaptivity: adapt,
+                cost_scale: 0.002,
+                ..Default::default()
+            },
+        );
+        assert!(exec.run(&plan).is_err());
+        // But the same stateful plan runs fine statically.
+        let static_exec = ThreadedExecutor::new(
+            catalog(&[&build, &probe]),
+            ThreadedConfig {
+                adaptivity: AdaptivityConfig::disabled(),
+                cost_scale: 0.002,
+                ..Default::default()
+            },
+        );
+        let report = static_exec.run(&plan).unwrap();
+        assert_eq!(report.results.len(), 20);
+    }
+}

@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+
+//! The Grid resource substrate.
+//!
+//! The paper runs on machines "autonomously exposed as Grid resources"
+//! whose performance evolves at run time. This crate models those
+//! resources: node specifications, a latency/bandwidth network model, the
+//! paper's two artificial load-injection methods (cost multiplication and
+//! `sleep()` insertion) plus the normally-distributed per-tuple
+//! perturbations of Fig. 5, and a resource registry the scheduler
+//! consults — the role the GDQS's metadata catalog plays in OGSA-DQP.
+
+pub mod env;
+pub mod network;
+pub mod node;
+pub mod perturbation;
+pub mod registry;
+
+pub use env::GridEnvironment;
+pub use network::NetworkModel;
+pub use node::NodeSpec;
+pub use perturbation::{Perturbation, PerturbationSchedule};
+pub use registry::ResourceRegistry;

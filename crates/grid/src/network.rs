@@ -1,0 +1,103 @@
+//! The network cost model.
+//!
+//! The paper's testbed is a 100 Mbps LAN carrying SOAP/HTTP buffers of
+//! tuples. The model here charges `latency + serialized_bytes / bandwidth
+//! (+ per-tuple SOAP overhead)` per buffer, and zero for same-node
+//! transfers (the paper costs communication between co-located subplans
+//! at zero).
+
+use gridq_common::NodeId;
+
+/// A uniform latency/bandwidth network between Grid nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkModel {
+    /// One-way message latency in milliseconds.
+    pub latency_ms: f64,
+    /// Link bandwidth in megabits per second.
+    pub bandwidth_mbps: f64,
+    /// Per-tuple serialization/deserialization overhead in milliseconds
+    /// (SOAP encoding is expensive relative to the payload).
+    pub per_tuple_overhead_ms: f64,
+}
+
+impl NetworkModel {
+    /// A 100 Mbps LAN with 0.5 ms latency, approximating the paper's
+    /// testbed.
+    pub fn lan_100mbps() -> Self {
+        NetworkModel {
+            latency_ms: 0.5,
+            bandwidth_mbps: 100.0,
+            per_tuple_overhead_ms: 0.05,
+        }
+    }
+
+    /// Cost in milliseconds to transmit a buffer of `tuples` tuples
+    /// totalling `bytes` payload bytes from `from` to `to`. Same-node
+    /// transfers are free.
+    pub fn buffer_cost_ms(&self, from: NodeId, to: NodeId, tuples: usize, bytes: usize) -> f64 {
+        if from == to {
+            return 0.0;
+        }
+        let transfer_ms = (bytes as f64 * 8.0) / (self.bandwidth_mbps * 1000.0);
+        self.latency_ms + transfer_ms + self.per_tuple_overhead_ms * tuples as f64
+    }
+
+    /// Cost of a small control message (notifications between adaptivity
+    /// components, acknowledgements): latency only, zero when co-located.
+    pub fn control_cost_ms(&self, from: NodeId, to: NodeId) -> f64 {
+        if from == to {
+            0.0
+        } else {
+            self.latency_ms
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_node_is_free() {
+        let net = NetworkModel::lan_100mbps();
+        let n = NodeId::new(1);
+        assert_eq!(net.buffer_cost_ms(n, n, 100, 10_000), 0.0);
+        assert_eq!(net.control_cost_ms(n, n), 0.0);
+    }
+
+    #[test]
+    fn buffer_cost_scales_with_size() {
+        let net = NetworkModel {
+            latency_ms: 1.0,
+            bandwidth_mbps: 100.0,
+            per_tuple_overhead_ms: 0.0,
+        };
+        let a = NodeId::new(0);
+        let b = NodeId::new(1);
+        // 12,500 bytes = 100,000 bits over 100 Mbps = 1 ms transfer.
+        let cost = net.buffer_cost_ms(a, b, 1, 12_500);
+        assert!((cost - 2.0).abs() < 1e-9, "cost {cost}");
+        let bigger = net.buffer_cost_ms(a, b, 1, 25_000);
+        assert!(bigger > cost);
+    }
+
+    #[test]
+    fn per_tuple_overhead_counts() {
+        let net = NetworkModel {
+            latency_ms: 0.0,
+            bandwidth_mbps: 1e9, // effectively free transfer
+            per_tuple_overhead_ms: 0.1,
+        };
+        let cost = net.buffer_cost_ms(NodeId::new(0), NodeId::new(1), 50, 0);
+        assert!((cost - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn control_message_is_latency() {
+        let net = NetworkModel::lan_100mbps();
+        assert_eq!(
+            net.control_cost_ms(NodeId::new(0), NodeId::new(1)),
+            net.latency_ms
+        );
+    }
+}

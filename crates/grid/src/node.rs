@@ -1,0 +1,69 @@
+//! Grid node specifications.
+
+use gridq_common::NodeId;
+
+/// A machine exposed as a Grid resource.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSpec {
+    /// Identifier within the environment.
+    pub id: NodeId,
+    /// Human-readable name (host name).
+    pub name: String,
+    /// Relative CPU speed: per-tuple base costs are divided by this, so a
+    /// node with `speed = 2.0` processes tuples twice as fast as the
+    /// reference node. Must be positive.
+    pub speed: f64,
+    /// Whether the node hosts data (a Grid Data Service) — the scheduler
+    /// prefers placing scans on data nodes and evaluators elsewhere.
+    pub hosts_data: bool,
+}
+
+impl NodeSpec {
+    /// Creates a compute node with reference speed.
+    pub fn compute(id: NodeId, name: impl Into<String>) -> Self {
+        NodeSpec {
+            id,
+            name: name.into(),
+            speed: 1.0,
+            hosts_data: false,
+        }
+    }
+
+    /// Creates a data-hosting node with reference speed.
+    pub fn data(id: NodeId, name: impl Into<String>) -> Self {
+        NodeSpec {
+            id,
+            name: name.into(),
+            speed: 1.0,
+            hosts_data: true,
+        }
+    }
+
+    /// Sets the relative speed (builder style).
+    pub fn with_speed(mut self, speed: f64) -> Self {
+        assert!(speed > 0.0, "node speed must be positive");
+        self.speed = speed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders() {
+        let n = NodeSpec::compute(NodeId::new(1), "wraith").with_speed(2.0);
+        assert_eq!(n.speed, 2.0);
+        assert!(!n.hosts_data);
+        let d = NodeSpec::data(NodeId::new(0), "store");
+        assert!(d.hosts_data);
+        assert_eq!(d.speed, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "speed must be positive")]
+    fn zero_speed_panics() {
+        let _ = NodeSpec::compute(NodeId::new(1), "x").with_speed(0.0);
+    }
+}

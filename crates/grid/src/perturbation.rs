@@ -1,0 +1,190 @@
+//! Perturbation models: artificial load on Grid nodes.
+//!
+//! The paper creates machine perturbation in two ways: "(i) programming a
+//! computation to iterate over the same function multiple times, and (ii)
+//! inserting sleep() calls" — i.e. a multiplicative cost factor and an
+//! additive per-tuple delay. The rapid-change experiments of Fig. 5
+//! further vary the factor "for each incoming tuple in a normally
+//! distributed way, so that the mean value remains stable".
+
+use gridq_common::{DetRng, SimTime};
+
+/// A load model applied to a node's per-tuple operator costs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Perturbation {
+    /// No artificial load.
+    None,
+    /// The operator cost is multiplied by `factor` ("k times costlier").
+    CostFactor(f64),
+    /// A fixed delay is added before each tuple (the `sleep()` method).
+    SleepMs(f64),
+    /// A per-tuple factor drawn from a normal distribution with the given
+    /// mean, clamped to `[lo, hi]` (range endpoints ≈ mean ± 3σ).
+    NormalFactor {
+        /// Mean multiplicative factor.
+        mean: f64,
+        /// Lower clamp.
+        lo: f64,
+        /// Upper clamp.
+        hi: f64,
+    },
+}
+
+impl Perturbation {
+    /// Applies the perturbation to a base per-tuple cost, drawing any
+    /// randomness from `rng`.
+    pub fn apply(&self, base_ms: f64, rng: &mut DetRng) -> f64 {
+        match self {
+            Perturbation::None => base_ms,
+            Perturbation::CostFactor(k) => base_ms * k,
+            Perturbation::SleepMs(ms) => base_ms + ms,
+            Perturbation::NormalFactor { mean, lo, hi } => {
+                base_ms * rng.normal_clamped(*mean, *lo, *hi)
+            }
+        }
+    }
+
+    /// The expected multiplicative factor (1.0 for additive models).
+    pub fn mean_factor(&self) -> f64 {
+        match self {
+            Perturbation::None | Perturbation::SleepMs(_) => 1.0,
+            Perturbation::CostFactor(k) => *k,
+            Perturbation::NormalFactor { mean, .. } => *mean,
+        }
+    }
+}
+
+/// A time-indexed sequence of perturbation phases for one node.
+///
+/// Phases are given as `(start_time, perturbation)` pairs; the active
+/// perturbation at time `t` is the last phase whose start does not exceed
+/// `t`. Before the first phase the node is unperturbed.
+#[derive(Debug, Clone, Default)]
+pub struct PerturbationSchedule {
+    phases: Vec<(SimTime, Perturbation)>,
+}
+
+impl PerturbationSchedule {
+    /// An empty schedule (never perturbed).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A schedule applying `p` from time zero for the whole run.
+    pub fn constant(p: Perturbation) -> Self {
+        PerturbationSchedule {
+            phases: vec![(SimTime::ZERO, p)],
+        }
+    }
+
+    /// Appends a phase starting at `from`. Phases must be appended in
+    /// non-decreasing start order.
+    pub fn then_at(mut self, from: SimTime, p: Perturbation) -> Self {
+        if let Some((last, _)) = self.phases.last() {
+            assert!(
+                from >= *last,
+                "schedule phases must be in non-decreasing time order"
+            );
+        }
+        self.phases.push((from, p));
+        self
+    }
+
+    /// The perturbation active at time `t`.
+    pub fn active_at(&self, t: SimTime) -> &Perturbation {
+        let mut active = &Perturbation::None;
+        for (from, p) in &self.phases {
+            if *from <= t {
+                active = p;
+            } else {
+                break;
+            }
+        }
+        active
+    }
+
+    /// True if no phase ever applies load.
+    pub fn is_trivial(&self) -> bool {
+        self.phases.iter().all(|(_, p)| *p == Perturbation::None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_models() {
+        let mut rng = DetRng::seeded(1);
+        assert_eq!(Perturbation::None.apply(2.0, &mut rng), 2.0);
+        assert_eq!(Perturbation::CostFactor(10.0).apply(2.0, &mut rng), 20.0);
+        assert_eq!(Perturbation::SleepMs(5.0).apply(2.0, &mut rng), 7.0);
+    }
+
+    #[test]
+    fn normal_factor_mean_is_stable() {
+        let p = Perturbation::NormalFactor {
+            mean: 30.0,
+            lo: 20.0,
+            hi: 40.0,
+        };
+        let mut rng = DetRng::seeded(2);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| p.apply(1.0, &mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 30.0).abs() < 0.3, "mean {mean}");
+        for _ in 0..1000 {
+            let v = p.apply(1.0, &mut rng);
+            assert!((20.0..=40.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn schedule_phases_activate_in_order() {
+        let s = PerturbationSchedule::none()
+            .then_at(SimTime::from_millis(100.0), Perturbation::CostFactor(10.0))
+            .then_at(SimTime::from_millis(200.0), Perturbation::None);
+        assert_eq!(*s.active_at(SimTime::from_millis(0.0)), Perturbation::None);
+        assert_eq!(
+            *s.active_at(SimTime::from_millis(150.0)),
+            Perturbation::CostFactor(10.0)
+        );
+        assert_eq!(
+            *s.active_at(SimTime::from_millis(250.0)),
+            Perturbation::None
+        );
+    }
+
+    #[test]
+    fn constant_schedule() {
+        let s = PerturbationSchedule::constant(Perturbation::SleepMs(10.0));
+        assert_eq!(
+            *s.active_at(SimTime::from_millis(0.0)),
+            Perturbation::SleepMs(10.0)
+        );
+        assert!(!s.is_trivial());
+        assert!(PerturbationSchedule::none().is_trivial());
+    }
+
+    #[test]
+    fn mean_factor() {
+        assert_eq!(Perturbation::CostFactor(20.0).mean_factor(), 20.0);
+        assert_eq!(Perturbation::SleepMs(10.0).mean_factor(), 1.0);
+        assert_eq!(
+            Perturbation::NormalFactor {
+                mean: 30.0,
+                lo: 1.0,
+                hi: 60.0
+            }
+            .mean_factor(),
+            30.0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn out_of_order_phase_panics() {
+        let _ = PerturbationSchedule::none()
+            .then_at(SimTime::from_millis(100.0), Perturbation::None)
+            .then_at(SimTime::from_millis(50.0), Perturbation::None);
+    }
+}

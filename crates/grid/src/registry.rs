@@ -1,0 +1,145 @@
+//! The resource registry.
+//!
+//! "A GDQS contacts resource registries that contain the addresses of the
+//! computational and data resources available and updates the metadata
+//! catalog of the system." The registry here is that directory: the
+//! scheduler queries it for candidate evaluation nodes, ranked by
+//! advertised speed (after Gounaris et al., *Resource scheduling for
+//! parallel query processing on computational grids*).
+
+use gridq_common::{GridError, NodeId, Result};
+
+use crate::node::NodeSpec;
+
+/// A directory of available Grid resources.
+#[derive(Debug, Clone, Default)]
+pub struct ResourceRegistry {
+    nodes: Vec<NodeSpec>,
+}
+
+impl ResourceRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a node. Fails on duplicate ids.
+    pub fn register(&mut self, node: NodeSpec) -> Result<()> {
+        if self.nodes.iter().any(|n| n.id == node.id) {
+            return Err(GridError::Config(format!(
+                "node {} already registered",
+                node.id
+            )));
+        }
+        self.nodes.push(node);
+        Ok(())
+    }
+
+    /// All registered nodes.
+    pub fn nodes(&self) -> &[NodeSpec] {
+        &self.nodes
+    }
+
+    /// Looks up a node by id.
+    pub fn get(&self, id: NodeId) -> Result<&NodeSpec> {
+        self.nodes
+            .iter()
+            .find(|n| n.id == id)
+            .ok_or_else(|| GridError::Schedule(format!("unknown node {id}")))
+    }
+
+    /// The data-hosting nodes.
+    pub fn data_nodes(&self) -> Vec<&NodeSpec> {
+        self.nodes.iter().filter(|n| n.hosts_data).collect()
+    }
+
+    /// Up to `count` compute nodes, fastest first (ties broken by id so
+    /// scheduling is deterministic). Errors if fewer than `count` compute
+    /// nodes are available.
+    pub fn select_compute_nodes(&self, count: usize) -> Result<Vec<&NodeSpec>> {
+        let mut candidates: Vec<&NodeSpec> = self.nodes.iter().filter(|n| !n.hosts_data).collect();
+        candidates.sort_by(|a, b| {
+            b.speed
+                .partial_cmp(&a.speed)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.id.cmp(&b.id))
+        });
+        if candidates.len() < count {
+            return Err(GridError::Schedule(format!(
+                "need {count} compute nodes, only {} available",
+                candidates.len()
+            )));
+        }
+        candidates.truncate(count);
+        Ok(candidates)
+    }
+
+    /// Number of registered nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no nodes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> ResourceRegistry {
+        let mut r = ResourceRegistry::new();
+        r.register(NodeSpec::data(NodeId::new(0), "store")).unwrap();
+        r.register(NodeSpec::compute(NodeId::new(1), "a").with_speed(1.0))
+            .unwrap();
+        r.register(NodeSpec::compute(NodeId::new(2), "b").with_speed(2.0))
+            .unwrap();
+        r
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut r = registry();
+        assert!(r
+            .register(NodeSpec::compute(NodeId::new(1), "dup"))
+            .is_err());
+    }
+
+    #[test]
+    fn selection_prefers_fast_nodes() {
+        let r = registry();
+        let picked = r.select_compute_nodes(1).unwrap();
+        assert_eq!(picked[0].id, NodeId::new(2));
+        let both = r.select_compute_nodes(2).unwrap();
+        assert_eq!(both.len(), 2);
+        assert!(r.select_compute_nodes(3).is_err());
+    }
+
+    #[test]
+    fn data_nodes_filtered() {
+        let r = registry();
+        let data = r.data_nodes();
+        assert_eq!(data.len(), 1);
+        assert_eq!(data[0].id, NodeId::new(0));
+    }
+
+    #[test]
+    fn lookup() {
+        let r = registry();
+        assert!(r.get(NodeId::new(1)).is_ok());
+        assert!(r.get(NodeId::new(9)).is_err());
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn tie_break_by_id_is_deterministic() {
+        let mut r = ResourceRegistry::new();
+        r.register(NodeSpec::compute(NodeId::new(5), "x")).unwrap();
+        r.register(NodeSpec::compute(NodeId::new(3), "y")).unwrap();
+        let picked = r.select_compute_nodes(2).unwrap();
+        assert_eq!(picked[0].id, NodeId::new(3));
+        assert_eq!(picked[1].id, NodeId::new(5));
+    }
+}

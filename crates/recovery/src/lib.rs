@@ -1,0 +1,419 @@
+#![warn(missing_docs)]
+
+//! Recovery logs with a checkpoint/acknowledgement protocol.
+//!
+//! This crate reproduces the state-management substrate that the paper
+//! borrows from its companion fault-tolerance work (Smith & Watson,
+//! *Fault-tolerance in distributed query processing*, Newcastle TR
+//! CS-TR-893): exchange **producers** insert checkpoint markers into the
+//! stream of tuples they send to each consumer and keep a copy of the
+//! outgoing tuples in a local *recovery log*. When the tuples between two
+//! checkpoints have finished processing downstream (and are no longer
+//! needed by operators higher in the plan), the consumer returns an
+//! acknowledgement and the producer prunes the covered log prefix.
+//!
+//! At any point the log therefore holds exactly the tuples that have *not*
+//! finished being processed: all in-transit tuples plus the tuples that
+//! make up downstream operator state. That is what makes **retrospective
+//! (R1) repartitioning** possible — the Responder can extract the
+//! unacknowledged tuples and re-send them under a new distribution policy.
+//!
+//! The log is generic over the logged item so it can be tested in
+//! isolation; the execution substrates instantiate it with
+//! `(StreamTag, Tuple)` pairs.
+
+use std::collections::VecDeque;
+
+use gridq_common::{GridError, Result};
+
+/// A checkpoint marker emitted into a destination's stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Checkpoint {
+    /// The destination partition this checkpoint was sent to.
+    pub dest: u32,
+    /// Monotonically increasing checkpoint id within that destination.
+    pub id: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    /// The id of the checkpoint that closes this entry's window. Entries
+    /// recorded after the latest checkpoint carry the id the *next*
+    /// checkpoint will take.
+    cp: u64,
+    item: T,
+}
+
+#[derive(Debug, Clone)]
+struct DestLog<T> {
+    entries: VecDeque<Entry<T>>,
+    /// Id the next checkpoint will take; all ids below it are emitted.
+    next_cp: u64,
+    /// Entries recorded since the last checkpoint.
+    since_last: usize,
+    /// Highest acknowledged checkpoint id (`None` before the first ack).
+    acked: Option<u64>,
+}
+
+impl<T> DestLog<T> {
+    fn new() -> Self {
+        DestLog {
+            entries: VecDeque::new(),
+            next_cp: 0,
+            since_last: 0,
+            acked: None,
+        }
+    }
+}
+
+/// Per-destination recovery logs for one exchange producer.
+#[derive(Debug, Clone)]
+pub struct RecoveryLog<T> {
+    dests: Vec<DestLog<T>>,
+    interval: usize,
+}
+
+impl<T> RecoveryLog<T> {
+    /// Creates logs for `dest_count` destinations with a checkpoint every
+    /// `interval` recorded tuples per destination. `interval` must be
+    /// positive.
+    pub fn new(dest_count: usize, interval: usize) -> Result<Self> {
+        if interval == 0 {
+            return Err(GridError::Config(
+                "checkpoint interval must be positive".into(),
+            ));
+        }
+        Ok(RecoveryLog {
+            dests: (0..dest_count).map(|_| DestLog::new()).collect(),
+            interval,
+        })
+    }
+
+    /// Number of destinations.
+    pub fn dest_count(&self) -> usize {
+        self.dests.len()
+    }
+
+    /// The checkpoint interval.
+    pub fn interval(&self) -> usize {
+        self.interval
+    }
+
+    fn dest(&self, dest: u32) -> Result<&DestLog<T>> {
+        self.dests
+            .get(dest as usize)
+            .ok_or_else(|| GridError::Execution(format!("recovery log has no destination {dest}")))
+    }
+
+    fn dest_mut(&mut self, dest: u32) -> Result<&mut DestLog<T>> {
+        self.dests
+            .get_mut(dest as usize)
+            .ok_or_else(|| GridError::Execution(format!("recovery log has no destination {dest}")))
+    }
+
+    /// Records an outgoing item for `dest`. Returns a checkpoint marker to
+    /// insert into the stream when this record completes a window of
+    /// `interval` items.
+    pub fn record(&mut self, dest: u32, item: T) -> Result<Option<Checkpoint>> {
+        let interval = self.interval;
+        let log = self.dest_mut(dest)?;
+        log.entries.push_back(Entry {
+            cp: log.next_cp,
+            item,
+        });
+        log.since_last += 1;
+        if log.since_last >= interval {
+            let id = log.next_cp;
+            log.next_cp += 1;
+            log.since_last = 0;
+            Ok(Some(Checkpoint { dest, id }))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Forces a checkpoint covering any items recorded since the last
+    /// one; used when a stream ends mid-window. Returns `None` if the
+    /// window is empty.
+    pub fn force_checkpoint(&mut self, dest: u32) -> Result<Option<Checkpoint>> {
+        let log = self.dest_mut(dest)?;
+        if log.since_last == 0 {
+            return Ok(None);
+        }
+        let id = log.next_cp;
+        log.next_cp += 1;
+        log.since_last = 0;
+        Ok(Some(Checkpoint { dest, id }))
+    }
+
+    /// Acknowledges checkpoint `id` on `dest`, pruning every entry whose
+    /// window it (or an earlier checkpoint) closes. Acknowledging an
+    /// unemitted or already-acknowledged checkpoint is an error.
+    pub fn acknowledge(&mut self, dest: u32, id: u64) -> Result<usize> {
+        let log = self.dest_mut(dest)?;
+        if id >= log.next_cp {
+            return Err(GridError::Execution(format!(
+                "acknowledging unemitted checkpoint {id} on dest {dest}"
+            )));
+        }
+        if let Some(acked) = log.acked {
+            if id <= acked {
+                return Err(GridError::Execution(format!(
+                    "checkpoint {id} on dest {dest} already acknowledged"
+                )));
+            }
+        }
+        log.acked = Some(id);
+        let mut pruned = 0;
+        while log.entries.front().is_some_and(|e| e.cp <= id) {
+            log.entries.pop_front();
+            pruned += 1;
+        }
+        Ok(pruned)
+    }
+
+    /// Number of unacknowledged items logged for `dest`.
+    pub fn unacked_len(&self, dest: u32) -> usize {
+        self.dest(dest).map(|l| l.entries.len()).unwrap_or(0)
+    }
+
+    /// Total unacknowledged items across all destinations.
+    pub fn total_unacked(&self) -> usize {
+        self.dests.iter().map(|l| l.entries.len()).sum()
+    }
+
+    /// Iterates over the unacknowledged items for `dest`, oldest first.
+    pub fn iter_unacked(&self, dest: u32) -> impl Iterator<Item = &T> {
+        self.dests
+            .get(dest as usize)
+            .into_iter()
+            .flat_map(|l| l.entries.iter().map(|e| &e.item))
+    }
+
+    /// Removes and returns every unacknowledged item for `dest`, oldest
+    /// first. The open checkpoint window resets (a retrospective
+    /// redistribution re-sends these items under new ownership, so the old
+    /// stream's windows are void).
+    pub fn drain_all(&mut self, dest: u32) -> Result<Vec<T>> {
+        let log = self.dest_mut(dest)?;
+        log.since_last = 0;
+        Ok(log.entries.drain(..).map(|e| e.item).collect())
+    }
+
+    /// Removes and returns the unacknowledged items for `dest` matching
+    /// `pred`, preserving order among both kept and drained items.
+    pub fn drain_matching(
+        &mut self,
+        dest: u32,
+        mut pred: impl FnMut(&T) -> bool,
+    ) -> Result<Vec<T>> {
+        let log = self.dest_mut(dest)?;
+        let mut drained = Vec::new();
+        let mut kept = VecDeque::with_capacity(log.entries.len());
+        for entry in log.entries.drain(..) {
+            if pred(&entry.item) {
+                drained.push(entry.item);
+            } else {
+                kept.push_back(entry);
+            }
+        }
+        log.entries = kept;
+        Ok(drained)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log(dests: usize, interval: usize) -> RecoveryLog<u64> {
+        RecoveryLog::new(dests, interval).unwrap()
+    }
+
+    #[test]
+    fn zero_interval_rejected() {
+        assert!(RecoveryLog::<u64>::new(2, 0).is_err());
+    }
+
+    #[test]
+    fn checkpoint_every_interval() {
+        let mut l = log(1, 3);
+        assert_eq!(l.record(0, 10).unwrap(), None);
+        assert_eq!(l.record(0, 11).unwrap(), None);
+        assert_eq!(
+            l.record(0, 12).unwrap(),
+            Some(Checkpoint { dest: 0, id: 0 })
+        );
+        assert_eq!(l.record(0, 13).unwrap(), None);
+        assert_eq!(l.unacked_len(0), 4);
+    }
+
+    #[test]
+    fn checkpoints_are_per_destination() {
+        let mut l = log(2, 2);
+        assert_eq!(l.record(0, 1).unwrap(), None);
+        assert_eq!(l.record(1, 2).unwrap(), None);
+        assert_eq!(l.record(1, 3).unwrap(), Some(Checkpoint { dest: 1, id: 0 }));
+        assert_eq!(l.record(0, 4).unwrap(), Some(Checkpoint { dest: 0, id: 0 }));
+    }
+
+    #[test]
+    fn acknowledge_prunes_covered_prefix() {
+        let mut l = log(1, 2);
+        for i in 0..6 {
+            l.record(0, i).unwrap();
+        }
+        // Checkpoints 0 (items 0,1), 1 (items 2,3), 2 (items 4,5).
+        assert_eq!(l.unacked_len(0), 6);
+        assert_eq!(l.acknowledge(0, 0).unwrap(), 2);
+        assert_eq!(l.unacked_len(0), 4);
+        // Ack of cp 2 covers cp 1's window too.
+        assert_eq!(l.acknowledge(0, 2).unwrap(), 4);
+        assert_eq!(l.unacked_len(0), 0);
+    }
+
+    #[test]
+    fn acknowledge_unemitted_or_duplicate_fails() {
+        let mut l = log(1, 2);
+        l.record(0, 1).unwrap();
+        assert!(l.acknowledge(0, 0).is_err()); // not yet emitted
+        l.record(0, 2).unwrap(); // emits cp 0
+        assert_eq!(l.acknowledge(0, 0).unwrap(), 2);
+        assert!(l.acknowledge(0, 0).is_err()); // duplicate
+    }
+
+    #[test]
+    fn force_checkpoint_closes_open_window() {
+        let mut l = log(1, 10);
+        l.record(0, 1).unwrap();
+        l.record(0, 2).unwrap();
+        let cp = l.force_checkpoint(0).unwrap().unwrap();
+        assert_eq!(cp.id, 0);
+        assert_eq!(l.force_checkpoint(0).unwrap(), None); // window empty
+        assert_eq!(l.acknowledge(0, cp.id).unwrap(), 2);
+    }
+
+    #[test]
+    fn drain_all_returns_in_order_and_clears() {
+        let mut l = log(1, 2);
+        for i in 0..5 {
+            l.record(0, i).unwrap();
+        }
+        l.acknowledge(0, 0).unwrap(); // prune items 0,1
+        let drained = l.drain_all(0).unwrap();
+        assert_eq!(drained, vec![2, 3, 4]);
+        assert_eq!(l.unacked_len(0), 0);
+        // After a drain the open window restarts cleanly.
+        assert_eq!(l.record(0, 9).unwrap(), None);
+        assert_eq!(l.record(0, 10).unwrap().unwrap().id, 2);
+    }
+
+    #[test]
+    fn drain_matching_splits_correctly() {
+        let mut l = log(1, 100);
+        for i in 0..10 {
+            l.record(0, i).unwrap();
+        }
+        let evens = l.drain_matching(0, |x| x % 2 == 0).unwrap();
+        assert_eq!(evens, vec![0, 2, 4, 6, 8]);
+        let kept: Vec<u64> = l.iter_unacked(0).copied().collect();
+        assert_eq!(kept, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn drain_matching_keeps_ack_semantics_for_rest() {
+        let mut l = log(1, 2);
+        for i in 0..4 {
+            l.record(0, i).unwrap();
+        }
+        // cp0 covers {0,1}, cp1 covers {2,3}.
+        let _ = l.drain_matching(0, |x| *x == 1).unwrap();
+        // Acking cp0 prunes the remaining item 0 only.
+        assert_eq!(l.acknowledge(0, 0).unwrap(), 1);
+        assert_eq!(l.unacked_len(0), 2);
+    }
+
+    #[test]
+    fn unknown_destination_errors() {
+        let mut l = log(1, 2);
+        assert!(l.record(5, 1).is_err());
+        assert!(l.acknowledge(5, 0).is_err());
+        assert!(l.drain_all(5).is_err());
+        assert_eq!(l.unacked_len(5), 0);
+    }
+
+    #[test]
+    fn total_unacked_sums_destinations() {
+        let mut l = log(3, 10);
+        l.record(0, 1).unwrap();
+        l.record(1, 2).unwrap();
+        l.record(1, 3).unwrap();
+        assert_eq!(l.total_unacked(), 3);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The log never loses or duplicates an item: at any point,
+        /// pruned + drained + still-logged counts add up, and every
+        /// recorded value is accounted for exactly once.
+        #[test]
+        fn conservation(ops in proptest::collection::vec(0u8..4, 1..200)) {
+            let mut log = RecoveryLog::<u64>::new(1, 3).unwrap();
+            let mut next_item = 0u64;
+            let mut emitted_cps: Vec<u64> = Vec::new();
+            let mut acked_upto: Option<u64> = None;
+            let mut accounted = 0usize; // pruned or drained
+            for op in ops {
+                match op {
+                    0 | 1 => {
+                        if let Some(cp) = log.record(0, next_item).unwrap() {
+                            emitted_cps.push(cp.id);
+                        }
+                        next_item += 1;
+                    }
+                    2 => {
+                        // Ack the next unacked emitted checkpoint, if any.
+                        let candidate = emitted_cps.iter().copied()
+                            .filter(|id| acked_upto.is_none_or(|a| *id > a))
+                            .min();
+                        if let Some(id) = candidate {
+                            accounted += log.acknowledge(0, id).unwrap();
+                            acked_upto = Some(id);
+                        }
+                    }
+                    _ => {
+                        accounted += log.drain_all(0).unwrap().len();
+                    }
+                }
+                prop_assert_eq!(
+                    accounted + log.unacked_len(0),
+                    next_item as usize,
+                    "items must be conserved"
+                );
+            }
+        }
+
+        /// drain_matching partitions the log: drained ∪ kept equals the
+        /// previous contents with order preserved within each side.
+        #[test]
+        fn drain_matching_partitions(items in proptest::collection::vec(0u64..100, 0..50)) {
+            let mut log = RecoveryLog::<u64>::new(1, 7).unwrap();
+            for &i in &items {
+                log.record(0, i).unwrap();
+            }
+            let drained = log.drain_matching(0, |x| x % 3 == 0).unwrap();
+            let kept: Vec<u64> = log.iter_unacked(0).copied().collect();
+            let expect_drained: Vec<u64> =
+                items.iter().copied().filter(|x| x % 3 == 0).collect();
+            let expect_kept: Vec<u64> =
+                items.iter().copied().filter(|x| x % 3 != 0).collect();
+            prop_assert_eq!(drained, expect_drained);
+            prop_assert_eq!(kept, expect_kept);
+        }
+    }
+}

@@ -1,0 +1,1473 @@
+//! Virtual-time execution of a distributed plan.
+//!
+//! The simulator executes the paper's plan shape — source scans feeding a
+//! partitioned stage through an exchange, with results delivered to a
+//! collector — as a deterministic discrete-event simulation. Tuples are
+//! processed for real (entropy is computed, hash tables are built and
+//! probed), while *time* comes from the cost models: operator base costs
+//! scaled by node speed/perturbation/noise, buffer transmission costed by
+//! the network model, and the adaptivity control loop paying network
+//! latency per hop.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use gridq_adapt::{
+    AdaptationCommand, AdaptivityConfig, CommUpdate, CostUpdate, DetectorOutput, Diagnoser,
+    MonitoringEventDetector, ProducerId, Responder, ResponsePolicy, M1, M2,
+};
+use gridq_common::{DetRng, GridError, NodeId, PartitionId, Result, SimTime, SubplanId, Tuple};
+use gridq_engine::distributed::Router;
+use gridq_engine::evaluator::{PartitionEvaluator, StreamTag};
+use gridq_engine::physical::Catalog;
+use gridq_engine::table::Table;
+use gridq_engine::DistributedPlan;
+use gridq_grid::GridEnvironment;
+use gridq_recovery::RecoveryLog;
+
+use crate::config::SimulationConfig;
+use crate::events::{Event, EventQueue};
+use crate::report::ExecutionReport;
+
+/// An item travelling through an exchange into a consumer queue.
+#[derive(Debug, Clone)]
+enum Item {
+    /// A data tuple on a stream, remembering the source scan that
+    /// produced it (re-logging after redistribution and failure recovery
+    /// need the attribution).
+    Tuple {
+        stream: StreamTag,
+        tuple: Tuple,
+        source: usize,
+    },
+    /// A checkpoint marker: when it reaches the head of the queue, all
+    /// preceding tuples from `source` have been processed and can be
+    /// acknowledged.
+    Checkpoint { source: usize, cp: u64, epoch: u64 },
+    /// End of stream from `source`.
+    Eos { source: usize },
+}
+
+impl Item {
+    fn payload_bytes(&self) -> usize {
+        match self {
+            Item::Tuple { tuple, .. } => tuple.byte_size(),
+            _ => 8,
+        }
+    }
+}
+
+struct SourceRun {
+    node: NodeId,
+    stream: StreamTag,
+    scan_cost_ms: f64,
+    table: std::sync::Arc<Table>,
+    pos: usize,
+    staged: Vec<Vec<Item>>,
+    log: RecoveryLog<(StreamTag, Tuple)>,
+    epoch: u64,
+    resume_at: SimTime,
+    routed: u64,
+    done: bool,
+}
+
+struct ConsumerRun {
+    node: NodeId,
+    partition: PartitionId,
+    evaluator: Box<dyn PartitionEvaluator>,
+    /// Build-stream items; processed with priority so joins never probe
+    /// before the matching state exists.
+    build_queue: VecDeque<Item>,
+    /// All other items in arrival order.
+    main_queue: VecDeque<Item>,
+    step_pending: bool,
+    idle_since: Option<SimTime>,
+    eos_remaining: HashSet<usize>,
+    finished: bool,
+    /// The node hosting this partition failed; the partition is gone.
+    dead: bool,
+    inputs: u64,
+    outputs: u64,
+    batch_inputs: u32,
+    batch_cost_ms: f64,
+    batch_wait_ms: f64,
+    out_staged: Vec<Tuple>,
+    penalty_ms: f64,
+}
+
+impl ConsumerRun {
+    fn queues_empty(&self) -> bool {
+        self.build_queue.is_empty() && self.main_queue.is_empty()
+    }
+
+    fn enqueue(&mut self, item: Item) {
+        match &item {
+            Item::Tuple {
+                stream: StreamTag::Build,
+                ..
+            } => self.build_queue.push_back(item),
+            _ => self.main_queue.push_back(item),
+        }
+    }
+
+    /// True when probe items may be processed: every build-stream source
+    /// has signalled end-of-stream and no build items wait.
+    fn build_done(&self, build_sources: &HashSet<usize>) -> bool {
+        self.build_queue.is_empty()
+            && build_sources
+                .iter()
+                .all(|s| !self.eos_remaining.contains(s))
+    }
+
+    fn next_item(&mut self, build_sources: &HashSet<usize>) -> Option<Item> {
+        if let Some(item) = self.build_queue.pop_front() {
+            return Some(item);
+        }
+        // Hold back probe tuples until the build phase is complete;
+        // control items (checkpoints, EOS) always flow.
+        if let Some(front) = self.main_queue.front() {
+            let is_probe_tuple = matches!(
+                front,
+                Item::Tuple {
+                    stream: StreamTag::Probe,
+                    ..
+                }
+            );
+            if is_probe_tuple && !self.build_done(build_sources) {
+                // A build-source EOS may sit behind held probes and must
+                // flow for the build phase to complete. Checkpoint
+                // markers must NOT be pulled forward: acknowledging a
+                // window before its tuples are processed would prune
+                // recovery-log entries that failure recovery still
+                // needs.
+                if let Some(idx) = self
+                    .main_queue
+                    .iter()
+                    .position(|i| matches!(i, Item::Eos { .. }))
+                {
+                    return self.main_queue.remove(idx);
+                }
+                return None;
+            }
+        }
+        self.main_queue.pop_front()
+    }
+}
+
+/// Executes distributed plans over a Grid environment in virtual time.
+pub struct Simulation {
+    env: GridEnvironment,
+    catalog: Catalog,
+    config: SimulationConfig,
+}
+
+impl Simulation {
+    /// Creates a simulation over the given environment, catalog, and
+    /// configuration.
+    pub fn new(env: GridEnvironment, catalog: Catalog, config: SimulationConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Simulation {
+            env,
+            catalog,
+            config,
+        })
+    }
+
+    /// The Grid environment (mutable, to install perturbations between
+    /// runs).
+    pub fn env_mut(&mut self) -> &mut GridEnvironment {
+        &mut self.env
+    }
+
+    /// The Grid environment.
+    pub fn env(&self) -> &GridEnvironment {
+        &self.env
+    }
+
+    /// Runs a plan to completion, returning the execution report.
+    pub fn run(&self, plan: &DistributedPlan) -> Result<ExecutionReport> {
+        self.run_with_failures(plan, &[])
+    }
+
+    /// Runs a plan while injecting evaluator-node failures at the given
+    /// virtual times. Recovery uses the same checkpoint/acknowledgement
+    /// recovery logs that power retrospective adaptation: producers
+    /// re-send every unacknowledged tuple of a failed partition to the
+    /// surviving partitions (rebuilding migrated operator state), and
+    /// the collector deduplicates re-delivered results by sequence
+    /// number. Failing a source or collector node is not supported.
+    pub fn run_with_failures(
+        &self,
+        plan: &DistributedPlan,
+        failures: &[(NodeId, SimTime)],
+    ) -> Result<ExecutionReport> {
+        plan.validate()?;
+        if plan.stages.len() != 1 {
+            return Err(GridError::Execution(
+                "the simulator executes plans with exactly one partitioned stage; \
+                 compose multi-stage pipelines as separate queries"
+                    .into(),
+            ));
+        }
+        for (node, _) in failures {
+            if !plan.stages[0].nodes.contains(node) {
+                return Err(GridError::Config(format!(
+                    "failure injection targets {node}, which hosts no stage partition \
+                     (source/collector failures are out of scope)"
+                )));
+            }
+            if plan.sources.iter().any(|s| s.node == *node) || plan.collect_node == *node {
+                return Err(GridError::Config(format!(
+                    "failure injection targets {node}, which also hosts a source or the \
+                     collector; only pure evaluator nodes may fail"
+                )));
+            }
+        }
+        let mut run = Run::new(self, plan)?;
+        run.dedup_results = !failures.is_empty();
+        for (node, at) in failures {
+            run.queue.schedule(*at, Event::NodeFail { node: *node });
+        }
+        run.bootstrap();
+        run.drive()?;
+        Ok(run.into_report())
+    }
+}
+
+struct Run<'a> {
+    env: &'a GridEnvironment,
+    config: &'a SimulationConfig,
+    adapt: &'a AdaptivityConfig,
+    plan: &'a DistributedPlan,
+    queue: EventQueue,
+    now: SimTime,
+    rng: DetRng,
+    stage_id: SubplanId,
+    buffer_tuples: usize,
+    router: Router,
+    sources: Vec<SourceRun>,
+    build_sources: HashSet<usize>,
+    consumers: Vec<ConsumerRun>,
+    buffers: HashMap<u64, (u32, Vec<Item>)>,
+    result_buffers: HashMap<u64, Vec<Tuple>>,
+    next_buffer: u64,
+    detectors: HashMap<NodeId, MonitoringEventDetector>,
+    diagnoser: Diagnoser,
+    responder: Responder,
+    diag_node: NodeId,
+    total_rows: u64,
+    collected: u64,
+    /// Deduplicate collected results by (sequence number, value hash);
+    /// enabled only for failure-injection runs, where at-least-once
+    /// redelivery is expected.
+    dedup_results: bool,
+    seen_results: HashSet<(u64, u64)>,
+    last_result_at: SimTime,
+    last_finish_at: SimTime,
+    report: ExecutionReport,
+    monitoring_on: bool,
+    adaptivity_on: bool,
+}
+
+impl<'a> Run<'a> {
+    fn new(sim: &'a Simulation, plan: &'a DistributedPlan) -> Result<Self> {
+        let stage = &plan.stages[0];
+        let partitions = stage.nodes.len() as u32;
+        let router = Router::from_policy(&stage.exchange.routing, partitions)?;
+        let adapt = &sim.config.adaptivity;
+        if adapt.enabled && stage.factory.stateful() && adapt.response == ResponsePolicy::R2 {
+            return Err(GridError::Config(
+                "stateful stages require the retrospective (R1) response policy: \
+                 redistributing a hash-partitioned operator without migrating its \
+                 state would lose results"
+                    .into(),
+            ));
+        }
+
+        if plan
+            .sources
+            .iter()
+            .filter(|s| s.stream == StreamTag::Build)
+            .count()
+            > 1
+        {
+            // State extracted from evaluators loses its source
+            // attribution; re-logging it assumes a single build source
+            // (sequence numbers are only unique per table).
+            return Err(GridError::Execution(
+                "plans with more than one build-stream source are not supported".into(),
+            ));
+        }
+        let mut sources = Vec::with_capacity(plan.sources.len());
+        let mut build_sources = HashSet::new();
+        for (idx, spec) in plan.sources.iter().enumerate() {
+            sim.env.registry().get(spec.node).map_err(|_| {
+                GridError::Schedule(format!("source node {} not registered", spec.node))
+            })?;
+            let table = sim.catalog.get(&spec.table)?;
+            if spec.stream == StreamTag::Build {
+                build_sources.insert(idx);
+            }
+            // Build tuples form downstream operator state and are never
+            // acknowledged, so their log windows never close: model that
+            // with an unreachable checkpoint interval.
+            let interval = if spec.stream == StreamTag::Build {
+                usize::MAX / 2
+            } else {
+                sim.config.checkpoint_interval
+            };
+            sources.push(SourceRun {
+                node: spec.node,
+                stream: spec.stream,
+                scan_cost_ms: spec.scan_cost_ms,
+                table,
+                pos: 0,
+                staged: (0..partitions).map(|_| Vec::new()).collect(),
+                log: RecoveryLog::new(partitions as usize, interval)?,
+                epoch: 0,
+                resume_at: SimTime::ZERO,
+                routed: 0,
+                done: false,
+            });
+        }
+        let all_sources: HashSet<usize> = (0..sources.len()).collect();
+        let mut consumers = Vec::with_capacity(stage.nodes.len());
+        for (i, &node) in stage.nodes.iter().enumerate() {
+            sim.env
+                .registry()
+                .get(node)
+                .map_err(|_| GridError::Schedule(format!("stage node {node} not registered")))?;
+            consumers.push(ConsumerRun {
+                node,
+                partition: PartitionId::new(stage.id, i as u32),
+                evaluator: stage.factory.create(i as u32),
+                build_queue: VecDeque::new(),
+                main_queue: VecDeque::new(),
+                step_pending: false,
+                idle_since: None,
+                eos_remaining: all_sources.clone(),
+                finished: false,
+                dead: false,
+                inputs: 0,
+                outputs: 0,
+                batch_inputs: 0,
+                batch_cost_ms: 0.0,
+                batch_wait_ms: 0.0,
+                out_staged: Vec::new(),
+                penalty_ms: 0.0,
+            });
+        }
+        let total_rows = sources.iter().map(|s| s.table.len() as u64).sum();
+        let diagnoser = Diagnoser::new(stage.id, partitions, router.current_distribution(), adapt);
+        let responder = Responder::new(adapt);
+        let report = ExecutionReport {
+            per_partition_processed: vec![0; partitions as usize],
+            results: Vec::new(),
+            ..Default::default()
+        };
+        Ok(Run {
+            env: &sim.env,
+            config: &sim.config,
+            adapt,
+            plan,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            rng: DetRng::seeded(sim.config.seed),
+            stage_id: stage.id,
+            buffer_tuples: stage.exchange.buffer_tuples,
+            router,
+            sources,
+            build_sources,
+            consumers,
+            buffers: HashMap::new(),
+            result_buffers: HashMap::new(),
+            next_buffer: 0,
+            detectors: HashMap::new(),
+            diagnoser,
+            responder,
+            diag_node: plan.collect_node,
+            total_rows,
+            collected: 0,
+            dedup_results: false,
+            seen_results: HashSet::new(),
+            last_result_at: SimTime::ZERO,
+            last_finish_at: SimTime::ZERO,
+            report,
+            monitoring_on: adapt.monitoring_active(),
+            adaptivity_on: adapt.enabled,
+        })
+    }
+
+    fn bootstrap(&mut self) {
+        for s in 0..self.sources.len() {
+            self.queue
+                .schedule(SimTime::ZERO, Event::SourceStep { source: s });
+        }
+    }
+
+    fn drive(&mut self) -> Result<()> {
+        while let Some((at, event)) = self.queue.pop() {
+            debug_assert!(at >= self.now, "time went backwards");
+            self.now = at;
+            match event {
+                Event::SourceStep { source } => self.source_step(source)?,
+                Event::BufferArrive { buffer } => self.buffer_arrive(buffer)?,
+                Event::ConsumerStep { consumer } => self.consumer_step(consumer)?,
+                Event::AckArrive {
+                    source,
+                    dest,
+                    cp,
+                    epoch,
+                } => self.ack_arrive(source, dest, cp, epoch),
+                Event::CostToDiagnoser(update) => self.cost_to_diagnoser(update),
+                Event::CommToDiagnoser(update) => self.comm_to_diagnoser(update),
+                Event::ApplyAdaptation(cmd) => self.apply_adaptation(cmd)?,
+                Event::CollectArrive { buffer } => self.collect_arrive(buffer),
+                Event::NodeFail { node } => self.node_fail(node)?,
+            }
+        }
+        Ok(())
+    }
+
+    // -- sources ----------------------------------------------------------
+
+    fn source_step(&mut self, s: usize) -> Result<()> {
+        let resume_at = self.sources[s].resume_at;
+        if self.now < resume_at {
+            self.queue
+                .schedule(resume_at, Event::SourceStep { source: s });
+            return Ok(());
+        }
+        if self.sources[s].pos >= self.sources[s].table.len() {
+            self.finish_source(s)?;
+            return Ok(());
+        }
+        let node = self.sources[s].node;
+        let stream = self.sources[s].stream;
+        let row = self.sources[s].table.rows()[self.sources[s].pos].clone();
+        self.sources[s].pos += 1;
+        let scan = self.env.effective_cost_ms(
+            node,
+            self.sources[s].scan_cost_ms,
+            self.now,
+            &mut self.rng,
+        )?;
+        let mut t = self.now.offset(scan);
+        let dest = self.router.route(stream, &row)?;
+        let marker = self.sources[s].log.record(dest, (stream, row.clone()))?;
+        self.sources[s].routed += 1;
+        self.sources[s].staged[dest as usize].push(Item::Tuple {
+            stream,
+            tuple: row,
+            source: s,
+        });
+        if let Some(cp) = marker {
+            let epoch = self.sources[s].epoch;
+            self.sources[s].staged[dest as usize].push(Item::Checkpoint {
+                source: s,
+                cp: cp.id,
+                epoch,
+            });
+        }
+        if self.sources[s].staged[dest as usize].len() >= self.buffer_tuples {
+            t = self.send_staged(s, dest, t)?;
+        }
+        self.queue.schedule(t, Event::SourceStep { source: s });
+        Ok(())
+    }
+
+    /// Sends the staged buffer of source `s` for destination `dest`,
+    /// returning the time when the producer becomes free again.
+    fn send_staged(&mut self, s: usize, dest: u32, at: SimTime) -> Result<SimTime> {
+        let items = std::mem::take(&mut self.sources[s].staged[dest as usize]);
+        if items.is_empty() {
+            return Ok(at);
+        }
+        let node = self.sources[s].node;
+        let dest_node = self.consumers[dest as usize].node;
+        let tuples = items
+            .iter()
+            .filter(|i| matches!(i, Item::Tuple { .. }))
+            .count();
+        let bytes: usize = items.iter().map(Item::payload_bytes).sum();
+        let send_cost = self.env.buffer_cost_ms(node, dest_node, tuples, bytes);
+        let mut done = at.offset(send_cost);
+        let id = self.alloc_buffer(dest, items);
+        self.queue
+            .schedule(done, Event::BufferArrive { buffer: id });
+        if self.monitoring_on && tuples > 0 {
+            done = done.offset(self.config.monitor_cost_ms);
+            let event = M2 {
+                query: self.plan.query,
+                producer: ProducerId::Source(s as u32),
+                recipient: PartitionId::new(self.stage_id, dest),
+                send_cost_ms: send_cost,
+                tuples_in_buffer: tuples,
+                at: done,
+            };
+            self.report.raw_m2_events += 1;
+            self.feed_detector_m2(node, event);
+        }
+        Ok(done)
+    }
+
+    fn finish_source(&mut self, s: usize) -> Result<()> {
+        if self.sources[s].done {
+            return Ok(());
+        }
+        self.sources[s].done = true;
+        let mut t = self.now;
+        for dest in 0..self.consumers.len() as u32 {
+            // Build streams are never checkpointed: their tuples form
+            // downstream operator state and must stay in the recovery
+            // log for the lifetime of the query (an acknowledgement
+            // would prune the only copy that failure recovery and
+            // retrospective state migration rely on).
+            if self.sources[s].stream == StreamTag::Build {
+                self.sources[s].staged[dest as usize].push(Item::Eos { source: s });
+                t = self.send_staged(s, dest, t)?;
+                continue;
+            }
+            if let Some(cp) = self.sources[s].log.force_checkpoint(dest)? {
+                let epoch = self.sources[s].epoch;
+                self.sources[s].staged[dest as usize].push(Item::Checkpoint {
+                    source: s,
+                    cp: cp.id,
+                    epoch,
+                });
+            }
+            self.sources[s].staged[dest as usize].push(Item::Eos { source: s });
+            t = self.send_staged(s, dest, t)?;
+        }
+        Ok(())
+    }
+
+    // -- buffers ----------------------------------------------------------
+
+    fn alloc_buffer(&mut self, dest: u32, items: Vec<Item>) -> u64 {
+        let id = self.next_buffer;
+        self.next_buffer += 1;
+        self.buffers.insert(id, (dest, items));
+        id
+    }
+
+    fn buffer_arrive(&mut self, id: u64) -> Result<()> {
+        let Some((dest, items)) = self.buffers.remove(&id) else {
+            return Ok(()); // rerouted away entirely
+        };
+        let c = &mut self.consumers[dest as usize];
+        if c.dead {
+            return Ok(()); // the partition is gone; the logs recover it
+        }
+        for item in items {
+            c.enqueue(item);
+        }
+        if c.finished {
+            c.finished = false;
+        }
+        if !c.step_pending {
+            if let Some(idle_since) = c.idle_since.take() {
+                c.batch_wait_ms += self.now.since(idle_since);
+            }
+            c.step_pending = true;
+            self.queue
+                .schedule(self.now, Event::ConsumerStep { consumer: dest });
+        }
+        Ok(())
+    }
+
+    // -- consumers --------------------------------------------------------
+
+    fn consumer_step(&mut self, ci: u32) -> Result<()> {
+        let i = ci as usize;
+        self.consumers[i].step_pending = false;
+        if self.consumers[i].dead {
+            return Ok(());
+        }
+        let item = {
+            let c = &mut self.consumers[i];
+            c.next_item(&self.build_sources)
+        };
+        match item {
+            None => {
+                let c = &mut self.consumers[i];
+                if c.eos_remaining.is_empty() && c.queues_empty() {
+                    self.finish_consumer(ci)?;
+                } else {
+                    c.idle_since = Some(self.now);
+                }
+                Ok(())
+            }
+            Some(Item::Eos { source }) => {
+                self.consumers[i].eos_remaining.remove(&source);
+                self.reschedule_step(ci, self.now);
+                Ok(())
+            }
+            Some(Item::Checkpoint { source, cp, epoch }) => {
+                // Release the outputs of the acknowledged window first:
+                // once the producer prunes its log, the only copies of
+                // those tuples' results must be at (or on the way to)
+                // the collector.
+                let t = self.flush_results(ci, self.now);
+                if epoch == self.sources[source].epoch {
+                    let lat = self
+                        .env
+                        .control_cost_ms(self.consumers[i].node, self.sources[source].node);
+                    self.queue.schedule(
+                        t.offset(lat),
+                        Event::AckArrive {
+                            source,
+                            dest: ci,
+                            cp,
+                            epoch,
+                        },
+                    );
+                }
+                self.reschedule_step(ci, t);
+                Ok(())
+            }
+            Some(Item::Tuple { stream, tuple, .. }) => self.process_tuple(ci, stream, tuple),
+        }
+    }
+
+    fn process_tuple(&mut self, ci: u32, stream: StreamTag, tuple: Tuple) -> Result<()> {
+        let i = ci as usize;
+        let node = self.consumers[i].node;
+        let outcome = self.consumers[i].evaluator.process(stream, &tuple)?;
+        let proc =
+            self.env
+                .effective_cost_ms(node, outcome.base_cost_ms, self.now, &mut self.rng)?;
+        let mut cost = proc + self.config.receive_cost_ms;
+        if self.adaptivity_on {
+            cost += self.config.adapt_overhead_ms;
+            if self.adapt.response == ResponsePolicy::R1 {
+                cost += self.config.r1_overhead_ms;
+            }
+        }
+        cost += std::mem::take(&mut self.consumers[i].penalty_ms);
+
+        let out_count = outcome.outputs.len() as u64;
+        self.consumers[i].out_staged.extend(outcome.outputs);
+        self.consumers[i].inputs += 1;
+        self.consumers[i].outputs += out_count;
+        self.consumers[i].batch_inputs += 1;
+        self.consumers[i].batch_cost_ms += cost;
+        self.report.per_partition_processed[i] += 1;
+
+        let mut t = self.now.offset(cost);
+        if self.consumers[i].out_staged.len() >= self.buffer_tuples {
+            t = self.flush_results(ci, t);
+        }
+        if self.monitoring_on
+            && self.consumers[i].batch_inputs >= self.adapt.monitoring_interval_tuples
+        {
+            t = t.offset(self.config.monitor_cost_ms);
+            self.emit_m1(ci, t);
+        }
+        self.reschedule_step(ci, t);
+        Ok(())
+    }
+
+    fn reschedule_step(&mut self, ci: u32, at: SimTime) {
+        let c = &mut self.consumers[ci as usize];
+        if !c.step_pending {
+            c.step_pending = true;
+            self.queue
+                .schedule(at, Event::ConsumerStep { consumer: ci });
+        }
+    }
+
+    fn flush_results(&mut self, ci: u32, at: SimTime) -> SimTime {
+        let i = ci as usize;
+        let staged = std::mem::take(&mut self.consumers[i].out_staged);
+        if staged.is_empty() {
+            return at;
+        }
+        let bytes: usize = staged.iter().map(Tuple::byte_size).sum();
+        let cost = self.env.buffer_cost_ms(
+            self.consumers[i].node,
+            self.plan.collect_node,
+            staged.len(),
+            bytes,
+        );
+        let done = at.offset(cost);
+        let id = self.next_buffer;
+        self.next_buffer += 1;
+        self.result_buffers.insert(id, staged);
+        self.queue
+            .schedule(done, Event::CollectArrive { buffer: id });
+        done
+    }
+
+    fn finish_consumer(&mut self, ci: u32) -> Result<()> {
+        let t = self.flush_results(ci, self.now);
+        let c = &mut self.consumers[ci as usize];
+        if !c.finished {
+            c.finished = true;
+            self.last_finish_at = self.last_finish_at.max(t);
+        }
+        Ok(())
+    }
+
+    fn emit_m1(&mut self, ci: u32, at: SimTime) {
+        let i = ci as usize;
+        let c = &mut self.consumers[i];
+        let inputs = c.batch_inputs.max(1) as f64;
+        let event = M1 {
+            query: self.plan.query,
+            partition: c.partition,
+            node: c.node,
+            cost_per_tuple_ms: c.batch_cost_ms / inputs,
+            leaf_wait_ms: c.batch_wait_ms / inputs,
+            selectivity: if c.inputs == 0 {
+                1.0
+            } else {
+                c.outputs as f64 / c.inputs as f64
+            },
+            tuples_produced: c.outputs,
+            at,
+        };
+        c.batch_inputs = 0;
+        c.batch_cost_ms = 0.0;
+        c.batch_wait_ms = 0.0;
+        let node = c.node;
+        self.report.raw_m1_events += 1;
+        self.feed_detector_m1(node, event);
+    }
+
+    // -- adaptivity control plane -----------------------------------------
+
+    fn detector(&mut self, node: NodeId) -> &mut MonitoringEventDetector {
+        let adapt = self.adapt;
+        self.detectors
+            .entry(node)
+            .or_insert_with(|| MonitoringEventDetector::new(adapt))
+    }
+
+    fn feed_detector_m1(&mut self, node: NodeId, event: M1) {
+        let at = event.at;
+        let output = self.detector(node).on_m1(&event);
+        self.route_detector_output(node, output, at);
+    }
+
+    fn feed_detector_m2(&mut self, node: NodeId, event: M2) {
+        let at = event.at;
+        let output = self.detector(node).on_m2(&event);
+        self.route_detector_output(node, output, at);
+    }
+
+    fn route_detector_output(&mut self, node: NodeId, output: DetectorOutput, at: SimTime) {
+        let lat = self.env.control_cost_ms(node, self.diag_node) + self.config.control_extra_ms;
+        match output {
+            DetectorOutput::Quiet => {}
+            DetectorOutput::Cost(update) => {
+                self.queue
+                    .schedule(at.offset(lat), Event::CostToDiagnoser(update));
+            }
+            DetectorOutput::Comm(update) => {
+                self.queue
+                    .schedule(at.offset(lat), Event::CommToDiagnoser(update));
+            }
+        }
+    }
+
+    /// Estimated query progress, in the spirit of the paper's Responder
+    /// "contacting all the evaluators that produce data". The relevant
+    /// notion depends on the response policy: a prospective (R2)
+    /// adaptation only affects tuples not yet routed, so progress is the
+    /// routed fraction; a retrospective (R1) adaptation can still recall
+    /// queued tuples, so progress is the *processed* fraction.
+    fn progress(&self) -> f64 {
+        if self.total_rows == 0 {
+            return 1.0;
+        }
+        let amount: u64 = if self.adapt.response == ResponsePolicy::R1 {
+            self.consumers.iter().map(|c| c.inputs).sum()
+        } else {
+            self.sources.iter().map(|s| s.routed).sum()
+        };
+        // Replayed state and resent tuples inflate the processed count
+        // after redistributions/failures; like the paper's estimator
+        // this is a heuristic, so clamp rather than track identity.
+        (amount as f64 / self.total_rows as f64).min(1.0)
+    }
+
+    fn cost_to_diagnoser(&mut self, update: CostUpdate) {
+        if let Some(imbalance) = self.diagnoser.on_cost_update(&update) {
+            self.consider(imbalance);
+        }
+    }
+
+    fn comm_to_diagnoser(&mut self, update: CommUpdate) {
+        if let Some(imbalance) = self.diagnoser.on_comm_update(&update) {
+            self.consider(imbalance);
+        }
+    }
+
+    fn consider(&mut self, imbalance: gridq_adapt::Imbalance) {
+        // The Responder polls the producing evaluators for progress: one
+        // control round trip before the decision takes effect.
+        let poll = 2.0 * self.max_control_latency() + self.config.control_extra_ms;
+        let progress = self.progress();
+        let (_decision, cmd) = self.responder.on_imbalance(&imbalance, progress);
+        if let Some(cmd) = cmd {
+            self.diagnoser
+                .set_distribution(cmd.new_distribution.clone());
+            let apply_at = self.now.offset(poll + self.max_control_latency());
+            self.queue.schedule(apply_at, Event::ApplyAdaptation(cmd));
+        }
+    }
+
+    fn max_control_latency(&self) -> f64 {
+        self.sources
+            .iter()
+            .map(|s| self.env.control_cost_ms(self.diag_node, s.node))
+            .fold(0.0, f64::max)
+    }
+
+    fn ack_arrive(&mut self, source: usize, dest: u32, cp: u64, epoch: u64) {
+        let s = &mut self.sources[source];
+        if epoch != s.epoch {
+            return; // stale ack from before a retrospective redistribution
+        }
+        // Retrospective drains can empty windows; tolerate benign
+        // acknowledgement races.
+        if s.log.acknowledge(dest, cp).is_ok() {
+            self.report.acks_received += 1;
+        }
+    }
+
+    // -- adaptation deployment ---------------------------------------------
+
+    fn apply_adaptation(&mut self, cmd: AdaptationCommand) -> Result<()> {
+        // Dead partitions must never regain weight, whatever the
+        // Diagnoser proposed from its (possibly stale) cost picture.
+        let mut target = cmd.new_distribution.clone();
+        if self.consumers.iter().any(|c| c.dead) {
+            let mut weights = target.weights().to_vec();
+            for (i, c) in self.consumers.iter().enumerate() {
+                if c.dead {
+                    weights[i] = 0.0;
+                }
+            }
+            target = gridq_common::DistributionVector::new(&weights)
+                .map_err(|_| GridError::Execution("every evaluator node has failed".into()))?;
+        }
+        let moves = self.router.apply_distribution(&target)?;
+        // Keep the Diagnoser's notion of the deployed distribution in
+        // sync with what the router actually uses (the clamped target,
+        // not the raw proposal).
+        self.diagnoser.set_distribution(target.clone());
+        self.report.note(
+            self.now,
+            format!(
+                "adaptation deployed ({}): W' = {:?}",
+                if cmd.retrospective { "R1" } else { "R2" },
+                cmd.new_distribution
+                    .weights()
+                    .iter()
+                    .map(|w| (w * 1000.0).round() / 1000.0)
+                    .collect::<Vec<_>>()
+            ),
+        );
+        if !cmd.retrospective {
+            return Ok(());
+        }
+        self.redistribute(&moves)
+    }
+
+    /// Retrospective redistribution: recall unprocessed tuples from
+    /// consumer queues, in-flight buffers, and producer staging, migrate
+    /// the operator state of moved hash buckets, and re-send everything
+    /// under the new distribution.
+    fn redistribute(&mut self, moves: &[gridq_common::BucketMove]) -> Result<()> {
+        let t = self.now;
+        let partitions = self.consumers.len();
+        // (from_consumer, to_consumer) -> items; `from == usize::MAX`
+        // marks items recalled from producer staging (cost charged to the
+        // producer's node instead).
+        let mut transfers: HashMap<(usize, usize), Vec<Item>> = HashMap::new();
+
+        // Moved tuples must migrate inside the recovery logs as well:
+        // `(source, old_dest) -> seqs` collects what to drain, and the
+        // transfer destinations say where to re-record. Checkpoint
+        // windows on the old destinations stay valid — `drain_matching`
+        // preserves acknowledgement semantics for the entries left
+        // behind — so the log invariant holds at all times: every
+        // unacknowledged tuple is logged under its current owner.
+        let mut moved_log: HashMap<(usize, u32), Vec<(u64, u32)>> = HashMap::new();
+
+        // 1. Migrate operator state of moved buckets.
+        if !moves.is_empty() {
+            let bucket_count = self
+                .router
+                .bucket_count()
+                .expect("bucket moves imply hash routing");
+            let mut by_from: HashMap<u32, Vec<u32>> = HashMap::new();
+            for mv in moves {
+                by_from.entry(mv.from).or_default().push(mv.bucket);
+            }
+            for (&from, buckets) in &by_from {
+                let extracted = self.consumers[from as usize]
+                    .evaluator
+                    .extract_state(bucket_count, buckets);
+                self.report.state_tuples_migrated += extracted.len() as u64;
+                self.consumers[from as usize].penalty_ms +=
+                    self.config.discard_cost_ms * extracted.len() as f64;
+                // Extracted state loses its original attribution; the
+                // build source (there is one per stream in the supported
+                // plan shapes) adopts it for re-logging.
+                let build_source = self.build_sources.iter().min().copied().unwrap_or(0);
+                for (stream, tuple) in extracted {
+                    let dest = self.router.route(stream, &tuple)? as usize;
+                    moved_log
+                        .entry((build_source, from))
+                        .or_default()
+                        .push((tuple.seq(), dest as u32));
+                    transfers
+                        .entry((from as usize, dest))
+                        .or_default()
+                        .push(Item::Tuple {
+                            stream,
+                            tuple,
+                            source: build_source,
+                        });
+                }
+            }
+        }
+
+        // 2. Recall unprocessed queued tuples whose destination changed.
+        for from in 0..partitions {
+            let mut keep_build = VecDeque::new();
+            let mut keep_main = VecDeque::new();
+            let build_items = std::mem::take(&mut self.consumers[from].build_queue);
+            let main_items = std::mem::take(&mut self.consumers[from].main_queue);
+            let mut removed = 0u64;
+            for item in build_items.into_iter().chain(main_items) {
+                match item {
+                    Item::Tuple {
+                        stream,
+                        tuple,
+                        source,
+                    } => {
+                        let dest = self.router.route(stream, &tuple)? as usize;
+                        if dest == from {
+                            let item = Item::Tuple {
+                                stream,
+                                tuple,
+                                source,
+                            };
+                            match stream {
+                                StreamTag::Build => keep_build.push_back(item),
+                                _ => keep_main.push_back(item),
+                            }
+                        } else {
+                            removed += 1;
+                            moved_log
+                                .entry((source, from as u32))
+                                .or_default()
+                                .push((tuple.seq(), dest as u32));
+                            transfers
+                                .entry((from, dest))
+                                .or_default()
+                                .push(Item::Tuple {
+                                    stream,
+                                    tuple,
+                                    source,
+                                });
+                        }
+                    }
+                    other => keep_main.push_back(other),
+                }
+            }
+            self.consumers[from].build_queue = keep_build;
+            self.consumers[from].main_queue = keep_main;
+            self.consumers[from].penalty_ms += self.config.discard_cost_ms * removed as f64;
+            self.report.tuples_redistributed += removed;
+        }
+
+        // 3. Reroute in-flight buffers.
+        let buffer_ids: Vec<u64> = self.buffers.keys().copied().collect();
+        for id in buffer_ids {
+            let (dest, items) = self.buffers.remove(&id).expect("buffer id just listed");
+            let mut staying = Vec::with_capacity(items.len());
+            for item in items {
+                match item {
+                    Item::Tuple {
+                        stream,
+                        tuple,
+                        source,
+                    } => {
+                        let new_dest = self.router.route(stream, &tuple)? as usize;
+                        if new_dest == dest as usize {
+                            staying.push(Item::Tuple {
+                                stream,
+                                tuple,
+                                source,
+                            });
+                        } else {
+                            self.report.tuples_redistributed += 1;
+                            moved_log
+                                .entry((source, dest))
+                                .or_default()
+                                .push((tuple.seq(), new_dest as u32));
+                            transfers
+                                .entry((dest as usize, new_dest))
+                                .or_default()
+                                .push(Item::Tuple {
+                                    stream,
+                                    tuple,
+                                    source,
+                                });
+                        }
+                    }
+                    other => staying.push(other),
+                }
+            }
+            self.buffers.insert(id, (dest, staying));
+        }
+
+        // 4. Reroute producer staging. Staged tuples already have log
+        // entries under their old destination; when the destination
+        // changes, migrate the entry. Staged checkpoint markers keep
+        // riding with their (unchanged-destination) windows.
+        for s in 0..self.sources.len() {
+            let staged: Vec<Vec<Item>> = self.sources[s]
+                .staged
+                .iter_mut()
+                .map(std::mem::take)
+                .collect();
+            for (old_dest, items) in staged.into_iter().enumerate() {
+                for item in items {
+                    match item {
+                        Item::Tuple { stream, tuple, .. } => {
+                            let dest = self.router.route(stream, &tuple)?;
+                            if dest as usize != old_dest {
+                                moved_log
+                                    .entry((s, old_dest as u32))
+                                    .or_default()
+                                    .push((tuple.seq(), dest));
+                                // Re-recorded below via moved_log drain;
+                                // the staging buffer moves immediately.
+                            }
+                            self.sources[s].staged[dest as usize].push(Item::Tuple {
+                                stream,
+                                tuple,
+                                source: s,
+                            });
+                        }
+                        marker @ Item::Checkpoint { .. } => {
+                            self.sources[s].staged[old_dest].push(marker);
+                        }
+                        eos @ Item::Eos { .. } => {
+                            self.sources[s].staged[old_dest].push(eos);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Migrate the recovery-log entries of everything that moved.
+        // The re-recorded entries carry no checkpoint markers of their
+        // own; later markers on the same destination prune them.
+        type MovedEntry = ((usize, u32), Vec<(u64, u32)>);
+        let mut moved_pairs: Vec<MovedEntry> = moved_log.into_iter().collect();
+        moved_pairs.sort_by_key(|(k, _)| *k);
+        for ((source, old_dest), seq_dests) in moved_pairs {
+            // Re-record each entry under the destination the transfer
+            // actually used — re-routing here would advance the weighted
+            // router's credits a second time and could disagree with
+            // where the tuple physically went.
+            let dest_of: HashMap<u64, u32> = seq_dests.iter().copied().collect();
+            let drained = self.sources[source]
+                .log
+                .drain_matching(old_dest, |(_, tuple)| dest_of.contains_key(&tuple.seq()))?;
+            for (stream, tuple) in drained {
+                let dest = dest_of[&tuple.seq()];
+                let _ = self.sources[source].log.record(dest, (stream, tuple))?;
+            }
+        }
+
+        // 5. Ship transfers: build items first so join state is
+        // re-established before any probe of the same bucket.
+        let mut latest_arrival = t;
+        let mut pairs: Vec<((usize, usize), Vec<Item>)> = transfers.into_iter().collect();
+        pairs.sort_by_key(|((from, to), _)| (*from, *to));
+        for ((from, to), mut items) in pairs {
+            items.sort_by_key(|item| match item {
+                Item::Tuple {
+                    stream: StreamTag::Build,
+                    ..
+                } => 0u8,
+                _ => 1u8,
+            });
+            let from_node = self.consumers[from].node;
+            let to_node = self.consumers[to].node;
+            let tuples = items.len();
+            let bytes: usize = items.iter().map(Item::payload_bytes).sum();
+            let cost = self.env.buffer_cost_ms(from_node, to_node, tuples, bytes)
+                + self.config.redistribute_cost_ms * tuples as f64;
+            let arrive = t.offset(cost);
+            latest_arrival = latest_arrival.max(arrive);
+            let id = self.alloc_buffer(to as u32, items);
+            self.queue
+                .schedule(arrive, Event::BufferArrive { buffer: id });
+        }
+
+        // 6. Pause sources until migrated items have landed, so that
+        // newly routed tuples cannot overtake the state they depend on.
+        for s in &mut self.sources {
+            s.resume_at = s.resume_at.max(latest_arrival);
+        }
+
+        // Wake any idle consumers whose queues changed.
+        for ci in 0..partitions as u32 {
+            let c = &mut self.consumers[ci as usize];
+            if !c.step_pending && !c.queues_empty() {
+                if let Some(idle_since) = c.idle_since.take() {
+                    c.batch_wait_ms += t.since(idle_since);
+                }
+                c.step_pending = true;
+                self.queue.schedule(t, Event::ConsumerStep { consumer: ci });
+            }
+        }
+        Ok(())
+    }
+
+    // -- collection ---------------------------------------------------------
+
+    fn collect_arrive(&mut self, id: u64) {
+        let Some(tuples) = self.result_buffers.remove(&id) else {
+            return;
+        };
+        self.last_result_at = self.last_result_at.max(self.now);
+        for tuple in tuples {
+            if self.dedup_results {
+                // At-least-once redelivery after a failure: a result is
+                // identified by the driving tuple's sequence number plus
+                // its value content (joins emit several results per
+                // probe sequence number).
+                let mut value_hash = 0u64;
+                for v in tuple.values() {
+                    value_hash = value_hash.rotate_left(7).wrapping_add(v.stable_hash());
+                }
+                if !self.seen_results.insert((tuple.seq(), value_hash)) {
+                    self.report.duplicates_dropped += 1;
+                    continue;
+                }
+            }
+            self.collected += 1;
+            if self.config.collect_results {
+                self.report.results.push(tuple);
+            }
+        }
+    }
+
+    // -- failure recovery ---------------------------------------------------
+
+    /// Kills every partition hosted on `node` and recovers its
+    /// unacknowledged work from the producers' recovery logs.
+    fn node_fail(&mut self, node: NodeId) -> Result<()> {
+        let t = self.now;
+        let dead_now: Vec<usize> = self
+            .consumers
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.node == node && !c.dead)
+            .map(|(i, _)| i)
+            .collect();
+        if dead_now.is_empty() {
+            return Ok(());
+        }
+        self.report.nodes_failed += 1;
+        self.report.note(
+            t,
+            format!("node {node} failed ({} partitions lost)", dead_now.len()),
+        );
+        for &ci in &dead_now {
+            let c = &mut self.consumers[ci];
+            c.dead = true;
+            c.finished = true;
+            c.build_queue.clear();
+            c.main_queue.clear();
+            c.out_staged.clear();
+            c.idle_since = None;
+        }
+
+        // Drop in-flight tuples addressed to dead partitions: the logs
+        // still hold them and the resend below covers them exactly once.
+        let dead_set: HashSet<usize> = self
+            .consumers
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.dead)
+            .map(|(i, _)| i)
+            .collect();
+        let buffer_ids: Vec<u64> = self.buffers.keys().copied().collect();
+        for id in buffer_ids {
+            if let Some((dest, items)) = self.buffers.get_mut(&id) {
+                if dead_set.contains(&(*dest as usize)) {
+                    items.retain(|i| !matches!(i, Item::Tuple { .. }));
+                }
+            }
+        }
+
+        // Exclude dead partitions from routing. If every partition is
+        // dead the query cannot complete.
+        let mut weights = self.router.current_distribution().weights().to_vec();
+        for &ci in &dead_set {
+            weights[ci] = 0.0;
+        }
+        let target = gridq_common::DistributionVector::new(&weights)
+            .map_err(|_| GridError::Execution("every evaluator node has failed".into()))?;
+        let moves = self.router.apply_distribution(&target)?;
+        self.diagnoser.set_distribution(target);
+        // Bucket moves between *surviving* partitions (rounding effects)
+        // migrate state through the normal retrospective path; moves off
+        // dead partitions have nothing left to extract — their state is
+        // rebuilt from the logs.
+        let alive_moves: Vec<gridq_common::BucketMove> = moves
+            .iter()
+            .filter(|m| !dead_set.contains(&(m.from as usize)))
+            .copied()
+            .collect();
+        if !alive_moves.is_empty() {
+            self.redistribute(&alive_moves)?;
+        }
+
+        // Resend every unacknowledged tuple logged for a dead partition,
+        // in two waves: all build-stream buffers land strictly before
+        // any probe/single buffer, so resent probes never race the join
+        // state they depend on — even across different sources.
+        let mut waves: [Vec<(usize, u32, Vec<Item>)>; 2] = [Vec::new(), Vec::new()];
+        for s in 0..self.sources.len() {
+            let mut resend: Vec<(StreamTag, Tuple)> = Vec::new();
+            for &dead in &dead_set {
+                resend.extend(self.sources[s].log.drain_all(dead as u32)?);
+            }
+            if resend.is_empty() {
+                continue;
+            }
+            resend.sort_by_key(|(_, tuple)| tuple.seq());
+            let mut per_dest: [HashMap<u32, Vec<Item>>; 2] = [HashMap::new(), HashMap::new()];
+            for (stream, tuple) in resend {
+                let dest = self.router.route(stream, &tuple)?;
+                let _ = self.sources[s].log.record(dest, (stream, tuple.clone()))?;
+                self.report.failure_resent_tuples += 1;
+                let wave = usize::from(stream != StreamTag::Build);
+                per_dest[wave].entry(dest).or_default().push(Item::Tuple {
+                    stream,
+                    tuple,
+                    source: s,
+                });
+            }
+            for (wave, map) in per_dest.into_iter().enumerate() {
+                let mut dests: Vec<(u32, Vec<Item>)> = map.into_iter().collect();
+                dests.sort_by_key(|(d, _)| *d);
+                for (dest, items) in dests {
+                    waves[wave].push((s, dest, items));
+                }
+            }
+        }
+        let mut latest_arrival = t;
+        let mut source_busy: Vec<SimTime> = self
+            .sources
+            .iter()
+            .map(|src| t.max(src.resume_at))
+            .collect();
+        let mut wave_barrier = t;
+        for wave in waves {
+            // The second wave starts only after the first has fully
+            // landed.
+            for busy in &mut source_busy {
+                *busy = (*busy).max(wave_barrier);
+            }
+            let mut wave_end = wave_barrier;
+            for (s, dest, items) in wave {
+                let from_node = self.sources[s].node;
+                let to_node = self.consumers[dest as usize].node;
+                let tuples = items.len();
+                let bytes: usize = items.iter().map(Item::payload_bytes).sum();
+                let cost = self.env.buffer_cost_ms(from_node, to_node, tuples, bytes)
+                    + self.config.redistribute_cost_ms * tuples as f64;
+                source_busy[s] = source_busy[s].offset(cost);
+                wave_end = wave_end.max(source_busy[s]);
+                latest_arrival = latest_arrival.max(source_busy[s]);
+                let id = self.alloc_buffer(dest, items);
+                self.queue
+                    .schedule(source_busy[s], Event::BufferArrive { buffer: id });
+            }
+            wave_barrier = wave_end;
+        }
+        for (s, busy) in source_busy.into_iter().enumerate() {
+            self.sources[s].resume_at = self.sources[s].resume_at.max(busy);
+        }
+        for src in &mut self.sources {
+            src.resume_at = src.resume_at.max(latest_arrival);
+        }
+        self.report.note(
+            t,
+            format!(
+                "recovery: {} tuples resent from recovery logs",
+                self.report.failure_resent_tuples
+            ),
+        );
+        Ok(())
+    }
+
+    fn into_report(mut self) -> ExecutionReport {
+        let response = self.last_result_at.max(self.last_finish_at);
+        self.report.response_time_ms = response.as_millis();
+        self.report.tuples_output = self.collected;
+        self.report.detector_notifications =
+            self.detectors.values().map(|d| d.notifications_sent).sum();
+        self.report.imbalances_reported = self.diagnoser.imbalances_reported;
+        self.report.adaptations_deployed = self.responder.adaptations_deployed;
+        self.report.declined_near_completion = self.responder.declined_near_completion;
+        self.report.declined_cooldown = self.responder.declined_cooldown;
+        self.report.final_distribution = self.router.current_distribution().weights().to_vec();
+        self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridq_common::Value;
+
+    fn consumer() -> ConsumerRun {
+        ConsumerRun {
+            node: NodeId::new(1),
+            partition: PartitionId::new(SubplanId::new(1), 0),
+            evaluator: Box::new(NoopEvaluator {
+                schema: gridq_common::Schema::empty(),
+            }),
+            build_queue: VecDeque::new(),
+            main_queue: VecDeque::new(),
+            step_pending: false,
+            idle_since: None,
+            eos_remaining: HashSet::from([0, 1]),
+            finished: false,
+            dead: false,
+            inputs: 0,
+            outputs: 0,
+            batch_inputs: 0,
+            batch_cost_ms: 0.0,
+            batch_wait_ms: 0.0,
+            out_staged: Vec::new(),
+            penalty_ms: 0.0,
+        }
+    }
+
+    struct NoopEvaluator {
+        schema: gridq_common::Schema,
+    }
+
+    impl PartitionEvaluator for NoopEvaluator {
+        fn schema(&self) -> &gridq_common::Schema {
+            &self.schema
+        }
+
+        fn process(
+            &mut self,
+            _stream: StreamTag,
+            _tuple: &Tuple,
+        ) -> Result<gridq_engine::evaluator::ProcessOutcome> {
+            Ok(gridq_engine::evaluator::ProcessOutcome {
+                outputs: Vec::new(),
+                base_cost_ms: 0.0,
+            })
+        }
+    }
+
+    fn tuple_item(stream: StreamTag, v: i64, source: usize) -> Item {
+        Item::Tuple {
+            stream,
+            tuple: Tuple::new(vec![Value::Int(v)]),
+            source,
+        }
+    }
+
+    #[test]
+    fn build_items_processed_before_probes() {
+        let mut c = consumer();
+        let build_sources = HashSet::from([0usize]);
+        c.enqueue(tuple_item(StreamTag::Probe, 1, 1));
+        c.enqueue(tuple_item(StreamTag::Build, 2, 0));
+        // Build queue has priority.
+        assert!(matches!(
+            c.next_item(&build_sources),
+            Some(Item::Tuple {
+                stream: StreamTag::Build,
+                ..
+            })
+        ));
+        // Build EOS not yet seen: the probe is held.
+        assert!(c.next_item(&build_sources).is_none());
+        // After build EOS, the probe flows.
+        c.eos_remaining.remove(&0);
+        assert!(matches!(
+            c.next_item(&build_sources),
+            Some(Item::Tuple {
+                stream: StreamTag::Probe,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn eos_skips_ahead_of_held_probes_but_checkpoints_do_not() {
+        // Regression test: pulling a checkpoint marker past unprocessed
+        // probe tuples would acknowledge (and prune from the recovery
+        // log) tuples that were never processed, breaking failure
+        // recovery.
+        let mut c = consumer();
+        let build_sources = HashSet::from([0usize]);
+        c.enqueue(tuple_item(StreamTag::Probe, 1, 1));
+        c.enqueue(Item::Checkpoint {
+            source: 1,
+            cp: 0,
+            epoch: 0,
+        });
+        c.enqueue(Item::Eos { source: 0 });
+        // Probes are held (build not done); the EOS is pulled forward.
+        assert!(matches!(
+            c.next_item(&build_sources),
+            Some(Item::Eos { source: 0 })
+        ));
+        c.eos_remaining.remove(&0);
+        // Now the probe and only then its checkpoint, in FIFO order.
+        assert!(matches!(
+            c.next_item(&build_sources),
+            Some(Item::Tuple {
+                stream: StreamTag::Probe,
+                ..
+            })
+        ));
+        assert!(matches!(
+            c.next_item(&build_sources),
+            Some(Item::Checkpoint { cp: 0, .. })
+        ));
+        assert!(c.next_item(&build_sources).is_none());
+        assert!(c.queues_empty());
+    }
+
+    #[test]
+    fn single_stream_items_flow_without_gating() {
+        let mut c = consumer();
+        let build_sources = HashSet::new();
+        c.enqueue(tuple_item(StreamTag::Single, 1, 0));
+        c.enqueue(Item::Checkpoint {
+            source: 0,
+            cp: 0,
+            epoch: 0,
+        });
+        assert!(matches!(
+            c.next_item(&build_sources),
+            Some(Item::Tuple { .. })
+        ));
+        assert!(matches!(
+            c.next_item(&build_sources),
+            Some(Item::Checkpoint { .. })
+        ));
+    }
+}

@@ -1,0 +1,298 @@
+//! Fault-tolerance tests: evaluator nodes fail mid-query and the
+//! recovery logs (the same substrate that powers retrospective
+//! adaptation) restore the lost work on the survivors — exactly once.
+
+use std::sync::Arc;
+
+use gridq_adapt::{AdaptivityConfig, AssessmentPolicy, ResponsePolicy};
+use gridq_common::{
+    DataType, DistributionVector, Field, NodeId, QueryId, Schema, SimTime, SubplanId, Tuple, Value,
+};
+use gridq_engine::distributed::{
+    DistributedPlan, ExchangeSpec, ParallelStageSpec, RoutingPolicy, SourceSpec, StreamKeys,
+};
+use gridq_engine::evaluator::{HashJoinFactory, ServiceCallFactory, StreamTag};
+use gridq_engine::physical::Catalog;
+use gridq_engine::service::{FnService, ServiceRegistry};
+use gridq_engine::table::Table;
+use gridq_engine::Expr;
+use gridq_grid::GridEnvironment;
+use gridq_sim::{Simulation, SimulationConfig};
+
+fn int_table(name: &str, n: usize) -> Arc<Table> {
+    let schema = Schema::new(vec![Field::new("x", DataType::Int)]);
+    let rows = (0..n)
+        .map(|i| Tuple::new(vec![Value::Int(i as i64)]))
+        .collect();
+    Arc::new(Table::new(name, schema, rows).unwrap())
+}
+
+fn call_plan(table: &Arc<Table>, partitions: usize) -> DistributedPlan {
+    let factory = ServiceCallFactory::new(
+        table.schema(),
+        Arc::new(FnService::new(
+            "Square",
+            vec![DataType::Int],
+            DataType::Int,
+            1.5,
+            |args| Ok(Value::Int(args[0].as_int().unwrap().pow(2))),
+        )),
+        vec![Expr::col(0)],
+        "sq",
+        false,
+        ServiceRegistry::new(),
+    );
+    DistributedPlan {
+        query: QueryId::new(1),
+        sources: vec![SourceSpec {
+            table: table.name().to_string(),
+            node: NodeId::new(0),
+            stream: StreamTag::Single,
+            scan_cost_ms: 0.5,
+        }],
+        stages: vec![ParallelStageSpec {
+            id: SubplanId::new(1),
+            factory: Arc::new(factory),
+            nodes: (0..partitions).map(|i| NodeId::new(i as u32 + 1)).collect(),
+            exchange: ExchangeSpec {
+                routing: RoutingPolicy::Weighted {
+                    initial: DistributionVector::uniform(partitions),
+                },
+                buffer_tuples: 20,
+            },
+        }],
+        collect_node: NodeId::new(0),
+    }
+}
+
+fn join_plan(build: &Arc<Table>, probe: &Arc<Table>, partitions: usize) -> DistributedPlan {
+    let factory = HashJoinFactory::new(build.schema(), probe.schema(), 0, 0, 0.2, 1.5);
+    DistributedPlan {
+        query: QueryId::new(2),
+        sources: vec![
+            SourceSpec {
+                table: build.name().to_string(),
+                node: NodeId::new(0),
+                stream: StreamTag::Build,
+                scan_cost_ms: 0.3,
+            },
+            SourceSpec {
+                table: probe.name().to_string(),
+                node: NodeId::new(0),
+                stream: StreamTag::Probe,
+                scan_cost_ms: 0.3,
+            },
+        ],
+        stages: vec![ParallelStageSpec {
+            id: SubplanId::new(1),
+            factory: Arc::new(factory),
+            nodes: (0..partitions).map(|i| NodeId::new(i as u32 + 1)).collect(),
+            exchange: ExchangeSpec {
+                routing: RoutingPolicy::HashBuckets {
+                    bucket_count: 32,
+                    initial: DistributionVector::uniform(partitions),
+                    keys: StreamKeys {
+                        build: Some(0),
+                        probe: Some(0),
+                        single: None,
+                    },
+                },
+                buffer_tuples: 20,
+            },
+        }],
+        collect_node: NodeId::new(0),
+    }
+}
+
+fn catalog(tables: &[&Arc<Table>]) -> Catalog {
+    let mut c = Catalog::new();
+    for t in tables {
+        c.register(Arc::clone(t));
+    }
+    c
+}
+
+fn config(adaptivity: AdaptivityConfig) -> SimulationConfig {
+    SimulationConfig {
+        adaptivity,
+        collect_results: true,
+        receive_cost_ms: 0.5,
+        ..Default::default()
+    }
+}
+
+fn sorted_ints(tuples: &[Tuple]) -> Vec<i64> {
+    let mut v: Vec<i64> = tuples
+        .iter()
+        .map(|t| t.value(0).as_int().unwrap())
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn stateless_query_survives_one_failure_exactly_once() {
+    let table = int_table("t", 400);
+    let plan = call_plan(&table, 2);
+    let sim = Simulation::new(
+        GridEnvironment::demo(2),
+        catalog(&[&table]),
+        config(AdaptivityConfig::disabled()),
+    )
+    .unwrap();
+    // Kill node2 a fifth of the way through the run.
+    let healthy = sim.run(&plan).unwrap();
+    let fail_at = SimTime::from_millis(healthy.response_time_ms / 5.0);
+    let report = sim
+        .run_with_failures(&plan, &[(NodeId::new(2), fail_at)])
+        .unwrap();
+    assert_eq!(report.nodes_failed, 1);
+    assert!(report.failure_resent_tuples > 0, "{:?}", report.timeline);
+    assert_eq!(report.tuples_output, 400, "{:?}", report.timeline);
+    let expect: Vec<i64> = (0..400i64).map(|i| i * i).collect();
+    assert_eq!(sorted_ints(&report.results), expect);
+    // The survivor did all remaining work.
+    assert_eq!(report.final_distribution[1], 0.0);
+    // Losing a node costs time.
+    assert!(report.response_time_ms > healthy.response_time_ms);
+}
+
+#[test]
+fn join_survives_failure_with_state_rebuild() {
+    let build = int_table("build", 120);
+    let probe_schema = Schema::new(vec![Field::new("y", DataType::Int)]);
+    let probe_rows: Vec<Tuple> = (0..240)
+        .map(|i| Tuple::new(vec![Value::Int((i % 160) as i64)]))
+        .collect();
+    let probe = Arc::new(Table::new("probe", probe_schema, probe_rows).unwrap());
+    let plan = join_plan(&build, &probe, 2);
+    let sim = Simulation::new(
+        GridEnvironment::demo(2),
+        catalog(&[&build, &probe]),
+        config(AdaptivityConfig::disabled()),
+    )
+    .unwrap();
+    let healthy = sim.run(&plan).unwrap();
+    let expected: u64 = (0..240).filter(|i| i % 160 < 120).count() as u64;
+    assert_eq!(healthy.tuples_output, expected);
+    // Fail node2 after the build phase is well under way.
+    let fail_at = SimTime::from_millis(healthy.response_time_ms / 3.0);
+    let report = sim
+        .run_with_failures(&plan, &[(NodeId::new(2), fail_at)])
+        .unwrap();
+    assert_eq!(
+        report.tuples_output, expected,
+        "join results after recovery: {:?}",
+        report.timeline
+    );
+    // Build state for the dead partition's buckets was rebuilt from the
+    // never-acknowledged build log.
+    assert!(report.failure_resent_tuples > 0);
+    // Exactly-once delivery: the multisets match the healthy run.
+    let mut healthy_strs: Vec<String> = healthy.results.iter().map(|t| t.to_string()).collect();
+    let mut failed_strs: Vec<String> = report.results.iter().map(|t| t.to_string()).collect();
+    healthy_strs.sort();
+    failed_strs.sort();
+    assert_eq!(healthy_strs, failed_strs);
+}
+
+#[test]
+fn failure_with_adaptivity_never_routes_back_to_dead_node() {
+    let table = int_table("t", 600);
+    let plan = call_plan(&table, 3);
+    let sim = Simulation::new(
+        GridEnvironment::demo(3),
+        catalog(&[&table]),
+        config(AdaptivityConfig::with_policies(
+            AssessmentPolicy::A1,
+            ResponsePolicy::R1,
+        )),
+    )
+    .unwrap();
+    let healthy = sim.run(&plan).unwrap();
+    let fail_at = SimTime::from_millis(healthy.response_time_ms / 4.0);
+    let report = sim
+        .run_with_failures(&plan, &[(NodeId::new(2), fail_at)])
+        .unwrap();
+    assert_eq!(report.tuples_output, 600, "{:?}", report.timeline);
+    assert_eq!(
+        report.final_distribution[1], 0.0,
+        "dead partition must keep zero weight: {:?}",
+        report.final_distribution
+    );
+    let expect: Vec<i64> = (0..600i64).map(|i| i * i).collect();
+    assert_eq!(sorted_ints(&report.results), expect);
+}
+
+#[test]
+fn two_failures_leave_one_survivor() {
+    let table = int_table("t", 300);
+    let plan = call_plan(&table, 3);
+    let sim = Simulation::new(
+        GridEnvironment::demo(3),
+        catalog(&[&table]),
+        config(AdaptivityConfig::disabled()),
+    )
+    .unwrap();
+    let healthy = sim.run(&plan).unwrap();
+    let t1 = SimTime::from_millis(healthy.response_time_ms / 6.0);
+    let t2 = SimTime::from_millis(healthy.response_time_ms / 3.0);
+    let report = sim
+        .run_with_failures(&plan, &[(NodeId::new(2), t1), (NodeId::new(3), t2)])
+        .unwrap();
+    assert_eq!(report.nodes_failed, 2);
+    assert_eq!(report.tuples_output, 300, "{:?}", report.timeline);
+    let expect: Vec<i64> = (0..300i64).map(|i| i * i).collect();
+    assert_eq!(sorted_ints(&report.results), expect);
+}
+
+#[test]
+fn all_nodes_failing_is_an_error() {
+    let table = int_table("t", 100);
+    let plan = call_plan(&table, 2);
+    let sim = Simulation::new(
+        GridEnvironment::demo(2),
+        catalog(&[&table]),
+        config(AdaptivityConfig::disabled()),
+    )
+    .unwrap();
+    let early = SimTime::from_millis(10.0);
+    let err = sim
+        .run_with_failures(&plan, &[(NodeId::new(1), early), (NodeId::new(2), early)])
+        .unwrap_err();
+    assert!(err.to_string().contains("failed"), "{err}");
+}
+
+#[test]
+fn failing_a_non_stage_node_is_rejected() {
+    let table = int_table("t", 10);
+    let plan = call_plan(&table, 2);
+    let sim = Simulation::new(
+        GridEnvironment::demo(2),
+        catalog(&[&table]),
+        config(AdaptivityConfig::disabled()),
+    )
+    .unwrap();
+    let err = sim
+        .run_with_failures(&plan, &[(NodeId::new(0), SimTime::from_millis(1.0))])
+        .unwrap_err();
+    assert!(err.to_string().contains("no stage partition"), "{err}");
+}
+
+#[test]
+fn failure_after_completion_is_harmless() {
+    let table = int_table("t", 50);
+    let plan = call_plan(&table, 2);
+    let sim = Simulation::new(
+        GridEnvironment::demo(2),
+        catalog(&[&table]),
+        config(AdaptivityConfig::disabled()),
+    )
+    .unwrap();
+    let healthy = sim.run(&plan).unwrap();
+    let late = SimTime::from_millis(healthy.response_time_ms * 10.0);
+    let report = sim
+        .run_with_failures(&plan, &[(NodeId::new(2), late)])
+        .unwrap();
+    assert_eq!(report.tuples_output, 50);
+}

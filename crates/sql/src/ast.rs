@@ -1,0 +1,117 @@
+//! The abstract syntax tree produced by the parser.
+
+use gridq_common::Value;
+
+/// A parsed (unbound) scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstExpr {
+    /// A column reference, optionally qualified: `p.sequence` or `orf`.
+    Column {
+        /// Table alias qualifier, if written.
+        qualifier: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// A literal value.
+    Literal(Value),
+    /// A binary operation using the engine's operator set.
+    Binary {
+        /// Operator.
+        op: gridq_engine::expr::BinOp,
+        /// Left operand.
+        left: Box<AstExpr>,
+        /// Right operand.
+        right: Box<AstExpr>,
+    },
+    /// `NOT expr`.
+    Not(Box<AstExpr>),
+    /// A function/service call.
+    Call {
+        /// Function name (case preserved; service names are
+        /// case-sensitive).
+        name: String,
+        /// Arguments.
+        args: Vec<AstExpr>,
+    },
+}
+
+impl AstExpr {
+    /// Splits a conjunctive predicate into its AND-ed conjuncts.
+    pub fn conjuncts(&self) -> Vec<&AstExpr> {
+        match self {
+            AstExpr::Binary {
+                op: gridq_engine::expr::BinOp::And,
+                left,
+                right,
+            } => {
+                let mut out = left.conjuncts();
+                out.extend(right.conjuncts());
+                out
+            }
+            other => vec![other],
+        }
+    }
+}
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    /// The expression.
+    pub expr: AstExpr,
+    /// Optional `AS` alias.
+    pub alias: Option<String>,
+}
+
+/// A table reference in the FROM clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Table name.
+    pub table: String,
+    /// Alias (defaults to the table name).
+    pub alias: String,
+}
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// SELECT list.
+    pub select: Vec<SelectItem>,
+    /// FROM clause (one or two tables in the supported class).
+    pub from: Vec<TableRef>,
+    /// WHERE predicate.
+    pub filter: Option<AstExpr>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridq_engine::expr::BinOp;
+
+    #[test]
+    fn conjuncts_flatten_nested_ands() {
+        let a = AstExpr::Column {
+            qualifier: None,
+            name: "a".into(),
+        };
+        let b = AstExpr::Column {
+            qualifier: None,
+            name: "b".into(),
+        };
+        let c = AstExpr::Column {
+            qualifier: None,
+            name: "c".into(),
+        };
+        let and = AstExpr::Binary {
+            op: BinOp::And,
+            left: Box::new(AstExpr::Binary {
+                op: BinOp::And,
+                left: Box::new(a.clone()),
+                right: Box::new(b.clone()),
+            }),
+            right: Box::new(c.clone()),
+        };
+        assert_eq!(and.conjuncts(), vec![&a, &b, &c]);
+        // A non-AND expression is its own single conjunct.
+        assert_eq!(a.conjuncts(), vec![&a]);
+    }
+}

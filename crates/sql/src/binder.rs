@@ -1,0 +1,433 @@
+//! Binding: resolving a parsed query against a catalog and service
+//! registry into a logical plan.
+
+use gridq_common::{Field, GridError, Result, Schema};
+use gridq_engine::expr::{BinOp, Expr};
+use gridq_engine::physical::Catalog;
+use gridq_engine::service::ServiceRegistry;
+use gridq_engine::LogicalPlan;
+
+use crate::ast::{AstExpr, Query, SelectItem};
+
+/// Binds a parsed query to a [`LogicalPlan`]. Supports the paper's query
+/// class: one or two tables, an optional conjunctive WHERE clause with an
+/// equi-join predicate between two tables, and select lists of columns,
+/// arithmetic, and function calls.
+pub fn bind(query: &Query, catalog: &Catalog, services: &ServiceRegistry) -> Result<LogicalPlan> {
+    if query.from.is_empty() {
+        return Err(GridError::Plan("query has no FROM clause".into()));
+    }
+    if query.from.len() > 2 {
+        return Err(GridError::Plan(
+            "at most two tables are supported in FROM".into(),
+        ));
+    }
+    {
+        let mut aliases: Vec<&str> = query.from.iter().map(|t| t.alias.as_str()).collect();
+        aliases.sort_unstable();
+        aliases.dedup();
+        if aliases.len() != query.from.len() {
+            return Err(GridError::Plan("duplicate table alias in FROM".into()));
+        }
+    }
+
+    // Scans with alias-qualified schemas.
+    let mut scans = Vec::new();
+    for table_ref in &query.from {
+        let table = catalog.get(&table_ref.table)?;
+        let schema = table.schema().qualified(&table_ref.alias);
+        scans.push((
+            LogicalPlan::Scan {
+                table: table_ref.table.clone(),
+                alias: table_ref.alias.clone(),
+                schema: schema.clone(),
+            },
+            schema,
+        ));
+    }
+
+    let (mut plan, schema, residual) = if scans.len() == 1 {
+        let (scan, schema) = scans.pop().expect("one scan");
+        let residual: Vec<&AstExpr> = query
+            .filter
+            .as_ref()
+            .map(|f| f.conjuncts())
+            .unwrap_or_default();
+        (scan, schema, residual)
+    } else {
+        bind_join(query, scans)?
+    };
+
+    // Residual filter conjuncts over the (possibly joined) schema.
+    if !residual.is_empty() {
+        let mut bound = Vec::with_capacity(residual.len());
+        for conjunct in residual {
+            bound.push(bind_expr(conjunct, &schema)?);
+        }
+        let predicate = bound
+            .into_iter()
+            .reduce(|acc, e| acc.and(e))
+            .expect("non-empty residual");
+        // Type-check the predicate.
+        let dt = predicate.data_type(&schema, services)?;
+        if dt != gridq_common::DataType::Bool {
+            return Err(GridError::Plan(format!(
+                "WHERE clause must be boolean, found {dt}"
+            )));
+        }
+        plan = LogicalPlan::Filter {
+            input: Box::new(plan),
+            predicate,
+        };
+    }
+
+    bind_select(&query.select, plan, &schema, services)
+}
+
+type JoinParts<'a> = (LogicalPlan, Schema, Vec<&'a AstExpr>);
+
+fn bind_join(query: &Query, mut scans: Vec<(LogicalPlan, Schema)>) -> Result<JoinParts<'_>> {
+    let (right_scan, right_schema) = scans.pop().expect("two scans");
+    let (left_scan, left_schema) = scans.pop().expect("two scans");
+    let joined = left_schema.join(&right_schema);
+    let conjuncts: Vec<&AstExpr> = query
+        .filter
+        .as_ref()
+        .map(|f| f.conjuncts())
+        .unwrap_or_default();
+    let mut join_keys: Option<(usize, usize)> = None;
+    let mut residual = Vec::new();
+    for conjunct in conjuncts {
+        if join_keys.is_none() {
+            if let AstExpr::Binary {
+                op: BinOp::Eq,
+                left,
+                right,
+            } = conjunct
+            {
+                let l = try_column(left, &left_schema, &right_schema);
+                let r = try_column(right, &left_schema, &right_schema);
+                match (l, r) {
+                    (Some(ColumnSide::Left(lk)), Some(ColumnSide::Right(rk)))
+                    | (Some(ColumnSide::Right(rk)), Some(ColumnSide::Left(lk))) => {
+                        join_keys = Some((lk, rk));
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        residual.push(conjunct);
+    }
+    let (left_key, right_key) = join_keys.ok_or_else(|| {
+        GridError::Plan("two-table queries need an equi-join predicate `a.x = b.y` in WHERE".into())
+    })?;
+    let plan = LogicalPlan::Join {
+        left: Box::new(left_scan),
+        right: Box::new(right_scan),
+        left_key,
+        right_key,
+    };
+    Ok((plan, joined, residual))
+}
+
+enum ColumnSide {
+    Left(usize),
+    Right(usize),
+}
+
+fn try_column(expr: &AstExpr, left: &Schema, right: &Schema) -> Option<ColumnSide> {
+    if let AstExpr::Column { qualifier, name } = expr {
+        let full = qualifier
+            .as_ref()
+            .map(|q| format!("{q}.{name}"))
+            .unwrap_or_else(|| name.clone());
+        if let Ok(idx) = lookup(left, &full) {
+            return Some(ColumnSide::Left(idx));
+        }
+        if let Ok(idx) = lookup(right, &full) {
+            return Some(ColumnSide::Right(idx));
+        }
+    }
+    None
+}
+
+/// Case-insensitive column lookup: SQL identifiers are case-insensitive
+/// (the paper writes `i.ORF1` for a column generated as `orf1`).
+fn lookup(schema: &Schema, name: &str) -> Result<usize> {
+    if let Ok(idx) = schema.index_of(name) {
+        return Ok(idx);
+    }
+    let lower = name.to_ascii_lowercase();
+    let matches: Vec<usize> = schema
+        .fields()
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| {
+            f.name.to_ascii_lowercase() == lower || f.short_name().to_ascii_lowercase() == lower
+        })
+        .map(|(i, _)| i)
+        .collect();
+    match matches.as_slice() {
+        [i] => Ok(*i),
+        [] => Err(GridError::UnknownColumn(name.to_string())),
+        _ => Err(GridError::AmbiguousColumn(name.to_string())),
+    }
+}
+
+fn bind_expr(expr: &AstExpr, schema: &Schema) -> Result<Expr> {
+    Ok(match expr {
+        AstExpr::Column { qualifier, name } => {
+            let full = qualifier
+                .as_ref()
+                .map(|q| format!("{q}.{name}"))
+                .unwrap_or_else(|| name.clone());
+            Expr::Column(lookup(schema, &full)?)
+        }
+        AstExpr::Literal(v) => Expr::Literal(v.clone()),
+        AstExpr::Not(inner) => Expr::Not(Box::new(bind_expr(inner, schema)?)),
+        AstExpr::Binary { op, left, right } => Expr::Binary {
+            op: *op,
+            left: Box::new(bind_expr(left, schema)?),
+            right: Box::new(bind_expr(right, schema)?),
+        },
+        AstExpr::Call { name, args } => {
+            let mut bound = Vec::with_capacity(args.len());
+            for a in args {
+                bound.push(bind_expr(a, schema)?);
+            }
+            Expr::Call {
+                name: name.clone(),
+                args: bound,
+            }
+        }
+    })
+}
+
+fn default_name(expr: &AstExpr, index: usize) -> String {
+    match expr {
+        AstExpr::Column { name, .. } => name.clone(),
+        AstExpr::Call { name, .. } => name.clone(),
+        _ => format!("expr{index}"),
+    }
+}
+
+fn bind_select(
+    items: &[SelectItem],
+    input: LogicalPlan,
+    schema: &Schema,
+    services: &ServiceRegistry,
+) -> Result<LogicalPlan> {
+    // A single top-level service call binds to the dedicated operation
+    // call operator — the unit the scheduler partitions for Q1.
+    if let [SelectItem {
+        expr: AstExpr::Call { name, args },
+        alias,
+    }] = items
+    {
+        if services.get(name).is_ok() {
+            let mut bound_args = Vec::with_capacity(args.len());
+            for a in args {
+                bound_args.push(bind_expr(a, schema)?);
+            }
+            let sig = services.signature(name)?;
+            if bound_args.len() != sig.arg_types.len() {
+                return Err(GridError::Plan(format!(
+                    "function {name} expects {} arguments, got {}",
+                    sig.arg_types.len(),
+                    bound_args.len()
+                )));
+            }
+            for (arg, expected) in bound_args.iter().zip(&sig.arg_types) {
+                let got = arg.data_type(schema, services)?;
+                if got != *expected {
+                    return Err(GridError::Plan(format!(
+                        "function {name}: expected {expected}, got {got}"
+                    )));
+                }
+            }
+            let output_name = alias.clone().unwrap_or_else(|| name.clone());
+            let out_schema = Schema::new(vec![Field::new(&output_name, sig.return_type)]);
+            return Ok(LogicalPlan::Call {
+                input: Box::new(input),
+                service: name.clone(),
+                args: bound_args,
+                output_name,
+                keep_input: false,
+                schema: out_schema,
+            });
+        }
+        // Fall through: an unregistered function will fail type
+        // checking below with a clear error.
+    }
+    let mut exprs = Vec::with_capacity(items.len());
+    let mut fields = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let bound = bind_expr(&item.expr, schema)?;
+        let dt = bound.data_type(schema, services)?;
+        let name = item
+            .alias
+            .clone()
+            .unwrap_or_else(|| default_name(&item.expr, i));
+        exprs.push(bound);
+        fields.push(Field::new(name, dt));
+    }
+    Ok(LogicalPlan::Project {
+        input: Box::new(input),
+        exprs,
+        fields,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use gridq_common::{DataType, Tuple, Value};
+    use gridq_engine::service::FnService;
+    use gridq_engine::table::Table;
+    use std::sync::Arc;
+
+    fn setup() -> (Catalog, ServiceRegistry) {
+        let mut catalog = Catalog::new();
+        catalog.register(Arc::new(
+            Table::new(
+                "protein_sequences",
+                Schema::new(vec![
+                    Field::new("orf", DataType::Str),
+                    Field::new("sequence", DataType::Str),
+                ]),
+                vec![Tuple::new(vec![Value::str("o1"), Value::str("MK")])],
+            )
+            .unwrap(),
+        ));
+        catalog.register(Arc::new(
+            Table::new(
+                "protein_interactions",
+                Schema::new(vec![
+                    Field::new("orf1", DataType::Str),
+                    Field::new("orf2", DataType::Str),
+                ]),
+                vec![Tuple::new(vec![Value::str("o1"), Value::str("o2")])],
+            )
+            .unwrap(),
+        ));
+        let mut services = ServiceRegistry::new();
+        services.register(Arc::new(FnService::new(
+            "EntropyAnalyser",
+            vec![DataType::Str],
+            DataType::Float,
+            1.0,
+            |_| Ok(Value::Float(0.0)),
+        )));
+        (catalog, services)
+    }
+
+    fn bind_sql(sql: &str) -> Result<LogicalPlan> {
+        let (catalog, services) = setup();
+        bind(&parse(sql)?, &catalog, &services)
+    }
+
+    #[test]
+    fn q1_binds_to_call_node() {
+        let plan = bind_sql("select EntropyAnalyser(p.sequence) from protein_sequences p").unwrap();
+        match &plan {
+            LogicalPlan::Call {
+                service,
+                keep_input,
+                schema,
+                ..
+            } => {
+                assert_eq!(service, "EntropyAnalyser");
+                assert!(!keep_input);
+                assert_eq!(schema.field(0).name, "EntropyAnalyser");
+                assert_eq!(schema.field(0).data_type, DataType::Float);
+            }
+            other => panic!("expected Call, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn q2_binds_to_join_with_case_insensitive_columns() {
+        let plan = bind_sql(
+            "select i.ORF2 from protein_sequences p, protein_interactions i \
+             where i.ORF1 = p.ORF",
+        )
+        .unwrap();
+        match &plan {
+            LogicalPlan::Project { input, fields, .. } => {
+                assert_eq!(fields[0].name, "ORF2");
+                match input.as_ref() {
+                    LogicalPlan::Join {
+                        left_key,
+                        right_key,
+                        ..
+                    } => {
+                        assert_eq!(*left_key, 0); // p.orf
+                        assert_eq!(*right_key, 0); // i.orf1
+                    }
+                    other => panic!("expected Join, got {other:?}"),
+                }
+            }
+            other => panic!("expected Project, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn residual_filter_survives_join_extraction() {
+        let plan = bind_sql(
+            "select i.orf2 from protein_sequences p, protein_interactions i \
+             where i.orf1 = p.orf and p.sequence = 'MK'",
+        )
+        .unwrap();
+        match &plan {
+            LogicalPlan::Project { input, .. } => {
+                assert!(matches!(input.as_ref(), LogicalPlan::Filter { .. }));
+            }
+            other => panic!("expected Project over Filter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_join_predicate_rejected() {
+        let err =
+            bind_sql("select i.orf2 from protein_sequences p, protein_interactions i").unwrap_err();
+        assert!(err.to_string().contains("equi-join"));
+    }
+
+    #[test]
+    fn select_alias_names_output() {
+        let plan =
+            bind_sql("select EntropyAnalyser(p.sequence) as e from protein_sequences p").unwrap();
+        match &plan {
+            LogicalPlan::Call { output_name, .. } => assert_eq!(output_name, "e"),
+            other => panic!("expected Call, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_things_error() {
+        assert!(bind_sql("select x from protein_sequences p").is_err());
+        assert!(bind_sql("select Missing(p.orf) from protein_sequences p").is_err());
+        assert!(bind_sql("select p.orf from nope p").is_err());
+        // Duplicate alias.
+        assert!(bind_sql(
+            "select p.orf from protein_sequences p, protein_interactions p \
+             where p.orf = p.orf"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn non_boolean_where_rejected() {
+        let err = bind_sql("select p.orf from protein_sequences p where p.sequence").unwrap_err();
+        assert!(err.to_string().contains("boolean"));
+    }
+
+    #[test]
+    fn wrong_arity_function_rejected() {
+        let err = bind_sql("select EntropyAnalyser(p.sequence, p.orf) from protein_sequences p")
+            .unwrap_err();
+        assert!(err.to_string().contains("argument"));
+    }
+}

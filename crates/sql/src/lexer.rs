@@ -1,0 +1,351 @@
+//! The SQL lexer.
+
+use gridq_common::{GridError, Result};
+
+/// A lexical token with its byte position in the input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset where the token starts.
+    pub pos: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Keyword: SELECT.
+    Select,
+    /// Keyword: FROM.
+    From,
+    /// Keyword: WHERE.
+    Where,
+    /// Keyword: AND.
+    And,
+    /// Keyword: OR.
+    Or,
+    /// Keyword: NOT.
+    Not,
+    /// Keyword: AS.
+    As,
+    /// Keyword: TRUE.
+    True,
+    /// Keyword: FALSE.
+    False,
+    /// Keyword: NULL.
+    Null,
+    /// An identifier (case preserved).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// A single-quoted string literal.
+    Str(String),
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+fn keyword(word: &str) -> Option<TokenKind> {
+    match word.to_ascii_uppercase().as_str() {
+        "SELECT" => Some(TokenKind::Select),
+        "FROM" => Some(TokenKind::From),
+        "WHERE" => Some(TokenKind::Where),
+        "AND" => Some(TokenKind::And),
+        "OR" => Some(TokenKind::Or),
+        "NOT" => Some(TokenKind::Not),
+        "AS" => Some(TokenKind::As),
+        "TRUE" => Some(TokenKind::True),
+        "FALSE" => Some(TokenKind::False),
+        "NULL" => Some(TokenKind::Null),
+        _ => None,
+    }
+}
+
+/// Tokenizes SQL text. The returned vector always ends with
+/// [`TokenKind::Eof`].
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let kind = match c {
+            ',' => {
+                i += 1;
+                TokenKind::Comma
+            }
+            '.' => {
+                i += 1;
+                TokenKind::Dot
+            }
+            '(' => {
+                i += 1;
+                TokenKind::LParen
+            }
+            ')' => {
+                i += 1;
+                TokenKind::RParen
+            }
+            '*' => {
+                i += 1;
+                TokenKind::Star
+            }
+            '/' => {
+                i += 1;
+                TokenKind::Slash
+            }
+            '+' => {
+                i += 1;
+                TokenKind::Plus
+            }
+            '-' => {
+                i += 1;
+                TokenKind::Minus
+            }
+            '=' => {
+                i += 1;
+                TokenKind::Eq
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    TokenKind::Ne
+                } else {
+                    return Err(GridError::Parse {
+                        pos: start,
+                        message: "expected `!=`".into(),
+                    });
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    TokenKind::Le
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    i += 2;
+                    TokenKind::Ne
+                } else {
+                    i += 1;
+                    TokenKind::Lt
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    TokenKind::Ge
+                } else {
+                    i += 1;
+                    TokenKind::Gt
+                }
+            }
+            '\'' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(GridError::Parse {
+                                pos: start,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(b'\'') => {
+                            // Doubled quote escapes a quote.
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                TokenKind::Str(s)
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                    j += 1;
+                }
+                let mut is_float = false;
+                if j < bytes.len()
+                    && bytes[j] == b'.'
+                    && j + 1 < bytes.len()
+                    && (bytes[j + 1] as char).is_ascii_digit()
+                {
+                    is_float = true;
+                    j += 1;
+                    while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                        j += 1;
+                    }
+                }
+                let text = &input[i..j];
+                i = j;
+                if is_float {
+                    TokenKind::Float(text.parse().map_err(|_| GridError::Parse {
+                        pos: start,
+                        message: format!("invalid float literal `{text}`"),
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| GridError::Parse {
+                        pos: start,
+                        message: format!("integer literal `{text}` out of range"),
+                    })?)
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                let word = &input[i..j];
+                i = j;
+                keyword(word).unwrap_or_else(|| TokenKind::Ident(word.to_string()))
+            }
+            other => {
+                return Err(GridError::Parse {
+                    pos: start,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        };
+        tokens.push(Token { kind, pos: start });
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        pos: input.len(),
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(
+            kinds("SELECT select SeLeCt"),
+            vec![
+                TokenKind::Select,
+                TokenKind::Select,
+                TokenKind::Select,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_preserve_case() {
+        assert_eq!(
+            kinds("EntropyAnalyser"),
+            vec![TokenKind::Ident("EntropyAnalyser".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("42 3.25"),
+            vec![TokenKind::Int(42), TokenKind::Float(3.25), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn strings_with_escape() {
+        assert_eq!(
+            kinds("'ab''c'"),
+            vec![TokenKind::Str("ab'c".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("= <> != < <= > >="),
+            vec![
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Ne,
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn punctuation_and_qualified_names() {
+        assert_eq!(
+            kinds("p.sequence, (x)"),
+            vec![
+                TokenKind::Ident("p".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("sequence".into()),
+                TokenKind::Comma,
+                TokenKind::LParen,
+                TokenKind::Ident("x".into()),
+                TokenKind::RParen,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let err = tokenize("select #").unwrap_err();
+        match err {
+            GridError::Parse { pos, .. } => assert_eq!(pos, 7),
+            other => panic!("unexpected error {other}"),
+        }
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("a ! b").is_err());
+    }
+}

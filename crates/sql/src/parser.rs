@@ -1,0 +1,403 @@
+//! Recursive-descent parser for the supported query class.
+
+use gridq_common::{GridError, Result, Value};
+use gridq_engine::expr::BinOp;
+
+use crate::ast::{AstExpr, Query, SelectItem, TableRef};
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// Parses a SQL query.
+pub fn parse(sql: &str) -> Result<Query> {
+    let tokens = tokenize(sql)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let query = parser.query()?;
+    parser.expect(&TokenKind::Eof)?;
+    Ok(query)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if &self.peek().kind == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Token> {
+        if &self.peek().kind == kind {
+            Ok(self.advance())
+        } else {
+            Err(self.error(format!("expected {kind:?}, found {:?}", self.peek().kind)))
+        }
+    }
+
+    fn error(&self, message: String) -> GridError {
+        GridError::Parse {
+            pos: self.peek().pos,
+            message,
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.peek().kind.clone() {
+            TokenKind::Ident(name) => {
+                self.advance();
+                Ok(name)
+            }
+            other => Err(self.error(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn query(&mut self) -> Result<Query> {
+        self.expect(&TokenKind::Select)?;
+        let mut select = vec![self.select_item()?];
+        while self.eat(&TokenKind::Comma) {
+            select.push(self.select_item()?);
+        }
+        self.expect(&TokenKind::From)?;
+        let mut from = vec![self.table_ref()?];
+        while self.eat(&TokenKind::Comma) {
+            from.push(self.table_ref()?);
+        }
+        let filter = if self.eat(&TokenKind::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Query {
+            select,
+            from,
+            filter,
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        let expr = self.expr()?;
+        let alias = if self.eat(&TokenKind::As) {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(SelectItem { expr, alias })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        let table = self.ident()?;
+        // Optional alias: `t alias` or `t AS alias`.
+        let alias = if self.eat(&TokenKind::As) || matches!(self.peek().kind, TokenKind::Ident(_)) {
+            self.ident()?
+        } else {
+            table.clone()
+        };
+        Ok(TableRef { table, alias })
+    }
+
+    // Precedence: OR < AND < NOT < comparison < additive < multiplicative
+    // < primary.
+    fn expr(&mut self) -> Result<AstExpr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<AstExpr> {
+        let mut left = self.and_expr()?;
+        while self.eat(&TokenKind::Or) {
+            let right = self.and_expr()?;
+            left = AstExpr::Binary {
+                op: BinOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<AstExpr> {
+        let mut left = self.not_expr()?;
+        while self.eat(&TokenKind::And) {
+            let right = self.not_expr()?;
+            left = AstExpr::Binary {
+                op: BinOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<AstExpr> {
+        if self.eat(&TokenKind::Not) {
+            Ok(AstExpr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.comparison()
+        }
+    }
+
+    fn comparison(&mut self) -> Result<AstExpr> {
+        let left = self.additive()?;
+        let op = match self.peek().kind {
+            TokenKind::Eq => Some(BinOp::Eq),
+            TokenKind::Ne => Some(BinOp::Ne),
+            TokenKind::Lt => Some(BinOp::Lt),
+            TokenKind::Le => Some(BinOp::Le),
+            TokenKind::Gt => Some(BinOp::Gt),
+            TokenKind::Ge => Some(BinOp::Ge),
+            _ => None,
+        };
+        match op {
+            None => Ok(left),
+            Some(op) => {
+                self.advance();
+                let right = self.additive()?;
+                Ok(AstExpr::Binary {
+                    op,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                })
+            }
+        }
+    }
+
+    fn additive(&mut self) -> Result<AstExpr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let right = self.multiplicative()?;
+            left = AstExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<AstExpr> {
+        let mut left = self.primary()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                _ => break,
+            };
+            self.advance();
+            let right = self.primary()?;
+            left = AstExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn primary(&mut self) -> Result<AstExpr> {
+        match self.peek().kind.clone() {
+            TokenKind::Int(v) => {
+                self.advance();
+                Ok(AstExpr::Literal(Value::Int(v)))
+            }
+            TokenKind::Float(v) => {
+                self.advance();
+                Ok(AstExpr::Literal(Value::Float(v)))
+            }
+            TokenKind::Str(s) => {
+                self.advance();
+                Ok(AstExpr::Literal(Value::str(s)))
+            }
+            TokenKind::True => {
+                self.advance();
+                Ok(AstExpr::Literal(Value::Bool(true)))
+            }
+            TokenKind::False => {
+                self.advance();
+                Ok(AstExpr::Literal(Value::Bool(false)))
+            }
+            TokenKind::Null => {
+                self.advance();
+                Ok(AstExpr::Literal(Value::Null))
+            }
+            TokenKind::Minus => {
+                self.advance();
+                // Unary minus on numeric literals.
+                match self.primary()? {
+                    AstExpr::Literal(Value::Int(v)) => Ok(AstExpr::Literal(Value::Int(-v))),
+                    AstExpr::Literal(Value::Float(v)) => Ok(AstExpr::Literal(Value::Float(-v))),
+                    _ => Err(self.error("unary minus expects a numeric literal".into())),
+                }
+            }
+            TokenKind::LParen => {
+                self.advance();
+                let inner = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(inner)
+            }
+            TokenKind::Ident(first) => {
+                self.advance();
+                if self.eat(&TokenKind::Dot) {
+                    let name = self.ident()?;
+                    Ok(AstExpr::Column {
+                        qualifier: Some(first),
+                        name,
+                    })
+                } else if self.eat(&TokenKind::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat(&TokenKind::RParen) {
+                        args.push(self.expr()?);
+                        while self.eat(&TokenKind::Comma) {
+                            args.push(self.expr()?);
+                        }
+                        self.expect(&TokenKind::RParen)?;
+                    }
+                    Ok(AstExpr::Call { name: first, args })
+                } else {
+                    Ok(AstExpr::Column {
+                        qualifier: None,
+                        name: first,
+                    })
+                }
+            }
+            other => Err(self.error(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_q1() {
+        let q = parse("select EntropyAnalyser(p.sequence) from protein_sequences p").unwrap();
+        assert_eq!(q.from.len(), 1);
+        assert_eq!(q.from[0].table, "protein_sequences");
+        assert_eq!(q.from[0].alias, "p");
+        assert!(q.filter.is_none());
+        match &q.select[0].expr {
+            AstExpr::Call { name, args } => {
+                assert_eq!(name, "EntropyAnalyser");
+                assert_eq!(args.len(), 1);
+            }
+            other => panic!("expected call, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_q2() {
+        let q = parse(
+            "select i.ORF2 from protein_sequences p, protein_interactions i \
+             where i.ORF1 = p.ORF",
+        )
+        .unwrap();
+        assert_eq!(q.from.len(), 2);
+        let filter = q.filter.unwrap();
+        match filter {
+            AstExpr::Binary { op: BinOp::Eq, .. } => {}
+            other => panic!("expected equality, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let q = parse("select a from t where a = 1 or b = 2 and c = 3").unwrap();
+        // AND binds tighter than OR.
+        match q.filter.unwrap() {
+            AstExpr::Binary {
+                op: BinOp::Or,
+                right,
+                ..
+            } => match *right {
+                AstExpr::Binary { op: BinOp::And, .. } => {}
+                other => panic!("expected AND under OR, got {other:?}"),
+            },
+            other => panic!("expected OR at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let q = parse("select a + b * 2 from t").unwrap();
+        match &q.select[0].expr {
+            AstExpr::Binary {
+                op: BinOp::Add,
+                right,
+                ..
+            } => match right.as_ref() {
+                AstExpr::Binary { op: BinOp::Mul, .. } => {}
+                other => panic!("expected MUL under ADD, got {other:?}"),
+            },
+            other => panic!("expected ADD at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aliases() {
+        let q = parse("select a as x from t as u").unwrap();
+        assert_eq!(q.select[0].alias.as_deref(), Some("x"));
+        assert_eq!(q.from[0].alias, "u");
+        let q2 = parse("select a from t u").unwrap();
+        assert_eq!(q2.from[0].alias, "u");
+        let q3 = parse("select a from t").unwrap();
+        assert_eq!(q3.from[0].alias, "t");
+    }
+
+    #[test]
+    fn literals_and_parens() {
+        let q = parse("select (1 + 2.5), 'str', true, false, null, -3 from t").unwrap();
+        assert_eq!(q.select.len(), 6);
+        assert_eq!(q.select[5].expr, AstExpr::Literal(Value::Int(-3)));
+    }
+
+    #[test]
+    fn zero_arg_function() {
+        let q = parse("select Now() from t").unwrap();
+        match &q.select[0].expr {
+            AstExpr::Call { name, args } => {
+                assert_eq!(name, "Now");
+                assert!(args.is_empty());
+            }
+            other => panic!("expected call, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn not_expression() {
+        let q = parse("select a from t where not a = 1").unwrap();
+        assert!(matches!(q.filter.unwrap(), AstExpr::Not(_)));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse("select").is_err());
+        assert!(parse("select a").is_err()); // missing FROM
+        assert!(parse("select a from").is_err());
+        assert!(parse("select a from t where").is_err());
+        // `t extra` parses as an implicit alias, but trailing tokens
+        // after a complete query are rejected.
+        assert!(parse("select a from t u v").is_err());
+        assert!(parse("select f(a from t").is_err());
+    }
+}

@@ -1,0 +1,114 @@
+//! Synthetic protein data with the shape of the OGSA-DQP demo database.
+
+use std::sync::Arc;
+
+use gridq_common::{DataType, DetRng, Field, Schema, Tuple, Value};
+use gridq_engine::physical::Catalog;
+use gridq_engine::table::Table;
+
+const AMINO_ACIDS: &[u8] = b"ACDEFGHIKLMNPQRSTVWY";
+
+fn orf_name(i: usize) -> String {
+    format!("ORF{i:06}")
+}
+
+/// Generates `n` protein sequences with ORF identifiers and fixed-length
+/// sequences ("the protein sequences used in the experiments is slightly
+/// modified to make all the tuples the same length to facilitate result
+/// analysis"). Columns: `orf: STRING`, `sequence: STRING`.
+pub fn protein_sequences(n: usize, seq_len: usize, seed: u64) -> Arc<Table> {
+    let mut rng = DetRng::seeded(seed);
+    let schema = Schema::new(vec![
+        Field::new("orf", DataType::Str),
+        Field::new("sequence", DataType::Str),
+    ]);
+    let rows = (0..n)
+        .map(|i| {
+            let seq: String = (0..seq_len)
+                .map(|_| AMINO_ACIDS[rng.below(AMINO_ACIDS.len() as u64) as usize] as char)
+                .collect();
+            Tuple::new(vec![Value::str(orf_name(i)), Value::str(seq)])
+        })
+        .collect();
+    Arc::new(Table::new("protein_sequences", schema, rows).expect("valid rows"))
+}
+
+/// Generates `n` protein interactions. `orf1` references one of the
+/// `orf_count` sequence ORFs (so Q2's join matches every interaction
+/// exactly once); `orf2` is the interaction partner. Columns:
+/// `orf1: STRING`, `orf2: STRING`.
+pub fn protein_interactions(n: usize, orf_count: usize, seed: u64) -> Arc<Table> {
+    assert!(orf_count > 0, "interactions need referenced ORFs");
+    let mut rng = DetRng::seeded(seed ^ 0x1234_5678);
+    let schema = Schema::new(vec![
+        Field::new("orf1", DataType::Str),
+        Field::new("orf2", DataType::Str),
+    ]);
+    let rows = (0..n)
+        .map(|_| {
+            let a = rng.below(orf_count as u64) as usize;
+            let b = rng.below(orf_count as u64) as usize;
+            Tuple::new(vec![Value::str(orf_name(a)), Value::str(orf_name(b))])
+        })
+        .collect();
+    Arc::new(Table::new("protein_interactions", schema, rows).expect("valid rows"))
+}
+
+/// A catalog holding both demo tables.
+pub fn demo_catalog(sequences: usize, interactions: usize, seq_len: usize, seed: u64) -> Catalog {
+    let mut catalog = Catalog::new();
+    catalog.register(protein_sequences(sequences, seq_len, seed));
+    catalog.register(protein_interactions(interactions, sequences, seed));
+    catalog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequences_have_fixed_length() {
+        let t = protein_sequences(50, 32, 7);
+        assert_eq!(t.len(), 50);
+        for row in t.rows() {
+            assert_eq!(row.value(1).as_str().unwrap().len(), 32);
+            assert!(row.value(0).as_str().unwrap().starts_with("ORF"));
+        }
+    }
+
+    #[test]
+    fn sequences_are_deterministic_per_seed() {
+        let a = protein_sequences(10, 16, 42);
+        let b = protein_sequences(10, 16, 42);
+        let c = protein_sequences(10, 16, 43);
+        assert_eq!(a.rows(), b.rows());
+        assert_ne!(a.rows(), c.rows());
+    }
+
+    #[test]
+    fn interactions_reference_existing_orfs() {
+        let inter = protein_interactions(100, 30, 5);
+        for row in inter.rows() {
+            let orf1 = row.value(0).as_str().unwrap();
+            let idx: usize = orf1.trim_start_matches("ORF").parse().unwrap();
+            assert!(idx < 30);
+        }
+    }
+
+    #[test]
+    fn demo_catalog_has_both_tables() {
+        let c = demo_catalog(20, 30, 16, 1);
+        assert_eq!(c.get("protein_sequences").unwrap().len(), 20);
+        assert_eq!(c.get("protein_interactions").unwrap().len(), 30);
+    }
+
+    #[test]
+    fn amino_alphabet_only() {
+        let t = protein_sequences(5, 100, 9);
+        for row in t.rows() {
+            for ch in row.value(1).as_str().unwrap().bytes() {
+                assert!(AMINO_ACIDS.contains(&ch));
+            }
+        }
+    }
+}

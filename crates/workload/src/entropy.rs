@@ -1,0 +1,110 @@
+//! The EntropyAnalyser service.
+//!
+//! Q1 invokes an `EntropyAnalyser` web-service operation on each protein
+//! sequence. The analysis is performed for real — Shannon entropy over
+//! the residue distribution — while the *invocation cost* on the hosting
+//! node comes from the service's advertised base cost, which the Grid
+//! substrate perturbs.
+
+use gridq_common::{DataType, GridError, Result, Value};
+use gridq_engine::service::{Service, ServiceSignature};
+
+/// Shannon entropy (bits per symbol) of a string's character
+/// distribution. Empty strings have zero entropy.
+pub fn shannon_entropy(s: &str) -> f64 {
+    if s.is_empty() {
+        return 0.0;
+    }
+    // BTreeMap keeps the summation order deterministic: floating-point
+    // addition is not associative, and the same sequence must yield
+    // bit-identical entropy on every node (results are compared across
+    // execution substrates).
+    let mut counts = std::collections::BTreeMap::new();
+    let mut total = 0f64;
+    for ch in s.chars() {
+        *counts.entry(ch).or_insert(0f64) += 1.0;
+        total += 1.0;
+    }
+    counts
+        .values()
+        .map(|&c| {
+            let p = c / total;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// The web-service operation used by Q1.
+#[derive(Debug, Clone)]
+pub struct EntropyAnalyser {
+    base_cost_ms: f64,
+}
+
+impl EntropyAnalyser {
+    /// Creates the analyser with the given base invocation cost.
+    pub fn new(base_cost_ms: f64) -> Self {
+        EntropyAnalyser { base_cost_ms }
+    }
+}
+
+impl Service for EntropyAnalyser {
+    fn name(&self) -> &str {
+        "EntropyAnalyser"
+    }
+
+    fn signature(&self) -> ServiceSignature {
+        ServiceSignature {
+            arg_types: vec![DataType::Str],
+            return_type: DataType::Float,
+        }
+    }
+
+    fn invoke(&self, args: &[Value]) -> Result<Value> {
+        let seq = args
+            .first()
+            .and_then(Value::as_str)
+            .ok_or_else(|| GridError::Execution("EntropyAnalyser expects a string".into()))?;
+        Ok(Value::Float(shannon_entropy(seq)))
+    }
+
+    fn base_cost_ms(&self) -> f64 {
+        self.base_cost_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_of_uniform_two_symbols_is_one_bit() {
+        assert!((shannon_entropy("ABAB") - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_of_constant_string_is_zero() {
+        assert_eq!(shannon_entropy("AAAA"), 0.0);
+        assert_eq!(shannon_entropy(""), 0.0);
+    }
+
+    #[test]
+    fn entropy_of_four_uniform_symbols_is_two_bits() {
+        assert!((shannon_entropy("ACGT") - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_increases_with_diversity() {
+        assert!(shannon_entropy("AABB") < shannon_entropy("ABCD"));
+    }
+
+    #[test]
+    fn service_contract() {
+        let svc = EntropyAnalyser::new(2.0);
+        assert_eq!(svc.name(), "EntropyAnalyser");
+        assert_eq!(svc.base_cost_ms(), 2.0);
+        let out = svc.invoke(&[Value::str("ABAB")]).unwrap();
+        assert_eq!(out, Value::Float(1.0));
+        assert!(svc.invoke(&[Value::Int(3)]).is_err());
+        assert!(svc.invoke(&[]).is_err());
+    }
+}

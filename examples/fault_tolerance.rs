@@ -1,0 +1,82 @@
+//! Fault tolerance on the adaptivity substrate (beyond the paper's
+//! evaluation): the checkpoint/acknowledgement recovery logs that make
+//! retrospective adaptation possible also recover from evaluator-node
+//! failures. Producers re-send every unacknowledged tuple of a failed
+//! partition — rebuilding migrated join state from the never-acknowledged
+//! build log — and the collector deduplicates redelivered results.
+//!
+//! ```sh
+//! cargo run --release --example fault_tolerance
+//! ```
+
+use gridq::adapt::AdaptivityConfig;
+use gridq::common::{NodeId, SimTime};
+use gridq::grid::{GridEnvironment, NetworkModel, NodeSpec, ResourceRegistry};
+use gridq::sim::{Simulation, SimulationConfig};
+use gridq::workload::experiments::Q2Experiment;
+
+fn main() {
+    let q2 = Q2Experiment::default();
+    println!(
+        "Q2: hash join of {} sequences with {} interactions over {} evaluators\n",
+        q2.sequences, q2.interactions, q2.evaluators
+    );
+
+    let mut registry = ResourceRegistry::new();
+    registry
+        .register(NodeSpec::data(NodeId::new(0), "datastore"))
+        .expect("fresh registry");
+    for i in 0..q2.evaluators {
+        registry
+            .register(NodeSpec::compute(
+                NodeId::new(i as u32 + 1),
+                format!("eval{i}"),
+            ))
+            .expect("fresh registry");
+    }
+    let env = GridEnvironment::new(registry, NetworkModel::lan_100mbps());
+    let config = SimulationConfig {
+        collect_results: false,
+        receive_cost_ms: q2.receive_cost_ms,
+        adaptivity: AdaptivityConfig::disabled(),
+        ..Default::default()
+    };
+    let sim = Simulation::new(env, q2.catalog(), config).expect("simulation builds");
+    let plan = q2.plan();
+
+    let healthy = sim.run(&plan).expect("healthy run");
+    println!(
+        "healthy run: {:.0} ms, {} join results",
+        healthy.response_time_ms, healthy.tuples_output
+    );
+
+    for fraction in [0.2, 0.5, 0.8] {
+        let fail_at = SimTime::from_millis(healthy.response_time_ms * fraction);
+        let report = sim
+            .run_with_failures(&plan, &[(NodeId::new(2), fail_at)])
+            .expect("failure run");
+        assert_eq!(
+            report.tuples_output, healthy.tuples_output,
+            "recovery must deliver the full join result exactly once"
+        );
+        println!(
+            "\nnode2 fails at {:.0}% of the run:\n\
+             \x20  response {:.0} ms ({:.2}x), {} results (complete), \
+             {} tuples resent from logs, {} duplicate deliveries dropped",
+            fraction * 100.0,
+            report.response_time_ms,
+            report.response_time_ms / healthy.response_time_ms,
+            report.tuples_output,
+            report.failure_resent_tuples,
+            report.duplicates_dropped,
+        );
+        for entry in &report.timeline {
+            println!("      {} {}", entry.at, entry.what);
+        }
+    }
+    println!(
+        "\nThe recovery path is the paper's own substrate: recovery logs hold \
+         exactly the unacknowledged tuples (including all join state), so a \
+         failed partition's work is replayed on the survivors."
+    );
+}
