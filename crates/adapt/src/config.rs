@@ -117,8 +117,10 @@ impl AdaptivityConfig {
                 "progress cutoff must lie in [0, 1]".into(),
             ));
         }
-        if self.cooldown_ms < 0.0 {
-            return Err(GridError::Config("cooldown must be non-negative".into()));
+        if !self.cooldown_ms.is_finite() || self.cooldown_ms < 0.0 {
+            return Err(GridError::Config(
+                "cooldown must be finite and non-negative".into(),
+            ));
         }
         Ok(())
     }

@@ -2,25 +2,25 @@
 //! pipeline: exchange routing, windowed monitoring statistics, recovery
 //! logging, bucket-map rebalancing, and the entropy service.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gridq_bench::harness::{bench_main, black_box, Group};
 use gridq_common::{DistributionVector, TrimmedWindow, Tuple, Value};
 use gridq_engine::distributed::{Router, RoutingPolicy, StreamKeys};
 use gridq_engine::evaluator::StreamTag;
 use gridq_recovery::RecoveryLog;
 use gridq_workload::shannon_entropy;
 
-fn bench_weighted_routing(c: &mut Criterion) {
+fn bench_weighted_routing(g: &Group) {
     let policy = RoutingPolicy::Weighted {
         initial: DistributionVector::new(&[5.0, 3.0, 2.0]).unwrap(),
     };
     let mut router = Router::from_policy(&policy, 3).unwrap();
     let tuple = Tuple::new(vec![Value::Int(7)]);
-    c.bench_function("router/weighted_route", |b| {
-        b.iter(|| black_box(router.route(StreamTag::Single, black_box(&tuple)).unwrap()));
+    g.bench("router/weighted_route", || {
+        black_box(router.route(StreamTag::Single, black_box(&tuple)).unwrap());
     });
 }
 
-fn bench_hash_routing(c: &mut Criterion) {
+fn bench_hash_routing(g: &Group) {
     let policy = RoutingPolicy::HashBuckets {
         bucket_count: 64,
         initial: DistributionVector::uniform(4),
@@ -34,69 +34,62 @@ fn bench_hash_routing(c: &mut Criterion) {
         .map(|i| Tuple::new(vec![Value::str(format!("ORF{i:06}"))]))
         .collect();
     let mut i = 0;
-    c.bench_function("router/hash_route", |b| {
-        b.iter(|| {
-            i = (i + 1) % tuples.len();
-            black_box(router.route(StreamTag::Single, &tuples[i]).unwrap())
-        });
+    g.bench("router/hash_route", || {
+        i = (i + 1) % tuples.len();
+        black_box(router.route(StreamTag::Single, &tuples[i]).unwrap());
     });
 }
 
-fn bench_trimmed_window(c: &mut Criterion) {
+fn bench_trimmed_window(g: &Group) {
     let mut window = TrimmedWindow::new(25);
     let mut x = 0.0f64;
-    c.bench_function("stats/trimmed_window_push_mean", |b| {
-        b.iter(|| {
-            x += 1.0;
-            window.push(x % 17.0);
-            black_box(window.trimmed_mean())
-        });
+    g.bench("stats/trimmed_window_push_mean", || {
+        x += 1.0;
+        window.push(x % 17.0);
+        black_box(window.trimmed_mean());
     });
 }
 
-fn bench_recovery_log(c: &mut Criterion) {
-    c.bench_function("recovery/record_ack_cycle", |b| {
-        b.iter(|| {
-            let mut log = RecoveryLog::<u64>::new(2, 10).unwrap();
-            let mut cps = Vec::new();
-            for i in 0..100u64 {
-                if let Some(cp) = log.record((i % 2) as u32, i).unwrap() {
-                    cps.push(cp);
-                }
+fn bench_recovery_log(g: &Group) {
+    g.bench("recovery/record_ack_cycle", || {
+        let mut log = RecoveryLog::<u64>::new(2, 10).unwrap();
+        let mut cps = Vec::new();
+        for i in 0..100u64 {
+            if let Some(cp) = log.record((i % 2) as u32, i).unwrap() {
+                cps.push(cp);
             }
-            for cp in cps {
-                log.acknowledge(cp.dest, cp.id).unwrap();
-            }
-            black_box(log.total_unacked())
-        });
+        }
+        for cp in cps {
+            log.acknowledge(cp.dest, cp.id).unwrap();
+        }
+        black_box(log.total_unacked());
     });
 }
 
-fn bench_bucket_rebalance(c: &mut Criterion) {
+fn bench_bucket_rebalance(g: &Group) {
     let uniform = DistributionVector::uniform(4);
     let skewed = DistributionVector::new(&[6.0, 2.0, 1.0, 1.0]).unwrap();
-    c.bench_function("dist/bucket_rebalance_64", |b| {
-        b.iter(|| {
-            let mut map = gridq_common::BucketMap::new(64, 4, &uniform).unwrap();
-            black_box(map.rebalance(&skewed).unwrap())
-        });
+    g.bench("dist/bucket_rebalance_64", || {
+        let mut map = gridq_common::BucketMap::new(64, 4, &uniform).unwrap();
+        black_box(map.rebalance(&skewed).unwrap());
     });
 }
 
-fn bench_entropy(c: &mut Criterion) {
+fn bench_entropy(g: &Group) {
     let seq = "ACDEFGHIKLMNPQRSTVWY".repeat(4);
-    c.bench_function("workload/shannon_entropy_80", |b| {
-        b.iter(|| black_box(shannon_entropy(black_box(&seq))));
+    g.bench("workload/shannon_entropy_80", || {
+        black_box(shannon_entropy(black_box(&seq)));
     });
 }
 
-criterion_group!(
-    benches,
-    bench_weighted_routing,
-    bench_hash_routing,
-    bench_trimmed_window,
-    bench_recovery_log,
-    bench_bucket_rebalance,
-    bench_entropy
-);
-criterion_main!(benches);
+fn main() {
+    bench_main(|| {
+        let g = Group::new("micro");
+        bench_weighted_routing(&g);
+        bench_hash_routing(&g);
+        bench_trimmed_window(&g);
+        bench_recovery_log(&g);
+        bench_bucket_rebalance(&g);
+        bench_entropy(&g);
+    });
+}

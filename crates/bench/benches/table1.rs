@@ -1,27 +1,18 @@
 //! Table 1: normalised Q1/Q2 performance under the four ad/imb configurations
 //!
-//! Criterion measures the wall-clock cost of regenerating the artifact on
-//! the virtual-time simulator at reduced scale; the artifact's *values*
-//! (normalised response times) are printed by `cargo run --release --bin
-//! repro -- table1`.
+//! The harness measures the wall-clock cost of regenerating the artifact
+//! on the virtual-time simulator at reduced scale; the artifact's
+//! *values* (normalised response times) are printed by `cargo run
+//! --release --bin repro -- table1`.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, Criterion};
+use gridq_bench::harness::{bench_main, Group};
 use gridq_bench::runners::{self, ReproConfig};
 
-fn bench(c: &mut Criterion) {
-    let config = ReproConfig::tiny();
-    let mut group = c.benchmark_group("table1");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(500))
-        .measurement_time(Duration::from_secs(5));
-    group.bench_function("regenerate", |bencher| {
-        bencher.iter(|| runners::table1(&config).expect("experiment runs"));
+fn main() {
+    bench_main(|| {
+        let config = ReproConfig::tiny();
+        Group::new("table1").bench("regenerate", || {
+            runners::table1(&config).expect("experiment runs");
+        });
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

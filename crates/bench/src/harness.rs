@@ -1,0 +1,136 @@
+//! A minimal, dependency-free benchmarking harness.
+//!
+//! Criterion is excellent, but it is an external dependency, and this
+//! workspace must build and test on machines with no crates.io access
+//! (the same offline-first constraint that motivates the in-tree
+//! property-testing harness in `gridq-common`). This module provides the
+//! small slice the repro benches need: warmup, automatic per-sample
+//! iteration batching so fast functions are timed over a meaningful
+//! interval, and a min/median/mean/max report.
+//!
+//! Bench binaries keep `harness = false` in `Cargo.toml` and call
+//! [`Group::bench`] from `main`. `cargo bench` passes a `--bench` flag
+//! (and test filters); unrecognised arguments are ignored so the
+//! binaries run under both `cargo bench` and direct invocation.
+//! `GRIDQ_BENCH_SAMPLES` overrides the per-benchmark sample count.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall time for one sample; the harness batches iterations of
+/// fast functions until a sample takes at least this long.
+const TARGET_SAMPLE: Duration = Duration::from_millis(5);
+
+/// A named collection of benchmarks sharing a sample budget.
+pub struct Group {
+    name: String,
+    samples: usize,
+}
+
+impl Group {
+    /// A group with the default budget (10 samples, or
+    /// `GRIDQ_BENCH_SAMPLES`).
+    pub fn new(name: impl Into<String>) -> Self {
+        let samples = std::env::var("GRIDQ_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10)
+            .max(1);
+        Group {
+            name: name.into(),
+            samples,
+        }
+    }
+
+    /// Overrides the number of timed samples.
+    pub fn samples(mut self, samples: usize) -> Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Times `f`, printing a one-line report. Returns the per-iteration
+    /// sample durations so callers (and tests) can assert on them.
+    pub fn bench(&self, name: &str, mut f: impl FnMut()) -> Vec<Duration> {
+        // Warmup + calibration: run until TARGET_SAMPLE has elapsed to
+        // learn how many iterations one sample needs.
+        let calibrate_started = Instant::now();
+        let mut calibration_iters = 0u64;
+        while calibrate_started.elapsed() < TARGET_SAMPLE {
+            f();
+            calibration_iters += 1;
+        }
+        let per_iter = calibrate_started.elapsed() / calibration_iters.max(1) as u32;
+        let iters_per_sample = if per_iter >= TARGET_SAMPLE {
+            1
+        } else {
+            (TARGET_SAMPLE.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64
+        };
+
+        let mut samples = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let started = Instant::now();
+            for _ in 0..iters_per_sample {
+                f();
+            }
+            samples.push(started.elapsed() / iters_per_sample as u32);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+        println!(
+            "{}/{name:<28} samples={} iters/sample={iters_per_sample} \
+             min={:?} median={median:?} mean={mean:?} max={:?}",
+            self.name,
+            self.samples,
+            sorted[0],
+            sorted[sorted.len() - 1],
+        );
+        samples
+    }
+}
+
+/// Entry point helper for `harness = false` bench binaries: runs `body`
+/// unless the caller asked for the test-mode no-op (`cargo test` invokes
+/// bench binaries with `--test`; there is nothing to test, so exit
+/// cleanly instead of burning minutes re-running experiments).
+pub fn bench_main(body: impl FnOnce()) {
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+    body();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_returns_requested_samples() {
+        let samples = Group::new("test").samples(3).bench("noop", || {
+            black_box(1 + 1);
+        });
+        assert_eq!(samples.len(), 3);
+    }
+
+    #[test]
+    fn samples_are_positive_durations() {
+        let samples = Group::new("test").samples(2).bench("spin", || {
+            let mut x = 0u64;
+            for i in 0..1000 {
+                x = x.wrapping_add(black_box(i));
+            }
+            black_box(x);
+        });
+        assert!(samples.iter().all(|d| d.as_nanos() > 0));
+    }
+
+    #[test]
+    fn samples_floor_is_one() {
+        let samples = Group::new("test").samples(0).bench("noop", || {
+            black_box(());
+        });
+        assert_eq!(samples.len(), 1);
+    }
+}

@@ -1,0 +1,387 @@
+//! Deterministic in-tree property testing.
+//!
+//! The workspace previously leaned on `proptest` for its randomised
+//! invariant tests. Those tests guard the robustness-critical objects of
+//! the paper — the exchange router, the recovery log, the SQL front end,
+//! the simulator's conservation laws — so they must run everywhere the
+//! code builds, including air-gapped machines with no crates.io access.
+//! This module is a small, dependency-free replacement built on the
+//! workspace's own seeded [`DetRng`]:
+//!
+//! - [`Check::run`] evaluates a property over many generated cases, each
+//!   derived deterministically from a base seed, and reports the exact
+//!   per-case seed on failure so a run is replayable;
+//! - failures *and panics* inside the property are caught, then the
+//!   input is greedily shrunk (via a caller-supplied shrinker such as
+//!   [`shrink_vec`]) before the minimal counterexample is reported;
+//! - `GRIDQ_CHECK_CASES` / `GRIDQ_CHECK_SEED` environment variables
+//!   scale the search up (soak testing) or replay a failing seed without
+//!   recompiling.
+//!
+//! ```
+//! use gridq_common::check::{Check, Gen};
+//!
+//! Check::new("addition commutes")
+//!     .cases(64)
+//!     .run(
+//!         |rng| (rng.i64_in(-100, 100), rng.i64_in(-100, 100)),
+//!         |&(a, b)| {
+//!             if a + b == b + a {
+//!                 Ok(())
+//!             } else {
+//!                 Err(format!("{a} + {b} not commutative"))
+//!             }
+//!         },
+//!     );
+//! ```
+
+use std::fmt::Debug;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::rng::DetRng;
+
+/// Golden-ratio increment used to decorrelate per-case seeds.
+const SEED_STRIDE: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Generation helpers layered over [`DetRng`].
+///
+/// These mirror the small set of strategies the workspace's property
+/// tests need: bounded integers and floats, booleans, element picks, and
+/// variable-length vectors.
+pub trait Gen {
+    /// Uniform `i64` in the half-open range `[lo, hi)`. Requires `lo < hi`.
+    fn i64_in(&mut self, lo: i64, hi: i64) -> i64;
+    /// Uniform `usize` in `[lo, hi)`. Requires `lo < hi`.
+    fn usize_in(&mut self, lo: usize, hi: usize) -> usize;
+    /// Uniform `u32` in `[lo, hi)`. Requires `lo < hi`.
+    fn u32_in(&mut self, lo: u32, hi: u32) -> u32;
+    /// Uniform `f64` in `[lo, hi)`.
+    fn f64_in(&mut self, lo: f64, hi: f64) -> f64;
+    /// A fair coin flip.
+    fn flip(&mut self) -> bool;
+    /// A uniformly chosen reference into `options`. Panics on an empty
+    /// slice (a generator bug, not a property failure).
+    fn pick<'a, T>(&mut self, options: &'a [T]) -> &'a T;
+    /// A vector with length uniform in `[len_lo, len_hi)` whose elements
+    /// are drawn by `element`.
+    fn vec_of<T>(
+        &mut self,
+        len_lo: usize,
+        len_hi: usize,
+        element: impl FnMut(&mut Self) -> T,
+    ) -> Vec<T>;
+}
+
+impl Gen for DetRng {
+    fn i64_in(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "i64_in: empty range {lo}..{hi}");
+        lo.wrapping_add(self.below(hi.abs_diff(lo)) as i64)
+    }
+
+    fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "usize_in: empty range {lo}..{hi}");
+        lo + self.below((hi - lo) as u64) as usize
+    }
+
+    fn u32_in(&mut self, lo: u32, hi: u32) -> u32 {
+        assert!(lo < hi, "u32_in: empty range {lo}..{hi}");
+        lo + self.below(u64::from(hi - lo)) as u32
+    }
+
+    fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        self.uniform_range(lo, hi)
+    }
+
+    fn flip(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    fn pick<'a, T>(&mut self, options: &'a [T]) -> &'a T {
+        assert!(!options.is_empty(), "pick: empty slice");
+        &options[self.below(options.len() as u64) as usize]
+    }
+
+    fn vec_of<T>(
+        &mut self,
+        len_lo: usize,
+        len_hi: usize,
+        mut element: impl FnMut(&mut Self) -> T,
+    ) -> Vec<T> {
+        let len = self.usize_in(len_lo, len_hi);
+        (0..len).map(|_| element(self)).collect()
+    }
+}
+
+/// Shrink candidates for a vector: both halves, then the vector with one
+/// element removed at each of up to 32 evenly spaced positions. Ordered
+/// most-aggressive first so greedy shrinking converges quickly.
+pub fn shrink_vec<T: Clone>(v: &[T]) -> Vec<Vec<T>> {
+    let mut out = Vec::new();
+    if v.len() >= 2 {
+        out.push(v[..v.len() / 2].to_vec());
+        out.push(v[v.len() / 2..].to_vec());
+    }
+    if !v.is_empty() {
+        let step = (v.len() / 32).max(1);
+        for i in (0..v.len()).step_by(step) {
+            let mut shorter = v.to_vec();
+            shorter.remove(i);
+            out.push(shorter);
+        }
+    }
+    out
+}
+
+/// No shrinking: report the raw counterexample.
+pub fn no_shrink<T>(_: &T) -> Vec<T> {
+    Vec::new()
+}
+
+/// How a property evaluation failed.
+enum Failure {
+    /// The property returned `Err`.
+    Rejected(String),
+    /// The property (or code under test) panicked.
+    Panicked(String),
+}
+
+impl Failure {
+    fn message(&self) -> &str {
+        match self {
+            Failure::Rejected(m) | Failure::Panicked(m) => m,
+        }
+    }
+}
+
+/// A configured property check. See the module docs for an example.
+pub struct Check {
+    name: &'static str,
+    cases: u32,
+    seed: u64,
+    max_shrink_steps: u32,
+}
+
+impl Check {
+    /// A check with the default budget (256 cases, or `GRIDQ_CHECK_CASES`)
+    /// and the default base seed (or `GRIDQ_CHECK_SEED`).
+    pub fn new(name: &'static str) -> Self {
+        let cases = std::env::var("GRIDQ_CHECK_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        let seed = std::env::var("GRIDQ_CHECK_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0x6772_6964_715f_6368); // "gridq_ch"
+        Check {
+            name,
+            cases,
+            seed,
+            max_shrink_steps: 512,
+        }
+    }
+
+    /// Overrides the number of generated cases.
+    pub fn cases(mut self, cases: u32) -> Self {
+        self.cases = cases;
+        self
+    }
+
+    /// Overrides the base seed (for pinning a regression).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs `prop` against `cases` inputs drawn by `gen`, without
+    /// shrinking. Panics with a replayable report on the first failure.
+    pub fn run<T, G, P>(self, gen: G, prop: P)
+    where
+        T: Debug + Clone,
+        G: Fn(&mut DetRng) -> T,
+        P: Fn(&T) -> Result<(), String>,
+    {
+        self.run_shrink(gen, no_shrink, prop);
+    }
+
+    /// Runs `prop` against generated inputs, and on failure greedily
+    /// shrinks the counterexample with `shrink` before reporting it.
+    pub fn run_shrink<T, G, S, P>(self, gen: G, shrink: S, prop: P)
+    where
+        T: Debug + Clone,
+        G: Fn(&mut DetRng) -> T,
+        S: Fn(&T) -> Vec<T>,
+        P: Fn(&T) -> Result<(), String>,
+    {
+        for case in 0..self.cases {
+            let case_seed = self
+                .seed
+                .wrapping_add(u64::from(case).wrapping_mul(SEED_STRIDE));
+            let mut rng = DetRng::seeded(case_seed);
+            let input = gen(&mut rng);
+            if let Some(failure) = eval(&prop, &input) {
+                let (minimal, final_failure, steps) =
+                    shrink_loop(&prop, &shrink, input, failure, self.max_shrink_steps);
+                panic!(
+                    "property `{}` failed at case {case}/{} \
+                     (replay with GRIDQ_CHECK_SEED={case_seed} GRIDQ_CHECK_CASES=1)\n\
+                     counterexample (after {steps} shrink steps): {minimal:?}\n\
+                     failure: {}",
+                    self.name,
+                    self.cases,
+                    final_failure.message(),
+                );
+            }
+        }
+    }
+}
+
+/// Evaluates the property once, converting panics into [`Failure`]s.
+fn eval<T, P>(prop: &P, input: &T) -> Option<Failure>
+where
+    P: Fn(&T) -> Result<(), String>,
+{
+    match catch_unwind(AssertUnwindSafe(|| prop(input))) {
+        Ok(Ok(())) => None,
+        Ok(Err(msg)) => Some(Failure::Rejected(msg)),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic with non-string payload".into());
+            Some(Failure::Panicked(format!("panicked: {msg}")))
+        }
+    }
+}
+
+/// Greedy shrink: repeatedly replace the counterexample with the first
+/// shrink candidate that still fails, until none do or the step budget
+/// runs out.
+fn shrink_loop<T, S, P>(
+    prop: &P,
+    shrink: &S,
+    mut current: T,
+    mut failure: Failure,
+    max_steps: u32,
+) -> (T, Failure, u32)
+where
+    T: Clone,
+    S: Fn(&T) -> Vec<T>,
+    P: Fn(&T) -> Result<(), String>,
+{
+    let mut steps = 0;
+    'outer: while steps < max_steps {
+        for candidate in shrink(&current) {
+            if let Some(f) = eval(prop, &candidate) {
+                current = candidate;
+                failure = f;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (current, failure, steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_completes() {
+        Check::new("sum is symmetric").cases(50).run(
+            |rng| (rng.i64_in(-5, 5), rng.i64_in(-5, 5)),
+            |&(a, b)| {
+                if a + b == b + a {
+                    Ok(())
+                } else {
+                    Err("math broke".into())
+                }
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always fails`")]
+    fn failing_property_panics_with_report() {
+        Check::new("always fails")
+            .cases(3)
+            .run(|rng| rng.i64_in(0, 10), |_| Err("nope".into()));
+    }
+
+    #[test]
+    #[should_panic(expected = "panicked: boom")]
+    fn panicking_property_is_caught_and_reported() {
+        Check::new("panics").cases(2).run(
+            |rng| rng.i64_in(0, 10),
+            |_| -> Result<(), String> { panic!("boom") },
+        );
+    }
+
+    #[test]
+    fn shrinking_minimises_vec_counterexample() {
+        // Property: no vector contains a 7. The minimal counterexample is
+        // exactly [7].
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            Check::new("no sevens").cases(200).run_shrink(
+                |rng| rng.vec_of(0, 40, |r| r.i64_in(0, 16)),
+                |v: &Vec<i64>| shrink_vec(v),
+                |v| {
+                    if v.contains(&7) {
+                        Err("found a 7".into())
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+        }));
+        let payload = result.expect_err("property must fail");
+        let msg = payload.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("[7]"), "not minimised: {msg}");
+    }
+
+    #[test]
+    fn generators_respect_bounds() {
+        let mut rng = DetRng::seeded(1);
+        for _ in 0..1000 {
+            assert!((3..9).contains(&rng.i64_in(3, 9)));
+            assert!((0..4).contains(&rng.usize_in(0, 4)));
+            assert!((2..5).contains(&rng.u32_in(2, 5)));
+            let f = rng.f64_in(-1.0, 1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let v = rng.vec_of(1, 4, |r| r.flip());
+            assert!((1..4).contains(&v.len()));
+            assert!([10, 20, 30].contains(rng.pick(&[10, 20, 30])));
+        }
+    }
+
+    #[test]
+    fn i64_in_handles_extreme_ranges() {
+        let mut rng = DetRng::seeded(2);
+        for _ in 0..100 {
+            let v = rng.i64_in(i64::MIN, i64::MAX);
+            assert!(v < i64::MAX);
+        }
+    }
+
+    #[test]
+    fn shrink_vec_candidates_are_strictly_smaller() {
+        let v: Vec<u8> = (0..10).collect();
+        for c in shrink_vec(&v) {
+            assert!(c.len() < v.len());
+        }
+        assert!(shrink_vec(&Vec::<u8>::new()).is_empty());
+    }
+
+    #[test]
+    fn per_case_seeds_are_replayable() {
+        // The report instructs replaying with GRIDQ_CHECK_CASES=1 and the
+        // failing seed as the base: verify that seed stride for case 0 is
+        // the base seed itself.
+        let mut a = DetRng::seeded(77);
+        let mut b = DetRng::seeded(77u64.wrapping_add(0u64.wrapping_mul(SEED_STRIDE)));
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -8,12 +8,14 @@
 //! adaptivity components of the paper (running averages over a bounded
 //! window with the minimum and maximum samples discarded).
 
+pub mod check;
 pub mod dist;
 pub mod error;
 pub mod ids;
 pub mod rng;
 pub mod schema;
 pub mod stats;
+pub mod sync;
 pub mod time;
 pub mod tuple;
 pub mod value;

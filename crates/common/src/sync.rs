@@ -1,0 +1,150 @@
+//! Poison-recovering synchronisation primitives.
+//!
+//! The workspace previously used `parking_lot` for its non-poisoning
+//! mutex. To keep the build dependency-free (the system must build and
+//! test on an air-gapped Grid node, with no crates.io access), this
+//! module provides the same ergonomics over [`std::sync::Mutex`]:
+//! `lock()` returns the guard directly, and a lock whose holder panicked
+//! is *recovered* rather than propagating the poison.
+//!
+//! Recovery is the right robustness policy here: the shared state guarded
+//! by these locks (exchange routers, operator statistics) is kept
+//! internally consistent by its own invariants — every mutation is a
+//! single atomic method call on the guarded value — so a panic between
+//! `lock()` and drop cannot leave it half-updated. Propagating poison
+//! would instead cascade one worker's failure into every producer,
+//! consumer, and adaptivity thread that shares the lock, turning a local
+//! fault into a whole-query abort.
+
+use std::fmt;
+use std::sync::TryLockError;
+
+/// A mutual-exclusion lock that recovers from poisoning.
+///
+/// API-compatible with the subset of `parking_lot::Mutex` the workspace
+/// uses: [`Mutex::new`], [`Mutex::lock`], [`Mutex::try_lock`], and
+/// [`Mutex::into_inner`].
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// Guard returned by [`Mutex::lock`]; releases the lock on drop.
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Creates a lock around `value`.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the guarded value. Recovers the value
+    /// even if the lock is poisoned.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking the current thread until it is
+    /// available. If another thread panicked while holding the lock, the
+    /// poison is cleared and the guard is returned anyway.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Attempts to acquire the lock without blocking. Returns `None` if
+    /// the lock is currently held; recovers from poisoning like
+    /// [`Mutex::lock`].
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(guard) => Some(guard),
+            Err(TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(guard) => f.debug_tuple("Mutex").field(&&*guard).finish(),
+            None => f.write_str("Mutex(<locked>)"),
+        }
+    }
+}
+
+impl<T> From<T> for Mutex<T> {
+    fn from(value: T) -> Self {
+        Mutex::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn lock_round_trips() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn try_lock_reports_contention() {
+        let m = Mutex::new(0);
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn survives_poisoning() {
+        let m = Arc::new(Mutex::new(7));
+        let m2 = Arc::clone(&m);
+        let _ = thread::spawn(move || {
+            let _guard = m2.lock();
+            panic!("die holding the lock");
+        })
+        .join();
+        // A poisoned std mutex would panic on unwrap here; ours recovers.
+        assert_eq!(*m.lock(), 7);
+        *m.lock() = 8;
+        assert_eq!(*m.lock(), 8);
+    }
+
+    #[test]
+    fn into_inner_survives_poisoning() {
+        let m = Arc::new(Mutex::new(vec![1, 2, 3]));
+        let m2 = Arc::clone(&m);
+        let _ = thread::spawn(move || {
+            let _guard = m2.lock();
+            panic!("poison");
+        })
+        .join();
+        let m = Arc::try_unwrap(m).expect("sole owner");
+        assert_eq!(m.into_inner(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn debug_formats() {
+        let m = Mutex::new(5);
+        assert_eq!(format!("{m:?}"), "Mutex(5)");
+        let g = m.lock();
+        assert_eq!(format!("{m:?}"), "Mutex(<locked>)");
+        drop(g);
+    }
+}

@@ -10,8 +10,8 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use gridq_common::sync::Mutex;
 use gridq_common::{Result, Schema, Tuple};
-use parking_lot::Mutex;
 
 use super::{BoxedOperator, Operator};
 

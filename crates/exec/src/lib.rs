@@ -5,7 +5,7 @@
 //! The simulator (`gridq-sim`) reproduces the paper's *measurements* in
 //! virtual time; this crate demonstrates that the adaptivity architecture
 //! is substrate-independent by running the same [`DistributedPlan`]s over
-//! OS threads and crossbeam channels against the wall clock:
+//! OS threads and mpsc channels against the wall clock:
 //!
 //! - one producer thread per source scan, routing tuples through the
 //!   shared exchange [`Router`] and sending buffers over channels;
@@ -25,21 +25,21 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use gridq_adapt::{
     AdaptivityConfig, DetectorOutput, Diagnoser, MonitoringEventDetector, ProducerId, Responder,
     ResponsePolicy, M1, M2,
 };
+use gridq_common::sync::Mutex;
 use gridq_common::{GridError, NodeId, PartitionId, Result, SimTime, Tuple};
 use gridq_engine::distributed::{DistributedPlan, Router};
 use gridq_engine::evaluator::StreamTag;
 use gridq_engine::physical::Catalog;
 use gridq_grid::Perturbation;
-use parking_lot::Mutex;
 
 /// Configuration of a threaded execution.
 #[derive(Debug, Clone)]
@@ -63,6 +63,29 @@ impl Default for ThreadedConfig {
             perturbations: HashMap::new(),
             receive_cost_ms: 1.0,
         }
+    }
+}
+
+impl ThreadedConfig {
+    /// Rejects configurations that would hang or corrupt a run before any
+    /// thread is spawned: non-positive or non-finite cost scales (which
+    /// would turn every modelled cost into zero or infinite sleeps) and
+    /// negative or non-finite receive costs, plus anything
+    /// [`AdaptivityConfig::validate`] rejects.
+    pub fn validate(&self) -> Result<()> {
+        if !self.cost_scale.is_finite() || self.cost_scale <= 0.0 {
+            return Err(GridError::Config(format!(
+                "cost_scale must be finite and positive, got {}",
+                self.cost_scale
+            )));
+        }
+        if !self.receive_cost_ms.is_finite() || self.receive_cost_ms < 0.0 {
+            return Err(GridError::Config(format!(
+                "receive_cost_ms must be finite and non-negative, got {}",
+                self.receive_cost_ms
+            )));
+        }
+        self.adaptivity.validate()
     }
 }
 
@@ -128,6 +151,7 @@ impl ThreadedExecutor {
 
     /// Runs the plan to completion.
     pub fn run(&self, plan: &DistributedPlan) -> Result<ThreadedReport> {
+        self.config.validate()?;
         plan.validate()?;
         if plan.stages.len() != 1 {
             return Err(GridError::Execution(
@@ -159,12 +183,12 @@ impl ThreadedExecutor {
         let mut to_consumer: Vec<Sender<Msg>> = Vec::new();
         let mut consumer_rx: Vec<Receiver<Msg>> = Vec::new();
         for _ in 0..partitions {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             to_consumer.push(tx);
             consumer_rx.push(rx);
         }
-        let (result_tx, result_rx) = unbounded::<Vec<Tuple>>();
-        let (raw_tx, raw_rx) = unbounded::<Raw>();
+        let (result_tx, result_rx) = channel::<Vec<Tuple>>();
+        let (raw_tx, raw_rx) = channel::<Raw>();
 
         let started = Instant::now();
         let routed_total = Arc::new(AtomicU64::new(0));
@@ -409,23 +433,37 @@ impl ThreadedExecutor {
             })
         };
 
-        // Wait for producers, then consumers.
-        for h in producer_handles {
-            h.join()
-                .map_err(|_| GridError::Execution("producer thread panicked".into()))?;
+        // Wait for producers, then consumers, then the adaptivity thread.
+        // Every handle is joined even when an earlier one panicked, so a
+        // single failed worker cannot leave stray threads running behind
+        // an early error return; the first failure is reported after all
+        // threads have stopped.
+        let mut panicked: Vec<String> = Vec::new();
+        for (i, h) in producer_handles.into_iter().enumerate() {
+            if h.join().is_err() {
+                panicked.push(format!("producer {i}"));
+            }
         }
         let mut per_partition = Vec::with_capacity(partitions);
-        for h in consumer_handles {
-            let (processed, _) = h
-                .join()
-                .map_err(|_| GridError::Execution("consumer thread panicked".into()))?;
-            per_partition.push(processed);
+        for (i, h) in consumer_handles.into_iter().enumerate() {
+            match h.join() {
+                Ok((processed, _)) => per_partition.push(processed),
+                Err(_) => panicked.push(format!("consumer {i}")),
+            }
         }
         let _ = raw_tx.send(Raw::ProducersDone);
         drop(raw_tx);
-        let (m1, m2, deployed) = adapt_handle
-            .join()
-            .map_err(|_| GridError::Execution("adaptivity thread panicked".into()))?;
+        let adapt_result = adapt_handle.join();
+        if adapt_result.is_err() {
+            panicked.push("adaptivity thread".into());
+        }
+        if !panicked.is_empty() {
+            return Err(GridError::Execution(format!(
+                "worker thread(s) panicked: {}",
+                panicked.join(", ")
+            )));
+        }
+        let (m1, m2, deployed) = adapt_result.expect("checked above");
 
         let mut results = Vec::new();
         while let Ok(batch) = result_rx.try_recv() {
@@ -570,6 +608,97 @@ mod tests {
             report.per_partition_processed
         );
         assert!(report.raw_m1_events > 0);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_before_spawning() {
+        let table = int_table("t", 10);
+        let plan = call_plan(&table, 2);
+        let bad_configs = [
+            ThreadedConfig {
+                cost_scale: 0.0,
+                ..Default::default()
+            },
+            ThreadedConfig {
+                cost_scale: f64::NAN,
+                ..Default::default()
+            },
+            ThreadedConfig {
+                receive_cost_ms: -1.0,
+                ..Default::default()
+            },
+            ThreadedConfig {
+                adaptivity: AdaptivityConfig {
+                    detector_window: 0,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        ];
+        for bad in bad_configs {
+            let exec = ThreadedExecutor::new(catalog(&[&table]), bad);
+            assert!(
+                matches!(exec.run(&plan), Err(GridError::Config(_))),
+                "invalid config must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn panicking_service_yields_error_not_deadlock() {
+        let table = int_table("t", 50);
+        let factory = ServiceCallFactory::new(
+            table.schema(),
+            Arc::new(FnService::new(
+                "Boom",
+                vec![DataType::Int],
+                DataType::Int,
+                1.0,
+                |_| panic!("service crashed"),
+            )),
+            vec![Expr::col(0)],
+            "boom",
+            false,
+            ServiceRegistry::new(),
+        );
+        let plan = DistributedPlan {
+            query: QueryId::new(3),
+            sources: vec![SourceSpec {
+                table: table.name().to_string(),
+                node: NodeId::new(0),
+                stream: StreamTag::Single,
+                scan_cost_ms: 0.1,
+            }],
+            stages: vec![ParallelStageSpec {
+                id: SubplanId::new(1),
+                factory: Arc::new(factory),
+                nodes: vec![NodeId::new(1), NodeId::new(2)],
+                exchange: ExchangeSpec {
+                    routing: RoutingPolicy::Weighted {
+                        initial: DistributionVector::uniform(2),
+                    },
+                    buffer_tuples: 10,
+                },
+            }],
+            collect_node: NodeId::new(0),
+        };
+        let exec = ThreadedExecutor::new(
+            catalog(&[&table]),
+            ThreadedConfig {
+                adaptivity: AdaptivityConfig::disabled(),
+                cost_scale: 0.002,
+                ..Default::default()
+            },
+        );
+        // Both consumers die on their first tuple; the run must still
+        // join every thread and surface a typed error instead of hanging
+        // or poisoning the shared router.
+        match exec.run(&plan) {
+            Err(GridError::Execution(msg)) => {
+                assert!(msg.contains("panicked"), "unexpected message: {msg}")
+            }
+            other => panic!("expected execution error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -350,70 +350,152 @@ mod tests {
         l.record(1, 3).unwrap();
         assert_eq!(l.total_unacked(), 3);
     }
+
+    #[test]
+    fn duplicate_ack_is_rejected_without_losing_items() {
+        let mut l = log(1, 2);
+        for i in 0..4 {
+            l.record(0, i).unwrap();
+        }
+        assert_eq!(l.acknowledge(0, 0).unwrap(), 2);
+        assert!(l.acknowledge(0, 0).is_err(), "duplicate ack must error");
+        // The failed ack must not have pruned anything.
+        assert_eq!(l.unacked_len(0), 2);
+        assert_eq!(l.acknowledge(0, 1).unwrap(), 2);
+    }
+
+    #[test]
+    fn out_of_order_ack_covers_skipped_windows() {
+        let mut l = log(1, 2);
+        for i in 0..6 {
+            l.record(0, i).unwrap();
+        }
+        // Checkpoints 0, 1, 2 are all emitted; acking 2 directly (acks 0
+        // and 1 lost in transit) prunes everything they covered.
+        assert_eq!(l.acknowledge(0, 2).unwrap(), 6);
+        assert_eq!(l.unacked_len(0), 0);
+        // A late ack for a superseded checkpoint is stale, not a prune.
+        assert!(l.acknowledge(0, 1).is_err());
+    }
+
+    #[test]
+    fn ack_of_unemitted_checkpoint_is_rejected() {
+        let mut l = log(1, 5);
+        l.record(0, 1).unwrap();
+        // No checkpoint has been emitted yet (window not full).
+        assert!(l.acknowledge(0, 0).is_err());
+        assert_eq!(l.unacked_len(0), 1);
+    }
+
+    #[test]
+    fn drain_resets_open_window() {
+        let mut l = log(1, 3);
+        l.record(0, 1).unwrap();
+        l.record(0, 2).unwrap();
+        assert_eq!(l.drain_all(0).unwrap(), vec![1, 2]);
+        // The open window was voided: the next checkpoint needs a full
+        // interval of fresh records.
+        assert_eq!(l.record(0, 3).unwrap(), None);
+        assert_eq!(l.record(0, 4).unwrap(), None);
+        assert!(l.record(0, 5).unwrap().is_some());
+    }
+
+    #[test]
+    fn force_checkpoint_on_empty_window_is_none() {
+        let mut l = log(1, 3);
+        assert_eq!(l.force_checkpoint(0).unwrap(), None);
+        l.record(0, 1).unwrap();
+        let cp = l.force_checkpoint(0).unwrap().unwrap();
+        assert_eq!(cp.dest, 0);
+        assert_eq!(l.force_checkpoint(0).unwrap(), None);
+    }
 }
 
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use gridq_common::check::{shrink_vec, Check, Gen};
 
-    proptest! {
-        /// The log never loses or duplicates an item: at any point,
-        /// pruned + drained + still-logged counts add up, and every
-        /// recorded value is accounted for exactly once.
-        #[test]
-        fn conservation(ops in proptest::collection::vec(0u8..4, 1..200)) {
-            let mut log = RecoveryLog::<u64>::new(1, 3).unwrap();
-            let mut next_item = 0u64;
-            let mut emitted_cps: Vec<u64> = Vec::new();
-            let mut acked_upto: Option<u64> = None;
-            let mut accounted = 0usize; // pruned or drained
-            for op in ops {
-                match op {
-                    0 | 1 => {
-                        if let Some(cp) = log.record(0, next_item).unwrap() {
-                            emitted_cps.push(cp.id);
+    /// The log never loses or duplicates an item: at any point,
+    /// pruned + drained + still-logged counts add up, and every
+    /// recorded value is accounted for exactly once.
+    #[test]
+    fn conservation() {
+        Check::new("recovery log conserves items").run_shrink(
+            |rng| rng.vec_of(1, 200, |r| r.i64_in(0, 4) as u8),
+            |ops: &Vec<u8>| shrink_vec(ops),
+            |ops| {
+                if ops.is_empty() {
+                    return Ok(()); // shrinking may empty the op list
+                }
+                let mut log = RecoveryLog::<u64>::new(1, 3).unwrap();
+                let mut next_item = 0u64;
+                let mut emitted_cps: Vec<u64> = Vec::new();
+                let mut acked_upto: Option<u64> = None;
+                let mut accounted = 0usize; // pruned or drained
+                for &op in ops {
+                    match op {
+                        0 | 1 => {
+                            if let Some(cp) = log.record(0, next_item).unwrap() {
+                                emitted_cps.push(cp.id);
+                            }
+                            next_item += 1;
                         }
-                        next_item += 1;
-                    }
-                    2 => {
-                        // Ack the next unacked emitted checkpoint, if any.
-                        let candidate = emitted_cps.iter().copied()
-                            .filter(|id| acked_upto.is_none_or(|a| *id > a))
-                            .min();
-                        if let Some(id) = candidate {
-                            accounted += log.acknowledge(0, id).unwrap();
-                            acked_upto = Some(id);
+                        2 => {
+                            // Ack the next unacked emitted checkpoint, if any.
+                            let candidate = emitted_cps
+                                .iter()
+                                .copied()
+                                .filter(|id| acked_upto.is_none_or(|a| *id > a))
+                                .min();
+                            if let Some(id) = candidate {
+                                accounted += log.acknowledge(0, id).unwrap();
+                                acked_upto = Some(id);
+                            }
+                        }
+                        _ => {
+                            accounted += log.drain_all(0).unwrap().len();
                         }
                     }
-                    _ => {
-                        accounted += log.drain_all(0).unwrap().len();
+                    if accounted + log.unacked_len(0) != next_item as usize {
+                        return Err(format!(
+                            "items not conserved: {} accounted + {} logged != {} recorded",
+                            accounted,
+                            log.unacked_len(0),
+                            next_item
+                        ));
                     }
                 }
-                prop_assert_eq!(
-                    accounted + log.unacked_len(0),
-                    next_item as usize,
-                    "items must be conserved"
-                );
-            }
-        }
+                Ok(())
+            },
+        );
+    }
 
-        /// drain_matching partitions the log: drained ∪ kept equals the
-        /// previous contents with order preserved within each side.
-        #[test]
-        fn drain_matching_partitions(items in proptest::collection::vec(0u64..100, 0..50)) {
-            let mut log = RecoveryLog::<u64>::new(1, 7).unwrap();
-            for &i in &items {
-                log.record(0, i).unwrap();
-            }
-            let drained = log.drain_matching(0, |x| x % 3 == 0).unwrap();
-            let kept: Vec<u64> = log.iter_unacked(0).copied().collect();
-            let expect_drained: Vec<u64> =
-                items.iter().copied().filter(|x| x % 3 == 0).collect();
-            let expect_kept: Vec<u64> =
-                items.iter().copied().filter(|x| x % 3 != 0).collect();
-            prop_assert_eq!(drained, expect_drained);
-            prop_assert_eq!(kept, expect_kept);
-        }
+    /// drain_matching partitions the log: drained ∪ kept equals the
+    /// previous contents with order preserved within each side.
+    #[test]
+    fn drain_matching_partitions() {
+        Check::new("drain_matching partitions the log").run_shrink(
+            |rng| rng.vec_of(0, 50, |r| r.i64_in(0, 100) as u64),
+            |items: &Vec<u64>| shrink_vec(items),
+            |items| {
+                let mut log = RecoveryLog::<u64>::new(1, 7).unwrap();
+                for &i in items {
+                    log.record(0, i).unwrap();
+                }
+                let drained = log.drain_matching(0, |x| x % 3 == 0).unwrap();
+                let kept: Vec<u64> = log.iter_unacked(0).copied().collect();
+                let expect_drained: Vec<u64> =
+                    items.iter().copied().filter(|x| x % 3 == 0).collect();
+                let expect_kept: Vec<u64> = items.iter().copied().filter(|x| x % 3 != 0).collect();
+                if drained != expect_drained {
+                    return Err(format!("drained {drained:?} != {expect_drained:?}"));
+                }
+                if kept != expect_kept {
+                    return Err(format!("kept {kept:?} != {expect_kept:?}"));
+                }
+                Ok(())
+            },
+        );
     }
 }

@@ -5,8 +5,9 @@
 use std::sync::Arc;
 
 use gridq_adapt::{AdaptivityConfig, AssessmentPolicy, ResponsePolicy};
+use gridq_common::check::{Check, Gen};
 use gridq_common::{
-    DataType, DistributionVector, Field, NodeId, QueryId, Schema, SubplanId, Tuple, Value,
+    DataType, DetRng, DistributionVector, Field, NodeId, QueryId, Schema, SubplanId, Tuple, Value,
 };
 use gridq_engine::distributed::{
     DistributedPlan, ExchangeSpec, ParallelStageSpec, RoutingPolicy, SourceSpec, StreamKeys,
@@ -18,7 +19,6 @@ use gridq_engine::table::Table;
 use gridq_engine::Expr;
 use gridq_grid::{GridEnvironment, Perturbation};
 use gridq_sim::{Simulation, SimulationConfig};
-use proptest::prelude::*;
 
 fn int_table(name: &str, values: &[i64]) -> Arc<Table> {
     let schema = Schema::new(vec![Field::new("x", DataType::Int)]);
@@ -39,191 +39,205 @@ fn adaptivity(on: bool, retrospective: bool) -> AdaptivityConfig {
     }
 }
 
-fn perturbation_strategy() -> impl Strategy<Value = Perturbation> {
-    prop_oneof![
-        Just(Perturbation::None),
-        (2.0f64..30.0).prop_map(Perturbation::CostFactor),
-        (1.0f64..40.0).prop_map(Perturbation::SleepMs),
-        (10.0f64..30.0).prop_map(|m| Perturbation::NormalFactor {
-            mean: m,
-            lo: 1.0,
-            hi: m * 2.0 - 1.0,
-        }),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// A service-call plan emits exactly one output per input tuple,
-    /// under every perturbation and adaptivity policy, with correct
-    /// values.
-    #[test]
-    fn call_plan_conserves_tuples(
-        n in 20usize..300,
-        parts in 2usize..4,
-        pert in perturbation_strategy(),
-        retrospective in proptest::bool::ANY,
-        buffer in 1usize..40,
-    ) {
-        let values: Vec<i64> = (0..n as i64).collect();
-        let table = int_table("t", &values);
-        let factory = ServiceCallFactory::new(
-            table.schema(),
-            Arc::new(FnService::new(
-                "Neg",
-                vec![DataType::Int],
-                DataType::Int,
-                1.0,
-                |args| Ok(Value::Int(-args[0].as_int().unwrap())),
-            )),
-            vec![Expr::col(0)],
-            "neg",
-            false,
-            ServiceRegistry::new(),
-        );
-        let plan = DistributedPlan {
-            query: QueryId::new(1),
-            sources: vec![SourceSpec {
-                table: "t".into(),
-                node: NodeId::new(0),
-                stream: StreamTag::Single,
-                scan_cost_ms: 0.3,
-            }],
-            stages: vec![ParallelStageSpec {
-                id: SubplanId::new(1),
-                factory: Arc::new(factory),
-                nodes: (0..parts).map(|i| NodeId::new(i as u32 + 1)).collect(),
-                exchange: ExchangeSpec {
-                    routing: RoutingPolicy::Weighted {
-                        initial: DistributionVector::uniform(parts),
-                    },
-                    buffer_tuples: buffer,
-                },
-            }],
-            collect_node: NodeId::new(0),
-        };
-        let mut env = GridEnvironment::demo(parts);
-        env.perturb(NodeId::new(parts as u32), pert);
-        let mut catalog = Catalog::new();
-        catalog.register(Arc::clone(&table));
-        let config = SimulationConfig {
-            adaptivity: adaptivity(true, retrospective),
-            collect_results: true,
-            receive_cost_ms: 0.5,
-            ..Default::default()
-        };
-        let report = Simulation::new(env, catalog, config)
-            .unwrap()
-            .run(&plan)
-            .unwrap();
-        prop_assert_eq!(report.tuples_output as usize, n);
-        let mut got: Vec<i64> = report
-            .results
-            .iter()
-            .map(|t| t.value(0).as_int().unwrap())
-            .collect();
-        got.sort_unstable();
-        let expect: Vec<i64> = (1 - n as i64..=0).collect();
-        prop_assert_eq!(got, expect);
-        prop_assert_eq!(
-            report.per_partition_processed.iter().sum::<u64>() as usize,
-            n
-        );
-    }
-
-    /// A hash-join plan produces exactly the reference join result under
-    /// perturbation and retrospective adaptation (state migration must
-    /// not lose or duplicate matches).
-    #[test]
-    fn join_plan_matches_reference(
-        build_keys in proptest::collection::vec(0i64..60, 5..80),
-        probe_keys in proptest::collection::vec(0i64..80, 5..120),
-        pert in perturbation_strategy(),
-        adaptive in proptest::bool::ANY,
-        buckets in 4u32..40,
-    ) {
-        let build = int_table("b", &build_keys);
-        let probe = int_table("p", &probe_keys);
-        let factory = HashJoinFactory::new(
-            build.schema(),
-            probe.schema(),
-            0,
-            0,
-            0.2,
-            1.5,
-        );
-        let plan = DistributedPlan {
-            query: QueryId::new(2),
-            sources: vec![
-                SourceSpec {
-                    table: "b".into(),
-                    node: NodeId::new(0),
-                    stream: StreamTag::Build,
-                    scan_cost_ms: 0.2,
-                },
-                SourceSpec {
-                    table: "p".into(),
-                    node: NodeId::new(0),
-                    stream: StreamTag::Probe,
-                    scan_cost_ms: 0.2,
-                },
-            ],
-            stages: vec![ParallelStageSpec {
-                id: SubplanId::new(1),
-                factory: Arc::new(factory),
-                nodes: vec![NodeId::new(1), NodeId::new(2)],
-                exchange: ExchangeSpec {
-                    routing: RoutingPolicy::HashBuckets {
-                        bucket_count: buckets,
-                        initial: DistributionVector::uniform(2),
-                        keys: StreamKeys {
-                            build: Some(0),
-                            probe: Some(0),
-                            single: None,
-                        },
-                    },
-                    buffer_tuples: 10,
-                },
-            }],
-            collect_node: NodeId::new(0),
-        };
-        let mut env = GridEnvironment::demo(2);
-        env.perturb(NodeId::new(2), pert);
-        let mut catalog = Catalog::new();
-        catalog.register(Arc::clone(&build));
-        catalog.register(Arc::clone(&probe));
-        let config = SimulationConfig {
-            adaptivity: adaptivity(adaptive, true),
-            collect_results: true,
-            receive_cost_ms: 0.5,
-            ..Default::default()
-        };
-        let report = Simulation::new(env, catalog, config)
-            .unwrap()
-            .run(&plan)
-            .unwrap();
-        // Reference join (multiset of joined pairs).
-        let mut expect: Vec<(i64, i64)> = Vec::new();
-        for &p in &probe_keys {
-            for &b in &build_keys {
-                if b == p {
-                    expect.push((b, p));
-                }
+fn perturbation(rng: &mut DetRng) -> Perturbation {
+    match rng.usize_in(0, 4) {
+        0 => Perturbation::None,
+        1 => Perturbation::CostFactor(rng.f64_in(2.0, 30.0)),
+        2 => Perturbation::SleepMs(rng.f64_in(1.0, 40.0)),
+        _ => {
+            let m = rng.f64_in(10.0, 30.0);
+            Perturbation::NormalFactor {
+                mean: m,
+                lo: 1.0,
+                hi: m * 2.0 - 1.0,
             }
         }
-        expect.sort_unstable();
-        let mut got: Vec<(i64, i64)> = report
-            .results
-            .iter()
-            .map(|t| {
-                (
-                    t.value(0).as_int().unwrap(),
-                    t.value(1).as_int().unwrap(),
-                )
-            })
-            .collect();
-        got.sort_unstable();
-        prop_assert_eq!(got, expect);
     }
+}
+
+/// A service-call plan emits exactly one output per input tuple,
+/// under every perturbation and adaptivity policy, with correct
+/// values.
+#[test]
+fn call_plan_conserves_tuples() {
+    Check::new("call plan conserves tuples").cases(24).run(
+        |rng| {
+            (
+                rng.usize_in(20, 300),
+                rng.usize_in(2, 4),
+                perturbation(rng),
+                rng.flip(),
+                rng.usize_in(1, 40),
+            )
+        },
+        |(n, parts, pert, retrospective, buffer)| {
+            let (n, parts, buffer) = (*n, *parts, *buffer);
+            let values: Vec<i64> = (0..n as i64).collect();
+            let table = int_table("t", &values);
+            let factory = ServiceCallFactory::new(
+                table.schema(),
+                Arc::new(FnService::new(
+                    "Neg",
+                    vec![DataType::Int],
+                    DataType::Int,
+                    1.0,
+                    |args| Ok(Value::Int(-args[0].as_int().unwrap())),
+                )),
+                vec![Expr::col(0)],
+                "neg",
+                false,
+                ServiceRegistry::new(),
+            );
+            let plan = DistributedPlan {
+                query: QueryId::new(1),
+                sources: vec![SourceSpec {
+                    table: "t".into(),
+                    node: NodeId::new(0),
+                    stream: StreamTag::Single,
+                    scan_cost_ms: 0.3,
+                }],
+                stages: vec![ParallelStageSpec {
+                    id: SubplanId::new(1),
+                    factory: Arc::new(factory),
+                    nodes: (0..parts).map(|i| NodeId::new(i as u32 + 1)).collect(),
+                    exchange: ExchangeSpec {
+                        routing: RoutingPolicy::Weighted {
+                            initial: DistributionVector::uniform(parts),
+                        },
+                        buffer_tuples: buffer,
+                    },
+                }],
+                collect_node: NodeId::new(0),
+            };
+            let mut env = GridEnvironment::demo(parts);
+            env.perturb(NodeId::new(parts as u32), pert.clone());
+            let mut catalog = Catalog::new();
+            catalog.register(Arc::clone(&table));
+            let config = SimulationConfig {
+                adaptivity: adaptivity(true, *retrospective),
+                collect_results: true,
+                receive_cost_ms: 0.5,
+                ..Default::default()
+            };
+            let report = Simulation::new(env, catalog, config)
+                .map_err(|e| e.to_string())?
+                .run(&plan)
+                .map_err(|e| e.to_string())?;
+            if report.tuples_output as usize != n {
+                return Err(format!("{} tuples out, expected {n}", report.tuples_output));
+            }
+            let mut got: Vec<i64> = report
+                .results
+                .iter()
+                .map(|t| t.value(0).as_int().unwrap())
+                .collect();
+            got.sort_unstable();
+            let expect: Vec<i64> = (1 - n as i64..=0).collect();
+            if got != expect {
+                return Err(format!("wrong values: {got:?}"));
+            }
+            let processed: u64 = report.per_partition_processed.iter().sum();
+            if processed as usize != n {
+                return Err(format!("{processed} processed, expected {n}"));
+            }
+            Ok(())
+        },
+    );
+}
+
+/// A hash-join plan produces exactly the reference join result under
+/// perturbation and retrospective adaptation (state migration must
+/// not lose or duplicate matches).
+#[test]
+fn join_plan_matches_reference() {
+    Check::new("join plan matches reference").cases(24).run(
+        |rng| {
+            (
+                rng.vec_of(5, 80, |r| r.i64_in(0, 60)),
+                rng.vec_of(5, 120, |r| r.i64_in(0, 80)),
+                perturbation(rng),
+                rng.flip(),
+                rng.u32_in(4, 40),
+            )
+        },
+        |(build_keys, probe_keys, pert, adaptive, buckets)| {
+            let build = int_table("b", build_keys);
+            let probe = int_table("p", probe_keys);
+            let factory = HashJoinFactory::new(build.schema(), probe.schema(), 0, 0, 0.2, 1.5);
+            let plan = DistributedPlan {
+                query: QueryId::new(2),
+                sources: vec![
+                    SourceSpec {
+                        table: "b".into(),
+                        node: NodeId::new(0),
+                        stream: StreamTag::Build,
+                        scan_cost_ms: 0.2,
+                    },
+                    SourceSpec {
+                        table: "p".into(),
+                        node: NodeId::new(0),
+                        stream: StreamTag::Probe,
+                        scan_cost_ms: 0.2,
+                    },
+                ],
+                stages: vec![ParallelStageSpec {
+                    id: SubplanId::new(1),
+                    factory: Arc::new(factory),
+                    nodes: vec![NodeId::new(1), NodeId::new(2)],
+                    exchange: ExchangeSpec {
+                        routing: RoutingPolicy::HashBuckets {
+                            bucket_count: *buckets,
+                            initial: DistributionVector::uniform(2),
+                            keys: StreamKeys {
+                                build: Some(0),
+                                probe: Some(0),
+                                single: None,
+                            },
+                        },
+                        buffer_tuples: 10,
+                    },
+                }],
+                collect_node: NodeId::new(0),
+            };
+            let mut env = GridEnvironment::demo(2);
+            env.perturb(NodeId::new(2), pert.clone());
+            let mut catalog = Catalog::new();
+            catalog.register(Arc::clone(&build));
+            catalog.register(Arc::clone(&probe));
+            let config = SimulationConfig {
+                adaptivity: adaptivity(*adaptive, true),
+                collect_results: true,
+                receive_cost_ms: 0.5,
+                ..Default::default()
+            };
+            let report = Simulation::new(env, catalog, config)
+                .map_err(|e| e.to_string())?
+                .run(&plan)
+                .map_err(|e| e.to_string())?;
+            // Reference join (multiset of joined pairs).
+            let mut expect: Vec<(i64, i64)> = Vec::new();
+            for &p in probe_keys {
+                for &b in build_keys {
+                    if b == p {
+                        expect.push((b, p));
+                    }
+                }
+            }
+            expect.sort_unstable();
+            let mut got: Vec<(i64, i64)> = report
+                .results
+                .iter()
+                .map(|t| (t.value(0).as_int().unwrap(), t.value(1).as_int().unwrap()))
+                .collect();
+            got.sort_unstable();
+            if got != expect {
+                return Err(format!(
+                    "join mismatch: {} pairs got, {} expected",
+                    got.len(),
+                    expect.len()
+                ));
+            }
+            Ok(())
+        },
+    );
 }

@@ -5,12 +5,12 @@
 
 use std::sync::Arc;
 
-use gridq_common::{DataType, Field, Schema, Tuple, Value};
+use gridq_common::check::{Check, Gen};
+use gridq_common::{DataType, DetRng, Field, Schema, Tuple, Value};
 use gridq_engine::physical::{execute_local, Catalog};
 use gridq_engine::service::{FnService, ServiceRegistry};
 use gridq_engine::table::Table;
 use gridq_sql::{parse, plan_sql};
-use proptest::prelude::*;
 
 fn setup() -> (Catalog, ServiceRegistry) {
     let mut catalog = Catalog::new();
@@ -40,83 +40,136 @@ fn setup() -> (Catalog, ServiceRegistry) {
     (catalog, services)
 }
 
-proptest! {
-    /// The lexer and parser never panic on arbitrary input.
-    #[test]
-    fn parser_never_panics(input in "\\PC{0,200}") {
-        let _ = parse(&input);
-    }
+/// A string of up to 200 arbitrary characters, mixing printable ASCII,
+/// control characters, and non-ASCII code points.
+fn arbitrary_text(rng: &mut DetRng) -> String {
+    let len = rng.usize_in(0, 200);
+    (0..len)
+        .map(|_| match rng.usize_in(0, 10) {
+            0..=5 => char::from(rng.u32_in(0x20, 0x7f) as u8), // printable ASCII
+            6 => char::from(rng.u32_in(0, 0x20) as u8),        // control chars
+            7 => *rng.pick(&['é', 'ß', '→', '∑', '中', '🙂', '\u{7f}', '\u{a0}']),
+            _ => char::from_u32(rng.u32_in(0x80, 0xd800)).unwrap_or('?'),
+        })
+        .collect()
+}
 
-    /// Arbitrary byte-ish ASCII soup with SQL-looking fragments doesn't
-    /// panic either.
-    #[test]
-    fn parser_never_panics_on_sqlish(
-        parts in proptest::collection::vec(
-            prop_oneof![
-                Just("select".to_string()),
-                Just("from".to_string()),
-                Just("where".to_string()),
-                Just("and".to_string()),
-                Just("(".to_string()),
-                Just(")".to_string()),
-                Just(",".to_string()),
-                Just("=".to_string()),
-                Just("'str'".to_string()),
-                Just("42".to_string()),
-                Just("t".to_string()),
-                Just("a".to_string()),
-                Just("p.x".to_string()),
-            ],
-            0..24,
-        )
-    ) {
-        let input = parts.join(" ");
-        let _ = parse(&input);
-    }
+/// The lexer and parser never panic on arbitrary input. (The harness
+/// catches panics and reports the offending string with its seed.)
+#[test]
+fn parser_never_panics() {
+    Check::new("parser never panics on arbitrary text")
+        .cases(512)
+        .run(arbitrary_text, |input| {
+            let _ = parse(input);
+            Ok(())
+        });
+}
 
-    /// Random single-table filter queries in the supported class always
-    /// plan and execute, and the filter semantics match a direct scan.
-    #[test]
-    fn generated_filters_execute(
-        cmp_col in prop_oneof![Just("a"), Just("b")],
-        op in prop_oneof![Just("="), Just("<"), Just("<="), Just(">"), Just(">="), Just("<>")],
-        lit in -3i64..25,
-        use_twice in proptest::bool::ANY,
-    ) {
-        let (catalog, services) = setup();
-        let select = if use_twice { "Twice(t.a)".to_string() } else { "t.a".to_string() };
-        let sql = format!("select {select} from t where t.{cmp_col} {op} {lit}");
-        let plan = plan_sql(&sql, &catalog, &services).unwrap();
-        let rows = execute_local(&plan, &catalog, &services).unwrap();
-        // Reference evaluation.
-        let table = catalog.get("t").unwrap();
-        let col_idx = if cmp_col == "a" { 0 } else { 1 };
-        let expected: Vec<i64> = table
-            .rows()
-            .iter()
-            .filter(|r| {
-                let v = r.value(col_idx).as_int().unwrap();
-                match op {
-                    "=" => v == lit,
-                    "<" => v < lit,
-                    "<=" => v <= lit,
-                    ">" => v > lit,
-                    ">=" => v >= lit,
-                    _ => v != lit,
-                }
-            })
-            .map(|r| {
-                let a = r.value(0).as_int().unwrap();
-                if use_twice { a * 2 } else { a }
-            })
-            .collect();
-        let mut got: Vec<i64> = rows
-            .iter()
-            .map(|r| r.value(0).as_int().unwrap())
-            .collect();
-        let mut expected = expected;
-        got.sort_unstable();
-        expected.sort_unstable();
-        prop_assert_eq!(got, expected, "query: {}", sql);
+/// Raw byte noise pushed through lossy UTF-8 decoding doesn't panic
+/// either — this is what a corrupted network buffer would look like.
+#[test]
+fn parser_never_panics_on_byte_noise() {
+    Check::new("parser never panics on byte noise")
+        .cases(512)
+        .run(
+            |rng| {
+                let bytes = rng.vec_of(0, 120, |r| r.i64_in(0, 256) as u8);
+                String::from_utf8_lossy(&bytes).into_owned()
+            },
+            |input| {
+                let _ = parse(input);
+                Ok(())
+            },
+        );
+}
+
+/// Arbitrary SQL-token soup doesn't panic: every fragment is legal
+/// somewhere in the grammar, but the sequence rarely is.
+#[test]
+fn parser_never_panics_on_sqlish() {
+    const FRAGMENTS: &[&str] = &[
+        "select", "from", "where", "and", "(", ")", ",", "=", "'str'", "42", "t", "a", "p.x", "<",
+        ">=", "<>", "*", ".", "''", "-7",
+    ];
+    Check::new("parser never panics on token soup")
+        .cases(512)
+        .run(
+            |rng| {
+                let parts = rng.vec_of(0, 24, |r| *r.pick(FRAGMENTS));
+                parts.join(" ")
+            },
+            |input| {
+                let _ = parse(input);
+                Ok(())
+            },
+        );
+}
+
+/// Every prefix of a valid query (a truncated network read) parses or
+/// errors cleanly, never panics.
+#[test]
+fn parser_never_panics_on_truncation() {
+    let sql = "select Twice(t.a) from t where t.a >= 3 and t.s = 'k1'";
+    for end in 0..=sql.len() {
+        if sql.is_char_boundary(end) {
+            let _ = parse(&sql[..end]);
+        }
     }
+}
+
+/// Random single-table filter queries in the supported class always
+/// plan and execute, and the filter semantics match a direct scan.
+#[test]
+fn generated_filters_execute() {
+    let (catalog, services) = setup();
+    Check::new("generated filters execute").run(
+        |rng| {
+            (
+                *rng.pick(&["a", "b"]),
+                *rng.pick(&["=", "<", "<=", ">", ">=", "<>"]),
+                rng.i64_in(-3, 25),
+                rng.flip(),
+            )
+        },
+        |&(cmp_col, op, lit, use_twice)| {
+            let select = if use_twice { "Twice(t.a)" } else { "t.a" };
+            let sql = format!("select {select} from t where t.{cmp_col} {op} {lit}");
+            let plan = plan_sql(&sql, &catalog, &services).map_err(|e| e.to_string())?;
+            let rows = execute_local(&plan, &catalog, &services).map_err(|e| e.to_string())?;
+            // Reference evaluation.
+            let table = catalog.get("t").unwrap();
+            let col_idx = if cmp_col == "a" { 0 } else { 1 };
+            let mut expected: Vec<i64> = table
+                .rows()
+                .iter()
+                .filter(|r| {
+                    let v = r.value(col_idx).as_int().unwrap();
+                    match op {
+                        "=" => v == lit,
+                        "<" => v < lit,
+                        "<=" => v <= lit,
+                        ">" => v > lit,
+                        ">=" => v >= lit,
+                        _ => v != lit,
+                    }
+                })
+                .map(|r| {
+                    let a = r.value(0).as_int().unwrap();
+                    if use_twice {
+                        a * 2
+                    } else {
+                        a
+                    }
+                })
+                .collect();
+            let mut got: Vec<i64> = rows.iter().map(|r| r.value(0).as_int().unwrap()).collect();
+            got.sort_unstable();
+            expected.sort_unstable();
+            if got != expected {
+                return Err(format!("query `{sql}`: got {got:?}, expected {expected:?}"));
+            }
+            Ok(())
+        },
+    );
 }
