@@ -179,6 +179,7 @@ mod tests {
                 avg_cost_ms: 1.0,
                 avg_wait_ms: 0.0,
                 selectivity: 1.0,
+                window_len: 1,
                 at: SimTime::ZERO,
             }));
         });

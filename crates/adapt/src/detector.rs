@@ -10,7 +10,9 @@
 //! `thres_m`.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
+use gridq_common::obs::{MetricSink, NullSink};
 use gridq_common::stats::ChangeDetector;
 use gridq_common::{PartitionId, SimTime, TrimmedWindow};
 
@@ -30,6 +32,8 @@ pub struct CostUpdate {
     pub avg_wait_ms: f64,
     /// Latest observed selectivity.
     pub selectivity: f64,
+    /// Number of samples in the detector window at notify time.
+    pub window_len: usize,
     /// Time of the triggering raw event.
     pub at: SimTime,
 }
@@ -44,6 +48,8 @@ pub struct CommUpdate {
     pub recipient: PartitionId,
     /// Trimmed windowed average send cost per tuple, milliseconds.
     pub avg_cost_per_tuple_ms: f64,
+    /// Number of samples in the detector window at notify time.
+    pub window_len: usize,
     /// Time of the triggering raw event.
     pub at: SimTime,
 }
@@ -75,10 +81,13 @@ pub struct MonitoringEventDetector {
     thres_m: f64,
     m1: HashMap<PartitionId, Tracked>,
     m2: HashMap<(ProducerId, PartitionId), Tracked>,
+    sink: Arc<dyn MetricSink>,
     /// Raw events received.
     pub raw_events_seen: u64,
     /// Notifications emitted to Diagnosers.
     pub notifications_sent: u64,
+    /// Non-finite cost samples rejected instead of entering a window.
+    pub rejected_samples: u64,
 }
 
 impl MonitoringEventDetector {
@@ -89,9 +98,16 @@ impl MonitoringEventDetector {
             thres_m: config.thres_m,
             m1: HashMap::new(),
             m2: HashMap::new(),
+            sink: Arc::new(NullSink),
             raw_events_seen: 0,
             notifications_sent: 0,
+            rejected_samples: 0,
         }
+    }
+
+    /// Attaches a metrics sink; `NullSink` is used until one is set.
+    pub fn set_metric_sink(&mut self, sink: Arc<dyn MetricSink>) {
+        self.sink = sink;
     }
 
     fn tracked<K: std::hash::Hash + Eq + Copy>(
@@ -107,23 +123,44 @@ impl MonitoringEventDetector {
         })
     }
 
+    fn reject(&mut self) {
+        self.rejected_samples += 1;
+        self.sink.incr("detector.rejected_samples", 1);
+    }
+
     /// Feeds an M1 event.
     pub fn on_m1(&mut self, event: &M1) -> DetectorOutput {
         self.raw_events_seen += 1;
+        self.sink.incr("detector.raw_events", 1);
         let tracked = Self::tracked(&mut self.m1, event.partition, self.window_len, self.thres_m);
-        tracked.window.push(event.cost_per_tuple_ms);
-        tracked.wait_window.push(event.leaf_wait_ms);
-        let avg = tracked
-            .window
-            .trimmed_mean()
-            .expect("window just received a sample");
+        let cost_ok = tracked.window.push(event.cost_per_tuple_ms);
+        let wait_ok = tracked.wait_window.push(event.leaf_wait_ms);
+        if !cost_ok {
+            self.reject();
+        }
+        if !wait_ok {
+            self.reject();
+        }
+        // The window can be empty here: if every sample so far was
+        // non-finite, nothing was stored. Staying Quiet (rather than
+        // panicking or poisoning the gate) is the whole point of
+        // rejecting such samples.
+        let tracked = self.m1.get_mut(&event.partition).expect("just inserted");
+        let Some(avg) = tracked.window.trimmed_mean() else {
+            return DetectorOutput::Quiet;
+        };
+        self.sink.observe("detector.m1_avg_cost_ms", avg);
         if tracked.gate.observe(avg) {
+            let window_len = tracked.window.len();
+            let avg_wait_ms = tracked.wait_window.trimmed_mean().unwrap_or(0.0);
             self.notifications_sent += 1;
+            self.sink.incr("detector.notifications", 1);
             DetectorOutput::Cost(CostUpdate {
                 partition: event.partition,
                 avg_cost_ms: avg,
-                avg_wait_ms: tracked.wait_window.trimmed_mean().unwrap_or(0.0),
+                avg_wait_ms,
                 selectivity: event.selectivity,
+                window_len,
                 at: event.at,
             })
         } else {
@@ -134,24 +171,53 @@ impl MonitoringEventDetector {
     /// Feeds an M2 event.
     pub fn on_m2(&mut self, event: &M2) -> DetectorOutput {
         self.raw_events_seen += 1;
+        self.sink.incr("detector.raw_events", 1);
         let key = (event.producer, event.recipient);
         let tracked = Self::tracked(&mut self.m2, key, self.window_len, self.thres_m);
-        tracked.window.push(event.cost_per_tuple_ms());
-        let avg = tracked
-            .window
-            .trimmed_mean()
-            .expect("window just received a sample");
+        if !tracked.window.push(event.cost_per_tuple_ms()) {
+            self.reject();
+        }
+        let tracked = self.m2.get_mut(&key).expect("just inserted");
+        let Some(avg) = tracked.window.trimmed_mean() else {
+            return DetectorOutput::Quiet;
+        };
+        self.sink.observe("detector.m2_avg_cost_ms", avg);
         if tracked.gate.observe(avg) {
+            let window_len = tracked.window.len();
             self.notifications_sent += 1;
+            self.sink.incr("detector.notifications", 1);
             DetectorOutput::Comm(CommUpdate {
                 producer: event.producer,
                 recipient: event.recipient,
                 avg_cost_per_tuple_ms: avg,
+                window_len,
                 at: event.at,
             })
         } else {
             DetectorOutput::Quiet
         }
+    }
+
+    /// Number of monitored streams currently tracked (M1 partitions plus
+    /// M2 producer→recipient pairs).
+    pub fn tracked_streams(&self) -> usize {
+        self.m1.len() + self.m2.len()
+    }
+
+    /// Drops all window/gate state for one partition: its M1 stream and
+    /// every M2 stream delivering to it. Call when a partition is retired
+    /// (e.g. its node failed) so detector state cannot grow without bound
+    /// across a long-running session.
+    pub fn retire_partition(&mut self, partition: PartitionId) {
+        self.m1.remove(&partition);
+        self.m2.retain(|(_, recipient), _| *recipient != partition);
+    }
+
+    /// Drops all tracked streams. Call at query teardown; counters are
+    /// preserved for reporting.
+    pub fn reset_for_query(&mut self) {
+        self.m1.clear();
+        self.m2.clear();
     }
 }
 
@@ -264,8 +330,70 @@ mod tests {
         let mut d = MonitoringEventDetector::new(&config());
         if let DetectorOutput::Comm(u) = d.on_m2(&m2(0, 10.0, 100)) {
             assert!((u.avg_cost_per_tuple_ms - 0.1).abs() < 1e-12);
+            assert_eq!(u.window_len, 1);
         } else {
             panic!("first M2 must notify");
         }
+    }
+
+    #[test]
+    fn non_finite_first_sample_stays_quiet_instead_of_panicking() {
+        // Regression: a NaN cost on a *new* stream used to panic on
+        // `trimmed_mean().expect(...)` because the rejected sample left
+        // the window empty.
+        let mut d = MonitoringEventDetector::new(&config());
+        assert_eq!(d.on_m1(&m1(0, f64::NAN, 0.0)), DetectorOutput::Quiet);
+        assert_eq!(d.rejected_samples, 1);
+        assert_eq!(d.notifications_sent, 0);
+        // The first finite sample then notifies as usual.
+        assert!(matches!(d.on_m1(&m1(0, 2.0, 1.0)), DetectorOutput::Cost(_)));
+        // Same for M2.
+        let mut d = MonitoringEventDetector::new(&config());
+        assert_eq!(d.on_m2(&m2(0, f64::NAN, 10)), DetectorOutput::Quiet);
+        assert!(matches!(d.on_m2(&m2(0, 5.0, 10)), DetectorOutput::Comm(_)));
+    }
+
+    #[test]
+    fn non_finite_samples_do_not_silence_an_established_stream() {
+        // Regression: a burst of NaN costs used to enter the window,
+        // poison the trimmed mean, and (worse) become the gate baseline —
+        // after which no finite change ever fired again.
+        let mut d = MonitoringEventDetector::new(&config());
+        let _ = d.on_m1(&m1(0, 2.0, 0.0));
+        for i in 1..30 {
+            assert_eq!(
+                d.on_m1(&m1(0, f64::NAN, i as f64)),
+                DetectorOutput::Quiet,
+                "NaN samples must not notify"
+            );
+        }
+        assert_eq!(d.rejected_samples, 29);
+        // A genuine 10x shift is still detected afterwards.
+        let mut fired = false;
+        for i in 30..60 {
+            if matches!(d.on_m1(&m1(0, 20.0, i as f64)), DetectorOutput::Cost(_)) {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired, "detector must recover after a NaN burst");
+    }
+
+    #[test]
+    fn retire_and_reset_evict_tracked_state() {
+        let mut d = MonitoringEventDetector::new(&config());
+        let _ = d.on_m1(&m1(0, 2.0, 0.0));
+        let _ = d.on_m1(&m1(1, 2.0, 0.0));
+        let _ = d.on_m2(&m2(0, 5.0, 10));
+        let _ = d.on_m2(&m2(1, 5.0, 10));
+        assert_eq!(d.tracked_streams(), 4);
+        // Retiring partition 0 drops its M1 stream and the M2 stream
+        // delivering to it.
+        d.retire_partition(PartitionId::new(SubplanId::new(1), 0));
+        assert_eq!(d.tracked_streams(), 2);
+        d.reset_for_query();
+        assert_eq!(d.tracked_streams(), 0);
+        // Counters survive for reporting.
+        assert_eq!(d.raw_events_seen, 4);
     }
 }

@@ -10,7 +10,9 @@
 //! with low expected benefit."
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
+use gridq_common::obs::{MetricSink, NullSink};
 use gridq_common::{DistributionVector, SimTime, SubplanId};
 
 use crate::config::{AdaptivityConfig, AssessmentPolicy};
@@ -45,6 +47,7 @@ pub struct Diagnoser {
     /// Latest smoothed per-tuple communication cost per
     /// (producer, recipient-partition).
     comm_cost: HashMap<(ProducerId, u32), f64>,
+    sink: Arc<dyn MetricSink>,
     /// Diagnoses emitted.
     pub imbalances_reported: u64,
     /// Updates received.
@@ -69,9 +72,15 @@ impl Diagnoser {
             current: initial,
             proc_cost: HashMap::new(),
             comm_cost: HashMap::new(),
+            sink: Arc::new(NullSink),
             imbalances_reported: 0,
             updates_received: 0,
         }
+    }
+
+    /// Attaches a metrics sink; `NullSink` is used until one is set.
+    pub fn set_metric_sink(&mut self, sink: Arc<dyn MetricSink>) {
+        self.sink = sink;
     }
 
     /// The stage this diagnoser watches.
@@ -97,6 +106,7 @@ impl Diagnoser {
             return None;
         }
         self.updates_received += 1;
+        self.sink.incr("diagnoser.updates_received", 1);
         self.proc_cost
             .insert(update.partition.index, update.avg_cost_ms);
         self.assess(update.at)
@@ -109,6 +119,7 @@ impl Diagnoser {
             return None;
         }
         self.updates_received += 1;
+        self.sink.incr("diagnoser.updates_received", 1);
         self.comm_cost.insert(
             (update.producer, update.recipient.index),
             update.avg_cost_per_tuple_ms,
@@ -152,6 +163,7 @@ impl Diagnoser {
         let proposed = DistributionVector::balanced_for_costs(&costs).ok()?;
         if self.current.max_rel_diff(&proposed) > self.thres_a {
             self.imbalances_reported += 1;
+            self.sink.incr("diagnoser.imbalances_reported", 1);
             Some(Imbalance {
                 stage: self.stage,
                 proposed,
@@ -161,6 +173,30 @@ impl Diagnoser {
         } else {
             None
         }
+    }
+
+    /// Number of cost entries currently tracked (per-partition processing
+    /// costs plus per-link communication costs).
+    pub fn tracked_cost_entries(&self) -> usize {
+        self.proc_cost.len() + self.comm_cost.len()
+    }
+
+    /// Drops the cost state of one partition index. Note that the
+    /// imbalance assessment requires costs for *every* partition of the
+    /// stage, so retiring a live partition suppresses diagnoses until it
+    /// reports again — call this only for partitions that left the stage
+    /// for good.
+    pub fn retire_partition(&mut self, index: u32) {
+        self.proc_cost.remove(&index);
+        self.comm_cost
+            .retain(|(_, recipient), _| *recipient != index);
+    }
+
+    /// Drops all tracked cost state. Call at query teardown; counters are
+    /// preserved for reporting.
+    pub fn reset_for_query(&mut self) {
+        self.proc_cost.clear();
+        self.comm_cost.clear();
     }
 }
 
@@ -176,6 +212,7 @@ mod tests {
             avg_cost_ms: cost,
             avg_wait_ms: 0.0,
             selectivity: 1.0,
+            window_len: 1,
             at: SimTime::from_millis(10.0),
         }
     }
@@ -185,6 +222,7 @@ mod tests {
             producer: ProducerId::Source(0),
             recipient: PartitionId::new(SubplanId::new(1), index),
             avg_cost_per_tuple_ms: cost,
+            window_len: 1,
             at: SimTime::from_millis(10.0),
         }
     }
@@ -261,10 +299,29 @@ mod tests {
             avg_cost_ms: 100.0,
             avg_wait_ms: 0.0,
             selectivity: 1.0,
+            window_len: 1,
             at: SimTime::ZERO,
         };
         assert_eq!(d.on_cost_update(&other), None);
         assert_eq!(d.updates_received, 0);
+    }
+
+    #[test]
+    fn retire_and_reset_evict_cost_state() {
+        let mut d = diagnoser(AssessmentPolicy::A2);
+        let _ = d.on_cost_update(&cost_update(0, 2.0));
+        let _ = d.on_cost_update(&cost_update(1, 2.0));
+        let _ = d.on_comm_update(&comm_update(0, 1.0));
+        let _ = d.on_comm_update(&comm_update(1, 1.0));
+        assert_eq!(d.tracked_cost_entries(), 4);
+        d.retire_partition(1);
+        assert_eq!(d.tracked_cost_entries(), 2);
+        // With partition 1 retired, assessment is suppressed until it
+        // reports again — a retired partition must not be rebalanced onto.
+        assert_eq!(d.on_cost_update(&cost_update(0, 50.0)), None);
+        d.reset_for_query();
+        assert_eq!(d.tracked_cost_entries(), 0);
+        assert!(d.updates_received > 0, "counters survive reset");
     }
 
     #[test]

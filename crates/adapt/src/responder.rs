@@ -9,6 +9,9 @@
 //! Diagnosers that need to update the information about the current tuple
 //! distribution."
 
+use std::sync::Arc;
+
+use gridq_common::obs::{MetricSink, NullSink};
 use gridq_common::{DistributionVector, SimTime, SubplanId};
 
 use crate::config::{AdaptivityConfig, ResponsePolicy};
@@ -43,6 +46,17 @@ pub enum ResponderDecision {
     CoolingDown,
 }
 
+impl ResponderDecision {
+    /// A stable string label for logs and timeline export.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ResponderDecision::Accepted => "accepted",
+            ResponderDecision::NearCompletion => "declined_near_completion",
+            ResponderDecision::CoolingDown => "declined_cooldown",
+        }
+    }
+}
+
 /// Accepts or declines imbalance proposals.
 #[derive(Debug)]
 pub struct Responder {
@@ -50,6 +64,7 @@ pub struct Responder {
     progress_cutoff: f64,
     cooldown_ms: f64,
     last_adaptation: Option<SimTime>,
+    sink: Arc<dyn MetricSink>,
     /// Proposals received.
     pub proposals_received: u64,
     /// Adaptations deployed.
@@ -68,11 +83,17 @@ impl Responder {
             progress_cutoff: config.progress_cutoff,
             cooldown_ms: config.cooldown_ms,
             last_adaptation: None,
+            sink: Arc::new(NullSink),
             proposals_received: 0,
             adaptations_deployed: 0,
             declined_near_completion: 0,
             declined_cooldown: 0,
         }
+    }
+
+    /// Attaches a metrics sink; `NullSink` is used until one is set.
+    pub fn set_metric_sink(&mut self, sink: Arc<dyn MetricSink>) {
+        self.sink = sink;
     }
 
     /// The configured response policy.
@@ -89,18 +110,22 @@ impl Responder {
         progress: f64,
     ) -> (ResponderDecision, Option<AdaptationCommand>) {
         self.proposals_received += 1;
+        self.sink.incr("responder.proposals", 1);
         if progress >= self.progress_cutoff {
             self.declined_near_completion += 1;
+            self.sink.incr("responder.declined_near_completion", 1);
             return (ResponderDecision::NearCompletion, None);
         }
         if let Some(last) = self.last_adaptation {
             if imbalance.at.since(last) < self.cooldown_ms {
                 self.declined_cooldown += 1;
+                self.sink.incr("responder.declined_cooldown", 1);
                 return (ResponderDecision::CoolingDown, None);
             }
         }
         self.last_adaptation = Some(imbalance.at);
         self.adaptations_deployed += 1;
+        self.sink.incr("responder.deployed", 1);
         let command = AdaptationCommand {
             stage: imbalance.stage,
             new_distribution: imbalance.proposed.clone(),
@@ -171,5 +196,50 @@ mod tests {
         assert_eq!(r.proposals_received, 3);
         assert_eq!(r.adaptations_deployed, 2);
         assert_eq!(r.declined_cooldown, 1);
+    }
+
+    #[test]
+    fn proposal_exactly_at_cooldown_boundary_is_accepted() {
+        // Pins the boundary semantics: the gate is `since(last) <
+        // cooldown_ms`, so a proposal arriving *exactly* cooldown_ms
+        // after the last deploy is accepted, not declined.
+        let config = AdaptivityConfig {
+            cooldown_ms: 100.0,
+            ..Default::default()
+        };
+        let mut r = Responder::new(&config);
+        let (d1, _) = r.on_imbalance(&imbalance(10.0), 0.1);
+        assert_eq!(d1, ResponderDecision::Accepted);
+        let (d2, _) = r.on_imbalance(&imbalance(110.0), 0.1);
+        assert_eq!(d2, ResponderDecision::Accepted);
+        assert_eq!(r.declined_cooldown, 0);
+    }
+
+    #[test]
+    fn zero_cooldown_never_declines_for_cooling() {
+        let config = AdaptivityConfig {
+            cooldown_ms: 0.0,
+            ..Default::default()
+        };
+        let mut r = Responder::new(&config);
+        // Back-to-back proposals at the same instant: with a zero
+        // cooldown every one is accepted.
+        for _ in 0..3 {
+            let (d, cmd) = r.on_imbalance(&imbalance(10.0), 0.1);
+            assert_eq!(d, ResponderDecision::Accepted);
+            assert!(cmd.is_some());
+        }
+        assert_eq!(r.adaptations_deployed, 3);
+        assert_eq!(r.declined_cooldown, 0);
+    }
+
+    #[test]
+    fn decision_labels_are_stable() {
+        assert_eq!(ResponderDecision::Accepted.as_str(), "accepted");
+        assert_eq!(
+            ResponderDecision::NearCompletion.as_str(),
+            "declined_near_completion"
+        );
+        assert_eq!(ResponderDecision::CoolingDown.as_str(), "declined_cooldown");
     }
 }

@@ -1,17 +1,33 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [table1|fig2a|fig2b|fig3a|fig3b|fig4|fig5|overheads|monfreq|ablation|all] [--small]
+//! repro [table1|fig2a|fig2b|fig3a|fig3b|fig4|fig5|overheads|monfreq|ablation|obsdemo|all]
+//!       [--small] [--obs-out PATH]
 //! ```
 //!
 //! Values are response times normalised to the unperturbed static
 //! system, printed alongside the paper's reported value where the paper
 //! states one numerically (— otherwise).
+//!
+//! `obsdemo` runs Q1 under a 10x perturbation on both substrates (the
+//! simulator and the threaded executor); with `--obs-out PATH` it also
+//! writes both runs' metrics snapshots and adaptivity timelines to PATH
+//! as JSON lines (one `"kind":"metrics"` line opens each run's
+//! document).
 
 use gridq_bench::runners::{self, ReproConfig, Series};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut obs_out: Option<String> = None;
+    if let Some(i) = args.iter().position(|a| a == "--obs-out") {
+        if i + 1 >= args.len() {
+            eprintln!("error: --obs-out requires a path");
+            std::process::exit(2);
+        }
+        obs_out = Some(args.remove(i + 1));
+        args.remove(i);
+    }
     let small = args.iter().any(|a| a == "--small");
     let which = args
         .iter()
@@ -23,7 +39,25 @@ fn main() {
     } else {
         ReproConfig::default()
     };
-    let result = run(which, &config);
+    if obs_out.is_some() && which != "obsdemo" {
+        eprintln!("error: --obs-out only applies to the obsdemo experiment");
+        std::process::exit(2);
+    }
+    let result = if which == "obsdemo" {
+        runners::obsdemo(&config).and_then(|demo| {
+            if let Some(path) = &obs_out {
+                let mut text = demo.sim.to_json_lines();
+                text.push_str(&demo.threaded.to_json_lines());
+                std::fs::write(path, text).map_err(|e| {
+                    gridq_common::GridError::Execution(format!("cannot write {path}: {e}"))
+                })?;
+                eprintln!("observability export written to {path}");
+            }
+            Ok(demo.series)
+        })
+    } else {
+        run(which, &config)
+    };
     match result {
         Ok(series) => {
             println!(
@@ -62,7 +96,7 @@ fn run(which: &str, config: &ReproConfig) -> gridq_common::Result<Vec<Series>> {
         "all" => runners::all(config),
         other => Err(gridq_common::GridError::Config(format!(
             "unknown experiment `{other}`; expected one of table1, fig2a, fig2b, \
-             fig3a, fig3b, fig4, fig5, overheads, monfreq, ablation, all"
+             fig3a, fig3b, fig4, fig5, overheads, monfreq, ablation, obsdemo, all"
         ))),
     }
 }

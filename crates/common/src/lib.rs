@@ -12,6 +12,7 @@ pub mod check;
 pub mod dist;
 pub mod error;
 pub mod ids;
+pub mod obs;
 pub mod rng;
 pub mod schema;
 pub mod stats;
@@ -23,6 +24,7 @@ pub mod value;
 pub use dist::{BucketMap, BucketMove, DistributionVector};
 pub use error::{GridError, Result};
 pub use ids::{BucketId, NodeId, OperatorId, PartitionId, QueryId, SubplanId};
+pub use obs::{MetricSink, NullSink};
 pub use rng::DetRng;
 pub use schema::{DataType, Field, Schema};
 pub use stats::TrimmedWindow;

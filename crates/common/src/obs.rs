@@ -1,0 +1,53 @@
+//! Observability hooks.
+//!
+//! `gridq-common` sits below every other crate, so it cannot depend on
+//! the concrete metrics registry in `gridq-obs`. Instead it defines the
+//! small [`MetricSink`] trait that instrumented components (the
+//! adaptivity pipeline in `gridq-adapt`) record into; `gridq-obs`
+//! implements it for its registry, and [`NullSink`] is the zero-cost
+//! default when no observability layer is attached.
+
+use std::fmt;
+
+/// A sink for named metrics. Implementations must be cheap and
+/// thread-safe: instrumented components call these methods on hot paths
+/// (once per raw monitoring event).
+///
+/// Metric names are dot-separated lowercase paths
+/// (e.g. `"detector.rejected_samples"`).
+pub trait MetricSink: fmt::Debug + Send + Sync {
+    /// Increments the named counter by `by`.
+    fn incr(&self, name: &str, by: u64);
+
+    /// Sets the named gauge to `value`.
+    fn set_gauge(&self, name: &str, value: f64);
+
+    /// Records `value` into the named histogram.
+    fn observe(&self, name: &str, value: f64);
+}
+
+/// A sink that discards everything — the default when no observability
+/// layer is attached.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl MetricSink for NullSink {
+    fn incr(&self, _name: &str, _by: u64) {}
+
+    fn set_gauge(&self, _name: &str, _value: f64) {}
+
+    fn observe(&self, _name: &str, _value: f64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_is_a_usable_trait_object() {
+        let sink: std::sync::Arc<dyn MetricSink> = std::sync::Arc::new(NullSink);
+        sink.incr("a.counter", 1);
+        sink.set_gauge("a.gauge", 2.0);
+        sink.observe("a.histogram", 3.0);
+    }
+}

@@ -12,10 +12,17 @@ use std::collections::VecDeque;
 /// A sliding window of the last `capacity` samples whose mean is computed
 /// with one minimum and one maximum sample discarded (when at least three
 /// samples are present).
+///
+/// Non-finite samples (NaN, ±∞) are rejected rather than stored: a single
+/// NaN would otherwise poison [`TrimmedWindow::trimmed_mean`] for the next
+/// `capacity` pushes, silencing every downstream change detector fed by
+/// it. Rejections are counted and exposed via [`TrimmedWindow::rejected`]
+/// so the monitoring layer can surface them.
 #[derive(Debug, Clone)]
 pub struct TrimmedWindow {
     samples: VecDeque<f64>,
     capacity: usize,
+    rejected: u64,
 }
 
 impl TrimmedWindow {
@@ -26,15 +33,27 @@ impl TrimmedWindow {
         TrimmedWindow {
             samples: VecDeque::with_capacity(capacity),
             capacity,
+            rejected: 0,
         }
     }
 
-    /// Adds a sample, evicting the oldest if the window is full.
-    pub fn push(&mut self, sample: f64) {
+    /// Adds a sample, evicting the oldest if the window is full. Returns
+    /// `false` (and leaves the window untouched) for non-finite samples.
+    pub fn push(&mut self, sample: f64) -> bool {
+        if !sample.is_finite() {
+            self.rejected += 1;
+            return false;
+        }
         if self.samples.len() == self.capacity {
             self.samples.pop_front();
         }
         self.samples.push_back(sample);
+        true
+    }
+
+    /// Number of non-finite samples rejected since construction.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
     }
 
     /// Number of samples currently held.
@@ -102,7 +121,16 @@ impl ChangeDetector {
     /// Observes a value; returns `true` if it should be propagated
     /// (first value, or relative change beyond the threshold), updating
     /// the reference level when it fires.
+    ///
+    /// Non-finite values are rejected: they return `false` and leave the
+    /// reference level untouched. Accepting a NaN as the new baseline
+    /// would silence the detector permanently — `(x - NaN).abs() / d >
+    /// thres` is false for every future `x` — so the previous finite
+    /// baseline is kept instead.
     pub fn observe(&mut self, value: f64) -> bool {
+        if !value.is_finite() {
+            return false;
+        }
         match self.last_emitted {
             None => {
                 self.last_emitted = Some(value);
@@ -251,5 +279,52 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         let _ = TrimmedWindow::new(0);
+    }
+
+    #[test]
+    fn change_detector_rejects_non_finite_and_keeps_baseline() {
+        // Regression: a NaN observation used to become the new baseline,
+        // after which `(x - NaN).abs() / d > thres` was false for every
+        // future x and the detector never fired again.
+        let mut d = ChangeDetector::new(0.2);
+        assert!(d.observe(10.0));
+        assert!(!d.observe(f64::NAN));
+        assert!(!d.observe(f64::INFINITY));
+        assert!(!d.observe(f64::NEG_INFINITY));
+        // The finite baseline survived: a real 50% change still fires.
+        assert_eq!(d.last_emitted(), Some(10.0));
+        assert!(d.observe(15.0));
+        assert_eq!(d.last_emitted(), Some(15.0));
+    }
+
+    #[test]
+    fn change_detector_rejects_non_finite_first_value() {
+        let mut d = ChangeDetector::new(0.2);
+        assert!(!d.observe(f64::NAN));
+        assert_eq!(d.last_emitted(), None);
+        // The first *finite* value is the one that establishes the level.
+        assert!(d.observe(3.0));
+    }
+
+    #[test]
+    fn trimmed_window_skips_non_finite_samples() {
+        let mut w = TrimmedWindow::new(4);
+        assert!(w.push(1.0));
+        assert!(!w.push(f64::NAN));
+        assert!(!w.push(f64::INFINITY));
+        assert!(w.push(3.0));
+        // Only the finite samples count; the mean stays finite.
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.trimmed_mean(), Some(2.0));
+        assert_eq!(w.rejected(), 2);
+    }
+
+    #[test]
+    fn trimmed_window_all_rejected_stays_empty() {
+        let mut w = TrimmedWindow::new(4);
+        assert!(!w.push(f64::NAN));
+        assert!(w.is_empty());
+        assert_eq!(w.trimmed_mean(), None);
+        assert_eq!(w.rejected(), 1);
     }
 }

@@ -40,6 +40,7 @@ use gridq_engine::distributed::{DistributedPlan, Router};
 use gridq_engine::evaluator::StreamTag;
 use gridq_engine::physical::Catalog;
 use gridq_grid::Perturbation;
+use gridq_obs::{Obs, ObsConfig, ObsReport, TimelineKind};
 
 /// Configuration of a threaded execution.
 #[derive(Debug, Clone)]
@@ -53,6 +54,9 @@ pub struct ThreadedConfig {
     pub perturbations: HashMap<NodeId, Perturbation>,
     /// Per-tuple receive cost in model milliseconds.
     pub receive_cost_ms: f64,
+    /// Observability layer configuration (metrics registry and
+    /// adaptivity timeline).
+    pub obs: ObsConfig,
 }
 
 impl Default for ThreadedConfig {
@@ -62,6 +66,7 @@ impl Default for ThreadedConfig {
             cost_scale: 0.02,
             perturbations: HashMap::new(),
             receive_cost_ms: 1.0,
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -85,6 +90,7 @@ impl ThreadedConfig {
                 self.receive_cost_ms
             )));
         }
+        self.obs.validate()?;
         self.adaptivity.validate()
     }
 }
@@ -106,6 +112,9 @@ pub struct ThreadedReport {
     pub adaptations_deployed: u64,
     /// The final routing distribution.
     pub final_distribution: Vec<f64>,
+    /// Observability snapshot (metrics registry and adaptivity timeline);
+    /// `None` when the obs layer is disabled.
+    pub obs: Option<ObsReport>,
 }
 
 enum Msg {
@@ -191,6 +200,18 @@ impl ThreadedExecutor {
         let (raw_tx, raw_rx) = channel::<Raw>();
 
         let started = Instant::now();
+        let obs = if self.config.obs.enabled {
+            Some(Obs::new(self.config.obs.timeline_capacity))
+        } else {
+            None
+        };
+        let (routed_ctr, processed_ctr) = match &obs {
+            Some(o) => (
+                Some(o.metrics().counter("exec.tuples_routed")),
+                Some(o.metrics().counter("exec.tuples_processed")),
+            ),
+            None => (None, None),
+        };
         let routed_total = Arc::new(AtomicU64::new(0));
         let total_rows: u64 = {
             let mut sum = 0;
@@ -215,6 +236,7 @@ impl ThreadedExecutor {
             let stage_id = stage.id;
             let query = plan.query;
             let monitoring = adaptivity_on;
+            let routed_ctr = routed_ctr.clone();
             producer_handles.push(thread::spawn(move || {
                 let mut buffers: Vec<Vec<(StreamTag, Tuple)>> = vec![Vec::new(); senders.len()];
                 let flush =
@@ -254,6 +276,9 @@ impl ThreadedExecutor {
                     } as usize;
                     buffers[dest].push((stream, row.clone()));
                     routed_total.fetch_add(1, Ordering::Relaxed);
+                    if let Some(c) = &routed_ctr {
+                        c.add(1);
+                    }
                     if buffers[dest].len() >= buffer_tuples {
                         flush(dest, &mut buffers, &started_local);
                     }
@@ -286,6 +311,7 @@ impl ThreadedExecutor {
             let interval = self.config.adaptivity.monitoring_interval_tuples.max(1);
             let stage_id = stage.id;
             let query = plan.query;
+            let processed_ctr = processed_ctr.clone();
             consumer_handles.push(thread::spawn(move || -> (u64, Vec<Tuple>) {
                 let started = Instant::now();
                 let mut processed = 0u64;
@@ -323,6 +349,9 @@ impl ThreadedExecutor {
                                                 + receive_cost;
                                         spin_for(model_cost, scale);
                                         processed += 1;
+                                        if let Some(c) = &processed_ctr {
+                                            c.add(1);
+                                        }
                                         outputs_total += outcome.outputs.len() as u64;
                                         out.extend(outcome.outputs);
                                     }
@@ -346,6 +375,9 @@ impl ThreadedExecutor {
                                 + receive_cost;
                             spin_for(model_cost, scale);
                             processed += 1;
+                            if let Some(c) = &processed_ctr {
+                                c.add(1);
+                            }
                             batch += 1;
                             batch_cost += model_cost;
                             outputs_total += outcome.outputs.len() as u64;
@@ -389,34 +421,115 @@ impl ThreadedExecutor {
             let initial = router.lock().current_distribution();
             let stage_id = stage.id;
             let partitions = partitions as u32;
+            let obs = obs.clone();
             thread::spawn(move || -> (u64, u64, u64) {
                 let mut detector = MonitoringEventDetector::new(&adapt);
                 let mut diagnoser = Diagnoser::new(stage_id, partitions, initial, &adapt);
                 let mut responder = Responder::new(&adapt);
+                if let Some(o) = &obs {
+                    detector.set_metric_sink(o.sink());
+                    diagnoser.set_metric_sink(o.sink());
+                    responder.set_metric_sink(o.sink());
+                }
+                // Timeline events carry both clocks: `at` is the model
+                // time stamped on the raw event by its producer thread,
+                // `wall_ms` is the real elapsed time at recording.
+                let record = |at: SimTime, kind: TimelineKind| -> u64 {
+                    match &obs {
+                        Some(o) => o.record(
+                            at.as_millis(),
+                            Some(started.elapsed().as_secs_f64() * 1000.0),
+                            kind,
+                        ),
+                        None => 0,
+                    }
+                };
                 let mut m1 = 0u64;
                 let mut m2 = 0u64;
                 let mut deployed = 0u64;
                 while let Ok(raw) = raw_rx.recv() {
-                    let output = match raw {
+                    let (output, at, raw_seq) = match raw {
                         Raw::M1(event) => {
                             m1 += 1;
-                            detector.on_m1(&event)
+                            let output = detector.on_m1(&event);
+                            let raw_seq = record(
+                                event.at,
+                                TimelineKind::RawM1 {
+                                    partition: event.partition.to_string(),
+                                    node: event.node.to_string(),
+                                    cost_per_tuple_ms: event.cost_per_tuple_ms,
+                                    gate_fired: !matches!(output, DetectorOutput::Quiet),
+                                },
+                            );
+                            (output, event.at, raw_seq)
                         }
                         Raw::M2(event) => {
                             m2 += 1;
-                            detector.on_m2(&event)
+                            let output = detector.on_m2(&event);
+                            let raw_seq = record(
+                                event.at,
+                                TimelineKind::RawM2 {
+                                    producer: event.producer.to_string(),
+                                    recipient: event.recipient.to_string(),
+                                    cost_per_tuple_ms: event.cost_per_tuple_ms(),
+                                    gate_fired: !matches!(output, DetectorOutput::Quiet),
+                                },
+                            );
+                            (output, event.at, raw_seq)
                         }
                         Raw::ProducersDone => break,
                     };
                     let imbalance = match output {
                         DetectorOutput::Quiet => None,
-                        DetectorOutput::Cost(update) => diagnoser.on_cost_update(&update),
-                        DetectorOutput::Comm(update) => diagnoser.on_comm_update(&update),
+                        DetectorOutput::Cost(update) => {
+                            let notify_seq = record(
+                                at,
+                                TimelineKind::DetectorNotify {
+                                    scope: update.partition.to_string(),
+                                    avg_cost_ms: update.avg_cost_ms,
+                                    window_len: update.window_len,
+                                    raw_seq,
+                                },
+                            );
+                            diagnoser
+                                .on_cost_update(&update)
+                                .map(|imb| (imb, notify_seq))
+                        }
+                        DetectorOutput::Comm(update) => {
+                            let notify_seq = record(
+                                at,
+                                TimelineKind::DetectorNotify {
+                                    scope: format!("{}->{}", update.producer, update.recipient),
+                                    avg_cost_ms: update.avg_cost_per_tuple_ms,
+                                    window_len: update.window_len,
+                                    raw_seq,
+                                },
+                            );
+                            diagnoser
+                                .on_comm_update(&update)
+                                .map(|imb| (imb, notify_seq))
+                        }
                     };
-                    if let Some(imbalance) = imbalance {
+                    if let Some((imbalance, notify_seq)) = imbalance {
+                        let diagnosis_seq = record(
+                            imbalance.at,
+                            TimelineKind::Diagnosis {
+                                stage: imbalance.stage.to_string(),
+                                proposed: imbalance.proposed.weights().to_vec(),
+                                costs: imbalance.costs.clone(),
+                                notify_seq,
+                            },
+                        );
                         let progress =
                             routed_total.load(Ordering::Relaxed) as f64 / total_rows.max(1) as f64;
-                        let (_, cmd) = responder.on_imbalance(&imbalance, progress);
+                        let (decision, cmd) = responder.on_imbalance(&imbalance, progress);
+                        record(
+                            imbalance.at,
+                            TimelineKind::ResponderDecision {
+                                decision: decision.as_str().to_string(),
+                                diagnosis_seq,
+                            },
+                        );
                         if let Some(cmd) = cmd {
                             diagnoser.set_distribution(cmd.new_distribution.clone());
                             if router
@@ -425,10 +538,33 @@ impl ThreadedExecutor {
                                 .is_ok()
                             {
                                 deployed += 1;
+                                record(
+                                    cmd.at,
+                                    TimelineKind::Deploy {
+                                        stage: cmd.stage.to_string(),
+                                        weights: cmd.new_distribution.weights().to_vec(),
+                                        retrospective: cmd.retrospective,
+                                        diagnosis_seq,
+                                    },
+                                );
                             }
                         }
                     }
                 }
+                // Teardown: surface how much per-stream state the loop
+                // accumulated, then evict it so detector/diagnoser maps
+                // never outlive the query they monitored.
+                if let Some(o) = &obs {
+                    o.metrics().gauge("adapt.tracked_streams_at_teardown").set(
+                        (detector.tracked_streams() + diagnoser.tracked_cost_entries()) as f64,
+                    );
+                }
+                detector.reset_for_query();
+                diagnoser.reset_for_query();
+                debug_assert_eq!(
+                    detector.tracked_streams() + diagnoser.tracked_cost_entries(),
+                    0
+                );
                 (m1, m2, deployed)
             })
         };
@@ -478,6 +614,7 @@ impl ThreadedExecutor {
             raw_m2_events: m2,
             adaptations_deployed: deployed,
             final_distribution,
+            obs: obs.as_ref().map(Obs::report),
         })
     }
 }
@@ -592,11 +729,56 @@ mod tests {
                 cost_scale: 0.01,
                 perturbations,
                 receive_cost_ms: 1.0,
+                obs: ObsConfig::default(),
             },
         );
         let report = exec.run(&plan).unwrap();
         assert_eq!(report.results.len(), 400);
         assert!(report.adaptations_deployed >= 1, "must adapt: {report:?}");
+        // The obs layer must have witnessed every deployed adaptation,
+        // with a causal chain back to a detector notification and a raw
+        // event, stamped with wall-clock time.
+        let obs = report.obs.as_ref().expect("obs enabled by default");
+        let deploys: Vec<_> = obs
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, TimelineKind::Deploy { .. }))
+            .collect();
+        assert_eq!(deploys.len() as u64, report.adaptations_deployed);
+        for deploy in deploys {
+            assert!(deploy.wall_ms.is_some(), "threaded events carry wall time");
+            let TimelineKind::Deploy { diagnosis_seq, .. } = &deploy.kind else {
+                unreachable!()
+            };
+            let diagnosis = obs
+                .events
+                .iter()
+                .find(|e| e.seq == *diagnosis_seq)
+                .expect("diagnosis in timeline");
+            let TimelineKind::Diagnosis { notify_seq, .. } = &diagnosis.kind else {
+                panic!("deploy must link a diagnosis, got {:?}", diagnosis.kind)
+            };
+            let notify = obs
+                .events
+                .iter()
+                .find(|e| e.seq == *notify_seq)
+                .expect("notification in timeline");
+            assert!(matches!(notify.kind, TimelineKind::DetectorNotify { .. }));
+        }
+        assert_eq!(
+            obs.metrics.counters.get("exec.tuples_processed"),
+            Some(&400),
+            "consumer threads record into the shared registry"
+        );
+        let tracked = obs
+            .metrics
+            .gauges
+            .get("adapt.tracked_streams_at_teardown")
+            .expect("teardown gauge recorded");
+        assert!(
+            *tracked > 0.0,
+            "an adaptive run tracks at least one stream before eviction"
+        );
         assert!(
             report.final_distribution[0] > 0.6,
             "router must favour the fast node: {:?}",
@@ -631,6 +813,13 @@ mod tests {
                 adaptivity: AdaptivityConfig {
                     detector_window: 0,
                     ..Default::default()
+                },
+                ..Default::default()
+            },
+            ThreadedConfig {
+                obs: ObsConfig {
+                    enabled: true,
+                    timeline_capacity: 0,
                 },
                 ..Default::default()
             },

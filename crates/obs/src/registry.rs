@@ -1,0 +1,392 @@
+//! A lightweight metrics registry: named atomic counters, gauges, and
+//! fixed-bucket histograms.
+//!
+//! The registry is shared via `Arc` between every thread of an execution
+//! (producers, consumers, and the adaptivity thread in `gridq-exec`; the
+//! single virtual-time loop in `gridq-sim`). Handles returned by
+//! [`MetricsRegistry::counter`] / [`gauge`](MetricsRegistry::gauge) /
+//! [`histogram`](MetricsRegistry::histogram) are plain atomics, so hot
+//! paths pay one atomic RMW per update; the registry lock is only taken
+//! when resolving a name to a handle or taking a snapshot.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use gridq_common::obs::MetricSink;
+use gridq_common::sync::Mutex;
+
+use crate::json::{int_array, num_array, JsonObj};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `by` to the counter.
+    pub fn add(&self, by: u64) {
+        self.value.fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge holding the most recently set `f64` (stored as raw bits).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Default histogram bucket upper bounds, in model milliseconds — chosen
+/// for per-tuple cost and control-loop latency observations.
+pub const DEFAULT_BOUNDS: &[f64] = &[
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0,
+];
+
+/// A fixed-bucket histogram. Buckets are *non-cumulative*: bucket `i`
+/// counts samples `<= bounds[i]` (and greater than the previous bound);
+/// one extra overflow bucket counts samples above the last bound.
+///
+/// Non-finite observations are rejected (counted separately) so a stray
+/// NaN cannot poison the running sum.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given ascending, finite upper bounds.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite"
+        );
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let buckets = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets,
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// Records a sample. Non-finite samples are counted as rejected and
+    /// otherwise ignored.
+    pub fn observe(&self, value: f64) {
+        if !value.is_finite() {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let idx = self
+            .bounds
+            .iter()
+            .position(|b| value <= *b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // CAS loop: the sum is an f64 stored as bits in an AtomicU64.
+        let mut current = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + value).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Number of accepted samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of accepted samples.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Number of rejected (non-finite) samples.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count(),
+            sum: self.sum(),
+            rejected: self.rejected(),
+        }
+    }
+}
+
+/// Point-in-time values of one histogram.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; one more entry than `bounds` (the overflow
+    /// bucket).
+    pub buckets: Vec<u64>,
+    /// Total accepted samples.
+    pub count: u64,
+    /// Sum of accepted samples.
+    pub sum: f64,
+    /// Non-finite samples rejected.
+    pub rejected: u64,
+}
+
+/// Point-in-time values of every metric in a registry.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Serializes the snapshot as a single JSON object line with
+    /// `"kind":"metrics"`. `dropped_events` reports timeline evictions so
+    /// the metrics line also records whether the journal overflowed.
+    pub fn to_json_line(&self, dropped_events: u64) -> String {
+        let mut counters = JsonObj::new();
+        for (name, value) in &self.counters {
+            counters.int(name, *value);
+        }
+        let mut gauges = JsonObj::new();
+        for (name, value) in &self.gauges {
+            gauges.num(name, *value);
+        }
+        let mut histograms = JsonObj::new();
+        for (name, h) in &self.histograms {
+            let mut obj = JsonObj::new();
+            obj.raw("bounds", &num_array(&h.bounds))
+                .raw("buckets", &int_array(&h.buckets))
+                .int("count", h.count)
+                .num("sum", h.sum)
+                .int("rejected", h.rejected);
+            histograms.raw(name, &obj.finish());
+        }
+        let mut line = JsonObj::new();
+        line.str("kind", "metrics")
+            .raw("counters", &counters.finish())
+            .raw("gauges", &gauges.finish())
+            .raw("histograms", &histograms.finish())
+            .int("dropped_events", dropped_events);
+        line.finish()
+    }
+}
+
+/// The registry: resolves metric names to shared atomic handles and
+/// snapshots all of them at once. Implements
+/// [`MetricSink`] so the instrumented
+/// adaptivity components in `gridq-adapt` can record into it without
+/// depending on this crate.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the named counter, creating it on first use. Callers on
+    /// hot paths should cache the returned handle.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock();
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Counter::default())),
+        )
+    }
+
+    /// Returns the named gauge, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock();
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Gauge::default())),
+        )
+    }
+
+    /// Returns the named histogram, creating it with `bounds` on first
+    /// use. An existing histogram keeps its original bounds.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        let mut map = self.histograms.lock();
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new(bounds))),
+        )
+    }
+
+    /// Snapshots every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .iter()
+            .map(|(name, c)| (name.clone(), c.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .iter()
+            .map(|(name, g)| (name.clone(), g.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .iter()
+            .map(|(name, h)| (name.clone(), h.snapshot()))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+impl MetricSink for MetricsRegistry {
+    fn incr(&self, name: &str, by: u64) {
+        self.counter(name).add(by);
+    }
+
+    fn set_gauge(&self, name: &str, value: f64) {
+        self.gauge(name).set(value);
+    }
+
+    fn observe(&self, name: &str, value: f64) {
+        self.histogram(name, DEFAULT_BOUNDS).observe(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    #[test]
+    fn counters_and_gauges_roundtrip() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("a.counter");
+        c.add(2);
+        // Same handle comes back for the same name.
+        reg.counter("a.counter").add(3);
+        assert_eq!(c.get(), 5);
+        reg.gauge("a.gauge").set(1.25);
+        assert_eq!(reg.gauge("a.gauge").get(), 1.25);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters.get("a.counter"), Some(&5));
+        assert_eq!(snap.gauges.get("a.gauge"), Some(&1.25));
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let h = Histogram::new(&[1.0, 10.0]);
+        h.observe(0.5); // bucket 0
+        h.observe(1.0); // bucket 0 (inclusive upper bound)
+        h.observe(5.0); // bucket 1
+        h.observe(100.0); // overflow
+        h.observe(f64::NAN); // rejected
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets, vec![2, 1, 1]);
+        assert_eq!(snap.count, 4);
+        assert_eq!(snap.sum, 106.5);
+        assert_eq!(snap.rejected, 1);
+    }
+
+    #[test]
+    fn registry_is_shareable_across_threads() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let reg = Arc::clone(&reg);
+            handles.push(std::thread::spawn(move || {
+                let c = reg.counter("shared");
+                for _ in 0..1000 {
+                    c.add(1);
+                    reg.observe("hist", 2.0);
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(reg.counter("shared").get(), 4000);
+        let h = reg.histogram("hist", DEFAULT_BOUNDS);
+        assert_eq!(h.count(), 4000);
+        assert!((h.sum() - 8000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_json_line_parses() {
+        let reg = MetricsRegistry::new();
+        reg.incr("c", 1);
+        reg.set_gauge("g", f64::NAN); // gauge may legitimately hold NaN → null in JSON
+        reg.observe("h", 3.0);
+        let line = reg.snapshot().to_json_line(7);
+        let parsed = Json::parse(&line).unwrap();
+        assert_eq!(parsed.get("kind").and_then(Json::as_str), Some("metrics"));
+        assert_eq!(
+            parsed
+                .get("counters")
+                .and_then(|c| c.get("c"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        assert!(parsed
+            .get("gauges")
+            .and_then(|g| g.get("g"))
+            .unwrap()
+            .is_null());
+        let hist = parsed.get("histograms").and_then(|h| h.get("h")).unwrap();
+        assert_eq!(hist.get("count").and_then(Json::as_u64), Some(1));
+        assert_eq!(parsed.get("dropped_events").and_then(Json::as_u64), Some(7));
+    }
+}

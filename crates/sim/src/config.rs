@@ -2,6 +2,7 @@
 
 use gridq_adapt::AdaptivityConfig;
 use gridq_common::{GridError, Result};
+use gridq_obs::ObsConfig;
 
 /// Cost-model and protocol parameters of a simulated execution.
 ///
@@ -43,6 +44,9 @@ pub struct SimulationConfig {
     /// Whether to retain the full result set in the report (tests use
     /// this to compare against local reference execution).
     pub collect_results: bool,
+    /// Observability layer configuration (metrics registry and
+    /// adaptivity timeline).
+    pub obs: ObsConfig,
 }
 
 impl Default for SimulationConfig {
@@ -59,6 +63,7 @@ impl Default for SimulationConfig {
             control_extra_ms: 1.0,
             seed: 0x5eed,
             collect_results: false,
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -67,6 +72,7 @@ impl SimulationConfig {
     /// Validates parameter ranges.
     pub fn validate(&self) -> Result<()> {
         self.adaptivity.validate()?;
+        self.obs.validate()?;
         if self.checkpoint_interval == 0 {
             return Err(GridError::Config(
                 "checkpoint interval must be positive".into(),

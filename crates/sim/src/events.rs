@@ -38,11 +38,28 @@ pub enum Event {
         epoch: u64,
     },
     /// A filtered processing-cost update reaches the Diagnoser.
-    CostToDiagnoser(CostUpdate),
+    CostToDiagnoser {
+        /// The update in flight.
+        update: CostUpdate,
+        /// Timeline sequence number of the detector notification that
+        /// produced this update (for causal tracing).
+        notify_seq: u64,
+    },
     /// A filtered communication-cost update reaches the Diagnoser.
-    CommToDiagnoser(CommUpdate),
+    CommToDiagnoser {
+        /// The update in flight.
+        update: CommUpdate,
+        /// Timeline sequence number of the detector notification that
+        /// produced this update.
+        notify_seq: u64,
+    },
     /// A deployed adaptation command reaches the producers.
-    ApplyAdaptation(AdaptationCommand),
+    ApplyAdaptation {
+        /// The command in flight.
+        command: AdaptationCommand,
+        /// Timeline sequence number of the diagnosis being deployed.
+        diagnosis_seq: u64,
+    },
     /// A buffer of result tuples reaches the collector.
     CollectArrive {
         /// Result-buffer slab id.

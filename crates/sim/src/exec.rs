@@ -22,6 +22,7 @@ use gridq_engine::physical::Catalog;
 use gridq_engine::table::Table;
 use gridq_engine::DistributedPlan;
 use gridq_grid::GridEnvironment;
+use gridq_obs::{Counter, Obs, TimelineKind};
 use gridq_recovery::RecoveryLog;
 
 use crate::config::SimulationConfig;
@@ -266,6 +267,9 @@ struct Run<'a> {
     report: ExecutionReport,
     monitoring_on: bool,
     adaptivity_on: bool,
+    obs: Option<Obs>,
+    routed_ctr: Option<std::sync::Arc<Counter>>,
+    processed_ctr: Option<std::sync::Arc<Counter>>,
 }
 
 impl<'a> Run<'a> {
@@ -357,8 +361,27 @@ impl<'a> Run<'a> {
             });
         }
         let total_rows = sources.iter().map(|s| s.table.len() as u64).sum();
-        let diagnoser = Diagnoser::new(stage.id, partitions, router.current_distribution(), adapt);
-        let responder = Responder::new(adapt);
+        let obs = if sim.config.obs.enabled {
+            Some(Obs::new(sim.config.obs.timeline_capacity))
+        } else {
+            None
+        };
+        let mut diagnoser =
+            Diagnoser::new(stage.id, partitions, router.current_distribution(), adapt);
+        let mut responder = Responder::new(adapt);
+        if let Some(o) = &obs {
+            diagnoser.set_metric_sink(o.sink());
+            responder.set_metric_sink(o.sink());
+        }
+        let (routed_ctr, processed_ctr) = obs
+            .as_ref()
+            .map(|o| {
+                (
+                    o.metrics().counter("sim.tuples_routed"),
+                    o.metrics().counter("sim.tuples_processed"),
+                )
+            })
+            .unzip();
         let report = ExecutionReport {
             per_partition_processed: vec![0; partitions as usize],
             results: Vec::new(),
@@ -394,7 +417,19 @@ impl<'a> Run<'a> {
             report,
             monitoring_on: adapt.monitoring_active(),
             adaptivity_on: adapt.enabled,
+            obs,
+            routed_ctr,
+            processed_ctr,
         })
+    }
+
+    /// Records a timeline event (no-op when obs is disabled; the zero
+    /// sequence number is never read in that case).
+    fn obs_record(&self, at: SimTime, kind: TimelineKind) -> u64 {
+        match &self.obs {
+            Some(obs) => obs.record(at.as_millis(), None, kind),
+            None => 0,
+        }
     }
 
     fn bootstrap(&mut self) {
@@ -418,9 +453,16 @@ impl<'a> Run<'a> {
                     cp,
                     epoch,
                 } => self.ack_arrive(source, dest, cp, epoch),
-                Event::CostToDiagnoser(update) => self.cost_to_diagnoser(update),
-                Event::CommToDiagnoser(update) => self.comm_to_diagnoser(update),
-                Event::ApplyAdaptation(cmd) => self.apply_adaptation(cmd)?,
+                Event::CostToDiagnoser { update, notify_seq } => {
+                    self.cost_to_diagnoser(update, notify_seq)
+                }
+                Event::CommToDiagnoser { update, notify_seq } => {
+                    self.comm_to_diagnoser(update, notify_seq)
+                }
+                Event::ApplyAdaptation {
+                    command,
+                    diagnosis_seq,
+                } => self.apply_adaptation(command, diagnosis_seq)?,
                 Event::CollectArrive { buffer } => self.collect_arrive(buffer),
                 Event::NodeFail { node } => self.node_fail(node)?,
             }
@@ -455,6 +497,9 @@ impl<'a> Run<'a> {
         let dest = self.router.route(stream, &row)?;
         let marker = self.sources[s].log.record(dest, (stream, row.clone()))?;
         self.sources[s].routed += 1;
+        if let Some(ctr) = &self.routed_ctr {
+            ctr.add(1);
+        }
         self.sources[s].staged[dest as usize].push(Item::Tuple {
             stream,
             tuple: row,
@@ -652,6 +697,9 @@ impl<'a> Run<'a> {
         self.consumers[i].batch_inputs += 1;
         self.consumers[i].batch_cost_ms += cost;
         self.report.per_partition_processed[i] += 1;
+        if let Some(ctr) = &self.processed_ctr {
+            ctr.add(1);
+        }
 
         let mut t = self.now.offset(cost);
         if self.consumers[i].out_staged.len() >= self.buffer_tuples {
@@ -738,34 +786,85 @@ impl<'a> Run<'a> {
 
     fn detector(&mut self, node: NodeId) -> &mut MonitoringEventDetector {
         let adapt = self.adapt;
-        self.detectors
-            .entry(node)
-            .or_insert_with(|| MonitoringEventDetector::new(adapt))
+        let sink = self.obs.as_ref().map(|o| o.sink());
+        self.detectors.entry(node).or_insert_with(|| {
+            let mut d = MonitoringEventDetector::new(adapt);
+            if let Some(sink) = sink {
+                d.set_metric_sink(sink);
+            }
+            d
+        })
     }
 
     fn feed_detector_m1(&mut self, node: NodeId, event: M1) {
         let at = event.at;
         let output = self.detector(node).on_m1(&event);
-        self.route_detector_output(node, output, at);
+        let raw_seq = self.obs_record(
+            at,
+            TimelineKind::RawM1 {
+                partition: event.partition.to_string(),
+                node: node.to_string(),
+                cost_per_tuple_ms: event.cost_per_tuple_ms,
+                gate_fired: !matches!(output, DetectorOutput::Quiet),
+            },
+        );
+        self.route_detector_output(node, output, at, raw_seq);
     }
 
     fn feed_detector_m2(&mut self, node: NodeId, event: M2) {
         let at = event.at;
         let output = self.detector(node).on_m2(&event);
-        self.route_detector_output(node, output, at);
+        let raw_seq = self.obs_record(
+            at,
+            TimelineKind::RawM2 {
+                producer: event.producer.to_string(),
+                recipient: event.recipient.to_string(),
+                cost_per_tuple_ms: event.cost_per_tuple_ms(),
+                gate_fired: !matches!(output, DetectorOutput::Quiet),
+            },
+        );
+        self.route_detector_output(node, output, at, raw_seq);
     }
 
-    fn route_detector_output(&mut self, node: NodeId, output: DetectorOutput, at: SimTime) {
+    fn route_detector_output(
+        &mut self,
+        node: NodeId,
+        output: DetectorOutput,
+        at: SimTime,
+        raw_seq: u64,
+    ) {
         let lat = self.env.control_cost_ms(node, self.diag_node) + self.config.control_extra_ms;
         match output {
             DetectorOutput::Quiet => {}
             DetectorOutput::Cost(update) => {
-                self.queue
-                    .schedule(at.offset(lat), Event::CostToDiagnoser(update));
+                let notify_seq = self.obs_record(
+                    at,
+                    TimelineKind::DetectorNotify {
+                        scope: update.partition.to_string(),
+                        avg_cost_ms: update.avg_cost_ms,
+                        window_len: update.window_len,
+                        raw_seq,
+                    },
+                );
+                self.queue.schedule(
+                    at.offset(lat),
+                    Event::CostToDiagnoser { update, notify_seq },
+                );
             }
             DetectorOutput::Comm(update) => {
-                self.queue
-                    .schedule(at.offset(lat), Event::CommToDiagnoser(update));
+                let notify_seq = self.obs_record(
+                    at,
+                    TimelineKind::DetectorNotify {
+                        scope: format!("{}->{}", update.producer, update.recipient),
+                        avg_cost_ms: update.avg_cost_per_tuple_ms,
+                        window_len: update.window_len,
+                        raw_seq,
+                    },
+                );
+                self.queue.schedule(
+                    at.offset(lat),
+                    Event::CommToDiagnoser { update, notify_seq },
+                );
             }
         }
     }
@@ -791,29 +890,51 @@ impl<'a> Run<'a> {
         (amount as f64 / self.total_rows as f64).min(1.0)
     }
 
-    fn cost_to_diagnoser(&mut self, update: CostUpdate) {
+    fn cost_to_diagnoser(&mut self, update: CostUpdate, notify_seq: u64) {
         if let Some(imbalance) = self.diagnoser.on_cost_update(&update) {
-            self.consider(imbalance);
+            self.consider(imbalance, notify_seq);
         }
     }
 
-    fn comm_to_diagnoser(&mut self, update: CommUpdate) {
+    fn comm_to_diagnoser(&mut self, update: CommUpdate, notify_seq: u64) {
         if let Some(imbalance) = self.diagnoser.on_comm_update(&update) {
-            self.consider(imbalance);
+            self.consider(imbalance, notify_seq);
         }
     }
 
-    fn consider(&mut self, imbalance: gridq_adapt::Imbalance) {
+    fn consider(&mut self, imbalance: gridq_adapt::Imbalance, notify_seq: u64) {
+        let diagnosis_seq = self.obs_record(
+            imbalance.at,
+            TimelineKind::Diagnosis {
+                stage: imbalance.stage.to_string(),
+                proposed: imbalance.proposed.weights().to_vec(),
+                costs: imbalance.costs.clone(),
+                notify_seq,
+            },
+        );
         // The Responder polls the producing evaluators for progress: one
         // control round trip before the decision takes effect.
         let poll = 2.0 * self.max_control_latency() + self.config.control_extra_ms;
         let progress = self.progress();
-        let (_decision, cmd) = self.responder.on_imbalance(&imbalance, progress);
+        let (decision, cmd) = self.responder.on_imbalance(&imbalance, progress);
+        self.obs_record(
+            self.now,
+            TimelineKind::ResponderDecision {
+                decision: decision.as_str().to_string(),
+                diagnosis_seq,
+            },
+        );
         if let Some(cmd) = cmd {
             self.diagnoser
                 .set_distribution(cmd.new_distribution.clone());
             let apply_at = self.now.offset(poll + self.max_control_latency());
-            self.queue.schedule(apply_at, Event::ApplyAdaptation(cmd));
+            self.queue.schedule(
+                apply_at,
+                Event::ApplyAdaptation {
+                    command: cmd,
+                    diagnosis_seq,
+                },
+            );
         }
     }
 
@@ -838,7 +959,7 @@ impl<'a> Run<'a> {
 
     // -- adaptation deployment ---------------------------------------------
 
-    fn apply_adaptation(&mut self, cmd: AdaptationCommand) -> Result<()> {
+    fn apply_adaptation(&mut self, cmd: AdaptationCommand, diagnosis_seq: u64) -> Result<()> {
         // Dead partitions must never regain weight, whatever the
         // Diagnoser proposed from its (possibly stale) cost picture.
         let mut target = cmd.new_distribution.clone();
@@ -857,6 +978,15 @@ impl<'a> Run<'a> {
         // sync with what the router actually uses (the clamped target,
         // not the raw proposal).
         self.diagnoser.set_distribution(target.clone());
+        self.obs_record(
+            self.now,
+            TimelineKind::Deploy {
+                stage: cmd.stage.to_string(),
+                weights: target.weights().to_vec(),
+                retrospective: cmd.retrospective,
+                diagnosis_seq,
+            },
+        );
         self.report.note(
             self.now,
             format!(
@@ -1192,6 +1322,18 @@ impl<'a> Run<'a> {
             c.out_staged.clear();
             c.idle_since = None;
         }
+        // Evict detector window/gate state for the lost partitions — the
+        // streams will never report again, and the maps must not grow
+        // without bound across long sessions. The Diagnoser keeps its
+        // cost entries: `assess` needs a complete cost picture, and the
+        // distribution clamp below already removes the dead partitions
+        // from routing.
+        for &ci in &dead_now {
+            let pid = PartitionId::new(self.stage_id, ci as u32);
+            for d in self.detectors.values_mut() {
+                d.retire_partition(pid);
+            }
+        }
 
         // Drop in-flight tuples addressed to dead partitions: the logs
         // still hold them and the resend below covers them exactly once.
@@ -1325,6 +1467,32 @@ impl<'a> Run<'a> {
         self.report.declined_near_completion = self.responder.declined_near_completion;
         self.report.declined_cooldown = self.responder.declined_cooldown;
         self.report.final_distribution = self.router.current_distribution().weights().to_vec();
+        // Query teardown: record how much adaptivity state was live, then
+        // evict it so detector/diagnoser maps return to zero.
+        if let Some(obs) = &self.obs {
+            let streams: usize = self
+                .detectors
+                .values()
+                .map(MonitoringEventDetector::tracked_streams)
+                .sum::<usize>()
+                + self.diagnoser.tracked_cost_entries();
+            obs.metrics()
+                .gauge("adapt.tracked_streams_at_teardown")
+                .set(streams as f64);
+        }
+        for d in self.detectors.values_mut() {
+            d.reset_for_query();
+        }
+        self.diagnoser.reset_for_query();
+        debug_assert_eq!(
+            self.detectors
+                .values()
+                .map(MonitoringEventDetector::tracked_streams)
+                .sum::<usize>()
+                + self.diagnoser.tracked_cost_entries(),
+            0
+        );
+        self.report.obs = self.obs.as_ref().map(Obs::report);
         self.report
     }
 }

@@ -69,6 +69,7 @@ fn main() {
             cost_scale: 0.02,
             perturbations: perturbations.clone(),
             receive_cost_ms: 1.0,
+            ..Default::default()
         },
     );
     let static_report = static_exec.run(&plan).expect("static run");
@@ -84,6 +85,7 @@ fn main() {
             cost_scale: 0.02,
             perturbations,
             receive_cost_ms: 1.0,
+            ..Default::default()
         },
     );
     let report = adaptive_exec.run(&plan).expect("adaptive run");

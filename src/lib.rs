@@ -22,6 +22,8 @@
 //!   partitioned plans over the Grid models in virtual time.
 //! - [`exec`] — a real multi-threaded executor running the same plans and
 //!   the same adaptivity components against wall-clock time.
+//! - [`obs`] — the observability layer: a shared metrics registry and the
+//!   structured adaptivity timeline both substrates record into.
 //! - [`workload`] — the paper's protein workloads (Q1/Q2) and experiment
 //!   configurations.
 //! - [`core`] — the `GridQueryProcessor` façade (GDQS equivalent):
@@ -50,6 +52,7 @@ pub use gridq_core as core;
 pub use gridq_engine as engine;
 pub use gridq_exec as exec;
 pub use gridq_grid as grid;
+pub use gridq_obs as obs;
 pub use gridq_recovery as recovery;
 pub use gridq_sim as sim;
 pub use gridq_sql as sql;
