@@ -73,6 +73,8 @@ pub struct Responder {
     pub declined_near_completion: u64,
     /// Proposals declined during cooldown.
     pub declined_cooldown: u64,
+    /// Deploy acknowledgements received from the execution substrate.
+    pub deploys_acknowledged: u64,
 }
 
 impl Responder {
@@ -88,6 +90,7 @@ impl Responder {
             adaptations_deployed: 0,
             declined_near_completion: 0,
             declined_cooldown: 0,
+            deploys_acknowledged: 0,
         }
     }
 
@@ -133,6 +136,20 @@ impl Responder {
             at: imbalance.at,
         };
         (ResponderDecision::Accepted, Some(command))
+    }
+
+    /// Reports that the execution substrate finished applying a deployed
+    /// command at `at`. A retrospective recall takes real time, so the
+    /// cooldown restarts from completion rather than from the decision —
+    /// otherwise a second adaptation could be accepted while the first
+    /// recall is still migrating state.
+    pub fn on_deploy_acknowledged(&mut self, at: SimTime) {
+        self.deploys_acknowledged += 1;
+        self.sink.incr("responder.deploys_acknowledged", 1);
+        match self.last_adaptation {
+            Some(last) if at.since(last) <= 0.0 => {}
+            _ => self.last_adaptation = Some(at),
+        }
     }
 }
 
@@ -231,6 +248,42 @@ mod tests {
         }
         assert_eq!(r.adaptations_deployed, 3);
         assert_eq!(r.declined_cooldown, 0);
+    }
+
+    #[test]
+    fn deploy_ack_restarts_cooldown_from_completion() {
+        let config = AdaptivityConfig {
+            cooldown_ms: 100.0,
+            ..Default::default()
+        };
+        let mut r = Responder::new(&config);
+        let (d1, _) = r.on_imbalance(&imbalance(10.0), 0.1);
+        assert_eq!(d1, ResponderDecision::Accepted);
+        // The recall realising the deploy finishes 80 ms later.
+        r.on_deploy_acknowledged(SimTime::from_millis(90.0));
+        assert_eq!(r.deploys_acknowledged, 1);
+        // 120 ms after the decision but only 40 ms after completion:
+        // still cooling down.
+        let (d2, _) = r.on_imbalance(&imbalance(130.0), 0.1);
+        assert_eq!(d2, ResponderDecision::CoolingDown);
+        let (d3, _) = r.on_imbalance(&imbalance(195.0), 0.1);
+        assert_eq!(d3, ResponderDecision::Accepted);
+    }
+
+    #[test]
+    fn stale_deploy_ack_never_rewinds_cooldown() {
+        let config = AdaptivityConfig {
+            cooldown_ms: 100.0,
+            ..Default::default()
+        };
+        let mut r = Responder::new(&config);
+        let (d1, _) = r.on_imbalance(&imbalance(200.0), 0.1);
+        assert_eq!(d1, ResponderDecision::Accepted);
+        // An acknowledgement carrying an older timestamp (clock skew,
+        // late delivery) must not shorten the cooldown window.
+        r.on_deploy_acknowledged(SimTime::from_millis(50.0));
+        let (d2, _) = r.on_imbalance(&imbalance(250.0), 0.1);
+        assert_eq!(d2, ResponderDecision::CoolingDown);
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [table1|fig2a|fig2b|fig3a|fig3b|fig4|fig5|overheads|monfreq|ablation|obsdemo|all]
-//!       [--small] [--obs-out PATH]
+//! repro [table1|fig2a|fig2b|fig3a|fig3b|fig4|fig5|overheads|monfreq|ablation|obsdemo|threaded|all]
+//!       [--small] [--obs-out PATH] [--json-out PATH]
 //! ```
 //!
 //! Values are response times normalised to the unperturbed static
@@ -14,6 +14,11 @@
 //! writes both runs' metrics snapshots and adaptivity timelines to PATH
 //! as JSON lines (one `"kind":"metrics"` line opens each run's
 //! document).
+//!
+//! `threaded` benchmarks the wall-clock executor (static, prospective
+//! R2, and retrospective R1 recall scenarios); with `--json-out PATH`
+//! it also writes the per-scenario wall-clock quantiles and adaptivity
+//! counters to PATH (the `BENCH_threaded.json` CI artifact).
 
 use gridq_bench::runners::{self, ReproConfig, Series};
 
@@ -26,6 +31,15 @@ fn main() {
             std::process::exit(2);
         }
         obs_out = Some(args.remove(i + 1));
+        args.remove(i);
+    }
+    let mut json_out: Option<String> = None;
+    if let Some(i) = args.iter().position(|a| a == "--json-out") {
+        if i + 1 >= args.len() {
+            eprintln!("error: --json-out requires a path");
+            std::process::exit(2);
+        }
+        json_out = Some(args.remove(i + 1));
         args.remove(i);
     }
     let small = args.iter().any(|a| a == "--small");
@@ -43,7 +57,21 @@ fn main() {
         eprintln!("error: --obs-out only applies to the obsdemo experiment");
         std::process::exit(2);
     }
-    let result = if which == "obsdemo" {
+    if json_out.is_some() && which != "threaded" {
+        eprintln!("error: --json-out only applies to the threaded benchmark");
+        std::process::exit(2);
+    }
+    let result = if which == "threaded" {
+        runners::threaded_bench(&config).and_then(|bench| {
+            if let Some(path) = &json_out {
+                std::fs::write(path, &bench.json).map_err(|e| {
+                    gridq_common::GridError::Execution(format!("cannot write {path}: {e}"))
+                })?;
+                eprintln!("threaded benchmark artifact written to {path}");
+            }
+            Ok(bench.series)
+        })
+    } else if which == "obsdemo" {
         runners::obsdemo(&config).and_then(|demo| {
             if let Some(path) = &obs_out {
                 let mut text = demo.sim.to_json_lines();
@@ -96,7 +124,8 @@ fn run(which: &str, config: &ReproConfig) -> gridq_common::Result<Vec<Series>> {
         "all" => runners::all(config),
         other => Err(gridq_common::GridError::Config(format!(
             "unknown experiment `{other}`; expected one of table1, fig2a, fig2b, \
-             fig3a, fig3b, fig4, fig5, overheads, monfreq, ablation, obsdemo, all"
+             fig3a, fig3b, fig4, fig5, overheads, monfreq, ablation, obsdemo, \
+             threaded, all"
         ))),
     }
 }

@@ -4,6 +4,7 @@ use gridq_adapt::{AdaptivityConfig, AssessmentPolicy, ResponsePolicy};
 use gridq_common::{GridError, NodeId, Result};
 use gridq_exec::{ThreadedConfig, ThreadedExecutor};
 use gridq_grid::Perturbation;
+use gridq_obs::json::JsonObj;
 use gridq_obs::ObsReport;
 use gridq_sim::ExecutionReport;
 use gridq_workload::experiments::{EvaluatorPerturbation, Q1Experiment, Q2Experiment};
@@ -731,6 +732,147 @@ pub fn obsdemo(config: &ReproConfig) -> Result<ObsDemo> {
     })
 }
 
+/// The threaded-substrate benchmark artifact.
+pub struct ThreadedBench {
+    /// Summary series for the console.
+    pub series: Vec<Series>,
+    /// The JSON document for `BENCH_threaded.json`.
+    pub json: String,
+}
+
+/// Benchmarks the wall-clock executor in three configurations — Q1
+/// static, Q1 under a 10x perturbation with prospective (R2) adaptation,
+/// and the stateful Q2 hash join under the same perturbation with
+/// retrospective (R1) recall — and serializes per-scenario wall-clock
+/// quantiles plus the adaptivity counters as a JSON artifact, so the
+/// threaded substrate's performance trajectory can be tracked across
+/// commits. `GRIDQ_BENCH_SAMPLES` overrides the per-scenario run count
+/// (default 3; these are whole-query macro runs, not microbenchmarks).
+pub fn threaded_bench(config: &ReproConfig) -> Result<ThreadedBench> {
+    let samples: usize = std::env::var("GRIDQ_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+        .max(1);
+
+    let q1 = &config.q1;
+    // The R1 scenario mirrors the substrate-parity test: cheap join
+    // costs and a slow probe scan keep the producers streaming when the
+    // imbalance is diagnosed, so the recall protocol actually runs.
+    let q2 = Q2Experiment {
+        probe_cost_ms: 0.5,
+        build_cost_ms: 0.1,
+        receive_cost_ms: 1.0,
+        bucket_count: 16,
+        buffer_tuples: 10,
+        ..config.q2.clone()
+    };
+    let mut q2_plan = q2.plan();
+    q2_plan.sources[0].scan_cost_ms = 1.0;
+    q2_plan.sources[1].scan_cost_ms = 10.0;
+
+    let perturbed = || {
+        let mut p = std::collections::HashMap::new();
+        p.insert(NodeId::new(2), Perturbation::CostFactor(10.0));
+        p
+    };
+    let mut cells = Vec::new();
+    let mut scenario_objs = Vec::new();
+    let mut bench_scenario =
+        |name: &str, run: &dyn Fn() -> Result<gridq_exec::ThreadedReport>| -> Result<()> {
+            let mut wall = Vec::with_capacity(samples);
+            let mut last = None;
+            for _ in 0..samples {
+                let report = run()?;
+                wall.push(report.wall_ms);
+                last = Some(report);
+            }
+            let report = last.expect("samples >= 1");
+            wall.sort_by(|a, b| a.total_cmp(b));
+            let median = wall[wall.len() / 2];
+            cells.push(Cell::new(format!("{name}: median wall ms"), None, median));
+            cells.push(Cell::new(
+                format!("{name}: adaptations deployed"),
+                None,
+                report.adaptations_deployed as f64,
+            ));
+            cells.push(Cell::new(
+                format!("{name}: recalls completed"),
+                None,
+                report.recalls_completed as f64,
+            ));
+            let mut obj = JsonObj::new();
+            obj.str("name", name)
+                .int("samples", samples as u64)
+                .num("wall_ms_min", wall[0])
+                .num("wall_ms_median", median)
+                .num("wall_ms_max", wall[wall.len() - 1])
+                .int("results", report.results.len() as u64)
+                .int("raw_m1_events", report.raw_m1_events)
+                .int("adaptations_deployed", report.adaptations_deployed)
+                .int("recalls_completed", report.recalls_completed)
+                .int("recalls_aborted", report.recalls_aborted)
+                .int("state_tuples_migrated", report.state_tuples_migrated)
+                .int("tuples_recalled", report.tuples_recalled);
+            scenario_objs.push(obj.finish());
+            Ok(())
+        };
+
+    bench_scenario("q1_static", &|| {
+        ThreadedExecutor::new(
+            q1.catalog(),
+            ThreadedConfig {
+                adaptivity: off(),
+                cost_scale: 0.002,
+                ..Default::default()
+            },
+        )
+        .run(&q1.plan())
+    })?;
+    bench_scenario("q1_r2_perturbed", &|| {
+        ThreadedExecutor::new(
+            q1.catalog(),
+            ThreadedConfig {
+                adaptivity: a1r2(),
+                cost_scale: 0.01,
+                perturbations: perturbed(),
+                receive_cost_ms: 1.0,
+                ..Default::default()
+            },
+        )
+        .run(&q1.plan())
+    })?;
+    bench_scenario("q2_r1_recall", &|| {
+        ThreadedExecutor::new(
+            q2.catalog(),
+            ThreadedConfig {
+                adaptivity: a1r1(),
+                cost_scale: 0.01,
+                perturbations: perturbed(),
+                checkpoint_interval: 8,
+                ..Default::default()
+            },
+        )
+        .run(&q2_plan)
+    })?;
+
+    let mut doc = JsonObj::new();
+    doc.str("bench", "threaded")
+        .int("q1_tuples", q1.tuples as u64)
+        .int("q2_sequences", q2.sequences as u64)
+        .int("q2_interactions", q2.interactions as u64)
+        .int("samples", samples as u64)
+        .raw("scenarios", &format!("[{}]", scenario_objs.join(",")));
+    Ok(ThreadedBench {
+        series: vec![Series {
+            id: "threaded",
+            title: "threaded executor — wall-clock smoke (static / R2 / R1 recall)".into(),
+            cells,
+        }],
+        json: doc.finish(),
+    })
+}
+
 /// Every artifact, in paper order.
 pub fn all(config: &ReproConfig) -> Result<Vec<Series>> {
     let mut out = Vec::new();
@@ -750,6 +892,29 @@ pub fn all(config: &ReproConfig) -> Result<Vec<Series>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn threaded_bench_emits_parseable_json() {
+        use gridq_obs::Json;
+        let bench = threaded_bench(&ReproConfig::tiny()).unwrap();
+        let doc = Json::parse(&bench.json).expect("artifact must be valid JSON");
+        assert_eq!(doc.get("bench").and_then(Json::as_str), Some("threaded"));
+        let scenarios = doc
+            .get("scenarios")
+            .and_then(Json::as_array)
+            .expect("scenarios array");
+        assert_eq!(scenarios.len(), 3);
+        for s in scenarios {
+            assert!(s.get("name").and_then(Json::as_str).is_some());
+            assert!(s.get("wall_ms_median").and_then(Json::as_f64).unwrap() > 0.0);
+            assert!(s.get("results").and_then(Json::as_u64).unwrap() > 0);
+        }
+        // The recall scenario actually exercised the R1 protocol.
+        let r1 = &scenarios[2];
+        assert_eq!(r1.get("name").and_then(Json::as_str), Some("q2_r1_recall"));
+        assert!(r1.get("recalls_completed").and_then(Json::as_u64).unwrap() >= 1);
+        assert!(!bench.series.is_empty());
+    }
 
     #[test]
     fn table1_shape_holds_at_small_scale() {

@@ -208,6 +208,25 @@ impl std::fmt::Debug for DistributedPlan {
 // Runtime routing.
 // ---------------------------------------------------------------------------
 
+/// The move plan of a retrospective bucket-map deploy, grouped per old
+/// owner for the recall protocol.
+#[derive(Debug, Clone, Default)]
+pub struct RecallMoves {
+    /// Every bucket move the deploy produced.
+    pub moves: Vec<BucketMove>,
+    /// `outgoing[p]` — the buckets partition `p` must hand over, sorted.
+    /// Empty for every partition under weighted routing.
+    pub outgoing: Vec<Vec<u32>>,
+}
+
+impl RecallMoves {
+    /// True when the deploy moved no buckets (weighted routing, or a
+    /// rebalance that landed on the same map).
+    pub fn is_empty(&self) -> bool {
+        self.moves.is_empty()
+    }
+}
+
 /// The mutable routing state of one exchange at run time.
 ///
 /// Weighted routing uses smooth weighted round-robin: deterministic,
@@ -331,6 +350,25 @@ impl Router {
             }
             Router::Hash { map, .. } => map.rebalance(target),
         }
+    }
+
+    /// Applies a new target distribution for a **retrospective** (R1)
+    /// deploy, returning the bucket moves grouped in the shape the recall
+    /// protocol consumes: for each partition, the buckets it must hand
+    /// over. Weighted routing has no per-bucket state, so the move plan
+    /// is empty and only future tuples (plus any recalled staging) are
+    /// affected.
+    pub fn apply_retrospective(&mut self, target: &DistributionVector) -> Result<RecallMoves> {
+        let partitions = self.partitions() as usize;
+        let moves = self.apply_distribution(target)?;
+        let mut outgoing: Vec<Vec<u32>> = vec![Vec::new(); partitions];
+        for mv in &moves {
+            outgoing[mv.from as usize].push(mv.bucket);
+        }
+        for buckets in &mut outgoing {
+            buckets.sort_unstable();
+        }
+        Ok(RecallMoves { moves, outgoing })
     }
 
     /// For hash routing, the bucket count; `None` for weighted routing.
@@ -497,6 +535,52 @@ mod tests {
         assert_eq!(moves.len(), 4); // 5 -> 9 buckets for partition 0
         let dist = router.current_distribution();
         assert!((dist.weights()[0] - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_retrospective_groups_moves_by_old_owner() {
+        let policy = RoutingPolicy::HashBuckets {
+            bucket_count: 10,
+            initial: DistributionVector::uniform(2),
+            keys: StreamKeys {
+                single: Some(0),
+                ..Default::default()
+            },
+        };
+        let mut router = Router::from_policy(&policy, 2).unwrap();
+        let plan = router
+            .apply_retrospective(&DistributionVector::new(&[0.9, 0.1]).unwrap())
+            .unwrap();
+        assert_eq!(plan.moves.len(), 4);
+        assert_eq!(plan.outgoing.len(), 2);
+        // All four buckets leave partition 1 for partition 0.
+        assert!(plan.outgoing[0].is_empty());
+        assert_eq!(plan.outgoing[1].len(), 4);
+        let mut sorted = plan.outgoing[1].clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, plan.outgoing[1], "outgoing buckets are sorted");
+        for mv in &plan.moves {
+            assert_eq!(mv.from, 1);
+            assert_eq!(mv.to, 0);
+            assert!(plan.outgoing[1].contains(&mv.bucket));
+        }
+        // Every moved bucket now routes to its new owner.
+        // (partition_for_hash is exercised via route on matching keys.)
+        assert!((router.current_distribution().weights()[0] - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_retrospective_on_weighted_is_empty_plan() {
+        let policy = RoutingPolicy::Weighted {
+            initial: DistributionVector::uniform(2),
+        };
+        let mut router = Router::from_policy(&policy, 2).unwrap();
+        let plan = router
+            .apply_retrospective(&DistributionVector::new(&[0.8, 0.2]).unwrap())
+            .unwrap();
+        assert!(plan.is_empty());
+        assert_eq!(plan.outgoing, vec![Vec::<u32>::new(); 2]);
+        assert!((router.current_distribution().weights()[0] - 0.8).abs() < 1e-12);
     }
 
     #[test]

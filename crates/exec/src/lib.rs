@@ -17,13 +17,20 @@
 //!   and Responder, fed by real M1/M2 notifications and deploying new
 //!   distribution vectors into the shared router while the query runs.
 //!
-//! The threaded executor deploys **prospective (R2)** adaptations on
-//! stateless stages. Retrospective (R1) responses and stateful
-//! repartitioning need the recall protocol that the simulator implements
-//! in full; here a stateful stage runs with adaptivity disabled rather
-//! than risking result corruption.
+//! Prospective (R2) adaptations swap the routing table in place and only
+//! affect future tuples, so they are restricted to stateless stages.
+//! Retrospective (R1) adaptations run the full recall protocol (see
+//! the `recall` module docs): producers log outgoing tuples into
+//! checkpointed recovery logs, consumers acknowledge checkpoint markers,
+//! and on deploy the adaptivity thread pauses the producers behind a
+//! drain barrier, migrates the surrendered hash-bucket state between
+//! consumers, and restages the producers' unsent buffers under the new
+//! distribution — so stateful hash-partitioned stages repartition
+//! mid-flight without losing or duplicating a tuple.
 
-use std::collections::HashMap;
+mod recall;
+
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
@@ -37,15 +44,28 @@ use gridq_adapt::{
 use gridq_common::sync::Mutex;
 use gridq_common::{GridError, NodeId, PartitionId, Result, SimTime, Tuple};
 use gridq_engine::distributed::{DistributedPlan, Router};
-use gridq_engine::evaluator::StreamTag;
+use gridq_engine::evaluator::{PartitionEvaluator, StreamTag};
 use gridq_engine::physical::Catalog;
 use gridq_grid::Perturbation;
 use gridq_obs::{Obs, ObsConfig, ObsReport, TimelineKind};
+use gridq_recovery::{Checkpoint, LogAudit, SharedRecoveryLog};
+
+use recall::{Ctrl, ProducerGuard, RecallGate};
+
+/// How long the recall coordinator waits for producers to park and for
+/// each round of consumer replies before abandoning a recall. Generous:
+/// on a healthy run the barrier fills in microseconds, and an abort here
+/// only delays (never corrupts) the query.
+const RECALL_TIMEOUT: Duration = Duration::from_secs(30);
+
+type LogItem = (StreamTag, Tuple);
+type SharedLogs = Arc<Vec<SharedRecoveryLog<LogItem>>>;
 
 /// Configuration of a threaded execution.
 #[derive(Debug, Clone)]
 pub struct ThreadedConfig {
-    /// Adaptivity configuration (R2/stateless only; see crate docs).
+    /// Adaptivity configuration. R2 deploys on stateless stages; R1
+    /// deploys run the recall protocol and also cover stateful stages.
     pub adaptivity: AdaptivityConfig,
     /// Multiplier from model milliseconds to real milliseconds
     /// (e.g. `0.02` runs a 3000-tuple query in a couple of seconds).
@@ -54,6 +74,11 @@ pub struct ThreadedConfig {
     pub perturbations: HashMap<NodeId, Perturbation>,
     /// Per-tuple receive cost in model milliseconds.
     pub receive_cost_ms: f64,
+    /// Producers emit a recovery-log checkpoint marker after this many
+    /// tuples per destination (R1 runs only). Build streams are never
+    /// checkpointed: their tuples *are* the downstream operator state
+    /// and must stay recallable for the whole run.
+    pub checkpoint_interval: usize,
     /// Observability layer configuration (metrics registry and
     /// adaptivity timeline).
     pub obs: ObsConfig,
@@ -66,6 +91,7 @@ impl Default for ThreadedConfig {
             cost_scale: 0.02,
             perturbations: HashMap::new(),
             receive_cost_ms: 1.0,
+            checkpoint_interval: 50,
             obs: ObsConfig::default(),
         }
     }
@@ -74,8 +100,9 @@ impl Default for ThreadedConfig {
 impl ThreadedConfig {
     /// Rejects configurations that would hang or corrupt a run before any
     /// thread is spawned: non-positive or non-finite cost scales (which
-    /// would turn every modelled cost into zero or infinite sleeps) and
-    /// negative or non-finite receive costs, plus anything
+    /// would turn every modelled cost into zero or infinite sleeps),
+    /// negative or non-finite receive costs, a zero checkpoint interval
+    /// (no window could ever close), plus anything
     /// [`AdaptivityConfig::validate`] rejects.
     pub fn validate(&self) -> Result<()> {
         if !self.cost_scale.is_finite() || self.cost_scale <= 0.0 {
@@ -90,6 +117,11 @@ impl ThreadedConfig {
                 self.receive_cost_ms
             )));
         }
+        if self.checkpoint_interval == 0 {
+            return Err(GridError::Config(
+                "checkpoint_interval must be positive".into(),
+            ));
+        }
         self.obs.validate()?;
         self.adaptivity.validate()
     }
@@ -102,7 +134,8 @@ pub struct ThreadedReport {
     pub wall_ms: f64,
     /// Result tuples collected.
     pub results: Vec<Tuple>,
-    /// Input tuples processed per partition.
+    /// Input tuples processed per partition (replayed/migrated tuples
+    /// count at every partition that processed them).
     pub per_partition_processed: Vec<u64>,
     /// Raw M1 events emitted.
     pub raw_m1_events: u64,
@@ -110,6 +143,21 @@ pub struct ThreadedReport {
     pub raw_m2_events: u64,
     /// Adaptations deployed into the router.
     pub adaptations_deployed: u64,
+    /// Retrospective recalls that ran the full drain-migrate-resume
+    /// protocol.
+    pub recalls_completed: u64,
+    /// Retrospective recalls abandoned before deploying (producers
+    /// already finished, or a barrier timed out). An aborted recall
+    /// leaves the routing untouched.
+    pub recalls_aborted: u64,
+    /// Operator-state tuples shipped between partitions by recalls.
+    pub state_tuples_migrated: u64,
+    /// In-flight tuples re-routed by recalls: held tuples recalled from
+    /// consumers plus staged buffers re-routed by producers.
+    pub tuples_recalled: u64,
+    /// Conservation audit of each source's recovery log (R1 runs only;
+    /// indexed like `DistributedPlan::sources`).
+    pub log_audits: Vec<LogAudit>,
     /// The final routing distribution.
     pub final_distribution: Vec<f64>,
     /// Observability snapshot (metrics registry and adaptivity timeline);
@@ -118,16 +166,69 @@ pub struct ThreadedReport {
 }
 
 enum Msg {
-    Tuple(StreamTag, Tuple),
+    /// A routed data tuple. `source` indexes `DistributedPlan::sources`,
+    /// so consumers can attribute held tuples to the right recovery log.
+    Tuple {
+        stream: StreamTag,
+        source: usize,
+        tuple: Tuple,
+    },
+    /// A recovery-log checkpoint marker. Sent in-band right after the
+    /// tuple that closed its window, so by FIFO an acknowledged marker
+    /// proves every tuple of the window was delivered.
+    Checkpoint {
+        source: usize,
+        cp: Checkpoint,
+        epoch: u64,
+    },
     /// End of one source's stream; carries the stream tag so consumers
     /// can tell when the build phase is complete.
     Eos(StreamTag),
+    /// Recall barrier marker: the consumer replies `Ctrl::Drained` once
+    /// it sees this, proving the channel holds no pre-pause tuples.
+    Drain { token: u64 },
+    /// Recall migration command: hand over the state of `outgoing`
+    /// buckets and re-route held tuples under the (already swapped)
+    /// router, then reply `Ctrl::MigrateDone`.
+    Migrate {
+        token: u64,
+        bucket_count: Option<u32>,
+        outgoing: Vec<u32>,
+    },
+    /// A tuple re-delivered by the recall protocol (migrated operator
+    /// state or a recalled held tuple). Not logged again: the barrier
+    /// plus direct channel carry the exactly-once guarantee.
+    Migrated {
+        stream: StreamTag,
+        source: usize,
+        tuple: Tuple,
+    },
+}
+
+/// A producer's per-destination staging buffer entry: either a routed
+/// tuple or a checkpoint marker riding in sequence behind the tuple that
+/// closed its window.
+enum Staged {
+    Tuple(StreamTag, Tuple),
+    Marker(Checkpoint, u64),
 }
 
 enum Raw {
     M1(M1),
     M2(M2),
     ProducersDone,
+}
+
+/// What the adaptivity thread hands back at teardown.
+#[derive(Default)]
+struct AdaptStats {
+    m1: u64,
+    m2: u64,
+    deployed: u64,
+    recalls_completed: u64,
+    recalls_aborted: u64,
+    state_tuples_migrated: u64,
+    tuples_recalled: u64,
 }
 
 fn spin_for(model_ms: f64, scale: f64) {
@@ -144,6 +245,43 @@ fn perturbed(base_ms: f64, perturbation: Option<&Perturbation>) -> f64 {
         Some(Perturbation::SleepMs(extra)) => base_ms + extra,
         Some(Perturbation::NormalFactor { mean, .. }) => base_ms * mean,
     }
+}
+
+/// Collects one reply per consumer for recall attempt `token`, dropping
+/// stale replies from aborted attempts. Returns the summed
+/// `(state_moved, recalled)` counts (zero for `Drained` replies), or
+/// `None` on timeout.
+fn collect_replies(
+    rx: &Receiver<Ctrl>,
+    token: u64,
+    expected: usize,
+    want_migrate: bool,
+) -> Option<(u64, u64)> {
+    let deadline = Instant::now() + RECALL_TIMEOUT;
+    let mut got = 0usize;
+    let mut moved = 0u64;
+    let mut recalled_total = 0u64;
+    while got < expected {
+        let now = Instant::now();
+        if now >= deadline {
+            return None;
+        }
+        match rx.recv_timeout(deadline - now) {
+            Ok(Ctrl::Drained { token: t }) if !want_migrate && t == token => got += 1,
+            Ok(Ctrl::MigrateDone {
+                token: t,
+                state_moved,
+                recalled,
+            }) if want_migrate && t == token => {
+                got += 1;
+                moved += state_moved;
+                recalled_total += recalled;
+            }
+            Ok(_) => {} // stale reply from an aborted attempt
+            Err(_) => return None,
+        }
+    }
+    Some((moved, recalled_total))
 }
 
 /// Executes a single-stage distributed plan over real threads.
@@ -168,19 +306,32 @@ impl ThreadedExecutor {
             ));
         }
         let stage = &plan.stages[0];
-        let adaptivity_on = self.config.adaptivity.monitoring_active()
-            && !stage.factory.stateful()
-            && self.config.adaptivity.response == ResponsePolicy::R2;
+        let response = self.config.adaptivity.response;
         if self.config.adaptivity.enabled
             && stage.factory.stateful()
-            && self.config.adaptivity.response == ResponsePolicy::R1
+            && response == ResponsePolicy::R2
         {
             return Err(GridError::Config(
-                "retrospective responses are implemented by the simulator; \
-                 run stateful adaptive plans on gridq-sim"
+                "stateful stages require the retrospective (R1) response policy; \
+                 a prospective routing change would strand operator state on the \
+                 old owners"
                     .into(),
             ));
         }
+        let recall_on = self.config.adaptivity.enabled && response == ResponsePolicy::R1;
+        if recall_on
+            && plan
+                .sources
+                .iter()
+                .filter(|s| s.stream == StreamTag::Build)
+                .count()
+                > 1
+        {
+            return Err(GridError::Config(
+                "the recall protocol supports at most one build source per stage".into(),
+            ));
+        }
+        let monitoring = self.config.adaptivity.monitoring_active();
         let partitions = stage.nodes.len();
         let router = Arc::new(Mutex::new(Router::from_policy(
             &stage.exchange.routing,
@@ -188,7 +339,7 @@ impl ThreadedExecutor {
         )?));
 
         // Channels: producers -> consumers, consumers -> collector,
-        // everyone -> adaptivity thread.
+        // everyone -> adaptivity thread, consumers -> recall coordinator.
         let mut to_consumer: Vec<Sender<Msg>> = Vec::new();
         let mut consumer_rx: Vec<Receiver<Msg>> = Vec::new();
         for _ in 0..partitions {
@@ -198,6 +349,7 @@ impl ThreadedExecutor {
         }
         let (result_tx, result_rx) = channel::<Vec<Tuple>>();
         let (raw_tx, raw_rx) = channel::<Raw>();
+        let (ctrl_tx, ctrl_rx) = channel::<Ctrl>();
 
         let started = Instant::now();
         let obs = if self.config.obs.enabled {
@@ -213,6 +365,8 @@ impl ThreadedExecutor {
             None => (None, None),
         };
         let routed_total = Arc::new(AtomicU64::new(0));
+        let processed_total = Arc::new(AtomicU64::new(0));
+        let restaged_total = Arc::new(AtomicU64::new(0));
         let total_rows: u64 = {
             let mut sum = 0;
             for s in &plan.sources {
@@ -220,6 +374,31 @@ impl ThreadedExecutor {
             }
             sum
         };
+
+        // Recall-protocol state: one recovery log per source and the
+        // gate producers park behind during a recall.
+        let logs: Option<SharedLogs> = if recall_on {
+            let mut v = Vec::with_capacity(plan.sources.len());
+            for s in &plan.sources {
+                // Build tuples become downstream operator state, so their
+                // log entries stay recallable for the whole run:
+                // effectively no checkpointing (mirrors the simulator).
+                let interval = if s.stream == StreamTag::Build {
+                    usize::MAX / 2
+                } else {
+                    self.config.checkpoint_interval
+                };
+                v.push(SharedRecoveryLog::new(partitions, interval)?);
+            }
+            Some(Arc::new(v))
+        } else {
+            None
+        };
+        let gate = recall_on.then(|| Arc::new(RecallGate::new(plan.sources.len())));
+        let build_source = plan
+            .sources
+            .iter()
+            .position(|s| s.stream == StreamTag::Build);
 
         // Producer threads.
         let mut producer_handles = Vec::new();
@@ -229,52 +408,121 @@ impl ThreadedExecutor {
             let senders = to_consumer.clone();
             let raw = raw_tx.clone();
             let routed_total = Arc::clone(&routed_total);
+            let restaged_total = Arc::clone(&restaged_total);
+            let logs = logs.clone();
+            let gate = gate.clone();
             let scan_cost = source.scan_cost_ms;
             let stream = source.stream;
             let scale = self.config.cost_scale;
             let buffer_tuples = stage.exchange.buffer_tuples;
             let stage_id = stage.id;
             let query = plan.query;
-            let monitoring = adaptivity_on;
             let routed_ctr = routed_ctr.clone();
             producer_handles.push(thread::spawn(move || {
-                let mut buffers: Vec<Vec<(StreamTag, Tuple)>> = vec![Vec::new(); senders.len()];
-                let flush =
-                    |dest: usize, buffers: &mut Vec<Vec<(StreamTag, Tuple)>>, started: &Instant| {
-                        let items = std::mem::take(&mut buffers[dest]);
-                        if items.is_empty() {
-                            return;
+                // Counts this producer as done even if it panics, so the
+                // recall barrier can never wait on a dead thread.
+                let _guard = gate.as_ref().map(|g| ProducerGuard::new(Arc::clone(g)));
+                let mut buffers: Vec<Vec<Staged>> =
+                    (0..senders.len()).map(|_| Vec::new()).collect();
+                let flush = |dest: usize, buffers: &mut Vec<Vec<Staged>>, started: &Instant| {
+                    let items = std::mem::take(&mut buffers[dest]);
+                    if items.is_empty() {
+                        return;
+                    }
+                    let send_started = Instant::now();
+                    let mut count = 0usize;
+                    for item in items {
+                        match item {
+                            Staged::Tuple(tag, t) => {
+                                count += 1;
+                                let _ = senders[dest].send(Msg::Tuple {
+                                    stream: tag,
+                                    source: sidx,
+                                    tuple: t,
+                                });
+                            }
+                            Staged::Marker(cp, epoch) => {
+                                let _ = senders[dest].send(Msg::Checkpoint {
+                                    source: sidx,
+                                    cp,
+                                    epoch,
+                                });
+                            }
                         }
-                        let send_started = Instant::now();
-                        let count = items.len();
-                        for (tag, t) in items {
-                            let _ = senders[dest].send(Msg::Tuple(tag, t));
+                    }
+                    if monitoring && count > 0 {
+                        let send_cost =
+                            send_started.elapsed().as_secs_f64() * 1000.0 / scale.max(1e-9);
+                        let _ = raw.send(Raw::M2(M2 {
+                            query,
+                            producer: ProducerId::Source(sidx as u32),
+                            recipient: PartitionId::new(stage_id, dest as u32),
+                            send_cost_ms: send_cost,
+                            tuples_in_buffer: count,
+                            // Wall-clock -> model milliseconds, so the
+                            // Responder's cooldown compares like units.
+                            at: SimTime::from_millis(
+                                started.elapsed().as_secs_f64() * 1000.0 / scale.max(1e-9),
+                            ),
+                        }));
+                    }
+                };
+                // After a recall, unsent staged tuples are re-routed
+                // under the new distribution (their log entries follow);
+                // markers stay with their original destination so the
+                // windows they close remain intact.
+                let restage = |buffers: &mut Vec<Vec<Staged>>| -> u64 {
+                    let mut moved = 0u64;
+                    let taken: Vec<Vec<Staged>> = buffers.iter_mut().map(std::mem::take).collect();
+                    for (old_dest, items) in taken.into_iter().enumerate() {
+                        for item in items {
+                            match item {
+                                Staged::Tuple(tag, tuple) => {
+                                    let dest = {
+                                        let mut r = router.lock();
+                                        r.route(tag, &tuple).unwrap_or(old_dest as u32)
+                                    } as usize;
+                                    if dest != old_dest {
+                                        moved += 1;
+                                        if let Some(logs) = &logs {
+                                            let seq = tuple.seq();
+                                            let _ = logs[sidx].migrate_matching(
+                                                old_dest as u32,
+                                                dest as u32,
+                                                |(s, t)| *s == tag && t.seq() == seq,
+                                            );
+                                        }
+                                    }
+                                    buffers[dest].push(Staged::Tuple(tag, tuple));
+                                }
+                                marker => buffers[old_dest].push(marker),
+                            }
                         }
-                        if monitoring {
-                            let send_cost =
-                                send_started.elapsed().as_secs_f64() * 1000.0 / scale.max(1e-9);
-                            let _ = raw.send(Raw::M2(M2 {
-                                query,
-                                producer: ProducerId::Source(sidx as u32),
-                                recipient: PartitionId::new(stage_id, dest as u32),
-                                send_cost_ms: send_cost,
-                                tuples_in_buffer: count,
-                                // Wall-clock -> model milliseconds, so the
-                                // Responder's cooldown compares like units.
-                                at: SimTime::from_millis(
-                                    started.elapsed().as_secs_f64() * 1000.0 / scale.max(1e-9),
-                                ),
-                            }));
-                        }
-                    };
+                    }
+                    moved
+                };
                 let started_local = Instant::now();
+                let mut epoch = gate.as_ref().map(|g| g.epoch()).unwrap_or(0);
                 for row in table.rows() {
+                    if let Some(g) = &gate {
+                        let now_epoch = g.pause_point();
+                        if now_epoch != epoch {
+                            epoch = now_epoch;
+                            restaged_total.fetch_add(restage(&mut buffers), Ordering::Relaxed);
+                        }
+                    }
                     spin_for(scan_cost, scale);
                     let dest = {
                         let mut r = router.lock();
                         r.route(stream, row).unwrap_or(0)
                     } as usize;
-                    buffers[dest].push((stream, row.clone()));
+                    buffers[dest].push(Staged::Tuple(stream, row.clone()));
+                    if let Some(logs) = &logs {
+                        if let Ok(Some(cp)) = logs[sidx].record(dest as u32, (stream, row.clone()))
+                        {
+                            buffers[dest].push(Staged::Marker(cp, logs[sidx].epoch()));
+                        }
+                    }
                     routed_total.fetch_add(1, Ordering::Relaxed);
                     if let Some(c) = &routed_ctr {
                         c.add(1);
@@ -283,12 +531,32 @@ impl ThreadedExecutor {
                         flush(dest, &mut buffers, &started_local);
                     }
                 }
+                // A recall in flight must complete (and the buffers
+                // restage) before the final flush: finishing mid-pause
+                // would send tuples routed under the old distribution
+                // after the consumers already drained.
+                if let Some(g) = &gate {
+                    let now_epoch = g.pause_point();
+                    if now_epoch != epoch {
+                        restaged_total.fetch_add(restage(&mut buffers), Ordering::Relaxed);
+                    }
+                }
                 for (dest, sender) in senders.iter().enumerate() {
+                    if stream != StreamTag::Build {
+                        if let Some(logs) = &logs {
+                            if let Ok(Some(cp)) = logs[sidx].force_checkpoint(dest as u32) {
+                                buffers[dest].push(Staged::Marker(cp, logs[sidx].epoch()));
+                            }
+                        }
+                    }
                     flush(dest, &mut buffers, &started_local);
                     let _ = sender.send(Msg::Eos(stream));
                 }
             }));
         }
+        let peers = to_consumer.clone();
+        let adapt_senders = to_consumer.clone();
+        let backstop = to_consumer.clone();
         drop(to_consumer);
 
         // Consumer threads.
@@ -305,9 +573,13 @@ impl ThreadedExecutor {
             let perturbation = self.config.perturbations.get(&node).cloned();
             let results = result_tx.clone();
             let raw = raw_tx.clone();
+            let ctrl = ctrl_tx.clone();
+            let peers = peers.clone();
+            let router = Arc::clone(&router);
+            let logs = logs.clone();
+            let processed_total = Arc::clone(&processed_total);
             let scale = self.config.cost_scale;
             let receive_cost = self.config.receive_cost_ms;
-            let monitoring = adaptivity_on;
             let interval = self.config.adaptivity.monitoring_interval_tuples.max(1);
             let stage_id = stage.id;
             let query = plan.query;
@@ -323,14 +595,84 @@ impl ThreadedExecutor {
                 let mut eos_seen = 0usize;
                 let mut build_eos_seen = 0usize;
                 // Probe tuples that arrived before the build phase
-                // completed; replayed once every build source is done
-                // (the iterator model consumes the build input first).
-                let mut held_probes: Vec<Tuple> = Vec::new();
+                // completed, with the source that logged them; replayed
+                // once every build source is done (the iterator model
+                // consumes the build input first), or recalled to their
+                // new owner by a retrospective redistribution.
+                let mut held_probes: Vec<(usize, Tuple)> = Vec::new();
+                // Evaluates one tuple, spending the modelled (and
+                // perturbed) cost in real time. Shared by the streaming
+                // path, the held-probe replay, and migrated re-delivery,
+                // so every processed tuple feeds the same M1 batch.
+                let process_one = |evaluator: &mut Box<dyn PartitionEvaluator>,
+                                   stream: StreamTag,
+                                   tuple: &Tuple,
+                                   out: &mut Vec<Tuple>,
+                                   processed: &mut u64,
+                                   outputs_total: &mut u64,
+                                   batch: &mut u32,
+                                   batch_cost: &mut f64| {
+                    let Ok(outcome) = evaluator.process(stream, tuple) else {
+                        return;
+                    };
+                    let model_cost =
+                        perturbed(outcome.base_cost_ms, perturbation.as_ref()) + receive_cost;
+                    spin_for(model_cost, scale);
+                    *processed += 1;
+                    processed_total.fetch_add(1, Ordering::Relaxed);
+                    if let Some(c) = &processed_ctr {
+                        c.add(1);
+                    }
+                    *batch += 1;
+                    *batch_cost += model_cost;
+                    *outputs_total += outcome.outputs.len() as u64;
+                    out.extend(outcome.outputs);
+                };
+                // Emits the M1 for the current batch. `force` flushes a
+                // partial tail batch (end of stream); without it the
+                // last `processed % interval` tuples would vanish from
+                // the monitoring record.
+                let emit_m1 = |batch: &mut u32,
+                               batch_cost: &mut f64,
+                               batch_wait: &mut f64,
+                               processed: u64,
+                               outputs_total: u64,
+                               force: bool| {
+                    if !monitoring || *batch == 0 || (!force && *batch < interval) {
+                        return;
+                    }
+                    let _ = raw.send(Raw::M1(M1 {
+                        query,
+                        partition: PartitionId::new(stage_id, i as u32),
+                        node,
+                        cost_per_tuple_ms: *batch_cost / f64::from(*batch),
+                        leaf_wait_ms: *batch_wait / f64::from(*batch) / scale,
+                        selectivity: if processed == 0 {
+                            1.0
+                        } else {
+                            outputs_total as f64 / processed as f64
+                        },
+                        tuples_produced: outputs_total,
+                        at: SimTime::from_millis(
+                            started.elapsed().as_secs_f64() * 1000.0 / scale.max(1e-9),
+                        ),
+                    }));
+                    *batch = 0;
+                    *batch_cost = 0.0;
+                    *batch_wait = 0.0;
+                };
                 loop {
                     let wait_started = Instant::now();
                     let msg = match rx.recv_timeout(Duration::from_millis(50)) {
                         Ok(m) => m,
-                        Err(RecvTimeoutError::Timeout) => continue,
+                        Err(RecvTimeoutError::Timeout) => {
+                            // The partition spent this whole slice
+                            // waiting for input. Dropping it (as this arm
+                            // once did) understated the leaf-wait signal
+                            // the A2 diagnoser keys on.
+                            batch_wait += wait_started.elapsed().as_secs_f64() * 1000.0;
+                            continue;
+                        }
                         Err(RecvTimeoutError::Disconnected) => break,
                     };
                     batch_wait += wait_started.elapsed().as_secs_f64() * 1000.0;
@@ -340,68 +682,186 @@ impl ThreadedExecutor {
                             if tag == StreamTag::Build {
                                 build_eos_seen += 1;
                             }
-                            if build_eos_seen == build_eos_needed {
-                                for tuple in held_probes.drain(..) {
-                                    if let Ok(outcome) = evaluator.process(StreamTag::Probe, &tuple)
-                                    {
-                                        let model_cost =
-                                            perturbed(outcome.base_cost_ms, perturbation.as_ref())
-                                                + receive_cost;
-                                        spin_for(model_cost, scale);
-                                        processed += 1;
-                                        if let Some(c) = &processed_ctr {
-                                            c.add(1);
-                                        }
-                                        outputs_total += outcome.outputs.len() as u64;
-                                        out.extend(outcome.outputs);
-                                    }
+                            if build_eos_needed > 0 && build_eos_seen == build_eos_needed {
+                                for (_, tuple) in std::mem::take(&mut held_probes) {
+                                    process_one(
+                                        &mut evaluator,
+                                        StreamTag::Probe,
+                                        &tuple,
+                                        &mut out,
+                                        &mut processed,
+                                        &mut outputs_total,
+                                        &mut batch,
+                                        &mut batch_cost,
+                                    );
+                                    emit_m1(
+                                        &mut batch,
+                                        &mut batch_cost,
+                                        &mut batch_wait,
+                                        processed,
+                                        outputs_total,
+                                        false,
+                                    );
                                 }
                             }
                             if eos_seen == eos_needed {
+                                // Flush the partial tail batch before the
+                                // monitoring record goes quiet.
+                                emit_m1(
+                                    &mut batch,
+                                    &mut batch_cost,
+                                    &mut batch_wait,
+                                    processed,
+                                    outputs_total,
+                                    true,
+                                );
                                 break;
                             }
                         }
-                        Msg::Tuple(StreamTag::Probe, tuple)
-                            if build_eos_needed > 0 && build_eos_seen < build_eos_needed =>
-                        {
-                            held_probes.push(tuple);
+                        Msg::Tuple {
+                            stream: StreamTag::Probe,
+                            source,
+                            tuple,
+                        } if build_eos_needed > 0 && build_eos_seen < build_eos_needed => {
+                            held_probes.push((source, tuple));
                         }
-                        Msg::Tuple(tag, tuple) => {
-                            let outcome = match evaluator.process(tag, &tuple) {
-                                Ok(o) => o,
-                                Err(_) => continue,
-                            };
-                            let model_cost = perturbed(outcome.base_cost_ms, perturbation.as_ref())
-                                + receive_cost;
-                            spin_for(model_cost, scale);
-                            processed += 1;
-                            if let Some(c) = &processed_ctr {
-                                c.add(1);
+                        Msg::Tuple { stream, tuple, .. } => {
+                            process_one(
+                                &mut evaluator,
+                                stream,
+                                &tuple,
+                                &mut out,
+                                &mut processed,
+                                &mut outputs_total,
+                                &mut batch,
+                                &mut batch_cost,
+                            );
+                            emit_m1(
+                                &mut batch,
+                                &mut batch_cost,
+                                &mut batch_wait,
+                                processed,
+                                outputs_total,
+                                false,
+                            );
+                        }
+                        Msg::Checkpoint { source, cp, epoch } => {
+                            debug_assert_eq!(cp.dest as usize, i);
+                            if let Some(logs) = &logs {
+                                let _ = logs[source].acknowledge(cp.dest, cp.id, epoch);
                             }
-                            batch += 1;
-                            batch_cost += model_cost;
-                            outputs_total += outcome.outputs.len() as u64;
-                            out.extend(outcome.outputs);
-                            if monitoring && batch >= interval {
-                                let _ = raw.send(Raw::M1(M1 {
-                                    query,
-                                    partition: PartitionId::new(stage_id, i as u32),
-                                    node,
-                                    cost_per_tuple_ms: batch_cost / f64::from(batch),
-                                    leaf_wait_ms: batch_wait / f64::from(batch) / scale,
-                                    selectivity: if processed == 0 {
-                                        1.0
+                        }
+                        Msg::Drain { token } => {
+                            // FIFO channel: everything sent before the
+                            // pause is now behind us.
+                            let _ = ctrl.send(Ctrl::Drained { token });
+                        }
+                        Msg::Migrate {
+                            token,
+                            bucket_count,
+                            outgoing,
+                        } => {
+                            let mut state_moved = 0u64;
+                            let mut recalled = 0u64;
+                            // Hand the surrendered buckets' operator
+                            // state to the new owners. The entries leave
+                            // this consumer's slice of the build log: the
+                            // migration traffic now carries them.
+                            if let Some(bc) = bucket_count {
+                                if !outgoing.is_empty() {
+                                    let extracted = evaluator.extract_state(bc, &outgoing);
+                                    if let (Some(logs), Some(b)) = (&logs, build_source) {
+                                        let moved: HashSet<u64> =
+                                            extracted.iter().map(|(_, t)| t.seq()).collect();
+                                        let _ = logs[b].retire_matching(i as u32, |(s, t)| {
+                                            *s == StreamTag::Build && moved.contains(&t.seq())
+                                        });
+                                    }
+                                    for (stream, tuple) in extracted {
+                                        let dest = {
+                                            let mut r = router.lock();
+                                            r.route(stream, &tuple).unwrap_or(i as u32)
+                                        }
+                                            as usize;
+                                        state_moved += 1;
+                                        if dest == i {
+                                            // Outgoing buckets route away
+                                            // by construction; re-insert
+                                            // defensively if not.
+                                            let _ = evaluator.process(stream, &tuple);
+                                        } else {
+                                            let _ = peers[dest].send(Msg::Migrated {
+                                                stream,
+                                                source: build_source.unwrap_or(0),
+                                                tuple,
+                                            });
+                                        }
+                                    }
+                                }
+                            }
+                            // Recall held probe tuples whose bucket moved.
+                            if !held_probes.is_empty() {
+                                let mut retire: HashMap<usize, HashSet<u64>> = HashMap::new();
+                                for (source, tuple) in std::mem::take(&mut held_probes) {
+                                    let dest = {
+                                        let mut r = router.lock();
+                                        r.route(StreamTag::Probe, &tuple).unwrap_or(i as u32)
+                                    } as usize;
+                                    if dest == i {
+                                        held_probes.push((source, tuple));
                                     } else {
-                                        outputs_total as f64 / processed as f64
-                                    },
-                                    tuples_produced: outputs_total,
-                                    at: SimTime::from_millis(
-                                        started.elapsed().as_secs_f64() * 1000.0 / scale.max(1e-9),
-                                    ),
-                                }));
-                                batch = 0;
-                                batch_cost = 0.0;
-                                batch_wait = 0.0;
+                                        retire.entry(source).or_default().insert(tuple.seq());
+                                        recalled += 1;
+                                        let _ = peers[dest].send(Msg::Migrated {
+                                            stream: StreamTag::Probe,
+                                            source,
+                                            tuple,
+                                        });
+                                    }
+                                }
+                                if let Some(logs) = &logs {
+                                    for (source, seqs) in retire {
+                                        let _ = logs[source].retire_matching(i as u32, |(s, t)| {
+                                            *s == StreamTag::Probe && seqs.contains(&t.seq())
+                                        });
+                                    }
+                                }
+                            }
+                            let _ = ctrl.send(Ctrl::MigrateDone {
+                                token,
+                                state_moved,
+                                recalled,
+                            });
+                        }
+                        Msg::Migrated {
+                            stream,
+                            source,
+                            tuple,
+                        } => {
+                            if stream == StreamTag::Probe
+                                && build_eos_needed > 0
+                                && build_eos_seen < build_eos_needed
+                            {
+                                held_probes.push((source, tuple));
+                            } else {
+                                process_one(
+                                    &mut evaluator,
+                                    stream,
+                                    &tuple,
+                                    &mut out,
+                                    &mut processed,
+                                    &mut outputs_total,
+                                    &mut batch,
+                                    &mut batch_cost,
+                                );
+                                emit_m1(
+                                    &mut batch,
+                                    &mut batch_cost,
+                                    &mut batch_wait,
+                                    processed,
+                                    outputs_total,
+                                    false,
+                                );
                             }
                         }
                     }
@@ -411,20 +871,26 @@ impl ThreadedExecutor {
             }));
         }
         drop(result_tx);
+        drop(ctrl_tx);
+        drop(peers);
 
         // Adaptivity thread: detector -> diagnoser -> responder ->
-        // shared router.
+        // shared router; for retrospective commands it additionally acts
+        // as the recall coordinator.
         let adapt_handle = {
             let adapt = self.config.adaptivity.clone();
             let router = Arc::clone(&router);
             let routed_total = Arc::clone(&routed_total);
+            let processed_total = Arc::clone(&processed_total);
+            let gate = gate.clone();
             let initial = router.lock().current_distribution();
             let stage_id = stage.id;
-            let partitions = partitions as u32;
+            let partitions_u32 = partitions as u32;
+            let scale = self.config.cost_scale;
             let obs = obs.clone();
-            thread::spawn(move || -> (u64, u64, u64) {
+            thread::spawn(move || -> AdaptStats {
                 let mut detector = MonitoringEventDetector::new(&adapt);
-                let mut diagnoser = Diagnoser::new(stage_id, partitions, initial, &adapt);
+                let mut diagnoser = Diagnoser::new(stage_id, partitions_u32, initial, &adapt);
                 let mut responder = Responder::new(&adapt);
                 if let Some(o) = &obs {
                     detector.set_metric_sink(o.sink());
@@ -444,13 +910,15 @@ impl ThreadedExecutor {
                         None => 0,
                     }
                 };
-                let mut m1 = 0u64;
-                let mut m2 = 0u64;
-                let mut deployed = 0u64;
+                let now_model = || {
+                    SimTime::from_millis(started.elapsed().as_secs_f64() * 1000.0 / scale.max(1e-9))
+                };
+                let mut stats = AdaptStats::default();
+                let mut recall_token = 0u64;
                 while let Ok(raw) = raw_rx.recv() {
                     let (output, at, raw_seq) = match raw {
                         Raw::M1(event) => {
-                            m1 += 1;
+                            stats.m1 += 1;
                             let output = detector.on_m1(&event);
                             let raw_seq = record(
                                 event.at,
@@ -458,13 +926,14 @@ impl ThreadedExecutor {
                                     partition: event.partition.to_string(),
                                     node: event.node.to_string(),
                                     cost_per_tuple_ms: event.cost_per_tuple_ms,
+                                    leaf_wait_ms: event.leaf_wait_ms,
                                     gate_fired: !matches!(output, DetectorOutput::Quiet),
                                 },
                             );
                             (output, event.at, raw_seq)
                         }
                         Raw::M2(event) => {
-                            m2 += 1;
+                            stats.m2 += 1;
                             let output = detector.on_m2(&event);
                             let raw_seq = record(
                                 event.at,
@@ -520,8 +989,15 @@ impl ThreadedExecutor {
                                 notify_seq,
                             },
                         );
-                        let progress =
-                            routed_total.load(Ordering::Relaxed) as f64 / total_rows.max(1) as f64;
+                        // R1 estimates progress from tuples *processed*
+                        // (what a recall would have to preserve), R2 from
+                        // tuples routed — mirroring the simulator.
+                        let done = if adapt.response == ResponsePolicy::R1 {
+                            processed_total.load(Ordering::Relaxed)
+                        } else {
+                            routed_total.load(Ordering::Relaxed)
+                        };
+                        let progress = done as f64 / total_rows.max(1) as f64;
                         let (decision, cmd) = responder.on_imbalance(&imbalance, progress);
                         record(
                             imbalance.at,
@@ -530,23 +1006,122 @@ impl ThreadedExecutor {
                                 diagnosis_seq,
                             },
                         );
-                        if let Some(cmd) = cmd {
-                            diagnoser.set_distribution(cmd.new_distribution.clone());
+                        let Some(cmd) = cmd else { continue };
+                        diagnoser.set_distribution(cmd.new_distribution.clone());
+                        if !cmd.retrospective {
+                            // Prospective: swap the routing table; only
+                            // future tuples are affected.
                             if router
                                 .lock()
                                 .apply_distribution(&cmd.new_distribution)
                                 .is_ok()
                             {
-                                deployed += 1;
+                                stats.deployed += 1;
                                 record(
                                     cmd.at,
                                     TimelineKind::Deploy {
                                         stage: cmd.stage.to_string(),
                                         weights: cmd.new_distribution.weights().to_vec(),
-                                        retrospective: cmd.retrospective,
+                                        retrospective: false,
                                         diagnosis_seq,
                                     },
                                 );
+                                responder.on_deploy_acknowledged(now_model());
+                            }
+                            continue;
+                        }
+                        let Some(gate) = gate.as_ref() else { continue };
+                        // Retrospective: run the drain-barrier recall.
+                        recall_token += 1;
+                        let token = recall_token;
+                        match gate.begin_pause(RECALL_TIMEOUT) {
+                            None => {
+                                stats.recalls_aborted += 1;
+                            }
+                            Some(0) => {
+                                // Every producer already finished; the
+                                // consumers may exit at any moment, so
+                                // the barrier cannot be trusted. The
+                                // remaining work drains under the old
+                                // distribution.
+                                gate.abort_pause();
+                                stats.recalls_aborted += 1;
+                            }
+                            Some(_) => {
+                                let drained = adapt_senders
+                                    .iter()
+                                    .all(|tx| tx.send(Msg::Drain { token }).is_ok())
+                                    && collect_replies(&ctrl_rx, token, adapt_senders.len(), false)
+                                        .is_some();
+                                if !drained {
+                                    gate.abort_pause();
+                                    stats.recalls_aborted += 1;
+                                    continue;
+                                }
+                                let moves = {
+                                    let mut r = router.lock();
+                                    r.apply_retrospective(&cmd.new_distribution)
+                                };
+                                let Ok(moves) = moves else {
+                                    gate.abort_pause();
+                                    stats.recalls_aborted += 1;
+                                    continue;
+                                };
+                                stats.deployed += 1;
+                                let deploy_seq = record(
+                                    cmd.at,
+                                    TimelineKind::Deploy {
+                                        stage: cmd.stage.to_string(),
+                                        weights: cmd.new_distribution.weights().to_vec(),
+                                        retrospective: true,
+                                        diagnosis_seq,
+                                    },
+                                );
+                                let epoch = gate.epoch() + 1;
+                                let start_seq = record(
+                                    cmd.at,
+                                    TimelineKind::RecallStart {
+                                        stage: cmd.stage.to_string(),
+                                        epoch,
+                                        deploy_seq,
+                                    },
+                                );
+                                let bucket_count = router.lock().bucket_count();
+                                for (p, tx) in adapt_senders.iter().enumerate() {
+                                    let outgoing =
+                                        moves.outgoing.get(p).cloned().unwrap_or_default();
+                                    let _ = tx.send(Msg::Migrate {
+                                        token,
+                                        bucket_count,
+                                        outgoing,
+                                    });
+                                }
+                                let replies =
+                                    collect_replies(&ctrl_rx, token, adapt_senders.len(), true);
+                                let (moved, recalled) = replies.unwrap_or((0, 0));
+                                stats.state_tuples_migrated += moved;
+                                stats.tuples_recalled += recalled;
+                                let now = now_model();
+                                record(
+                                    now,
+                                    TimelineKind::RecallFinish {
+                                        epoch,
+                                        state_tuples_migrated: moved,
+                                        tuples_recalled: recalled,
+                                        start_seq,
+                                    },
+                                );
+                                responder.on_deploy_acknowledged(now);
+                                if replies.is_some() {
+                                    stats.recalls_completed += 1;
+                                } else {
+                                    stats.recalls_aborted += 1;
+                                }
+                                // Resume the producers even if a reply
+                                // timed out: leaving them parked would
+                                // deadlock the run instead of surfacing
+                                // the failure at join time.
+                                gate.resume(epoch);
                             }
                         }
                     }
@@ -565,7 +1140,7 @@ impl ThreadedExecutor {
                     detector.tracked_streams() + diagnoser.tracked_cost_entries(),
                     0
                 );
-                (m1, m2, deployed)
+                stats
             })
         };
 
@@ -578,8 +1153,15 @@ impl ThreadedExecutor {
         for (i, h) in producer_handles.into_iter().enumerate() {
             if h.join().is_err() {
                 panicked.push(format!("producer {i}"));
+                // A dead producer never sent its end-of-stream markers;
+                // without them the consumers would wait forever, because
+                // the recall coordinator keeps the channels open.
+                for tx in &backstop {
+                    let _ = tx.send(Msg::Eos(plan.sources[i].stream));
+                }
             }
         }
+        drop(backstop);
         let mut per_partition = Vec::with_capacity(partitions);
         for (i, h) in consumer_handles.into_iter().enumerate() {
             match h.join() {
@@ -599,7 +1181,7 @@ impl ThreadedExecutor {
                 panicked.join(", ")
             )));
         }
-        let (m1, m2, deployed) = adapt_result.expect("checked above");
+        let stats = adapt_result.expect("checked above");
 
         let mut results = Vec::new();
         while let Ok(batch) = result_rx.try_recv() {
@@ -610,9 +1192,16 @@ impl ThreadedExecutor {
             wall_ms: started.elapsed().as_secs_f64() * 1000.0,
             results,
             per_partition_processed: per_partition,
-            raw_m1_events: m1,
-            raw_m2_events: m2,
-            adaptations_deployed: deployed,
+            raw_m1_events: stats.m1,
+            raw_m2_events: stats.m2,
+            adaptations_deployed: stats.deployed,
+            recalls_completed: stats.recalls_completed,
+            recalls_aborted: stats.recalls_aborted,
+            state_tuples_migrated: stats.state_tuples_migrated,
+            tuples_recalled: stats.tuples_recalled + restaged_total.load(Ordering::Relaxed),
+            log_audits: logs
+                .map(|logs| logs.iter().map(SharedRecoveryLog::audit).collect())
+                .unwrap_or_default(),
             final_distribution,
             obs: obs.as_ref().map(Obs::report),
         })
@@ -681,12 +1270,66 @@ mod tests {
         }
     }
 
+    /// A Q2-shaped stateful hash-join plan: build and probe streams hash
+    /// partitioned over `bucket_count` buckets on two nodes.
+    fn join_plan(
+        build: &Arc<Table>,
+        probe: &Arc<Table>,
+        build_scan_cost_ms: f64,
+        probe_scan_cost_ms: f64,
+    ) -> DistributedPlan {
+        let factory = HashJoinFactory::new(build.schema(), probe.schema(), 0, 0, 0.1, 0.5);
+        DistributedPlan {
+            query: QueryId::new(2),
+            sources: vec![
+                SourceSpec {
+                    table: build.name().to_string(),
+                    node: NodeId::new(0),
+                    stream: StreamTag::Build,
+                    scan_cost_ms: build_scan_cost_ms,
+                },
+                SourceSpec {
+                    table: probe.name().to_string(),
+                    node: NodeId::new(0),
+                    stream: StreamTag::Probe,
+                    scan_cost_ms: probe_scan_cost_ms,
+                },
+            ],
+            stages: vec![ParallelStageSpec {
+                id: SubplanId::new(1),
+                factory: Arc::new(factory),
+                nodes: vec![NodeId::new(1), NodeId::new(2)],
+                exchange: ExchangeSpec {
+                    routing: RoutingPolicy::HashBuckets {
+                        bucket_count: 16,
+                        initial: DistributionVector::uniform(2),
+                        keys: StreamKeys {
+                            build: Some(0),
+                            probe: Some(0),
+                            single: None,
+                        },
+                    },
+                    buffer_tuples: 10,
+                },
+            }],
+            collect_node: NodeId::new(0),
+        }
+    }
+
     fn catalog(tables: &[&Arc<Table>]) -> Catalog {
         let mut c = Catalog::new();
         for t in tables {
             c.register(Arc::clone(t));
         }
         c
+    }
+
+    /// Result tuples as a sorted multiset of value rows (sequence numbers
+    /// are renumbered by operators and not comparable across runs).
+    fn multiset(tuples: &[Tuple]) -> Vec<String> {
+        let mut rows: Vec<String> = tuples.iter().map(|t| format!("{:?}", t.values())).collect();
+        rows.sort_unstable();
+        rows
     }
 
     #[test]
@@ -705,6 +1348,8 @@ mod tests {
         assert_eq!(report.results.len(), 200);
         assert_eq!(report.per_partition_processed.iter().sum::<u64>(), 200);
         assert_eq!(report.adaptations_deployed, 0);
+        assert_eq!(report.recalls_completed, 0);
+        assert!(report.log_audits.is_empty(), "no recovery logs when off");
         // Spot-check a value.
         let mut values: Vec<i64> = report
             .results
@@ -728,8 +1373,7 @@ mod tests {
                 adaptivity: AdaptivityConfig::default(),
                 cost_scale: 0.01,
                 perturbations,
-                receive_cost_ms: 1.0,
-                obs: ObsConfig::default(),
+                ..Default::default()
             },
         );
         let report = exec.run(&plan).unwrap();
@@ -807,6 +1451,10 @@ mod tests {
             },
             ThreadedConfig {
                 receive_cost_ms: -1.0,
+                ..Default::default()
+            },
+            ThreadedConfig {
+                checkpoint_interval: 0,
                 ..Default::default()
             },
             ThreadedConfig {
@@ -891,58 +1539,21 @@ mod tests {
     }
 
     #[test]
-    fn stateful_plan_with_r1_is_rejected() {
+    fn stateful_plan_with_r2_is_rejected_but_runs_statically() {
         let build = int_table("b", 20);
         let probe = int_table("p", 20);
-        let factory = HashJoinFactory::new(build.schema(), probe.schema(), 0, 0, 0.1, 0.5);
-        let plan = DistributedPlan {
-            query: QueryId::new(2),
-            sources: vec![
-                SourceSpec {
-                    table: "b".into(),
-                    node: NodeId::new(0),
-                    stream: StreamTag::Build,
-                    scan_cost_ms: 0.1,
-                },
-                SourceSpec {
-                    table: "p".into(),
-                    node: NodeId::new(0),
-                    stream: StreamTag::Probe,
-                    scan_cost_ms: 0.1,
-                },
-            ],
-            stages: vec![ParallelStageSpec {
-                id: SubplanId::new(1),
-                factory: Arc::new(factory),
-                nodes: vec![NodeId::new(1), NodeId::new(2)],
-                exchange: ExchangeSpec {
-                    routing: RoutingPolicy::HashBuckets {
-                        bucket_count: 16,
-                        initial: DistributionVector::uniform(2),
-                        keys: StreamKeys {
-                            build: Some(0),
-                            probe: Some(0),
-                            single: None,
-                        },
-                    },
-                    buffer_tuples: 10,
-                },
-            }],
-            collect_node: NodeId::new(0),
-        };
-        let adapt = AdaptivityConfig {
-            response: ResponsePolicy::R1,
-            ..Default::default()
-        };
+        let plan = join_plan(&build, &probe, 0.1, 0.1);
+        // Prospective adaptivity on a stateful stage would strand the
+        // hash table on the old owners: rejected, like the simulator.
         let exec = ThreadedExecutor::new(
             catalog(&[&build, &probe]),
             ThreadedConfig {
-                adaptivity: adapt,
+                adaptivity: AdaptivityConfig::default(), // R2
                 cost_scale: 0.002,
                 ..Default::default()
             },
         );
-        assert!(exec.run(&plan).is_err());
+        assert!(matches!(exec.run(&plan), Err(GridError::Config(_))));
         // But the same stateful plan runs fine statically.
         let static_exec = ThreadedExecutor::new(
             catalog(&[&build, &probe]),
@@ -954,5 +1565,186 @@ mod tests {
         );
         let report = static_exec.run(&plan).unwrap();
         assert_eq!(report.results.len(), 20);
+    }
+
+    #[test]
+    fn stateful_r1_run_recalls_and_matches_static() {
+        let build = int_table("b", 60);
+        let probe = int_table("p", 300);
+        // Static baseline for the result multiset.
+        let static_report = ThreadedExecutor::new(
+            catalog(&[&build, &probe]),
+            ThreadedConfig {
+                adaptivity: AdaptivityConfig::disabled(),
+                cost_scale: 0.002,
+                ..Default::default()
+            },
+        )
+        .run(&join_plan(&build, &probe, 0.1, 0.1))
+        .unwrap();
+        assert_eq!(static_report.results.len(), 60);
+
+        // Adaptive R1 run with one node perturbed. The probe scan is the
+        // bottleneck so producers are still alive when the imbalance is
+        // diagnosed, giving the recall something to pause.
+        let plan = join_plan(&build, &probe, 1.0, 10.0);
+        let mut perturbations = HashMap::new();
+        perturbations.insert(NodeId::new(2), Perturbation::CostFactor(10.0));
+        let adapt = AdaptivityConfig {
+            response: ResponsePolicy::R1,
+            ..Default::default()
+        };
+        let report = ThreadedExecutor::new(
+            catalog(&[&build, &probe]),
+            ThreadedConfig {
+                adaptivity: adapt,
+                cost_scale: 0.01,
+                perturbations,
+                checkpoint_interval: 8,
+                ..Default::default()
+            },
+        )
+        .run(&plan)
+        .unwrap();
+
+        // The run adapted retrospectively at least once and the result
+        // multiset is exactly the static one: the recall lost nothing
+        // and duplicated nothing.
+        assert!(
+            report.adaptations_deployed >= 1 && report.recalls_completed >= 1,
+            "expected at least one completed recall: {report:?}"
+        );
+        assert_eq!(multiset(&static_report.results), multiset(&report.results));
+        assert!(
+            report.state_tuples_migrated > 0,
+            "a bucket-map change must migrate hash-table state: {report:?}"
+        );
+
+        // Ack-log conservation: every recorded tuple is accounted for as
+        // pruned (acknowledged), retired (re-delivered by the recall), or
+        // still unacknowledged — and the probe log fully drains because
+        // the probe producer force-checkpoints at end of stream.
+        assert_eq!(report.log_audits.len(), 2);
+        for audit in &report.log_audits {
+            assert!(audit.conserved(), "log audit must balance: {audit:?}");
+        }
+        assert_eq!(
+            report.log_audits[1].unacked, 0,
+            "probe log must drain: {:?}",
+            report.log_audits[1]
+        );
+        assert!(report.log_audits[0].recorded >= 60);
+
+        // Timeline: every completed recall is bracketed by RecallStart /
+        // RecallFinish, and chains RecallFinish -> RecallStart ->
+        // Deploy -> Diagnosis -> DetectorNotify -> raw event.
+        let obs = report.obs.as_ref().expect("obs enabled by default");
+        let finishes: Vec<_> = obs
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, TimelineKind::RecallFinish { .. }))
+            .collect();
+        assert!(!finishes.is_empty());
+        for finish in finishes {
+            let TimelineKind::RecallFinish { start_seq, .. } = &finish.kind else {
+                unreachable!()
+            };
+            let start = obs.events.iter().find(|e| e.seq == *start_seq).unwrap();
+            let TimelineKind::RecallStart { deploy_seq, .. } = &start.kind else {
+                panic!("finish must link a RecallStart, got {:?}", start.kind)
+            };
+            let deploy = obs.events.iter().find(|e| e.seq == *deploy_seq).unwrap();
+            let TimelineKind::Deploy {
+                retrospective,
+                diagnosis_seq,
+                ..
+            } = &deploy.kind
+            else {
+                panic!("start must link a Deploy, got {:?}", deploy.kind)
+            };
+            assert!(retrospective, "recalled deploys are retrospective");
+            let diagnosis = obs.events.iter().find(|e| e.seq == *diagnosis_seq).unwrap();
+            let TimelineKind::Diagnosis { notify_seq, .. } = &diagnosis.kind else {
+                panic!("deploy must link a Diagnosis, got {:?}", diagnosis.kind)
+            };
+            let notify = obs.events.iter().find(|e| e.seq == *notify_seq).unwrap();
+            let TimelineKind::DetectorNotify { raw_seq, .. } = &notify.kind else {
+                panic!("diagnosis must link a notify, got {:?}", notify.kind)
+            };
+            let raw = obs.events.iter().find(|e| e.seq == *raw_seq).unwrap();
+            assert!(matches!(
+                raw.kind,
+                TimelineKind::RawM1 { .. } | TimelineKind::RawM2 { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn leaf_wait_includes_receive_timeout_slices() {
+        // One slow producer (60 model-ms per scan at scale 1.0 = 60 real
+        // ms, longer than the consumer's 50 ms receive timeout) and one
+        // cheap consumer: almost all of the consumer's life is waiting.
+        // Each wait spans a full Timeout slice, which the old code
+        // silently discarded — reported leaf-wait was ~10 ms/tuple
+        // instead of ~60.
+        let table = int_table("t", 8);
+        let mut plan = call_plan(&table, 1);
+        plan.sources[0].scan_cost_ms = 60.0;
+        plan.stages[0].exchange.buffer_tuples = 1;
+        let adapt = AdaptivityConfig {
+            monitoring_interval_tuples: 4,
+            ..Default::default()
+        };
+        let exec = ThreadedExecutor::new(
+            catalog(&[&table]),
+            ThreadedConfig {
+                adaptivity: adapt,
+                cost_scale: 1.0,
+                ..Default::default()
+            },
+        );
+        let report = exec.run(&plan).unwrap();
+        assert_eq!(report.results.len(), 8);
+        assert!(report.raw_m1_events >= 1);
+        let obs = report.obs.as_ref().unwrap();
+        let max_leaf_wait = obs
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                TimelineKind::RawM1 { leaf_wait_ms, .. } => Some(leaf_wait_ms),
+                _ => None,
+            })
+            .fold(0.0f64, f64::max);
+        assert!(
+            max_leaf_wait > 25.0,
+            "leaf wait must include timed-out receive slices, got {max_leaf_wait}"
+        );
+    }
+
+    #[test]
+    fn tail_batch_m1_is_flushed_at_eos() {
+        // 25 tuples on one partition with an interval of 10: two full
+        // batches plus a 5-tuple tail. The old code dropped the tail on
+        // the floor, leaving the last tuples unmonitored.
+        let table = int_table("t", 25);
+        let plan = call_plan(&table, 1);
+        let adapt = AdaptivityConfig {
+            monitoring_interval_tuples: 10,
+            ..Default::default()
+        };
+        let exec = ThreadedExecutor::new(
+            catalog(&[&table]),
+            ThreadedConfig {
+                adaptivity: adapt,
+                cost_scale: 0.002,
+                ..Default::default()
+            },
+        );
+        let report = exec.run(&plan).unwrap();
+        assert_eq!(report.results.len(), 25);
+        assert_eq!(
+            report.raw_m1_events, 3,
+            "10 + 10 + tail(5) batches must all be reported"
+        );
     }
 }

@@ -1,0 +1,285 @@
+//! The drain-barrier recall protocol for retrospective (R1) responses
+//! on the threaded substrate.
+//!
+//! The simulator realises R1 by editing its virtual-time event queue; on
+//! real threads the same effect needs a coordination protocol. The
+//! adaptivity thread acts as the recall coordinator:
+//!
+//! 1. **Pause.** It raises [`RecallGate::begin_pause`]; every producer
+//!    parks at its next [`RecallGate::pause_point`] (between tuples, or
+//!    just before its final flush). Once all *active* producers are
+//!    parked no new tuples can enter the exchange channels.
+//! 2. **Drain.** It broadcasts a `Drain` marker to every consumer. The
+//!    channels are FIFO, so the marker arrives after every tuple sent
+//!    before the pause; a consumer replying `Drained` has processed (or
+//!    shelved) everything addressed to it under the old distribution.
+//! 3. **Swap.** With the exchange quiescent it swaps the routing table
+//!    under the router lock and computes which hash buckets each old
+//!    owner must surrender.
+//! 4. **Migrate.** It sends each consumer a `Migrate` command; consumers
+//!    extract the surrendered bucket state, re-route it (and any held
+//!    probe tuples) directly to the new owners, retire the corresponding
+//!    recovery-log entries, and reply `MigrateDone`.
+//! 5. **Resume.** It bumps the gate epoch and releases the producers,
+//!    which notice the epoch change and restage their unsent buffers
+//!    under the new distribution before continuing.
+//!
+//! The gate uses a plain `std` mutex/condvar pair (not the workspace's
+//! poison-recovering wrapper) because the coordinator must keep working
+//! even if a producer panics while parked; every acquisition recovers
+//! from poisoning explicitly.
+
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Control-plane replies from consumers to the recall coordinator.
+/// `token` identifies the recall attempt, so replies from an aborted
+/// attempt cannot satisfy a later barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Ctrl {
+    /// The consumer has observed the `Drain` marker: every tuple sent to
+    /// it before the pause has been processed or shelved.
+    Drained {
+        /// Recall attempt the reply belongs to.
+        token: u64,
+    },
+    /// The consumer finished migrating its surrendered state.
+    MigrateDone {
+        /// Recall attempt the reply belongs to.
+        token: u64,
+        /// Operator-state tuples shipped to new owners.
+        state_moved: u64,
+        /// Held (not yet processed) tuples re-routed to new owners.
+        recalled: u64,
+    },
+}
+
+#[derive(Debug)]
+struct GateState {
+    /// Coordinator wants producers parked.
+    pause_requested: bool,
+    /// Bumped once per completed recall; producers restage their unsent
+    /// buffers when they wake under a new epoch.
+    epoch: u64,
+    /// Producers that have not finished their stream (or panicked).
+    active: usize,
+    /// Producers currently parked at a pause point.
+    parked: usize,
+}
+
+/// The barrier producers and the recall coordinator synchronise on.
+#[derive(Debug)]
+pub(crate) struct RecallGate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+impl RecallGate {
+    pub(crate) fn new(active_producers: usize) -> Self {
+        RecallGate {
+            state: Mutex::new(GateState {
+                pause_requested: false,
+                epoch: 0,
+                active: active_producers,
+                parked: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, GateState> {
+        // A panicked producer poisons the mutex; the state itself stays
+        // consistent (every mutation is a single field write), so recover.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Producer side: parks while a pause is requested, then returns the
+    /// current epoch. Called between tuples and immediately before the
+    /// final flush, so a producer can neither send nor finish while a
+    /// recall is in flight.
+    pub(crate) fn pause_point(&self) -> u64 {
+        let mut s = self.lock();
+        while s.pause_requested {
+            s.parked += 1;
+            self.cv.notify_all();
+            s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+            s.parked -= 1;
+        }
+        s.epoch
+    }
+
+    /// Producer side: the stream is finished (or the thread is
+    /// unwinding). Idempotence is the caller's responsibility — use
+    /// [`ProducerGuard`] so unwinds are counted too.
+    pub(crate) fn producer_done(&self) {
+        let mut s = self.lock();
+        s.active = s.active.saturating_sub(1);
+        self.cv.notify_all();
+    }
+
+    /// Coordinator side: requests a pause and waits until every active
+    /// producer is parked. Returns the number of parked producers, or
+    /// `None` on timeout (the pause request is withdrawn first, so a
+    /// `None` leaves the gate open).
+    pub(crate) fn begin_pause(&self, timeout: Duration) -> Option<usize> {
+        let deadline = Instant::now() + timeout;
+        let mut s = self.lock();
+        s.pause_requested = true;
+        self.cv.notify_all();
+        while s.parked < s.active {
+            let now = Instant::now();
+            if now >= deadline {
+                s.pause_requested = false;
+                self.cv.notify_all();
+                return None;
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(s, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            s = guard;
+        }
+        Some(s.parked)
+    }
+
+    /// Coordinator side: abandons a pause without changing the epoch.
+    pub(crate) fn abort_pause(&self) {
+        let mut s = self.lock();
+        s.pause_requested = false;
+        self.cv.notify_all();
+    }
+
+    /// Coordinator side: completes a recall — installs the new epoch and
+    /// releases the parked producers.
+    pub(crate) fn resume(&self, new_epoch: u64) {
+        let mut s = self.lock();
+        s.epoch = new_epoch;
+        s.pause_requested = false;
+        self.cv.notify_all();
+    }
+
+    /// The current redistribution epoch.
+    pub(crate) fn epoch(&self) -> u64 {
+        self.lock().epoch
+    }
+}
+
+/// Decrements the gate's active-producer count when dropped, so a
+/// producer that panics mid-stream cannot leave the coordinator waiting
+/// on a barrier that can never fill.
+pub(crate) struct ProducerGuard {
+    gate: std::sync::Arc<RecallGate>,
+}
+
+impl ProducerGuard {
+    pub(crate) fn new(gate: std::sync::Arc<RecallGate>) -> Self {
+        ProducerGuard { gate }
+    }
+}
+
+impl Drop for ProducerGuard {
+    fn drop(&mut self) {
+        self.gate.producer_done();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn pause_parks_all_active_producers_and_resume_bumps_epoch() {
+        let gate = Arc::new(RecallGate::new(2));
+        let mut workers = Vec::new();
+        for _ in 0..2 {
+            let gate = Arc::clone(&gate);
+            workers.push(thread::spawn(move || {
+                let _guard = ProducerGuard::new(Arc::clone(&gate));
+                let mut last_epoch = gate.pause_point();
+                // Spin through pause points until the epoch moves.
+                let deadline = Instant::now() + Duration::from_secs(10);
+                while last_epoch == 0 && Instant::now() < deadline {
+                    last_epoch = gate.pause_point();
+                }
+                last_epoch
+            }));
+        }
+        let parked = gate
+            .begin_pause(Duration::from_secs(10))
+            .expect("both producers must park");
+        assert_eq!(parked, 2);
+        gate.resume(1);
+        for w in workers {
+            assert_eq!(w.join().unwrap(), 1, "producers observe the new epoch");
+        }
+        assert_eq!(gate.epoch(), 1);
+    }
+
+    #[test]
+    fn finished_producers_do_not_block_the_barrier() {
+        let gate = Arc::new(RecallGate::new(2));
+        // One producer finishes immediately.
+        gate.producer_done();
+        let gate2 = Arc::clone(&gate);
+        let worker = thread::spawn(move || {
+            let deadline = Instant::now() + Duration::from_secs(10);
+            let mut epoch = gate2.pause_point();
+            while epoch == 0 && Instant::now() < deadline {
+                epoch = gate2.pause_point();
+            }
+            gate2.producer_done();
+            epoch
+        });
+        let parked = gate.begin_pause(Duration::from_secs(10)).unwrap();
+        assert_eq!(parked, 1, "only the live producer parks");
+        gate.resume(7);
+        assert_eq!(worker.join().unwrap(), 7);
+    }
+
+    #[test]
+    fn abort_reopens_the_gate_without_an_epoch_change() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let gate = Arc::new(RecallGate::new(1));
+        let released = Arc::new(AtomicBool::new(false));
+        let (gate2, released2) = (Arc::clone(&gate), Arc::clone(&released));
+        let worker = thread::spawn(move || {
+            // Keep hitting pause points until the coordinator is done.
+            while !released2.load(Ordering::Acquire) {
+                gate2.pause_point();
+            }
+            gate2.producer_done();
+        });
+        // Wait for the producer to park, then abort instead of resuming.
+        assert_eq!(gate.begin_pause(Duration::from_secs(10)), Some(1));
+        gate.abort_pause();
+        released.store(true, Ordering::Release);
+        worker.join().unwrap();
+        assert_eq!(gate.epoch(), 0, "epoch unchanged after abort");
+    }
+
+    #[test]
+    fn begin_pause_times_out_and_withdraws_the_request() {
+        // One producer is registered but never reaches a pause point.
+        let gate = RecallGate::new(1);
+        assert_eq!(gate.begin_pause(Duration::from_millis(20)), None);
+        // The request was withdrawn: a producer arriving later passes
+        // straight through.
+        assert_eq!(gate.pause_point(), 0);
+    }
+
+    #[test]
+    fn guard_counts_a_panicking_producer_as_done() {
+        let gate = Arc::new(RecallGate::new(1));
+        let gate2 = Arc::clone(&gate);
+        let worker = thread::spawn(move || {
+            let _guard = ProducerGuard::new(gate2);
+            panic!("producer crashed");
+        });
+        assert!(worker.join().is_err());
+        // The barrier fills trivially: no active producers remain.
+        assert_eq!(gate.begin_pause(Duration::from_secs(10)), Some(0));
+        gate.abort_pause();
+    }
+}

@@ -207,6 +207,7 @@ mod tests {
                 partition: "sp1.0".into(),
                 node: "n1".into(),
                 cost_per_tuple_ms: 5.0,
+                leaf_wait_ms: 0.0,
                 gate_fired: true,
             },
         );

@@ -27,6 +27,10 @@ pub enum TimelineKind {
         node: String,
         /// Reported cost per tuple in model milliseconds.
         cost_per_tuple_ms: f64,
+        /// Average time the partition spent waiting for input per tuple
+        /// of the batch, in model milliseconds (the A2 diagnoser's leaf
+        /// signal).
+        leaf_wait_ms: f64,
         /// Whether the detector's `thres_m` gate fired on this event.
         gate_fired: bool,
     },
@@ -84,6 +88,28 @@ pub enum TimelineKind {
         /// Sequence number of the diagnosis this deploys.
         diagnosis_seq: u64,
     },
+    /// A retrospective (R1) recall started: producers are paused and the
+    /// substrate is recalling unacknowledged work for redistribution.
+    RecallStart {
+        /// Stage (subplan) label.
+        stage: String,
+        /// The redistribution epoch this recall establishes.
+        epoch: u64,
+        /// Sequence number of the deploy this recall realises.
+        deploy_seq: u64,
+    },
+    /// A retrospective recall finished: moved-bucket state and recalled
+    /// tuples have been re-delivered under the new distribution.
+    RecallFinish {
+        /// The redistribution epoch the recall established.
+        epoch: u64,
+        /// Operator-state tuples migrated between partitions.
+        state_tuples_migrated: u64,
+        /// Queued/staged tuples recalled and re-routed.
+        tuples_recalled: u64,
+        /// Sequence number of the matching [`TimelineKind::RecallStart`].
+        start_seq: u64,
+    },
 }
 
 impl TimelineKind {
@@ -96,6 +122,8 @@ impl TimelineKind {
             TimelineKind::Diagnosis { .. } => "diagnosis",
             TimelineKind::ResponderDecision { .. } => "responder",
             TimelineKind::Deploy { .. } => "deploy",
+            TimelineKind::RecallStart { .. } => "recall_start",
+            TimelineKind::RecallFinish { .. } => "recall_finish",
         }
     }
 }
@@ -129,11 +157,13 @@ impl TimelineEvent {
                 partition,
                 node,
                 cost_per_tuple_ms,
+                leaf_wait_ms,
                 gate_fired,
             } => {
                 obj.str("partition", partition)
                     .str("node", node)
                     .num("cost_per_tuple_ms", *cost_per_tuple_ms)
+                    .num("leaf_wait_ms", *leaf_wait_ms)
                     .bool("gate_fired", *gate_fired);
             }
             TimelineKind::RawM2 {
@@ -186,6 +216,26 @@ impl TimelineEvent {
                     .raw("weights", &num_array(weights))
                     .bool("retrospective", *retrospective)
                     .int("diagnosis_seq", *diagnosis_seq);
+            }
+            TimelineKind::RecallStart {
+                stage,
+                epoch,
+                deploy_seq,
+            } => {
+                obj.str("stage", stage)
+                    .int("epoch", *epoch)
+                    .int("deploy_seq", *deploy_seq);
+            }
+            TimelineKind::RecallFinish {
+                epoch,
+                state_tuples_migrated,
+                tuples_recalled,
+                start_seq,
+            } => {
+                obj.int("epoch", *epoch)
+                    .int("state_tuples_migrated", *state_tuples_migrated)
+                    .int("tuples_recalled", *tuples_recalled)
+                    .int("start_seq", *start_seq);
             }
         }
         obj.finish()
@@ -278,6 +328,7 @@ mod tests {
             partition: format!("sp1.{i}"),
             node: "n1".into(),
             cost_per_tuple_ms: i as f64,
+            leaf_wait_ms: 0.0,
             gate_fired: false,
         }
     }
@@ -313,6 +364,7 @@ mod tests {
                 partition: "sp1.0".into(),
                 node: "n2".into(),
                 cost_per_tuple_ms: 2.5,
+                leaf_wait_ms: 0.75,
                 gate_fired: true,
             },
             TimelineKind::RawM2 {
@@ -343,6 +395,17 @@ mod tests {
                 retrospective: true,
                 diagnosis_seq: 3,
             },
+            TimelineKind::RecallStart {
+                stage: "sp1".into(),
+                epoch: 1,
+                deploy_seq: 5,
+            },
+            TimelineKind::RecallFinish {
+                epoch: 1,
+                state_tuples_migrated: 12,
+                tuples_recalled: 4,
+                start_seq: 6,
+            },
         ];
         let t = Timeline::new(16);
         for (i, kind) in kinds.into_iter().enumerate() {
@@ -358,7 +421,9 @@ mod tests {
                 "detector_notify",
                 "diagnosis",
                 "responder",
-                "deploy"
+                "deploy",
+                "recall_start",
+                "recall_finish"
             ]
         );
         for event in &events {
@@ -382,5 +447,18 @@ mod tests {
                 .map(<[Json]>::len),
             Some(2)
         );
+        // The recall pair carries its own causal links: the start points
+        // at the deploy, the finish at the start.
+        let start = Json::parse(&events[6].to_json_line()).unwrap();
+        assert_eq!(start.get("deploy_seq").and_then(Json::as_u64), Some(5));
+        assert_eq!(start.get("epoch").and_then(Json::as_u64), Some(1));
+        let finish = Json::parse(&events[7].to_json_line()).unwrap();
+        assert_eq!(finish.get("start_seq").and_then(Json::as_u64), Some(6));
+        assert_eq!(
+            finish.get("state_tuples_migrated").and_then(Json::as_u64),
+            Some(12)
+        );
+        let m1 = Json::parse(&events[0].to_json_line()).unwrap();
+        assert_eq!(m1.get("leaf_wait_ms").and_then(Json::as_f64), Some(0.75));
     }
 }

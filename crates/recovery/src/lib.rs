@@ -222,6 +222,218 @@ impl<T> RecoveryLog<T> {
     }
 }
 
+/// Outcome of an epoch-guarded acknowledgement on a [`SharedRecoveryLog`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckOutcome {
+    /// The acknowledgement was applied; this many entries were pruned.
+    Accepted(usize),
+    /// The acknowledgement carried a stale epoch (it was issued before a
+    /// window-voiding drain) and was dropped.
+    Stale,
+    /// The acknowledgement raced a drain that already emptied its window
+    /// (or duplicated an earlier ack) and was ignored.
+    Ignored,
+}
+
+/// A point-in-time conservation audit of a [`SharedRecoveryLog`].
+///
+/// Every recorded entry must be accounted for exactly once: pruned by an
+/// acknowledgement, retired by a retrospective migration, or still
+/// unacknowledged in the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LogAudit {
+    /// Entries recorded (including entries re-recorded by migration).
+    pub recorded: u64,
+    /// Entries pruned by acknowledgements.
+    pub pruned: u64,
+    /// Entries retired by retrospective migration (the migration traffic
+    /// itself carries the exactly-once guarantee for them).
+    pub retired: u64,
+    /// Entries still unacknowledged.
+    pub unacked: u64,
+    /// Acknowledgements accepted.
+    pub acks_accepted: u64,
+    /// Acknowledgements dropped as stale or ignored as races.
+    pub acks_dropped: u64,
+}
+
+impl LogAudit {
+    /// True when every recorded entry is accounted for exactly once.
+    pub fn conserved(&self) -> bool {
+        self.recorded == self.pruned + self.retired + self.unacked
+    }
+}
+
+#[derive(Debug)]
+struct SharedInner<T> {
+    log: RecoveryLog<T>,
+    epoch: u64,
+    recorded: u64,
+    pruned: u64,
+    retired: u64,
+    acks_accepted: u64,
+    acks_dropped: u64,
+}
+
+/// A [`RecoveryLog`] shared between real threads.
+///
+/// The simulator owns its logs outright and mutates them from the single
+/// event loop; the threaded executor instead shares each producer's log
+/// with the consumers that acknowledge checkpoints into it and with the
+/// recall coordinator that migrates entries during a retrospective
+/// redistribution. This wrapper adds the three things real concurrency
+/// needs on top of [`RecoveryLog`]:
+///
+/// - interior mutability behind a poison-recovering mutex;
+/// - an **epoch** guard on acknowledgements: checkpoints are stamped with
+///   the epoch under which their window was opened, and an ack whose
+///   epoch predates a window-voiding drain is dropped instead of pruning
+///   entries it no longer covers (a retrospective recall *preserves*
+///   windows, so it does not bump the epoch; only a drain that voids
+///   windows — e.g. failure recovery — must);
+/// - conservation counters, so a run can assert after the fact that no
+///   tuple was lost or double-accounted ([`LogAudit::conserved`]).
+#[derive(Debug)]
+pub struct SharedRecoveryLog<T> {
+    inner: gridq_common::sync::Mutex<SharedInner<T>>,
+}
+
+impl<T> SharedRecoveryLog<T> {
+    /// Creates a shared log for `dest_count` destinations checkpointing
+    /// every `interval` records per destination.
+    pub fn new(dest_count: usize, interval: usize) -> Result<Self> {
+        Ok(SharedRecoveryLog {
+            inner: gridq_common::sync::Mutex::new(SharedInner {
+                log: RecoveryLog::new(dest_count, interval)?,
+                epoch: 0,
+                recorded: 0,
+                pruned: 0,
+                retired: 0,
+                acks_accepted: 0,
+                acks_dropped: 0,
+            }),
+        })
+    }
+
+    /// The current epoch; checkpoints emitted now should carry it.
+    pub fn epoch(&self) -> u64 {
+        self.inner.lock().epoch
+    }
+
+    /// Bumps the epoch, invalidating in-flight acknowledgements. Call
+    /// only when checkpoint windows are voided (a drain that re-records
+    /// entries under fresh windows), never for a window-preserving
+    /// migration.
+    pub fn bump_epoch(&self) -> u64 {
+        let mut inner = self.inner.lock();
+        inner.epoch += 1;
+        inner.epoch
+    }
+
+    /// Records an outgoing item for `dest`; returns the checkpoint marker
+    /// to insert into the stream when this record closes a window.
+    pub fn record(&self, dest: u32, item: T) -> Result<Option<Checkpoint>> {
+        let mut inner = self.inner.lock();
+        let cp = inner.log.record(dest, item)?;
+        inner.recorded += 1;
+        Ok(cp)
+    }
+
+    /// Forces a checkpoint covering the open window on `dest`, if any.
+    pub fn force_checkpoint(&self, dest: u32) -> Result<Option<Checkpoint>> {
+        self.inner.lock().log.force_checkpoint(dest)
+    }
+
+    /// Applies an acknowledgement of checkpoint `id` on `dest` stamped
+    /// with `epoch`. Stale epochs and benign races (windows emptied by a
+    /// concurrent drain, duplicated acks) are dropped, not errors: under
+    /// real threads an ack can always cross a redistribution in flight.
+    pub fn acknowledge(&self, dest: u32, id: u64, epoch: u64) -> AckOutcome {
+        let mut inner = self.inner.lock();
+        if epoch != inner.epoch {
+            inner.acks_dropped += 1;
+            return AckOutcome::Stale;
+        }
+        match inner.log.acknowledge(dest, id) {
+            Ok(pruned) => {
+                inner.pruned += pruned as u64;
+                inner.acks_accepted += 1;
+                AckOutcome::Accepted(pruned)
+            }
+            Err(_) => {
+                inner.acks_dropped += 1;
+                AckOutcome::Ignored
+            }
+        }
+    }
+
+    /// Migrates the entries on `from` matching `pred` to `to`, preserving
+    /// their unacknowledged status (checkpoint windows on `from` stay
+    /// valid for the entries left behind). Used when a producer restages
+    /// its own unsent buffers under a new distribution: the producer is
+    /// still alive, so a later (or forced end-of-stream) checkpoint on
+    /// `to` closes the migrated entries' window. Returns how many entries
+    /// moved.
+    pub fn migrate_matching(
+        &self,
+        from: u32,
+        to: u32,
+        pred: impl FnMut(&T) -> bool,
+    ) -> Result<usize> {
+        let mut inner = self.inner.lock();
+        let drained = inner.log.drain_matching(from, pred)?;
+        let moved = drained.len();
+        for item in drained {
+            // Re-recorded entries ride existing windows: any marker id
+            // silently consumed here is covered by a later or forced
+            // checkpoint on `to` (acks prune every earlier window).
+            let _ = inner.log.record(to, item)?;
+        }
+        Ok(moved)
+    }
+
+    /// Retires the entries on `dest` matching `pred`: they leave the log
+    /// for good because the recall protocol re-delivered them directly
+    /// (migrated operator state, re-routed held tuples). The migration
+    /// traffic carries the exactly-once guarantee, so for the audit they
+    /// count as accounted-for, like a pruned entry. Returns how many
+    /// entries were retired.
+    pub fn retire_matching(&self, dest: u32, pred: impl FnMut(&T) -> bool) -> Result<usize> {
+        let mut inner = self.inner.lock();
+        let drained = inner.log.drain_matching(dest, pred)?;
+        inner.retired += drained.len() as u64;
+        Ok(drained.len())
+    }
+
+    /// Number of unacknowledged entries logged for `dest`.
+    pub fn unacked_len(&self, dest: u32) -> usize {
+        self.inner.lock().log.unacked_len(dest)
+    }
+
+    /// Total unacknowledged entries across destinations.
+    pub fn total_unacked(&self) -> usize {
+        self.inner.lock().log.total_unacked()
+    }
+
+    /// The checkpoint interval.
+    pub fn interval(&self) -> usize {
+        self.inner.lock().log.interval()
+    }
+
+    /// Snapshot of the conservation counters.
+    pub fn audit(&self) -> LogAudit {
+        let inner = self.inner.lock();
+        LogAudit {
+            recorded: inner.recorded,
+            pruned: inner.pruned,
+            retired: inner.retired,
+            unacked: inner.log.total_unacked() as u64,
+            acks_accepted: inner.acks_accepted,
+            acks_dropped: inner.acks_dropped,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -408,6 +620,116 @@ mod tests {
         let cp = l.force_checkpoint(0).unwrap().unwrap();
         assert_eq!(cp.dest, 0);
         assert_eq!(l.force_checkpoint(0).unwrap(), None);
+    }
+}
+
+#[cfg(test)]
+mod shared_tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn cross_thread_record_and_ack_conserve() {
+        let log = Arc::new(SharedRecoveryLog::<u64>::new(1, 5).unwrap());
+        let producer = {
+            let log = Arc::clone(&log);
+            std::thread::spawn(move || {
+                let mut cps = Vec::new();
+                for i in 0..100u64 {
+                    if let Some(cp) = log.record(0, i).unwrap() {
+                        cps.push(cp);
+                    }
+                }
+                cps
+            })
+        };
+        let cps = producer.join().unwrap();
+        assert_eq!(cps.len(), 20);
+        let consumer = {
+            let log = Arc::clone(&log);
+            std::thread::spawn(move || {
+                for cp in cps {
+                    assert!(matches!(
+                        log.acknowledge(cp.dest, cp.id, 0),
+                        AckOutcome::Accepted(_)
+                    ));
+                }
+            })
+        };
+        consumer.join().unwrap();
+        let audit = log.audit();
+        assert!(audit.conserved(), "not conserved: {audit:?}");
+        assert_eq!(audit.recorded, 100);
+        assert_eq!(audit.pruned, 100);
+        assert_eq!(audit.unacked, 0);
+        assert_eq!(audit.acks_accepted, 20);
+    }
+
+    #[test]
+    fn stale_epoch_ack_is_dropped() {
+        let log = SharedRecoveryLog::<u64>::new(1, 2).unwrap();
+        log.record(0, 1).unwrap();
+        let cp = log.record(0, 2).unwrap().unwrap();
+        assert_eq!(log.bump_epoch(), 1);
+        // The ack was issued under epoch 0; after the bump it must not
+        // prune anything.
+        assert_eq!(log.acknowledge(cp.dest, cp.id, 0), AckOutcome::Stale);
+        assert_eq!(log.total_unacked(), 2);
+        // A current-epoch ack still works: the window itself survives.
+        assert_eq!(log.acknowledge(cp.dest, cp.id, 1), AckOutcome::Accepted(2));
+        assert!(log.audit().conserved());
+    }
+
+    #[test]
+    fn duplicate_ack_is_ignored_not_fatal() {
+        let log = SharedRecoveryLog::<u64>::new(1, 1).unwrap();
+        let cp = log.record(0, 7).unwrap().unwrap();
+        assert_eq!(log.acknowledge(0, cp.id, 0), AckOutcome::Accepted(1));
+        assert_eq!(log.acknowledge(0, cp.id, 0), AckOutcome::Ignored);
+        let audit = log.audit();
+        assert_eq!(audit.acks_dropped, 1);
+        assert!(audit.conserved());
+    }
+
+    #[test]
+    fn migrate_preserves_unacked_and_later_checkpoint_covers() {
+        let log = SharedRecoveryLog::<u64>::new(2, 10).unwrap();
+        for i in 0..4 {
+            log.record(0, i).unwrap();
+        }
+        // Entries 0 and 2 move to destination 1 (distribution changed).
+        assert_eq!(log.migrate_matching(0, 1, |x| x % 2 == 0).unwrap(), 2);
+        assert_eq!(log.unacked_len(0), 2);
+        assert_eq!(log.unacked_len(1), 2);
+        let audit = log.audit();
+        assert_eq!(audit.recorded, 4, "migration must not double-count");
+        assert!(audit.conserved());
+        // The producer finishing the stream closes both open windows.
+        let cp0 = log.force_checkpoint(0).unwrap().unwrap();
+        let cp1 = log.force_checkpoint(1).unwrap().unwrap();
+        assert!(matches!(
+            log.acknowledge(0, cp0.id, 0),
+            AckOutcome::Accepted(2)
+        ));
+        assert!(matches!(
+            log.acknowledge(1, cp1.id, 0),
+            AckOutcome::Accepted(2)
+        ));
+        assert_eq!(log.total_unacked(), 0);
+        assert!(log.audit().conserved());
+    }
+
+    #[test]
+    fn retire_accounts_entries_as_delivered() {
+        let log = SharedRecoveryLog::<u64>::new(1, 100).unwrap();
+        for i in 0..6 {
+            log.record(0, i).unwrap();
+        }
+        assert_eq!(log.retire_matching(0, |x| *x < 4).unwrap(), 4);
+        let audit = log.audit();
+        assert_eq!(audit.retired, 4);
+        assert_eq!(audit.unacked, 2);
+        assert!(audit.conserved());
     }
 }
 

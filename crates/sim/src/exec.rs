@@ -265,6 +265,9 @@ struct Run<'a> {
     last_result_at: SimTime,
     last_finish_at: SimTime,
     report: ExecutionReport,
+    /// Retrospective redistributions performed so far; each one is a
+    /// redistribution epoch for the timeline.
+    recalls: u64,
     monitoring_on: bool,
     adaptivity_on: bool,
     obs: Option<Obs>,
@@ -415,6 +418,7 @@ impl<'a> Run<'a> {
             last_result_at: SimTime::ZERO,
             last_finish_at: SimTime::ZERO,
             report,
+            recalls: 0,
             monitoring_on: adapt.monitoring_active(),
             adaptivity_on: adapt.enabled,
             obs,
@@ -805,6 +809,7 @@ impl<'a> Run<'a> {
                 partition: event.partition.to_string(),
                 node: node.to_string(),
                 cost_per_tuple_ms: event.cost_per_tuple_ms,
+                leaf_wait_ms: event.leaf_wait_ms,
                 gate_fired: !matches!(output, DetectorOutput::Quiet),
             },
         );
@@ -978,7 +983,7 @@ impl<'a> Run<'a> {
         // sync with what the router actually uses (the clamped target,
         // not the raw proposal).
         self.diagnoser.set_distribution(target.clone());
-        self.obs_record(
+        let deploy_seq = self.obs_record(
             self.now,
             TimelineKind::Deploy {
                 stage: cmd.stage.to_string(),
@@ -999,19 +1004,44 @@ impl<'a> Run<'a> {
                     .collect::<Vec<_>>()
             ),
         );
-        if !cmd.retrospective {
-            return Ok(());
+        if cmd.retrospective {
+            self.redistribute(&moves, Some(deploy_seq))?;
         }
-        self.redistribute(&moves)
+        // The deployment is fully applied (including any recall) at this
+        // point of virtual time; report it back to the Responder so the
+        // cooldown runs from completion, as in the threaded substrate.
+        self.responder.on_deploy_acknowledged(self.now);
+        Ok(())
     }
 
     /// Retrospective redistribution: recall unprocessed tuples from
     /// consumer queues, in-flight buffers, and producer staging, migrate
     /// the operator state of moved hash buckets, and re-send everything
     /// under the new distribution.
-    fn redistribute(&mut self, moves: &[gridq_common::BucketMove]) -> Result<()> {
+    fn redistribute(
+        &mut self,
+        moves: &[gridq_common::BucketMove],
+        deploy_seq: Option<u64>,
+    ) -> Result<()> {
         let t = self.now;
         let partitions = self.consumers.len();
+        // Each recall is a redistribution epoch; the timeline pair below
+        // (present when this recall realises a deploy, absent on the
+        // failure-recovery path) brackets it for traceability.
+        self.recalls += 1;
+        let epoch = self.recalls;
+        let state_before = self.report.state_tuples_migrated;
+        let redist_before = self.report.tuples_redistributed;
+        let start_seq = deploy_seq.map(|deploy_seq| {
+            self.obs_record(
+                t,
+                TimelineKind::RecallStart {
+                    stage: self.stage_id.to_string(),
+                    epoch,
+                    deploy_seq,
+                },
+            )
+        });
         // (from_consumer, to_consumer) -> items; `from == usize::MAX`
         // marks items recalled from producer staging (cost charged to the
         // producer's node instead).
@@ -1260,6 +1290,17 @@ impl<'a> Run<'a> {
                 self.queue.schedule(t, Event::ConsumerStep { consumer: ci });
             }
         }
+        if let Some(start_seq) = start_seq {
+            self.obs_record(
+                t,
+                TimelineKind::RecallFinish {
+                    epoch,
+                    state_tuples_migrated: self.report.state_tuples_migrated - state_before,
+                    tuples_recalled: self.report.tuples_redistributed - redist_before,
+                    start_seq,
+                },
+            );
+        }
         Ok(())
     }
 
@@ -1373,7 +1414,7 @@ impl<'a> Run<'a> {
             .copied()
             .collect();
         if !alive_moves.is_empty() {
-            self.redistribute(&alive_moves)?;
+            self.redistribute(&alive_moves, None)?;
         }
 
         // Resend every unacknowledged tuple logged for a dead partition,
