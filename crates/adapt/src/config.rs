@@ -131,6 +131,8 @@ mod tests {
     use super::*;
 
     #[test]
+    // Literal config constants round-trip bit-exactly.
+    #[allow(clippy::float_cmp)]
     fn defaults_match_paper() {
         let c = AdaptivityConfig::default();
         assert_eq!(c.monitoring_interval_tuples, 10);

@@ -145,7 +145,9 @@ impl MonitoringEventDetector {
         // non-finite, nothing was stored. Staying Quiet (rather than
         // panicking or poisoning the gate) is the whole point of
         // rejecting such samples.
-        let tracked = self.m1.get_mut(&event.partition).expect("just inserted");
+        let Some(tracked) = self.m1.get_mut(&event.partition) else {
+            return DetectorOutput::Quiet;
+        };
         let Some(avg) = tracked.window.trimmed_mean() else {
             return DetectorOutput::Quiet;
         };
@@ -177,7 +179,9 @@ impl MonitoringEventDetector {
         if !tracked.window.push(event.cost_per_tuple_ms()) {
             self.reject();
         }
-        let tracked = self.m2.get_mut(&key).expect("just inserted");
+        let Some(tracked) = self.m2.get_mut(&key) else {
+            return DetectorOutput::Quiet;
+        };
         let Some(avg) = tracked.window.trimmed_mean() else {
             return DetectorOutput::Quiet;
         };

@@ -1,0 +1,83 @@
+//! Checked numeric conversions for the monitoring and routing paths.
+//!
+//! `as` casts silently wrap (`usize → u32`), truncate (`f64 → u64`), or
+//! lose precision (`u64 → f64` beyond 2^53). On tuple-count and weight
+//! paths those silent losses corrupt the very statistics the adaptivity
+//! loop steers by, so the workspace routes them through these helpers:
+//! exact where exactness is provable, explicit about rounding where it
+//! is not. `gridq-lint`'s `adapt-cast` rule enforces their use in
+//! `crates/adapt`.
+
+use crate::error::{GridError, Result};
+
+/// Largest integer count `f64` represents exactly (2^53). Counts beyond
+/// this lose unit precision when widened to a float.
+pub const MAX_EXACT_COUNT: u64 = 1 << 53;
+
+/// Widens a tuple/event count to `f64`. Exact for every count the
+/// workspace can physically produce; saturates the (astronomical)
+/// remainder to `MAX_EXACT_COUNT` rather than silently rounding, so a
+/// corrupted counter cannot smuggle impossible precision into a ratio.
+pub fn count_to_f64(count: u64) -> f64 {
+    count.min(MAX_EXACT_COUNT) as f64
+}
+
+/// `usize` counterpart of [`count_to_f64`].
+pub fn usize_to_f64(count: usize) -> f64 {
+    count_to_f64(count as u64)
+}
+
+/// The ratio of two counts as `f64`, with an explicit zero-denominator
+/// policy: `0.0` instead of NaN/inf, because every monitoring consumer
+/// treats "no data yet" as "no signal", never as a poisoned sample.
+pub fn ratio(numerator: u64, denominator: u64) -> f64 {
+    if denominator == 0 {
+        return 0.0;
+    }
+    count_to_f64(numerator) / count_to_f64(denominator)
+}
+
+/// Narrows an index (partition number, bucket id) to `u32`, failing
+/// loudly instead of wrapping: an index that overflows `u32` means the
+/// planner produced a degenerate plan, not that routing should alias
+/// two partitions.
+pub fn index_to_u32(index: usize) -> Result<u32> {
+    u32::try_from(index).map_err(|_| GridError::Plan(format!("index {index} exceeds u32 range")))
+}
+
+#[cfg(test)]
+// Tests compare against stored literals and exactly-representable
+// constants, where bit-exact equality is the intended assertion.
+#[allow(clippy::float_cmp)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_widen_exactly() {
+        assert_eq!(count_to_f64(0), 0.0);
+        assert_eq!(count_to_f64(1_000_000), 1_000_000.0);
+        assert_eq!(count_to_f64(MAX_EXACT_COUNT), MAX_EXACT_COUNT as f64);
+    }
+
+    #[test]
+    fn oversized_counts_saturate() {
+        assert_eq!(count_to_f64(u64::MAX), MAX_EXACT_COUNT as f64);
+        assert_eq!(count_to_f64(MAX_EXACT_COUNT + 1), MAX_EXACT_COUNT as f64);
+    }
+
+    #[test]
+    fn ratio_is_finite_by_construction() {
+        assert_eq!(ratio(1, 0), 0.0);
+        assert_eq!(ratio(0, 0), 0.0);
+        assert_eq!(ratio(3, 4), 0.75);
+        assert!(ratio(u64::MAX, 3).is_finite());
+    }
+
+    #[test]
+    fn index_narrowing_fails_loudly() {
+        assert_eq!(index_to_u32(7).unwrap(), 7);
+        assert!(index_to_u32(u32::MAX as usize).is_ok());
+        #[cfg(target_pointer_width = "64")]
+        assert!(index_to_u32(u32::MAX as usize + 1).is_err());
+    }
+}

@@ -8,6 +8,7 @@
 //! adaptivity components of the paper (running averages over a bounded
 //! window with the minimum and maximum samples discarded).
 
+pub mod cast;
 pub mod check;
 pub mod dist;
 pub mod error;

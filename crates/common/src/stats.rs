@@ -159,6 +159,7 @@ impl ChangeDetector {
 pub struct RunningMean {
     sum: f64,
     count: u64,
+    rejected: u64,
 }
 
 impl RunningMean {
@@ -167,10 +168,24 @@ impl RunningMean {
         Self::default()
     }
 
-    /// Adds a sample.
-    pub fn push(&mut self, sample: f64) {
+    /// Adds a sample. Non-finite samples are rejected (and counted via
+    /// [`RunningMean::rejected`]) rather than accumulated: a single NaN
+    /// in the sum would poison the mean for the rest of the run — the
+    /// same hazard the `TrimmedWindow` guards against. Returns whether
+    /// the sample was accepted.
+    pub fn push(&mut self, sample: f64) -> bool {
+        if !sample.is_finite() {
+            self.rejected = self.rejected.saturating_add(1);
+            return false;
+        }
         self.sum += sample;
         self.count += 1;
+        true
+    }
+
+    /// Number of non-finite samples rejected so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
     }
 
     /// The mean so far, or `None` before any sample.
@@ -269,10 +284,23 @@ mod tests {
     fn running_mean() {
         let mut m = RunningMean::new();
         assert_eq!(m.mean(), None);
-        m.push(2.0);
-        m.push(4.0);
+        assert!(m.push(2.0));
+        assert!(m.push(4.0));
         assert_eq!(m.mean(), Some(3.0));
         assert_eq!(m.count(), 2);
+    }
+
+    #[test]
+    fn running_mean_rejects_non_finite() {
+        // Regression: `sum += NaN` used to poison the mean permanently.
+        let mut m = RunningMean::new();
+        assert!(m.push(2.0));
+        assert!(!m.push(f64::NAN));
+        assert!(!m.push(f64::INFINITY));
+        assert!(m.push(4.0));
+        assert_eq!(m.mean(), Some(3.0));
+        assert_eq!(m.count(), 2);
+        assert_eq!(m.rejected(), 2);
     }
 
     #[test]

@@ -530,6 +530,8 @@ mod tests {
     }
 
     #[test]
+    // Configured base costs are stored, never computed: exact round-trip.
+    #[allow(clippy::float_cmp)]
     fn service_call_evaluator_invokes() {
         let input = Schema::new(vec![Field::new("x", DataType::Int)]);
         let factory = ServiceCallFactory::new(
@@ -568,6 +570,8 @@ mod tests {
     }
 
     #[test]
+    // Configured base costs are stored, never computed: exact round-trip.
+    #[allow(clippy::float_cmp)]
     fn hash_join_evaluator_builds_then_probes() {
         let factory = HashJoinFactory::new(&str_schema("orf"), &str_schema("orf1"), 0, 0, 0.1, 2.0);
         assert!(factory.stateful());
@@ -652,6 +656,8 @@ mod tests {
     }
 
     #[test]
+    // Configured base costs are stored, never computed: exact round-trip.
+    #[allow(clippy::float_cmp)]
     fn filter_map_evaluator() {
         let input = Schema::new(vec![Field::new("x", DataType::Int)]);
         let pred = Expr::Binary {

@@ -10,6 +10,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use gridq_common::cast::count_to_f64;
 use gridq_common::sync::Mutex;
 use gridq_common::{Result, Schema, Tuple};
 
@@ -35,7 +36,7 @@ impl OperatorStats {
         if self.tuples_out == 0 {
             0.0
         } else {
-            self.busy_ms / self.tuples_out as f64
+            self.busy_ms / count_to_f64(self.tuples_out)
         }
     }
 
@@ -44,7 +45,7 @@ impl OperatorStats {
         if self.tuples_in == 0 {
             0.0
         } else {
-            self.wait_ms / self.tuples_in as f64
+            self.wait_ms / count_to_f64(self.tuples_in)
         }
     }
 
@@ -53,7 +54,7 @@ impl OperatorStats {
         if self.tuples_in == 0 {
             1.0
         } else {
-            self.tuples_out as f64 / self.tuples_in as f64
+            count_to_f64(self.tuples_out) / count_to_f64(self.tuples_in)
         }
     }
 }
@@ -80,8 +81,13 @@ impl Monitored {
     }
 
     /// Reports externally measured wait (idle) time, e.g. time blocked on
-    /// an exchange queue.
+    /// an exchange queue. Non-finite measurements are dropped: one NaN
+    /// added to `wait_ms` would poison `wait_per_tuple` — and through it
+    /// the M1 leaf-wait signal — for the rest of the query.
     pub fn record_wait(&self, wait_ms: f64) {
+        if !wait_ms.is_finite() {
+            return;
+        }
         self.stats.lock().wait_ms += wait_ms;
     }
 }
@@ -132,6 +138,8 @@ mod tests {
     }
 
     #[test]
+    // 12.5 + 7.5 is exact in binary floating point.
+    #[allow(clippy::float_cmp)]
     fn wait_recording() {
         let schema = Schema::new(vec![Field::new("x", DataType::Int)]);
         let table = Arc::new(Table::new("t", schema, vec![]).unwrap());
@@ -142,6 +150,8 @@ mod tests {
     }
 
     #[test]
+    // The zero-denominator branches return literal constants.
+    #[allow(clippy::float_cmp)]
     fn stats_helpers_handle_zero() {
         let s = OperatorStats::default();
         assert_eq!(s.cost_per_tuple(), 0.0);

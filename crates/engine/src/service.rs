@@ -206,6 +206,8 @@ mod tests {
     }
 
     #[test]
+    // Configured base cost is stored, never computed: exact round-trip.
+    #[allow(clippy::float_cmp)]
     fn signature_and_cost_exposed() {
         let mut reg = ServiceRegistry::new();
         reg.register(double());

@@ -41,6 +41,7 @@ use gridq_adapt::{
     AdaptivityConfig, DetectorOutput, Diagnoser, MonitoringEventDetector, ProducerId, Responder,
     ResponsePolicy, M1, M2,
 };
+use gridq_common::cast;
 use gridq_common::sync::Mutex;
 use gridq_common::{GridError, NodeId, PartitionId, Result, SimTime, Tuple};
 use gridq_engine::distributed::{DistributedPlan, Router};
@@ -335,7 +336,7 @@ impl ThreadedExecutor {
         let partitions = stage.nodes.len();
         let router = Arc::new(Mutex::new(Router::from_policy(
             &stage.exchange.routing,
-            partitions as u32,
+            cast::index_to_u32(partitions)?,
         )?));
 
         // Channels: producers -> consumers, consumers -> collector,
@@ -650,7 +651,7 @@ impl ThreadedExecutor {
                         selectivity: if processed == 0 {
                             1.0
                         } else {
-                            outputs_total as f64 / processed as f64
+                            cast::ratio(outputs_total, processed)
                         },
                         tuples_produced: outputs_total,
                         at: SimTime::from_millis(
@@ -885,7 +886,7 @@ impl ThreadedExecutor {
             let gate = gate.clone();
             let initial = router.lock().current_distribution();
             let stage_id = stage.id;
-            let partitions_u32 = partitions as u32;
+            let partitions_u32 = cast::index_to_u32(partitions)?;
             let scale = self.config.cost_scale;
             let obs = obs.clone();
             thread::spawn(move || -> AdaptStats {
@@ -997,7 +998,7 @@ impl ThreadedExecutor {
                         } else {
                             routed_total.load(Ordering::Relaxed)
                         };
-                        let progress = done as f64 / total_rows.max(1) as f64;
+                        let progress = cast::ratio(done, total_rows.max(1));
                         let (decision, cmd) = responder.on_imbalance(&imbalance, progress);
                         record(
                             imbalance.at,
@@ -1130,9 +1131,11 @@ impl ThreadedExecutor {
                 // accumulated, then evict it so detector/diagnoser maps
                 // never outlive the query they monitored.
                 if let Some(o) = &obs {
-                    o.metrics().gauge("adapt.tracked_streams_at_teardown").set(
-                        (detector.tracked_streams() + diagnoser.tracked_cost_entries()) as f64,
-                    );
+                    o.metrics()
+                        .gauge("adapt.tracked_streams_at_teardown")
+                        .set(cast::usize_to_f64(
+                            detector.tracked_streams() + diagnoser.tracked_cost_entries(),
+                        ));
                 }
                 detector.reset_for_query();
                 diagnoser.reset_for_query();
@@ -1171,17 +1174,19 @@ impl ThreadedExecutor {
         }
         let _ = raw_tx.send(Raw::ProducersDone);
         drop(raw_tx);
-        let adapt_result = adapt_handle.join();
-        if adapt_result.is_err() {
-            panicked.push("adaptivity thread".into());
-        }
+        let stats = match adapt_handle.join() {
+            Ok(stats) => stats,
+            Err(_) => {
+                panicked.push("adaptivity thread".into());
+                AdaptStats::default()
+            }
+        };
         if !panicked.is_empty() {
             return Err(GridError::Execution(format!(
                 "worker thread(s) panicked: {}",
                 panicked.join(", ")
             )));
         }
-        let stats = adapt_result.expect("checked above");
 
         let mut results = Vec::new();
         while let Ok(batch) = result_rx.try_recv() {

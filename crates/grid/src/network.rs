@@ -54,6 +54,9 @@ impl NetworkModel {
 }
 
 #[cfg(test)]
+// Tests compare against stored literals and exactly-representable
+// constants, where bit-exact equality is the intended assertion.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

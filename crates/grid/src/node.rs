@@ -48,6 +48,9 @@ impl NodeSpec {
 }
 
 #[cfg(test)]
+// Tests compare against stored literals and exactly-representable
+// constants, where bit-exact equality is the intended assertion.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

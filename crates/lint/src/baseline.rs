@@ -1,0 +1,213 @@
+//! The checked-in suppression baseline (`lint-baseline.toml`).
+//!
+//! Zero dependencies means no TOML crate, so this parses exactly the
+//! subset the baseline uses and rejects everything else loudly:
+//!
+//! ```toml
+//! # comment
+//! [[suppress]]
+//! rule = "std-sync"
+//! file = "crates/exec/src/recall.rs"
+//! reason = "RecallGate deliberately pairs a raw Mutex with a Condvar"
+//! ```
+//!
+//! Every entry must carry a non-empty reason; entries that no longer
+//! match any finding are reported as stale so the baseline can only
+//! shrink over time.
+
+use crate::Finding;
+
+/// One baseline suppression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Rule id the entry suppresses.
+    pub rule: String,
+    /// Workspace-relative file the finding must be in.
+    pub file: String,
+    /// Human justification; empty reasons are a parse-level error.
+    pub reason: String,
+}
+
+/// A parsed baseline.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    /// All suppressions, in file order.
+    pub entries: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Parses baseline TOML text. Returns the baseline or a list of
+    /// error strings (malformed lines, unknown keys, missing fields,
+    /// empty reasons).
+    pub fn parse(text: &str) -> Result<Baseline, Vec<String>> {
+        let mut entries: Vec<BaselineEntry> = Vec::new();
+        let mut errors: Vec<String> = Vec::new();
+        let mut current: Option<(Option<String>, Option<String>, Option<String>)> = None;
+
+        let flush = |cur: &mut Option<(Option<String>, Option<String>, Option<String>)>,
+                     errors: &mut Vec<String>,
+                     entries: &mut Vec<BaselineEntry>| {
+            if let Some((rule, file, reason)) = cur.take() {
+                match (rule, file, reason) {
+                    (Some(rule), Some(file), Some(reason)) => {
+                        if reason.trim().is_empty() {
+                            errors.push(format!(
+                                "baseline entry for `{rule}` in `{file}` has an empty \
+                                     reason: every suppression must be justified"
+                            ));
+                        } else {
+                            entries.push(BaselineEntry { rule, file, reason });
+                        }
+                    }
+                    (rule, file, _) => errors.push(format!(
+                        "incomplete baseline entry (rule={rule:?}, file={file:?}): \
+                             need rule, file, and reason"
+                    )),
+                }
+            }
+        };
+
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let lineno = idx + 1;
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[suppress]]" {
+                flush(&mut current, &mut errors, &mut entries);
+                current = Some((None, None, None));
+                continue;
+            }
+            if line.starts_with("[[") {
+                errors.push(format!(
+                    "line {lineno}: unknown table `{line}` (only [[suppress]] is supported)"
+                ));
+                flush(&mut current, &mut errors, &mut entries);
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                errors.push(format!(
+                    "line {lineno}: expected `key = \"value\"`, got `{line}`"
+                ));
+                continue;
+            };
+            let key = key.trim();
+            let value = value.trim();
+            let Some(value) = value.strip_prefix('"').and_then(|v| v.strip_suffix('"')) else {
+                errors.push(format!(
+                    "line {lineno}: value for `{key}` must be a double-quoted string"
+                ));
+                continue;
+            };
+            let Some(cur) = current.as_mut() else {
+                errors.push(format!(
+                    "line {lineno}: `{key}` outside a [[suppress]] table"
+                ));
+                continue;
+            };
+            match key {
+                "rule" => cur.0 = Some(value.to_string()),
+                "file" => cur.1 = Some(value.to_string()),
+                "reason" => cur.2 = Some(value.to_string()),
+                other => errors.push(format!(
+                    "line {lineno}: unknown key `{other}` (expected rule/file/reason)"
+                )),
+            }
+        }
+        flush(&mut current, &mut errors, &mut entries);
+
+        if errors.is_empty() {
+            Ok(Baseline { entries })
+        } else {
+            Err(errors)
+        }
+    }
+
+    /// Splits findings into (surviving, suppressed-count) and returns
+    /// the entries that matched nothing (stale).
+    pub fn apply(&self, findings: Vec<Finding>) -> (Vec<Finding>, u64, Vec<BaselineEntry>) {
+        let mut used = vec![false; self.entries.len()];
+        let mut surviving = Vec::new();
+        let mut suppressed = 0u64;
+        for f in findings {
+            let hit = self
+                .entries
+                .iter()
+                .position(|e| e.rule == f.rule && e.file == f.path);
+            match hit {
+                Some(i) => {
+                    used[i] = true;
+                    suppressed += 1;
+                }
+                None => surviving.push(f),
+            }
+        }
+        let stale = self
+            .entries
+            .iter()
+            .zip(used.iter())
+            .filter(|(_, &u)| !u)
+            .map(|(e, _)| e.clone())
+            .collect();
+        (surviving, suppressed, stale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_comments() {
+        let b = Baseline::parse(
+            "# header\n\n[[suppress]]\nrule = \"std-sync\"\nfile = \"crates/exec/src/recall.rs\"\nreason = \"raw condvar pair\"\n",
+        )
+        .unwrap();
+        assert_eq!(b.entries.len(), 1);
+        assert_eq!(b.entries[0].rule, "std-sync");
+    }
+
+    #[test]
+    fn empty_reason_is_an_error() {
+        let err = Baseline::parse(
+            "[[suppress]]\nrule = \"no-println\"\nfile = \"x.rs\"\nreason = \"\"\n",
+        )
+        .unwrap_err();
+        assert!(err[0].contains("empty"));
+    }
+
+    #[test]
+    fn missing_field_is_an_error() {
+        let err =
+            Baseline::parse("[[suppress]]\nrule = \"no-println\"\nreason = \"why\"\n").unwrap_err();
+        assert!(err[0].contains("incomplete"));
+    }
+
+    #[test]
+    fn unknown_key_is_an_error() {
+        let err = Baseline::parse(
+            "[[suppress]]\nrule = \"x\"\nfile = \"y\"\nreason = \"z\"\nseverity = \"low\"\n",
+        )
+        .unwrap_err();
+        assert!(err[0].contains("unknown key"));
+    }
+
+    #[test]
+    fn apply_suppresses_and_reports_stale() {
+        let b = Baseline::parse(
+            "[[suppress]]\nrule = \"a\"\nfile = \"f.rs\"\nreason = \"r\"\n[[suppress]]\nrule = \"b\"\nfile = \"g.rs\"\nreason = \"r\"\n",
+        )
+        .unwrap();
+        let findings = vec![Finding {
+            rule: "a".into(),
+            path: "f.rs".into(),
+            line: 1,
+            message: "m".into(),
+        }];
+        let (surviving, suppressed, stale) = b.apply(findings);
+        assert!(surviving.is_empty());
+        assert_eq!(suppressed, 1);
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].rule, "b");
+    }
+}

@@ -1,0 +1,376 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! The rules in this crate must never fire on text inside string
+//! literals, char literals, or comments — the classic failure mode of
+//! regex-over-source linters. This tokenizer understands exactly enough
+//! Rust lexical structure to make that guarantee: line and (nested)
+//! block comments, plain and raw strings (with `b`/`c` prefixes and any
+//! number of `#` guards), char literals vs. lifetimes, numeric literals,
+//! identifiers, and single-character punctuation. It does not attempt to
+//! parse; the rule layer works on the token stream.
+
+/// The coarse class of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `router`, `f64`, ...).
+    Ident,
+    /// A single punctuation character (`.`? `::` is two `:` tokens).
+    Punct,
+    /// A string, char, or numeric literal (content is opaque to rules).
+    Literal,
+    /// A line or block comment, text included (suppression annotations
+    /// like `// lint: bounded-by <reason>` live here).
+    Comment,
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// Exact source text of the token.
+    pub text: String,
+    /// 1-based line on which the token starts.
+    pub line: u32,
+}
+
+impl Token {
+    /// True if this is an identifier with exactly the given text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// True if this is the given punctuation character.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(ch)
+    }
+}
+
+/// Tokenizes Rust source. Unterminated literals or comments consume the
+/// rest of the input rather than erroring: a linter must degrade
+/// gracefully on code the compiler will reject anyway.
+pub fn tokenize(source: &str) -> Vec<Token> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = chars.len();
+
+    let count_lines = |slice: &[char]| slice.iter().filter(|&&c| c == '\n').count() as u32;
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n && (chars[i + 1] == '/' || chars[i + 1] == '*') {
+            let start = i;
+            let start_line = line;
+            if chars[i + 1] == '/' {
+                while i < n && chars[i] != '\n' {
+                    i += 1;
+                }
+            } else {
+                i += 2;
+                let mut depth = 1u32;
+                while i < n && depth > 0 {
+                    if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            line += count_lines(&chars[start..i]);
+            tokens.push(Token {
+                kind: TokKind::Comment,
+                text: chars[start..i].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Raw strings and byte/C strings: r"..", r#".."#, br".."; the
+        // prefix idents `b`, `c`, `br`, `cr` are only a string prefix
+        // when immediately followed by `"` or `r"`/`r#`.
+        if let Some(len) = raw_string_len(&chars[i..]) {
+            let start_line = line;
+            line += count_lines(&chars[i..i + len]);
+            tokens.push(Token {
+                kind: TokKind::Literal,
+                text: chars[i..i + len].iter().collect(),
+                line: start_line,
+            });
+            i += len;
+            continue;
+        }
+        // Plain strings (and b"/c" prefixed ones).
+        if c == '"' || ((c == 'b' || c == 'c') && i + 1 < n && chars[i + 1] == '"') {
+            let start = i;
+            let start_line = line;
+            if c != '"' {
+                i += 1;
+            }
+            i += 1; // opening quote
+            while i < n {
+                if chars[i] == '\\' {
+                    i += 2;
+                } else if chars[i] == '"' {
+                    i += 1;
+                    break;
+                } else {
+                    i += 1;
+                }
+            }
+            let end = i.min(n);
+            line += count_lines(&chars[start..end]);
+            tokens.push(Token {
+                kind: TokKind::Literal,
+                text: chars[start..end].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Char literal or lifetime.
+        if c == '\'' {
+            let next = chars.get(i + 1).copied();
+            let after = chars.get(i + 2).copied();
+            let is_lifetime = match next {
+                Some(ch) if ch.is_alphabetic() || ch == '_' => after != Some('\''),
+                _ => false,
+            };
+            if is_lifetime {
+                let start = i;
+                i += 1;
+                while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokKind::Lifetime,
+                    text: chars[start..i].iter().collect(),
+                    line,
+                });
+            } else {
+                let start = i;
+                i += 1;
+                while i < n {
+                    if chars[i] == '\\' {
+                        i += 2;
+                    } else if chars[i] == '\'' {
+                        i += 1;
+                        break;
+                    } else {
+                        i += 1;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text: chars[start..i.min(n)].iter().collect(),
+                    line,
+                });
+            }
+            continue;
+        }
+        // Numbers. A trailing `.` is consumed only when followed by a
+        // digit, so ranges like `0..10` lex as number, dot, dot, number.
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            if i + 1 < n && chars[i] == '.' && chars[i + 1].is_ascii_digit() {
+                i += 1;
+                while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                // Exponents: `1.5e-3`.
+                if i < n
+                    && (chars[i] == '-' || chars[i] == '+')
+                    && chars[i - 1].eq_ignore_ascii_case(&'e')
+                {
+                    i += 1;
+                    while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                        i += 1;
+                    }
+                }
+            }
+            tokens.push(Token {
+                kind: TokKind::Literal,
+                text: chars[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Identifiers and keywords.
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            tokens.push(Token {
+                kind: TokKind::Ident,
+                text: chars[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Everything else is single-character punctuation.
+        tokens.push(Token {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    tokens
+}
+
+/// If `chars` starts a raw (possibly byte/C) string literal, returns its
+/// total length in chars; otherwise `None`.
+fn raw_string_len(chars: &[char]) -> Option<usize> {
+    let mut i = 0usize;
+    if matches!(chars.first(), Some('b') | Some('c')) {
+        i += 1;
+    }
+    if chars.get(i) != Some(&'r') {
+        return None;
+    }
+    i += 1;
+    let mut hashes = 0usize;
+    while chars.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if chars.get(i) != Some(&'"') {
+        return None;
+    }
+    i += 1;
+    // Scan for `"` followed by `hashes` hash characters.
+    while i < chars.len() {
+        if chars[i] == '"' {
+            let mut j = 0usize;
+            while j < hashes && chars.get(i + 1 + j) == Some(&'#') {
+                j += 1;
+            }
+            if j == hashes {
+                return Some(i + 1 + hashes);
+            }
+        }
+        i += 1;
+    }
+    Some(chars.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        let toks = kinds("let x = a.lock();");
+        assert_eq!(toks[0], (TokKind::Ident, "let".into()));
+        assert_eq!(toks[3], (TokKind::Ident, "a".into()));
+        assert_eq!(toks[4], (TokKind::Punct, ".".into()));
+        assert_eq!(toks[5], (TokKind::Ident, "lock".into()));
+    }
+
+    #[test]
+    fn strings_hide_their_content() {
+        let toks = kinds(r#"let s = "Mutex::lock // not a comment";"#);
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k != TokKind::Ident || t != "Mutex"));
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Literal).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r###"let s = r#"a "quoted" println!"#; x"###);
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Literal).count(),
+            1
+        );
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "x"));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "println"));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Literal && t == "'x'"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Literal && t == "'\\n'"));
+    }
+
+    #[test]
+    fn nested_block_comments_and_lines() {
+        let src = "a /* outer /* inner */ still */ b\nc // tail\nd";
+        let toks = tokenize(src);
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| (t.text.clone(), t.line))
+            .collect();
+        assert_eq!(
+            idents,
+            vec![
+                ("a".to_string(), 1),
+                ("b".to_string(), 1),
+                ("c".to_string(), 2),
+                ("d".to_string(), 3)
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let toks = kinds("for i in 0..10 { let x = 1.5e-3; }");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Literal && t == "1.5e-3"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Literal && t == "0"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Literal && t == "10"));
+    }
+
+    #[test]
+    fn comment_text_is_preserved_for_suppressions() {
+        let toks = tokenize("x(); // lint: bounded-by capacity eviction below\ny();");
+        let comment = toks.iter().find(|t| t.kind == TokKind::Comment).unwrap();
+        assert!(comment.text.contains("lint: bounded-by"));
+        assert_eq!(comment.line, 1);
+    }
+}

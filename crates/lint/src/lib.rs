@@ -1,0 +1,227 @@
+//! gridq-lint: in-tree static analysis for the gridq workspace.
+//!
+//! Enforces the concurrency, determinism, and float-hygiene invariants
+//! the workspace states in DESIGN.md §9 — the ones every bug fixed so
+//! far had violated. Two layers:
+//!
+//! 1. **Source invariant rules** ([`rules`]): std-sync containment,
+//!    wall-clock containment, hot-path unwrap bans, float-finite guards
+//!    in monitoring paths, no printing from library crates, bounded
+//!    growth of window/log types, and checked casts in `crates/adapt`.
+//! 2. **Lock-order analysis** ([`lockorder`]): extracts the acquisition
+//!    order of mutex guards, `RecallGate` waits, and channel receives in
+//!    `crates/exec`, and reports ordering cycles and blocking receives
+//!    under a lock.
+//!
+//! Deny-by-default: the binary exits non-zero on any finding not
+//! covered by an inline `// lint: <key> <reason>` annotation or a
+//! `lint-baseline.toml` entry — both of which require a reason.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub mod baseline;
+pub mod lexer;
+pub mod lockorder;
+pub mod report;
+pub mod rules;
+pub mod source;
+
+use baseline::{Baseline, BaselineEntry};
+use lockorder::LockGraph;
+use source::SourceFile;
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (one of [`rules::RULE_IDS`]).
+    pub rule: String,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line of the violation.
+    pub line: u32,
+    /// Human-readable description with the suggested fix.
+    pub message: String,
+}
+
+/// The result of one full analysis run.
+#[derive(Debug)]
+pub struct Report {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Findings that survived inline and baseline suppression.
+    pub findings: Vec<Finding>,
+    /// Findings silenced by inline `// lint:` annotations.
+    pub suppressed_inline: u64,
+    /// Findings silenced by the baseline.
+    pub suppressed_baseline: u64,
+    /// Baseline entries that matched nothing (should be deleted).
+    pub stale_baseline: Vec<BaselineEntry>,
+    /// The exec lock-ordering graph.
+    pub lock_graph: LockGraph,
+}
+
+impl Report {
+    /// True when CI should pass: no findings. Stale baseline entries are
+    /// reported but do not fail the run — they indicate the baseline can
+    /// shrink, not that an invariant broke.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Analyses a set of (path, source) pairs against a baseline. This is
+/// the engine behind both the workspace binary and the fixture tests:
+/// fixtures hand in pretend workspace paths so path-scoped rules fire
+/// exactly as they would on real files.
+pub fn analyze_sources(inputs: &[(&str, &str)], baseline: &Baseline) -> Report {
+    let files: Vec<SourceFile> = inputs
+        .iter()
+        .map(|(path, src)| SourceFile::parse(path, src))
+        .collect();
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut suppressed_inline = 0u64;
+    for file in &files {
+        let cx = rules::run_all(file);
+        suppressed_inline += cx.suppressed_inline;
+        findings.extend(cx.out);
+    }
+
+    let exec_files: Vec<&SourceFile> = files
+        .iter()
+        .filter(|f| f.path.starts_with("crates/exec/src/"))
+        .collect();
+    let (lock_graph, lock_findings) = lockorder::analyze(&exec_files);
+    findings.extend(lock_findings);
+
+    findings.sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
+    let (findings, suppressed_baseline, stale_baseline) = baseline.apply(findings);
+
+    Report {
+        files_scanned: files.len(),
+        findings,
+        suppressed_inline,
+        suppressed_baseline,
+        stale_baseline,
+        lock_graph,
+    }
+}
+
+/// Walks the workspace and analyses every `.rs` file. `baseline_path`
+/// is resolved relative to `root` when relative; a missing baseline file
+/// means an empty baseline.
+pub fn run_workspace(root: &Path, baseline_path: Option<&Path>) -> io::Result<Report> {
+    let baseline = match baseline_path {
+        Some(p) => {
+            let full = if p.is_absolute() {
+                p.to_path_buf()
+            } else {
+                root.join(p)
+            };
+            if full.exists() {
+                let text = fs::read_to_string(&full)?;
+                Baseline::parse(&text).map_err(|errs| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "invalid baseline {}:\n  {}",
+                            full.display(),
+                            errs.join("\n  ")
+                        ),
+                    )
+                })?
+            } else {
+                Baseline::default()
+            }
+        }
+        None => Baseline::default(),
+    };
+
+    let mut paths: BTreeSet<PathBuf> = BTreeSet::new();
+    collect_rs_files(root, &mut paths)?;
+
+    let mut owned: Vec<(String, String)> = Vec::with_capacity(paths.len());
+    for p in &paths {
+        let rel = p
+            .strip_prefix(root)
+            .unwrap_or(p)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy().into_owned())
+            .collect::<Vec<_>>()
+            .join("/");
+        let text = fs::read_to_string(p)?;
+        owned.push((rel, text));
+    }
+    let borrowed: Vec<(&str, &str)> = owned
+        .iter()
+        .map(|(p, s)| (p.as_str(), s.as_str()))
+        .collect();
+    Ok(analyze_sources(&borrowed, &baseline))
+}
+
+/// Directory names never descended into: build output, VCS metadata,
+/// and the lint fixtures themselves (which are violations on purpose).
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "fixtures", "node_modules"];
+
+fn collect_rs_files(dir: &Path, out: &mut BTreeSet<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.insert(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_runs_rules_and_lockorder_together() {
+        let src_bad = r#"
+            fn noisy() { println!("dbg"); }
+        "#;
+        let exec_bad = r#"
+            fn one(&self) { let g = self.a.lock(); let h = self.b.lock(); g.x(h); }
+            fn two(&self) { let h = self.b.lock(); let g = self.a.lock(); h.x(g); }
+        "#;
+        let report = analyze_sources(
+            &[
+                ("crates/x/src/lib.rs", src_bad),
+                ("crates/exec/src/flow.rs", exec_bad),
+            ],
+            &Baseline::default(),
+        );
+        assert!(report.findings.iter().any(|f| f.rule == "no-println"));
+        assert!(report.findings.iter().any(|f| f.rule == "lock-order"));
+        assert_eq!(report.lock_graph.cycles.len(), 1);
+        assert!(!report.clean());
+    }
+
+    #[test]
+    fn baseline_entries_suppress_by_rule_and_file() {
+        let baseline = Baseline::parse(
+            "[[suppress]]\nrule = \"no-println\"\nfile = \"crates/x/src/lib.rs\"\nreason = \"fixture\"\n",
+        )
+        .unwrap();
+        let report = analyze_sources(
+            &[("crates/x/src/lib.rs", "fn noisy() { println!(\"x\"); }")],
+            &baseline,
+        );
+        assert!(report.clean());
+        assert_eq!(report.suppressed_baseline, 1);
+        assert!(report.stale_baseline.is_empty());
+    }
+}

@@ -1,0 +1,581 @@
+//! Lock-order and channel-topology analysis for `crates/exec`.
+//!
+//! The recall path (Flux-style pause/drain/migrate/resume) interleaves
+//! `sync::Mutex` guards on the router, `RecallGate` condvar waits, and
+//! mpsc channel receives across three thread roles. PR 3 established
+//! its drain-barrier ordering by hand; this module re-derives it
+//! mechanically on every run so a future edit cannot silently invert it.
+//!
+//! The model is deliberately lexical and conservative:
+//!
+//! * `.lock()` / `.try_lock()` on a receiver acquires a node named by
+//!   the canonicalised receiver (`self.state`, `router`, `logs.[_]`).
+//!   A guard bound with `let` is held until its scope's closing brace
+//!   or an explicit `drop(name)`; a chained temporary (`x.lock().f()`)
+//!   is released at the end of the statement.
+//! * `.wait(..)` / `.wait_timeout(..)` acquires a `cv:` node, and the
+//!   blocking `RecallGate` entry points (`pause_point`, `begin_pause`)
+//!   acquire a `gate:` node — both are ordering events even though they
+//!   are not mutexes.
+//! * `.recv()` / `.recv_timeout(..)` while any lock is held is reported
+//!   directly: a blocking receive under a lock is the deadlock shape
+//!   the drain barrier exists to avoid.
+//!
+//! Every acquisition while other nodes are held adds `held → acquired`
+//! edges; cycles in the aggregate graph are findings.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::TokKind;
+use crate::source::{FileKind, SourceFile};
+use crate::Finding;
+
+/// One observed ordering edge: `from` was held while `to` was acquired.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LockEdge {
+    /// Node held at the time of acquisition.
+    pub from: String,
+    /// Node being acquired.
+    pub to: String,
+    /// File containing the acquisition site.
+    pub file: String,
+    /// Line of the acquisition site.
+    pub line: u32,
+    /// Enclosing function name.
+    pub func: String,
+}
+
+/// The aggregated ordering graph plus everything reported from it.
+#[derive(Debug, Default)]
+pub struct LockGraph {
+    /// All nodes ever acquired.
+    pub nodes: BTreeSet<String>,
+    /// Deduplicated ordering edges.
+    pub edges: Vec<LockEdge>,
+    /// Cycles found in the edge graph, as node sequences.
+    pub cycles: Vec<Vec<String>>,
+}
+
+/// Method names treated as blocking gate entry points on `RecallGate`.
+const GATE_BLOCKING: &[&str] = &["pause_point", "begin_pause"];
+
+/// Runs the analysis over the exec-scoped files, returning the graph
+/// and any findings (cycles, blocking receives under a lock).
+pub fn analyze(files: &[&SourceFile]) -> (LockGraph, Vec<Finding>) {
+    let mut graph = LockGraph::default();
+    let mut findings = Vec::new();
+    let mut edge_set: BTreeSet<LockEdge> = BTreeSet::new();
+
+    for file in files {
+        if file.kind != FileKind::Lib {
+            continue;
+        }
+        let spans = file.fns.clone();
+        for span in &spans {
+            let Some((body_start, body_end)) = span.body else {
+                continue;
+            };
+            if body_start >= file.code_len() {
+                continue;
+            }
+            if file.in_test_region(file.ct(body_start).line) {
+                continue;
+            }
+            scan_fn(
+                file,
+                &span.name,
+                body_start,
+                body_end,
+                &mut graph,
+                &mut edge_set,
+                &mut findings,
+            );
+        }
+    }
+
+    graph.edges = edge_set.into_iter().collect();
+    graph.cycles = find_cycles(&graph);
+    for cycle in &graph.cycles {
+        let pretty = cycle.join(" -> ");
+        // Anchor the report on an edge participating in the cycle.
+        let anchor = graph
+            .edges
+            .iter()
+            .find(|e| cycle.contains(&e.from) && cycle.contains(&e.to));
+        let (path, line, func) = match anchor {
+            Some(e) => (e.file.clone(), e.line, e.func.clone()),
+            None => (String::from("<graph>"), 0, String::new()),
+        };
+        findings.push(Finding {
+            rule: "lock-order".to_string(),
+            path,
+            line,
+            message: format!(
+                "lock ordering cycle: {pretty} -> {} (first observed in fn `{func}`): \
+                 two threads taking these in opposite orders can deadlock",
+                cycle[0]
+            ),
+        });
+    }
+    (graph, findings)
+}
+
+/// A lock (or gate/condvar) currently held at some point in a scan.
+#[derive(Debug, Clone)]
+struct Held {
+    node: String,
+    /// `Some(depth)` for let-bound guards released when their scope
+    /// closes; `None` for statement-temporaries.
+    scope_depth: Option<i32>,
+    /// Binding name, for `drop(name)` releases.
+    var: Option<String>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn scan_fn(
+    file: &SourceFile,
+    fn_name: &str,
+    body_start: usize,
+    body_end: usize,
+    graph: &mut LockGraph,
+    edge_set: &mut BTreeSet<LockEdge>,
+    findings: &mut Vec<Finding>,
+) {
+    let mut held: Vec<Held> = Vec::new();
+    let mut depth: i32 = 0;
+    let end = body_end.min(file.code_len());
+    let mut ci = body_start;
+    while ci < end {
+        let t = file.ct(ci);
+        if t.is_punct('{') {
+            depth += 1;
+            // A `{` also ends any pending statement-temporaries (e.g. an
+            // `if cond` whose condition locked transiently).
+            held.retain(|h| h.scope_depth.is_some());
+            ci += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            depth -= 1;
+            held.retain(|h| match h.scope_depth {
+                Some(d) => d <= depth,
+                None => false,
+            });
+            ci += 1;
+            continue;
+        }
+        if t.is_punct(';') {
+            held.retain(|h| h.scope_depth.is_some());
+            ci += 1;
+            continue;
+        }
+        // `drop(name)` releases a named guard.
+        if t.is_ident("drop")
+            && ci + 3 < end
+            && file.ct(ci + 1).is_punct('(')
+            && file.ct(ci + 2).kind == TokKind::Ident
+            && file.ct(ci + 3).is_punct(')')
+        {
+            let name = &file.ct(ci + 2).text;
+            held.retain(|h| h.var.as_deref() != Some(name.as_str()));
+            ci += 4;
+            continue;
+        }
+        // Method calls: `.name(`.
+        let is_method = t.kind == TokKind::Ident
+            && ci >= 1
+            && file.ct(ci - 1).is_punct('.')
+            && ci + 1 < end
+            && file.ct(ci + 1).is_punct('(');
+        if is_method {
+            let method = t.text.as_str();
+            let acquisition = match method {
+                "lock" | "try_lock" => Some((receiver_of(file, ci - 2, body_start), AcqKind::Lock)),
+                "wait" | "wait_timeout" | "wait_timeout_while" | "wait_while" => Some((
+                    format!("cv:{}", receiver_of(file, ci - 2, body_start)),
+                    AcqKind::Temp,
+                )),
+                "recv" | "recv_timeout" => {
+                    if !held.is_empty() {
+                        let holding: Vec<&str> = held.iter().map(|h| h.node.as_str()).collect();
+                        let receiver = receiver_of(file, ci - 2, body_start);
+                        findings.push(Finding {
+                            rule: "lock-order".to_string(),
+                            path: file.path.clone(),
+                            line: t.line,
+                            message: format!(
+                                "blocking `{method}` on `{receiver}` in fn `{fn_name}` \
+                                 while holding [{}]: release the lock before waiting \
+                                 on the channel",
+                                holding.join(", ")
+                            ),
+                        });
+                    }
+                    None
+                }
+                m if GATE_BLOCKING.contains(&m) => Some((
+                    format!("gate:{}", receiver_of(file, ci - 2, body_start)),
+                    AcqKind::Temp,
+                )),
+                _ => None,
+            };
+            if let Some((node, kind)) = acquisition {
+                for h in &held {
+                    if h.node != node {
+                        edge_set.insert(LockEdge {
+                            from: h.node.clone(),
+                            to: node.clone(),
+                            file: file.path.clone(),
+                            line: t.line,
+                            func: fn_name.to_string(),
+                        });
+                    }
+                }
+                graph.nodes.insert(node.clone());
+                let entry = match kind {
+                    AcqKind::Temp => Held {
+                        node,
+                        scope_depth: None,
+                        var: None,
+                    },
+                    AcqKind::Lock => {
+                        // Is the guard chained away (`.lock().f()`) or
+                        // let-bound (`let g = x.lock();`)?
+                        let close = matching_paren(file, ci + 1, end);
+                        let chained = close + 1 < end && file.ct(close + 1).is_punct('.');
+                        let binding = if chained {
+                            None
+                        } else {
+                            let_binding_before(file, ci, body_start)
+                        };
+                        match binding {
+                            Some(var) => Held {
+                                node,
+                                scope_depth: Some(depth),
+                                var: Some(var),
+                            },
+                            None => Held {
+                                node,
+                                scope_depth: None,
+                                var: None,
+                            },
+                        }
+                    }
+                };
+                held.push(entry);
+            }
+        }
+        ci += 1;
+    }
+}
+
+enum AcqKind {
+    Lock,
+    Temp,
+}
+
+/// Canonicalises the receiver expression ending at code index `last`
+/// (the token just before the `.method`). Index expressions collapse to
+/// `[_]` so `self.logs[i].lock()` and `self.logs[j].lock()` are one node.
+fn receiver_of(file: &SourceFile, last: usize, floor: usize) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    let mut j = last as i64;
+    let floor = floor as i64;
+    while j >= floor {
+        let t = file.ct(j as usize);
+        if t.is_punct(']') {
+            // Collapse the index and continue with what precedes `[`.
+            let mut depth = 0i64;
+            let mut k = j;
+            while k >= floor {
+                let u = file.ct(k as usize);
+                if u.is_punct(']') {
+                    depth += 1;
+                } else if u.is_punct('[') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                k -= 1;
+            }
+            parts.push("[_]".to_string());
+            j = k - 1;
+            continue;
+        }
+        if t.kind == TokKind::Ident {
+            parts.push(t.text.clone());
+            if j > floor && file.ct((j - 1) as usize).is_punct('.') && j >= 2 {
+                j -= 2;
+                continue;
+            }
+            break;
+        }
+        if t.is_punct(')') {
+            parts.push("<expr>".to_string());
+            break;
+        }
+        break;
+    }
+    if parts.is_empty() {
+        return "<expr>".to_string();
+    }
+    parts.reverse();
+    parts.join(".")
+}
+
+/// If the expression starting at the receiver is bound via
+/// `let [mut] name = <receiver>...`, returns the binding name.
+fn let_binding_before(file: &SourceFile, method_ci: usize, floor: usize) -> Option<String> {
+    // Walk back over the receiver to its first token.
+    let mut j = method_ci as i64 - 2; // last receiver token
+    let floor_i = floor as i64;
+    while j >= floor_i {
+        let t = file.ct(j as usize);
+        if t.kind == TokKind::Ident || t.is_punct('.') || t.is_punct(']') || t.is_punct('[') {
+            j -= 1;
+            continue;
+        }
+        break;
+    }
+    // `j` is now just before the receiver. Expect `= name [mut] let`.
+    if j < floor_i || !file.ct(j as usize).is_punct('=') {
+        return None;
+    }
+    let mut k = j - 1;
+    if k < floor_i || file.ct(k as usize).kind != TokKind::Ident {
+        return None;
+    }
+    let name = file.ct(k as usize).text.clone();
+    k -= 1;
+    if k >= floor_i && file.ct(k as usize).is_ident("mut") {
+        k -= 1;
+    }
+    if k >= floor_i && file.ct(k as usize).is_ident("let") {
+        Some(name)
+    } else {
+        None
+    }
+}
+
+/// Code index of the `)` matching the `(` at `open_ci`.
+fn matching_paren(file: &SourceFile, open_ci: usize, end: usize) -> usize {
+    let mut depth = 0i64;
+    for ci in open_ci..end {
+        let t = file.ct(ci);
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return ci;
+            }
+        }
+    }
+    end.saturating_sub(1)
+}
+
+/// Finds elementary cycles via DFS from each node. Good enough for the
+/// handful of nodes a real executor exposes; deduplicates by rotating
+/// each cycle to start at its smallest node.
+fn find_cycles(graph: &LockGraph) -> Vec<Vec<String>> {
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in &graph.edges {
+        adj.entry(e.from.as_str())
+            .or_default()
+            .insert(e.to.as_str());
+    }
+    let mut cycles: BTreeSet<Vec<String>> = BTreeSet::new();
+    for start in adj.keys().copied().collect::<Vec<_>>() {
+        let mut stack: Vec<&str> = vec![start];
+        dfs(start, start, &adj, &mut stack, &mut cycles, 0);
+    }
+    cycles.into_iter().collect()
+}
+
+fn dfs<'a>(
+    start: &'a str,
+    at: &'a str,
+    adj: &BTreeMap<&'a str, BTreeSet<&'a str>>,
+    stack: &mut Vec<&'a str>,
+    cycles: &mut BTreeSet<Vec<String>>,
+    depth: usize,
+) {
+    if depth > 16 {
+        return; // Defensive bound; real graphs here have < 10 nodes.
+    }
+    let Some(nexts) = adj.get(at) else {
+        return;
+    };
+    for &next in nexts {
+        if next == start {
+            // Rotate so the lexicographically smallest node leads.
+            let mut cycle: Vec<String> = stack.iter().map(|s| s.to_string()).collect();
+            let min_pos = cycle
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.cmp(b.1))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            cycle.rotate_left(min_pos);
+            cycles.insert(cycle);
+            continue;
+        }
+        if stack.contains(&next) {
+            continue;
+        }
+        stack.push(next);
+        dfs(start, next, adj, stack, cycles, depth + 1);
+        stack.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> (LockGraph, Vec<Finding>) {
+        let f = SourceFile::parse("crates/exec/src/fixture.rs", src);
+        analyze(&[&f])
+    }
+
+    #[test]
+    fn let_bound_guard_orders_later_acquisitions() {
+        let src = r#"
+            fn f(&self) {
+                let g = self.router.lock();
+                let h = self.state.lock();
+                g.use_it(h);
+            }
+        "#;
+        let (graph, findings) = run(src);
+        assert!(findings.is_empty());
+        assert!(graph
+            .edges
+            .iter()
+            .any(|e| e.from == "self.router" && e.to == "self.state"));
+    }
+
+    #[test]
+    fn chained_temporary_releases_at_statement_end() {
+        let src = r#"
+            fn f(&self) {
+                let snapshot = self.router.lock().snapshot();
+                let g = self.state.lock();
+                g.apply(snapshot);
+            }
+        "#;
+        let (graph, _) = run(src);
+        assert!(graph.edges.is_empty());
+    }
+
+    #[test]
+    fn drop_releases_named_guard() {
+        let src = r#"
+            fn f(&self) {
+                let g = self.a.lock();
+                drop(g);
+                let h = self.b.lock();
+                h.x();
+            }
+        "#;
+        let (graph, _) = run(src);
+        assert!(graph.edges.is_empty());
+    }
+
+    #[test]
+    fn opposite_orders_form_a_cycle() {
+        let src = r#"
+            fn one(&self) {
+                let g = self.a.lock();
+                let h = self.b.lock();
+                g.x(h);
+            }
+            fn two(&self) {
+                let h = self.b.lock();
+                let g = self.a.lock();
+                h.x(g);
+            }
+        "#;
+        let (graph, findings) = run(src);
+        assert_eq!(graph.cycles.len(), 1);
+        assert!(findings
+            .iter()
+            .any(|f| f.rule == "lock-order" && f.message.contains("cycle")));
+    }
+
+    #[test]
+    fn recv_under_lock_is_flagged() {
+        let src = r#"
+            fn f(&self) {
+                let g = self.router.lock();
+                let msg = self.rx.recv();
+                g.route(msg);
+            }
+        "#;
+        let (_, findings) = run(src);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("blocking `recv`"));
+        assert!(findings[0].message.contains("self.router"));
+    }
+
+    #[test]
+    fn recv_without_lock_is_fine() {
+        let src = r#"
+            fn f(&self) {
+                let msg = self.rx.recv();
+                self.router.lock().route(msg);
+            }
+        "#;
+        let (_, findings) = run(src);
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn gate_wait_after_lock_is_an_edge_not_a_cycle() {
+        let src = r#"
+            fn f(&self) {
+                let g = self.state.lock();
+                self.gate.pause_point(0);
+                g.x();
+            }
+        "#;
+        let (graph, findings) = run(src);
+        assert!(findings.is_empty());
+        assert!(graph
+            .edges
+            .iter()
+            .any(|e| e.from == "self.state" && e.to == "gate:self.gate"));
+    }
+
+    #[test]
+    fn scope_exit_releases_guard() {
+        let src = r#"
+            fn f(&self) {
+                {
+                    let g = self.a.lock();
+                    g.x();
+                }
+                let h = self.b.lock();
+                h.x();
+            }
+        "#;
+        let (graph, _) = run(src);
+        assert!(graph.edges.is_empty());
+    }
+
+    #[test]
+    fn indexed_receivers_collapse() {
+        let src = r#"
+            fn f(&self) {
+                let g = self.logs[i].lock();
+                let h = self.logs[j].lock();
+                g.x(h);
+            }
+        "#;
+        let (graph, _) = run(src);
+        // Same canonical node: no self-edge is recorded.
+        assert!(graph.nodes.contains("self.logs.[_]"));
+        assert!(graph.edges.is_empty());
+    }
+}

@@ -1,0 +1,108 @@
+//! CLI for gridq-lint.
+//!
+//! ```text
+//! cargo run -p gridq-lint -- --workspace-root . [--baseline lint-baseline.toml] [--json out.json]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage/IO/baseline errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use gridq_lint::{report, run_workspace};
+
+struct Args {
+    root: PathBuf,
+    baseline: PathBuf,
+    json: Option<PathBuf>,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut root = PathBuf::from(".");
+    let mut baseline = PathBuf::from("lint-baseline.toml");
+    let mut json = None;
+    let mut quiet = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace-root" => {
+                root = PathBuf::from(it.next().ok_or("--workspace-root needs a path")?);
+            }
+            "--baseline" => {
+                baseline = PathBuf::from(it.next().ok_or("--baseline needs a path")?);
+            }
+            "--json" => {
+                json = Some(PathBuf::from(it.next().ok_or("--json needs a path")?));
+            }
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                return Err(String::from(
+                    "usage: gridq-lint --workspace-root PATH [--baseline PATH] [--json PATH] [--quiet]",
+                ));
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(Args {
+        root,
+        baseline,
+        json,
+        quiet,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match run_workspace(&args.root, Some(&args.baseline)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("gridq-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(json_path) = &args.json {
+        let json = report::to_json(&report);
+        if let Err(e) = std::fs::write(json_path, json) {
+            eprintln!("gridq-lint: failed to write {}: {e}", json_path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if !args.quiet {
+        for f in &report.findings {
+            println!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+        }
+        for e in &report.stale_baseline {
+            println!(
+                "note: stale baseline entry (rule={}, file={}) — delete it",
+                e.rule, e.file
+            );
+        }
+        println!(
+            "gridq-lint: {} files, {} findings, {} inline suppressions, {} baselined, \
+             {} lock nodes, {} lock edges, {} cycles",
+            report.files_scanned,
+            report.findings.len(),
+            report.suppressed_inline,
+            report.suppressed_baseline,
+            report.lock_graph.nodes.len(),
+            report.lock_graph.edges.len(),
+            report.lock_graph.cycles.len(),
+        );
+    }
+
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,152 @@
+//! Machine-readable JSON output for CI.
+//!
+//! Hand-rolled serialisation (no serde in a zero-dependency crate): the
+//! schema is flat and stable so the CI artifact can be diffed across
+//! runs.
+
+use crate::lockorder::LockGraph;
+use crate::{Finding, Report};
+
+/// Renders the full report as a JSON object.
+pub fn to_json(report: &Report) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n");
+    out.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
+    out.push_str(&format!(
+        "  \"suppressed_inline\": {},\n",
+        report.suppressed_inline
+    ));
+    out.push_str(&format!(
+        "  \"suppressed_baseline\": {},\n",
+        report.suppressed_baseline
+    ));
+    out.push_str("  \"findings\": [\n");
+    for (i, f) in report.findings.iter().enumerate() {
+        out.push_str(&finding_json(f, "    "));
+        if i + 1 < report.findings.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"stale_baseline\": [\n");
+    for (i, e) in report.stale_baseline.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rule\": {}, \"file\": {}}}",
+            escape(&e.rule),
+            escape(&e.file)
+        ));
+        if i + 1 < report.stale_baseline.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ],\n");
+    out.push_str(&lock_graph_json(&report.lock_graph, "  "));
+    out.push_str("\n}\n");
+    out
+}
+
+fn finding_json(f: &Finding, indent: &str) -> String {
+    format!(
+        "{indent}{{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+        escape(&f.rule),
+        escape(&f.path),
+        f.line,
+        escape(&f.message)
+    )
+}
+
+fn lock_graph_json(g: &LockGraph, indent: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{indent}\"lock_graph\": {{\n"));
+    out.push_str(&format!("{indent}  \"nodes\": ["));
+    for (i, n) in g.nodes.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&escape(n));
+    }
+    out.push_str("],\n");
+    out.push_str(&format!("{indent}  \"edges\": [\n"));
+    for (i, e) in g.edges.iter().enumerate() {
+        out.push_str(&format!(
+            "{indent}    {{\"from\": {}, \"to\": {}, \"file\": {}, \"line\": {}, \"fn\": {}}}",
+            escape(&e.from),
+            escape(&e.to),
+            escape(&e.file),
+            e.line,
+            escape(&e.func)
+        ));
+        if i + 1 < g.edges.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("{indent}  ],\n"));
+    out.push_str(&format!("{indent}  \"cycles\": ["));
+    for (i, c) in g.cycles.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push('[');
+        for (j, n) in c.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&escape(n));
+        }
+        out.push(']');
+    }
+    out.push_str("]\n");
+    out.push_str(&format!("{indent}}}"));
+    out
+}
+
+/// JSON string escaping for the characters that can appear in paths,
+/// messages, and reasons.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lockorder::LockGraph;
+
+    #[test]
+    fn json_escapes_and_nests() {
+        let report = Report {
+            files_scanned: 2,
+            findings: vec![Finding {
+                rule: "no-println".into(),
+                path: "crates/x/src/lib.rs".into(),
+                line: 7,
+                message: "a \"quoted\" message\nwith newline".into(),
+            }],
+            suppressed_inline: 1,
+            suppressed_baseline: 0,
+            stale_baseline: vec![],
+            lock_graph: LockGraph::default(),
+        };
+        let json = to_json(&report);
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\\n"));
+        assert!(json.contains("\"files_scanned\": 2"));
+        assert!(json.contains("\"lock_graph\""));
+    }
+}

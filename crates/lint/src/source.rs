@@ -1,0 +1,463 @@
+//! Per-file source model built on the token stream.
+//!
+//! Rules need four structural facts the raw token stream does not give
+//! them: which lines belong to `#[cfg(test)]` regions (invariants are
+//! enforced on shipping code, not tests), where functions and `impl`
+//! blocks begin and end (for scoped checks like the float-guard rule),
+//! which `// lint: <key> <reason>` annotations are present, and what
+//! role the file plays in its crate (library, binary, test, bench,
+//! example). This module computes all four once per file.
+
+use std::collections::HashMap;
+
+use crate::lexer::{tokenize, TokKind, Token};
+
+/// The role a file plays in its crate, derived from its path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library source: the code the invariants protect.
+    Lib,
+    /// A binary target (`src/bin/**`, `src/main.rs`, `build.rs`).
+    Bin,
+    /// Integration tests (`tests/**`).
+    Test,
+    /// Bench targets (`benches/**`).
+    Bench,
+    /// Examples (`examples/**`).
+    Example,
+}
+
+/// Span of a function item: its name, signature, and body as ranges
+/// over the *code* token index space (comments excluded).
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// Function name.
+    pub name: String,
+    /// Code-token index range of the parameter list (inside the parens).
+    pub params: (usize, usize),
+    /// Code-token index range of the body (inside the braces); `None`
+    /// for bodiless trait-method declarations.
+    pub body: Option<(usize, usize)>,
+}
+
+/// Span of an `impl` block: the self-type name and the body range over
+/// code token indices.
+#[derive(Debug, Clone)]
+pub struct ImplSpan {
+    /// The self type the block implements on (`Foo` in `impl Foo` and in
+    /// `impl Trait for Foo`).
+    pub type_name: String,
+    /// Code-token index range of the body (inside the braces).
+    pub body: (usize, usize),
+}
+
+/// One `// lint: <key> <reason>` annotation.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Annotation key (`bounded-by`, `infallible`, `allow`, ...).
+    pub key: String,
+    /// Free-text reason; must be non-empty to count.
+    pub reason: String,
+}
+
+/// A fully analysed source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// Role derived from the path.
+    pub kind: FileKind,
+    /// All tokens, comments included.
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of the non-comment tokens, in order. Rules
+    /// scan this view so comments never split a match.
+    pub code: Vec<usize>,
+    /// Inclusive line ranges covered by `#[cfg(test)]` items.
+    pub test_regions: Vec<(u32, u32)>,
+    /// Function spans, outermost first; nested functions also appear.
+    pub fns: Vec<FnSpan>,
+    /// `impl` block spans.
+    pub impls: Vec<ImplSpan>,
+    /// `// lint:` annotations by line.
+    pub suppressions: HashMap<u32, Vec<Suppression>>,
+}
+
+impl SourceFile {
+    /// Lexes and analyses one file.
+    pub fn parse(path: &str, source: &str) -> SourceFile {
+        let tokens = tokenize(source);
+        let code: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.kind != TokKind::Comment)
+            .map(|(i, _)| i)
+            .collect();
+        let mut file = SourceFile {
+            path: path.to_string(),
+            kind: classify(path),
+            tokens,
+            code,
+            test_regions: Vec::new(),
+            fns: Vec::new(),
+            impls: Vec::new(),
+            suppressions: HashMap::new(),
+        };
+        file.scan_suppressions();
+        file.scan_test_regions();
+        file.scan_items();
+        file
+    }
+
+    /// The code token at code-index `ci`.
+    pub fn ct(&self, ci: usize) -> &Token {
+        &self.tokens[self.code[ci]]
+    }
+
+    /// Number of code tokens.
+    pub fn code_len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// True if the line falls inside a `#[cfg(test)]` item.
+    pub fn in_test_region(&self, line: u32) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(start, end)| line >= start && line <= end)
+    }
+
+    /// Looks for a suppression with `key` on `line` or the line above,
+    /// returning its reason (which may be empty — callers decide whether
+    /// an empty reason is acceptable).
+    pub fn suppression_at(&self, line: u32, key: &str, arg: Option<&str>) -> Option<&Suppression> {
+        for probe in [line, line.saturating_sub(1)] {
+            if let Some(list) = self.suppressions.get(&probe) {
+                for s in list {
+                    if s.key == key {
+                        match arg {
+                            None => return Some(s),
+                            // `allow <rule-id> <reason>` matches when the
+                            // reason text leads with the rule id.
+                            Some(a) if s.reason.starts_with(a) => return Some(s),
+                            Some(_) => {}
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// The innermost function whose body contains code-index `ci`.
+    pub fn enclosing_fn(&self, ci: usize) -> Option<&FnSpan> {
+        self.fns
+            .iter()
+            .filter(|f| matches!(f.body, Some((s, e)) if s <= ci && ci < e))
+            .min_by_key(|f| {
+                let (s, e) = f.body.unwrap_or((0, usize::MAX));
+                e - s
+            })
+    }
+
+    fn scan_suppressions(&mut self) {
+        for t in &self.tokens {
+            if t.kind != TokKind::Comment {
+                continue;
+            }
+            let body = t
+                .text
+                .trim_start_matches('/')
+                .trim_start_matches('*')
+                .trim();
+            let Some(rest) = body.strip_prefix("lint:") else {
+                continue;
+            };
+            let rest = rest.trim();
+            let (key, reason) = match rest.split_once(char::is_whitespace) {
+                Some((k, r)) => (
+                    k.to_string(),
+                    r.trim().trim_end_matches("*/").trim().to_string(),
+                ),
+                None => (rest.to_string(), String::new()),
+            };
+            if key.is_empty() {
+                continue;
+            }
+            self.suppressions
+                .entry(t.line)
+                .or_default()
+                .push(Suppression { key, reason });
+        }
+    }
+
+    /// Finds `#[cfg(test)]` attributes and records the line range of the
+    /// item they gate (usually `mod tests { ... }`).
+    fn scan_test_regions(&mut self) {
+        let mut regions = Vec::new();
+        let mut ci = 0usize;
+        while ci + 6 < self.code_len() {
+            let hit = self.ct(ci).is_punct('#')
+                && self.ct(ci + 1).is_punct('[')
+                && self.ct(ci + 2).is_ident("cfg")
+                && self.ct(ci + 3).is_punct('(')
+                && self.ct(ci + 4).is_ident("test")
+                && self.ct(ci + 5).is_punct(')')
+                && self.ct(ci + 6).is_punct(']');
+            if !hit {
+                ci += 1;
+                continue;
+            }
+            let start_line = self.ct(ci).line;
+            let mut j = ci + 7;
+            // Skip any further attributes on the same item.
+            while j < self.code_len() && self.ct(j).is_punct('#') {
+                j = self.skip_bracketed(j + 1, '[', ']');
+            }
+            // Find the item body: the first `{` before a `;` ends the
+            // region at its matching `}`; a `;` first means a bodiless
+            // item (e.g. `mod tests;`) ending on that line.
+            let mut end_line = start_line;
+            while j < self.code_len() {
+                let t = self.ct(j);
+                if t.is_punct(';') {
+                    end_line = t.line;
+                    break;
+                }
+                if t.is_punct('{') {
+                    let close = self.matching_close(j);
+                    end_line = self.ct(close.min(self.code_len() - 1)).line;
+                    j = close;
+                    break;
+                }
+                j += 1;
+            }
+            regions.push((start_line, end_line));
+            ci = j + 1;
+        }
+        self.test_regions = regions;
+    }
+
+    /// Single pass collecting `fn` and `impl` spans.
+    fn scan_items(&mut self) {
+        let mut fns = Vec::new();
+        let mut impls = Vec::new();
+        for ci in 0..self.code_len() {
+            if self.ct(ci).is_ident("fn") {
+                if let Some(span) = self.parse_fn(ci) {
+                    fns.push(span);
+                }
+            }
+            if self.ct(ci).is_ident("impl") {
+                if let Some(span) = self.parse_impl(ci) {
+                    impls.push(span);
+                }
+            }
+        }
+        self.fns = fns;
+        self.impls = impls;
+    }
+
+    fn parse_fn(&self, fn_ci: usize) -> Option<FnSpan> {
+        let name_ci = fn_ci + 1;
+        if name_ci >= self.code_len() || self.ct(name_ci).kind != TokKind::Ident {
+            return None;
+        }
+        let name = self.ct(name_ci).text.clone();
+        // Find the parameter parens, skipping generics.
+        let mut j = name_ci + 1;
+        while j < self.code_len() && !self.ct(j).is_punct('(') {
+            if self.ct(j).is_punct('{') || self.ct(j).is_punct(';') {
+                return None;
+            }
+            j += 1;
+        }
+        if j >= self.code_len() {
+            return None;
+        }
+        let params_open = j;
+        let params_close = self.matching_close_with(params_open, '(', ')');
+        // The body is the first `{` after the params at paren depth 0; a
+        // `;` first means a declaration without a body.
+        let mut k = params_close + 1;
+        let mut body = None;
+        while k < self.code_len() {
+            let t = self.ct(k);
+            if t.is_punct(';') {
+                break;
+            }
+            if t.is_punct('(') {
+                k = self.matching_close_with(k, '(', ')') + 1;
+                continue;
+            }
+            if t.is_punct('{') {
+                body = Some((k + 1, self.matching_close(k)));
+                break;
+            }
+            k += 1;
+        }
+        Some(FnSpan {
+            name,
+            params: (params_open + 1, params_close),
+            body,
+        })
+    }
+
+    fn parse_impl(&self, impl_ci: usize) -> Option<ImplSpan> {
+        // Collect idents up to the opening brace; the self type is the
+        // first ident after `for` when present, otherwise the first
+        // ident after `impl` (skipping a leading generics list).
+        let mut j = impl_ci + 1;
+        if j < self.code_len() && self.ct(j).is_punct('<') {
+            let mut depth = 1i32;
+            j += 1;
+            while j < self.code_len() && depth > 0 {
+                if self.ct(j).is_punct('<') {
+                    depth += 1;
+                }
+                if self.ct(j).is_punct('>') {
+                    depth -= 1;
+                }
+                j += 1;
+            }
+        }
+        let mut first_ident = None;
+        let mut after_for = None;
+        let mut saw_for = false;
+        while j < self.code_len() {
+            let t = self.ct(j);
+            if t.is_punct('{') {
+                let body = (j + 1, self.matching_close(j));
+                let type_name = after_for.or(first_ident)?;
+                return Some(ImplSpan { type_name, body });
+            }
+            if t.is_punct(';') {
+                return None;
+            }
+            if t.kind == TokKind::Ident {
+                if t.text == "for" {
+                    saw_for = true;
+                } else if saw_for && after_for.is_none() {
+                    after_for = Some(t.text.clone());
+                } else if first_ident.is_none() {
+                    first_ident = Some(t.text.clone());
+                }
+            }
+            j += 1;
+        }
+        None
+    }
+
+    /// Given the code index of a `{`, returns the code index of its
+    /// matching `}` (or the last token on unbalanced input).
+    pub fn matching_close(&self, open_ci: usize) -> usize {
+        self.matching_close_with(open_ci, '{', '}')
+    }
+
+    fn matching_close_with(&self, open_ci: usize, open: char, close: char) -> usize {
+        let mut depth = 0i64;
+        for ci in open_ci..self.code_len() {
+            let t = self.ct(ci);
+            if t.is_punct(open) {
+                depth += 1;
+            } else if t.is_punct(close) {
+                depth -= 1;
+                if depth == 0 {
+                    return ci;
+                }
+            }
+        }
+        self.code_len().saturating_sub(1)
+    }
+
+    fn skip_bracketed(&self, open_ci: usize, open: char, close: char) -> usize {
+        if open_ci < self.code_len() && self.ct(open_ci).is_punct(open) {
+            self.matching_close_with(open_ci, open, close) + 1
+        } else {
+            open_ci
+        }
+    }
+}
+
+fn classify(path: &str) -> FileKind {
+    if path.contains("/tests/") || path.starts_with("tests/") {
+        FileKind::Test
+    } else if path.contains("/benches/") || path.starts_with("benches/") {
+        FileKind::Bench
+    } else if path.contains("/examples/") || path.starts_with("examples/") {
+        FileKind::Example
+    } else if path.contains("/bin/") || path.ends_with("/main.rs") || path.ends_with("build.rs") {
+        FileKind::Bin
+    } else {
+        FileKind::Lib
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_paths() {
+        assert_eq!(classify("crates/exec/src/lib.rs"), FileKind::Lib);
+        assert_eq!(classify("crates/bench/src/bin/repro.rs"), FileKind::Bin);
+        assert_eq!(classify("crates/lint/src/main.rs"), FileKind::Bin);
+        assert_eq!(classify("crates/sim/tests/failures.rs"), FileKind::Test);
+        assert_eq!(classify("crates/bench/benches/micro.rs"), FileKind::Bench);
+        assert_eq!(classify("examples/quickstart.rs"), FileKind::Example);
+        assert_eq!(classify("tests/end_to_end.rs"), FileKind::Test);
+    }
+
+    #[test]
+    fn test_region_covers_cfg_test_mod() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn t() {}\n}\nfn after() {}\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert!(!f.in_test_region(1));
+        assert!(f.in_test_region(2));
+        assert!(f.in_test_region(4));
+        assert!(f.in_test_region(5));
+        assert!(!f.in_test_region(6));
+    }
+
+    #[test]
+    fn fn_spans_capture_params_and_body() {
+        let src = "pub fn push(&mut self, sample: f64) -> bool { self.sum += sample; true }";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert_eq!(f.fns.len(), 1);
+        let span = &f.fns[0];
+        assert_eq!(span.name, "push");
+        let params: Vec<String> = (span.params.0..span.params.1)
+            .map(|ci| f.ct(ci).text.clone())
+            .collect();
+        assert!(params.contains(&"sample".to_string()));
+        assert!(span.body.is_some());
+    }
+
+    #[test]
+    fn impl_spans_resolve_self_type() {
+        let src = "impl<T: Clone> Window<T> { fn a(&self) {} }\nimpl Drop for EventLog { fn drop(&mut self) {} }";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert_eq!(f.impls.len(), 2);
+        assert_eq!(f.impls[0].type_name, "Window");
+        assert_eq!(f.impls[1].type_name, "EventLog");
+    }
+
+    #[test]
+    fn suppression_lookup_checks_line_and_line_above() {
+        let src = "// lint: bounded-by drained at teardown\nx.push(1);\ny.push(2); // lint: infallible capacity checked in new\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert!(f.suppression_at(2, "bounded-by", None).is_some());
+        assert!(f.suppression_at(3, "infallible", None).is_some());
+        assert!(f.suppression_at(3, "bounded-by", None).is_none());
+    }
+
+    #[test]
+    fn nested_fn_lookup_returns_innermost() {
+        let src = "fn outer() { fn inner(x: f64) { let _ = x; } inner(1.0); }";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert_eq!(f.fns.len(), 2);
+        // Find a code token inside `inner`'s body.
+        let idx = (0..f.code_len())
+            .find(|&ci| f.ct(ci).is_ident("let"))
+            .unwrap();
+        assert_eq!(f.enclosing_fn(idx).unwrap().name, "inner");
+    }
+}

@@ -1,0 +1,13 @@
+// Positive fixture for the `adapt-cast` rule (negative when presented
+// outside crates/adapt).
+pub fn widen(n: usize) -> f64 {
+    n as f64
+}
+
+pub fn truncate() -> u32 {
+    2.75 as u32
+}
+
+pub fn int_to_int_is_fine(n: usize) -> u64 {
+    n as u64
+}

@@ -1,0 +1,32 @@
+// Positive fixture for the `float-finite` rule (negative when presented
+// outside the monitoring-path scope). `push_guarded` shows the pattern
+// the rule wants; `accumulate` and `compare` are the hazards.
+pub struct Acc {
+    sum: f64,
+    samples: Vec<f64>,
+}
+
+impl Acc {
+    pub fn accumulate(&mut self, sample: f64) {
+        self.sum += sample;
+    }
+
+    pub fn store(&mut self, sample: f64) {
+        self.samples.push(sample);
+    }
+
+    pub fn push_guarded(&mut self, sample: f64) {
+        if !sample.is_finite() {
+            return;
+        }
+        self.sum += sample;
+    }
+}
+
+pub fn compare(x: f64) -> bool {
+    x == 0.5
+}
+
+pub fn tolerant(x: f64) -> bool {
+    (x - 0.5).abs() < 1e-9
+}

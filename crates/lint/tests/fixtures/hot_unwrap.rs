@@ -1,0 +1,29 @@
+// Positive fixture for the `hot-unwrap` rule (negative when presented
+// outside crates/exec / crates/adapt). One site carries a justified
+// inline suppression and must not fire.
+use std::sync::mpsc::Receiver;
+
+pub fn drain_one(rx: &Receiver<u32>) -> u32 {
+    rx.recv().unwrap()
+}
+
+pub fn drain_loud(rx: &Receiver<u32>) -> u32 {
+    rx.recv().expect("channel closed")
+}
+
+pub fn drain_justified(rx: &Receiver<u32>) -> u32 {
+    rx.recv().unwrap() // lint: infallible sender lives on this stack frame until after the recv
+}
+
+pub fn unwrap_or_is_not_flagged(rx: &Receiver<u32>) -> u32 {
+    rx.try_recv().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Result<u32, ()> = Ok(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

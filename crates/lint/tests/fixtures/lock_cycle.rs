@@ -1,0 +1,21 @@
+// Positive fixture for the `lock-order` rule: two functions acquiring
+// the same two mutexes in opposite orders — the synthetic deadlock the
+// analyzer must detect.
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u32 {
+        let g = self.a.lock();
+        let h = self.b.lock();
+        *g + *h
+    }
+
+    pub fn backward(&self) -> u32 {
+        let h = self.b.lock();
+        let g = self.a.lock();
+        *h - *g
+    }
+}

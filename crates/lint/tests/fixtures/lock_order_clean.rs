@@ -1,0 +1,29 @@
+// Negative fixture for the `lock-order` rule: consistent ordering plus
+// the statement-temporary and drop() release patterns — no cycle, no
+// blocking receive under a lock.
+impl Stage {
+    pub fn consistent_one(&self) {
+        let g = self.a.lock();
+        let h = self.b.lock();
+        g.apply(h);
+    }
+
+    pub fn consistent_two(&self) {
+        let g = self.a.lock();
+        let h = self.b.lock();
+        h.apply(g);
+    }
+
+    pub fn snapshot_then_lock(&self) {
+        let snap = self.b.lock().snapshot();
+        let g = self.a.lock();
+        g.apply(snap);
+    }
+
+    pub fn recv_after_release(&self) {
+        let g = self.a.lock();
+        drop(g);
+        let msg = self.rx.recv();
+        self.a.lock().apply(msg);
+    }
+}

@@ -1,0 +1,14 @@
+// Revert fixture: `TrimmedWindow::push` exactly as it was before the
+// PR 2 NaN fix — sample stored with no finiteness guard, so one NaN
+// poisons the trimmed mean and silences the detector for a whole
+// window. Presented to the linter at the real stats.rs path, this must
+// trip `float-finite`; the eviction below must satisfy
+// `unbounded-push`, proving the rules separate the two hazards.
+impl TrimmedWindow {
+    pub fn push(&mut self, sample: f64) {
+        if self.samples.len() == self.capacity {
+            self.samples.pop_front();
+        }
+        self.samples.push_back(sample);
+    }
+}

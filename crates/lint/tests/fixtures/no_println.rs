@@ -1,0 +1,21 @@
+// Positive fixture for the `no-println` rule. The string literal and
+// the test module must not fire.
+pub fn report(x: u32) {
+    println!("x = {x}");
+}
+
+pub fn complain(x: u32) {
+    eprintln!("bad x = {x}");
+}
+
+pub fn innocent() -> &'static str {
+    "println! inside a string is not a print"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn printing_in_tests_is_fine() {
+        println!("test diagnostics are allowed");
+    }
+}

@@ -1,0 +1,9 @@
+// Positive fixture for the `lock-order` rule's channel-topology check:
+// a blocking receive while a router guard is held.
+impl Stage {
+    pub fn drain(&self) {
+        let g = self.router.lock();
+        let msg = self.rx.recv();
+        g.apply(msg);
+    }
+}

@@ -1,0 +1,22 @@
+// Positive fixture for the `std-sync` rule (also negative: the same
+// content is lint-clean when presented at crates/common/src/sync.rs).
+use std::sync::Mutex;
+use std::sync::{Condvar, RwLock};
+
+pub struct Shared {
+    state: Mutex<u32>,
+    cv: Condvar,
+    map: RwLock<u32>,
+}
+
+#[cfg(test)]
+mod tests {
+    // Allowed in tests: integration helpers may use raw std primitives.
+    use std::sync::Mutex;
+
+    #[test]
+    fn raw_mutex_in_test_code() {
+        let m = Mutex::new(1);
+        assert_eq!(*m.lock().unwrap(), 1);
+    }
+}

@@ -1,0 +1,46 @@
+// Fixture for the `unbounded-push` rule: one violation, one bounded
+// impl (eviction evidence), one justified annotation, and one name
+// (`LogicalPlan`) that must NOT match the `Log` pattern.
+pub struct EventLog {
+    items: Vec<u32>,
+}
+
+impl EventLog {
+    pub fn add(&mut self, x: u32) {
+        self.items.push(x);
+    }
+}
+
+pub struct BoundedWindow {
+    items: Vec<u32>,
+    cap: usize,
+}
+
+impl BoundedWindow {
+    pub fn add(&mut self, x: u32) {
+        if self.items.len() == self.cap {
+            self.items.remove(0);
+        }
+        self.items.push(x);
+    }
+}
+
+pub struct AnnotatedTrace {
+    items: Vec<u32>,
+}
+
+impl AnnotatedTrace {
+    pub fn add(&mut self, x: u32) {
+        self.items.push(x); // lint: bounded-by drained by the collector at every epoch boundary
+    }
+}
+
+pub struct LogicalPlan {
+    nodes: Vec<u32>,
+}
+
+impl LogicalPlan {
+    pub fn add(&mut self, x: u32) {
+        self.nodes.push(x);
+    }
+}

@@ -307,6 +307,9 @@ impl MetricSink for MetricsRegistry {
 }
 
 #[cfg(test)]
+// Tests compare against stored literals and exactly-representable
+// constants, where bit-exact equality is the intended assertion.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::json::Json;
