@@ -77,18 +77,33 @@ impl Group {
         }
         let mut sorted = samples.clone();
         sorted.sort_unstable();
-        let median = sorted[sorted.len() / 2];
-        let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
         println!(
-            "{}/{name:<28} samples={} iters/sample={iters_per_sample} \
-             min={:?} median={median:?} mean={mean:?} max={:?}",
-            self.name,
-            self.samples,
-            sorted[0],
-            sorted[sorted.len() - 1],
+            "{}",
+            report_line(&self.name, name, self.samples, iters_per_sample, &sorted)
         );
         samples
     }
+}
+
+/// Formats the one-line bench report. This is a stdout contract: CI log
+/// readers and ad-hoc `grep median=` pipelines parse these lines, so the
+/// field names, their order, and the `group/name` prefix are stable. The
+/// bench name is left-padded to a fixed column so reports align.
+fn report_line(
+    group: &str,
+    name: &str,
+    samples: usize,
+    iters_per_sample: u64,
+    sorted: &[Duration],
+) -> String {
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    format!(
+        "{group}/{name:<28} samples={samples} iters/sample={iters_per_sample} \
+         min={:?} median={median:?} mean={mean:?} max={:?}",
+        sorted[0],
+        sorted[sorted.len() - 1],
+    )
 }
 
 /// Entry point helper for `harness = false` bench binaries: runs `body`
@@ -124,6 +139,47 @@ mod tests {
             black_box(x);
         });
         assert!(samples.iter().all(|d| d.as_nanos() > 0));
+    }
+
+    // Regression coverage for the `no-println` lint-baseline entry on
+    // this file: the one allowed `println!` exists to print exactly this
+    // line, so the line's shape is pinned here. If the format drifts,
+    // these tests fail before any downstream grep pipeline does.
+    #[test]
+    fn report_line_format_is_a_stable_contract() {
+        let sorted = [
+            Duration::from_micros(10),
+            Duration::from_micros(20),
+            Duration::from_micros(40),
+        ];
+        let line = report_line("micro", "hash_join", 3, 128, &sorted);
+        assert_eq!(
+            line,
+            "micro/hash_join                    samples=3 iters/sample=128 \
+             min=10µs median=20µs mean=23.333µs max=40µs"
+        );
+    }
+
+    #[test]
+    fn report_line_fields_appear_in_grep_order() {
+        let sorted = [Duration::from_millis(2), Duration::from_millis(5)];
+        let line = report_line("g", "b", 2, 1, &sorted);
+        let mut last = 0;
+        for field in [
+            "g/b",
+            "samples=2",
+            "iters/sample=1",
+            "min=2ms",
+            "median=5ms",
+            "mean=3.5ms",
+            "max=5ms",
+        ] {
+            let at = line
+                .find(field)
+                .unwrap_or_else(|| panic!("field {field:?} missing from report line {line:?}"));
+            assert!(at >= last, "field {field:?} out of order in {line:?}");
+            last = at;
+        }
     }
 
     #[test]

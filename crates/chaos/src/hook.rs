@@ -1,0 +1,315 @@
+//! The [`ChaosHook`] implementation driving a [`FaultPlan`].
+//!
+//! A [`PlanHook`] keeps one occurrence counter per seam edge (data edge,
+//! ack edge, notification stream, recall-control phase, stall site) and
+//! fires an event exactly when its edge counter reaches the event's
+//! `nth`. Counters live behind the workspace's poison-recovering mutex:
+//! the threaded substrate calls the hook from producer, consumer, and
+//! adaptivity threads concurrently.
+
+use std::collections::HashMap;
+
+use gridq_common::sync::Mutex;
+use gridq_common::{ChaosHook, NetAction, NotifyKind, RecallPhase, StallSite};
+
+use crate::plan::{FaultEvent, FaultPlan};
+
+/// Per-seam occurrence counters plus the record of fired events.
+#[derive(Debug, Default)]
+struct HookState {
+    /// Data-buffer count per `(source, dest)` edge.
+    data: HashMap<(usize, usize), u64>,
+    /// Checkpoint-ack count per `(source, worker)` edge.
+    acks: HashMap<(usize, usize), u64>,
+    /// Notification count per `(kind, index)` stream.
+    notify: HashMap<(u8, usize), u64>,
+    /// Recall-control reply count per `(phase, worker)`.
+    ctrl: HashMap<(u8, usize), u64>,
+    /// Step count per `(site, index)`.
+    stalls: HashMap<(u8, usize), u64>,
+    /// Indices (into the plan's event list) of events that fired.
+    fired: Vec<usize>,
+}
+
+fn kind_key(kind: NotifyKind) -> u8 {
+    match kind {
+        NotifyKind::M1 => 0,
+        NotifyKind::M2 => 1,
+    }
+}
+
+fn phase_key(phase: RecallPhase) -> u8 {
+    match phase {
+        RecallPhase::Drain => 0,
+        RecallPhase::Migrate => 1,
+    }
+}
+
+fn site_key(site: StallSite) -> u8 {
+    match site {
+        StallSite::Producer => 0,
+        StallSite::Consumer => 1,
+    }
+}
+
+/// A [`ChaosHook`] that injects the faults of one [`FaultPlan`].
+#[derive(Debug)]
+pub struct PlanHook {
+    events: Vec<FaultEvent>,
+    state: Mutex<HookState>,
+}
+
+impl PlanHook {
+    /// A hook injecting the given plan's hook-mediated events (crash and
+    /// perturbation events are realised by the runner, not the hook, and
+    /// are simply never matched here).
+    pub fn new(plan: &FaultPlan) -> PlanHook {
+        PlanHook {
+            events: plan.events.clone(),
+            state: Mutex::new(HookState::default()),
+        }
+    }
+
+    /// Indices (into the plan's event list) of events that actually
+    /// fired, in firing order. An event whose `nth` occurrence never
+    /// happened (e.g. a recall that was never attempted) is absent.
+    pub fn fired(&self) -> Vec<usize> {
+        self.state.lock().fired.clone()
+    }
+}
+
+impl ChaosHook for PlanHook {
+    fn on_data(&self, source: usize, dest: usize) -> NetAction {
+        let mut s = self.state.lock();
+        let n = {
+            let c = s.data.entry((source, dest)).or_insert(0);
+            *c += 1;
+            *c
+        };
+        for (idx, event) in self.events.iter().enumerate() {
+            let action = match *event {
+                FaultEvent::DropData {
+                    source: es,
+                    dest: ed,
+                    nth,
+                } if es == source && ed == dest && nth == n => Some(NetAction::Drop),
+                FaultEvent::DuplicateData {
+                    source: es,
+                    dest: ed,
+                    nth,
+                } if es == source && ed == dest && nth == n => Some(NetAction::Duplicate),
+                FaultEvent::DelayData {
+                    source: es,
+                    dest: ed,
+                    nth,
+                    delay_ms,
+                } if es == source && ed == dest && nth == n => Some(NetAction::DelayMs(delay_ms)),
+                _ => None,
+            };
+            if let Some(action) = action {
+                s.fired.push(idx);
+                return action;
+            }
+        }
+        NetAction::Deliver
+    }
+
+    fn on_ack(&self, source: usize, worker: usize) -> NetAction {
+        let mut s = self.state.lock();
+        let n = {
+            let c = s.acks.entry((source, worker)).or_insert(0);
+            *c += 1;
+            *c
+        };
+        for (idx, event) in self.events.iter().enumerate() {
+            let action = match *event {
+                FaultEvent::DropAck {
+                    source: es,
+                    worker: ew,
+                    nth,
+                } if es == source && ew == worker && nth == n => Some(NetAction::Drop),
+                FaultEvent::DuplicateAck {
+                    source: es,
+                    worker: ew,
+                    nth,
+                } if es == source && ew == worker && nth == n => Some(NetAction::Duplicate),
+                FaultEvent::DelayAck {
+                    source: es,
+                    worker: ew,
+                    nth,
+                    delay_ms,
+                } if es == source && ew == worker && nth == n => Some(NetAction::DelayMs(delay_ms)),
+                _ => None,
+            };
+            if let Some(action) = action {
+                s.fired.push(idx);
+                return action;
+            }
+        }
+        NetAction::Deliver
+    }
+
+    fn on_notification(&self, kind: NotifyKind, index: usize) -> bool {
+        let mut s = self.state.lock();
+        let n = {
+            let c = s.notify.entry((kind_key(kind), index)).or_insert(0);
+            *c += 1;
+            *c
+        };
+        for (idx, event) in self.events.iter().enumerate() {
+            if let FaultEvent::DropNotify {
+                kind: ek,
+                index: ei,
+                nth,
+            } = *event
+            {
+                if ek == kind && ei == index && nth == n {
+                    s.fired.push(idx);
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn on_recall_ctrl(&self, phase: RecallPhase, worker: usize) -> bool {
+        let mut s = self.state.lock();
+        let n = {
+            let c = s.ctrl.entry((phase_key(phase), worker)).or_insert(0);
+            *c += 1;
+            *c
+        };
+        for (idx, event) in self.events.iter().enumerate() {
+            if let FaultEvent::LoseRecallCtrl {
+                phase: ep,
+                worker: ew,
+                nth,
+            } = *event
+            {
+                if ep == phase && ew == worker && nth == n {
+                    s.fired.push(idx);
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn stall_ms(&self, site: StallSite, index: usize) -> f64 {
+        let mut s = self.state.lock();
+        let n = {
+            let c = s.stalls.entry((site_key(site), index)).or_insert(0);
+            *c += 1;
+            *c
+        };
+        let mut total = 0.0;
+        let mut fired = Vec::new();
+        for (idx, event) in self.events.iter().enumerate() {
+            let ms = match *event {
+                FaultEvent::StallProducer {
+                    source: es,
+                    nth,
+                    ms,
+                    ..
+                } if site == StallSite::Producer && es == index && nth == n => Some(ms),
+                FaultEvent::StallConsumer {
+                    worker: ew,
+                    nth,
+                    ms,
+                    ..
+                } if site == StallSite::Consumer && ew == index && nth == n => Some(ms),
+                _ => None,
+            };
+            if let Some(ms) = ms {
+                total += ms.max(0.0);
+                fired.push(idx);
+            }
+        }
+        s.fired.extend(fired);
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(events: Vec<FaultEvent>) -> FaultPlan {
+        FaultPlan { seed: 0, events }
+    }
+
+    #[test]
+    fn empty_plan_is_pass_through() {
+        let hook = PlanHook::new(&FaultPlan::empty());
+        for n in 0..10 {
+            assert_eq!(hook.on_data(0, n % 2), NetAction::Deliver);
+            assert_eq!(hook.on_ack(0, n % 2), NetAction::Deliver);
+            assert!(hook.on_notification(NotifyKind::M1, 0));
+            assert!(hook.on_recall_ctrl(RecallPhase::Drain, 0));
+            assert!(hook.stall_ms(StallSite::Consumer, 0) < 1e-12);
+        }
+        assert!(hook.fired().is_empty());
+    }
+
+    #[test]
+    fn nth_counters_are_per_edge() {
+        let hook = PlanHook::new(&plan(vec![FaultEvent::DelayData {
+            source: 0,
+            dest: 1,
+            nth: 2,
+            delay_ms: 5.0,
+        }]));
+        // Traffic on another edge does not advance edge (0, 1).
+        assert_eq!(hook.on_data(0, 0), NetAction::Deliver);
+        assert_eq!(hook.on_data(1, 1), NetAction::Deliver);
+        assert_eq!(hook.on_data(0, 1), NetAction::Deliver, "first occurrence");
+        assert_eq!(
+            hook.on_data(0, 1),
+            NetAction::DelayMs(5.0),
+            "second occurrence fires"
+        );
+        assert_eq!(hook.on_data(0, 1), NetAction::Deliver, "fires only once");
+        assert_eq!(hook.fired(), vec![0]);
+    }
+
+    #[test]
+    fn notification_and_ctrl_losses_target_kind_and_phase() {
+        let hook = PlanHook::new(&plan(vec![
+            FaultEvent::DropNotify {
+                kind: NotifyKind::M2,
+                index: 1,
+                nth: 1,
+            },
+            FaultEvent::LoseRecallCtrl {
+                phase: RecallPhase::Migrate,
+                worker: 0,
+                nth: 1,
+            },
+        ]));
+        assert!(hook.on_notification(NotifyKind::M1, 1), "wrong kind");
+        assert!(!hook.on_notification(NotifyKind::M2, 1), "fires");
+        assert!(hook.on_notification(NotifyKind::M2, 1), "only once");
+        assert!(hook.on_recall_ctrl(RecallPhase::Drain, 0), "wrong phase");
+        assert!(!hook.on_recall_ctrl(RecallPhase::Migrate, 0), "fires");
+        assert_eq!(hook.fired(), vec![0, 1]);
+    }
+
+    #[test]
+    fn stalls_sum_and_clamp() {
+        let hook = PlanHook::new(&plan(vec![
+            FaultEvent::StallConsumer {
+                worker: 0,
+                nth: 1,
+                ms: 10.0,
+            },
+            FaultEvent::StallConsumer {
+                worker: 0,
+                nth: 1,
+                ms: -3.0,
+            },
+        ]));
+        let stall = hook.stall_ms(StallSite::Consumer, 0);
+        assert!((stall - 10.0).abs() < 1e-12, "negative stall clamps to 0");
+        assert!(hook.stall_ms(StallSite::Producer, 0) < 1e-12);
+    }
+}

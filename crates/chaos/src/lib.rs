@@ -1,0 +1,106 @@
+#![warn(missing_docs)]
+
+//! Deterministic fault injection with invariant oracles over both
+//! execution substrates.
+//!
+//! The adaptivity control loop (monitor → assess → respond) and the
+//! recall/recovery protocols underneath it make strong promises: no
+//! tuple is lost or duplicated, aborted recalls leave no partial state,
+//! every deployed adaptation traces back to a diagnosis, and teardown
+//! retires every tracked stream. This crate *attacks* those promises
+//! deterministically and checks them mechanically:
+//!
+//! - [`FaultPlan`] is a seeded, replayable list of [`FaultEvent`]s, each
+//!   aimed at one occurrence of one seam (the `nth` buffer on one
+//!   exchange edge, the `nth` checkpoint ack, a recall control reply, a
+//!   node crash, a perturbation burst).
+//! - [`PlanHook`] injects a plan through the narrow
+//!   [`gridq_common::ChaosHook`] seams both substrates expose.
+//! - The [`oracle`] module judges every faulted run against an unfaulted
+//!   reference: tuple conservation, recovery-log conservation, recall
+//!   safety, timeline causality, and teardown hygiene.
+//! - [`Runner`] executes `(seed, family, substrate, policy)` matrix
+//!   cells; [`shrink_failure`] minimises a failing plan to a small
+//!   reproducer, mirroring `gridq_common::check`'s shrinking.
+//!
+//! Replaying: every JSON report embeds the scenario's seed and exact
+//! plan. `GRIDQ_CHAOS_SEED=<n>` makes the `chaos` binary run just that
+//! seed's matrix, reproducing the failure bit-for-bit — both substrates
+//! derive all randomness from seeded [`gridq_common::DetRng`] streams.
+//!
+//! The fault model is honest about what the system can survive (see
+//! [`gridq_common::chaos`]): control-plane traffic (monitoring
+//! notifications, checkpoint acks, recall replies) is best-effort and
+//! may be lost or duplicated; data-plane traffic has no retransmission
+//! by design, so generated plans only ever delay or stall it. The
+//! data-loss events ([`FaultEvent::DropData`] /
+//! [`FaultEvent::DuplicateData`]) exist solely as deliberately broken
+//! fixtures proving the oracles fail loudly.
+
+pub mod hook;
+pub mod oracle;
+pub mod plan;
+pub mod runner;
+pub mod shrink;
+
+pub use hook::PlanHook;
+pub use oracle::{judge, RunSummary, Verdict};
+pub use plan::{FaultEvent, FaultFamily, FaultPlan, Topology};
+pub use runner::{matrix, Policy, Runner, Scenario, ScenarioOutcome, Substrate, ORACLES};
+pub use shrink::shrink_failure;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The broken-oracle fixture: injecting unrecoverable data-plane
+    /// loss and duplication MUST fail the conservation oracle on both
+    /// substrates. This is the proof that a green chaos report means
+    /// something — the harness is demonstrably capable of failing.
+    #[test]
+    fn data_loss_fixture_fails_the_conservation_oracle() {
+        let mut runner = Runner::new();
+        for substrate in Substrate::ALL {
+            for event in [
+                FaultEvent::DropData {
+                    source: 0,
+                    dest: 0,
+                    nth: 1,
+                },
+                FaultEvent::DuplicateData {
+                    source: 0,
+                    dest: 1,
+                    nth: 1,
+                },
+            ] {
+                let scenario = Scenario {
+                    seed: 0,
+                    family: FaultFamily::DataDelay,
+                    substrate,
+                    policy: Policy::Static,
+                };
+                let plan = FaultPlan {
+                    seed: 0,
+                    events: vec![event.clone()],
+                };
+                assert!(plan.has_fixture_faults());
+                let outcome = runner.run_with_plan(scenario, plan);
+                assert!(
+                    !outcome.passed(),
+                    "{}/{:?} fixture must fail loudly: {outcome:?}",
+                    substrate.name(),
+                    event
+                );
+                let conservation = outcome
+                    .verdicts
+                    .iter()
+                    .find(|v| v.oracle == "conservation")
+                    .expect("conservation verdict present");
+                assert!(
+                    !conservation.passed,
+                    "conservation must be the oracle that fails: {outcome:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,755 @@
+//! The fault-plan DSL.
+//!
+//! A [`FaultPlan`] is a seed plus a small list of [`FaultEvent`]s, each
+//! targeting one occurrence of one seam (the `nth` flush on one exchange
+//! edge, the `nth` checkpoint ack of one source at one worker, ...).
+//! Plans are generated deterministically from a seed per
+//! [`FaultFamily`], serialize to JSON so a failing run's exact plan
+//! rides along in the report, and parse back so a reproducer can be
+//! replayed without regeneration.
+//!
+//! The generator respects the fault model documented on
+//! [`gridq_common::chaos`]: data-plane traffic is only delayed or
+//! stalled; loss and duplication are reserved for best-effort
+//! control-plane traffic. [`FaultEvent::DropData`] and
+//! [`FaultEvent::DuplicateData`] exist solely as the deliberately broken
+//! fixtures that prove the oracle layer fails loudly — no family ever
+//! generates them.
+
+use gridq_common::check::Gen;
+use gridq_common::{DetRng, GridError, NotifyKind, RecallPhase, Result};
+use gridq_obs::json::JsonObj;
+use gridq_obs::Json;
+
+/// One injected fault, aimed at a single occurrence of a single seam.
+///
+/// `source`/`worker`/`dest`/`index` are substrate-level indices
+/// (producer/source position in the plan, consumer/worker partition
+/// index). `nth` counts occurrences per seam edge starting at 1, so
+/// `nth: 2` targets the second flush/ack/notification on that edge.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultEvent {
+    /// Lose the `nth` monitoring notification of `kind` from partition
+    /// `index` (consumer index for M1, source index for M2).
+    DropNotify {
+        /// Which notification stream to hit.
+        kind: NotifyKind,
+        /// Originating partition index.
+        index: usize,
+        /// Occurrence to lose (1-based).
+        nth: u64,
+    },
+    /// Lose the `nth` checkpoint acknowledgment of source `source`
+    /// observed at worker `worker`.
+    DropAck {
+        /// Source stream index.
+        source: usize,
+        /// Acknowledging worker index.
+        worker: usize,
+        /// Occurrence to lose (1-based).
+        nth: u64,
+    },
+    /// Deliver the `nth` checkpoint ack twice (the log must reject the
+    /// second as stale).
+    DuplicateAck {
+        /// Source stream index.
+        source: usize,
+        /// Acknowledging worker index.
+        worker: usize,
+        /// Occurrence to duplicate (1-based).
+        nth: u64,
+    },
+    /// Deliver the `nth` checkpoint ack after an extra delay.
+    DelayAck {
+        /// Source stream index.
+        source: usize,
+        /// Acknowledging worker index.
+        worker: usize,
+        /// Occurrence to delay (1-based).
+        nth: u64,
+        /// Extra delay in model milliseconds.
+        delay_ms: f64,
+    },
+    /// Deliver the `nth` data buffer on edge `source -> dest` after an
+    /// extra delay (the data plane's only permitted network fault).
+    DelayData {
+        /// Producing source index.
+        source: usize,
+        /// Destination worker index.
+        dest: usize,
+        /// Occurrence to delay (1-based).
+        nth: u64,
+        /// Extra delay in model milliseconds.
+        delay_ms: f64,
+    },
+    /// Drop the `nth` data buffer on edge `source -> dest`.
+    ///
+    /// **Fixture only.** Data-plane loss is unrecoverable by design; this
+    /// event exists so tests can prove the conservation oracle catches
+    /// it. No [`FaultFamily`] generates it.
+    DropData {
+        /// Producing source index.
+        source: usize,
+        /// Destination worker index.
+        dest: usize,
+        /// Occurrence to drop (1-based).
+        nth: u64,
+    },
+    /// Duplicate the `nth` data buffer on edge `source -> dest`.
+    ///
+    /// **Fixture only**, like [`FaultEvent::DropData`]: the data plane
+    /// has no dedup, so the surplus must surface in the oracle.
+    DuplicateData {
+        /// Producing source index.
+        source: usize,
+        /// Destination worker index.
+        dest: usize,
+        /// Occurrence to duplicate (1-based).
+        nth: u64,
+    },
+    /// Stall producer `source` for `ms` extra model milliseconds at its
+    /// `nth` scan step.
+    StallProducer {
+        /// Source index.
+        source: usize,
+        /// Scan step to stall at (1-based).
+        nth: u64,
+        /// Extra stall in model milliseconds.
+        ms: f64,
+    },
+    /// Stall worker `worker` for `ms` extra model milliseconds at its
+    /// `nth` processed tuple.
+    StallConsumer {
+        /// Worker index.
+        worker: usize,
+        /// Processed-tuple step to stall at (1-based).
+        nth: u64,
+        /// Extra stall in model milliseconds.
+        ms: f64,
+    },
+    /// Swallow worker `worker`'s `nth` recall control reply of `phase`.
+    /// Models a worker crashing mid-recall on the threaded substrate:
+    /// the coordinator's barrier times out and the recall aborts.
+    LoseRecallCtrl {
+        /// Which protocol phase's reply to lose.
+        phase: RecallPhase,
+        /// Worker index.
+        worker: usize,
+        /// Occurrence to lose (1-based).
+        nth: u64,
+    },
+    /// Permanently crash evaluator `evaluator` (0-based; evaluator `i`
+    /// runs on node `i + 1`) at virtual time `at_ms`. Simulator only —
+    /// realised through `Simulation::run_with_failures`, not the hook.
+    CrashNode {
+        /// Evaluator index.
+        evaluator: usize,
+        /// Virtual crash time in milliseconds.
+        at_ms: f64,
+    },
+    /// Apply a cost-factor perturbation burst to evaluator `evaluator`
+    /// from `from_ms` on. Realised through the substrate's perturbation
+    /// mechanism, not the hook.
+    PerturbBurst {
+        /// Evaluator index.
+        evaluator: usize,
+        /// Virtual start time in milliseconds (the threaded substrate
+        /// applies the burst for the whole run).
+        from_ms: f64,
+        /// Cost multiplier while active.
+        factor: f64,
+    },
+}
+
+impl FaultEvent {
+    /// Whether the event is a deliberately broken oracle fixture that no
+    /// generator family emits (data-plane loss or duplication).
+    pub fn is_fixture_only(&self) -> bool {
+        matches!(
+            self,
+            FaultEvent::DropData { .. } | FaultEvent::DuplicateData { .. }
+        )
+    }
+
+    /// Whether the event is realised through the [`ChaosHook`] seams (as
+    /// opposed to node-failure or perturbation machinery).
+    ///
+    /// [`ChaosHook`]: gridq_common::ChaosHook
+    pub fn hook_mediated(&self) -> bool {
+        !matches!(
+            self,
+            FaultEvent::CrashNode { .. } | FaultEvent::PerturbBurst { .. }
+        )
+    }
+
+    /// A short stable tag naming the variant (used in JSON and reports).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            FaultEvent::DropNotify { .. } => "drop_notify",
+            FaultEvent::DropAck { .. } => "drop_ack",
+            FaultEvent::DuplicateAck { .. } => "duplicate_ack",
+            FaultEvent::DelayAck { .. } => "delay_ack",
+            FaultEvent::DelayData { .. } => "delay_data",
+            FaultEvent::DropData { .. } => "drop_data",
+            FaultEvent::DuplicateData { .. } => "duplicate_data",
+            FaultEvent::StallProducer { .. } => "stall_producer",
+            FaultEvent::StallConsumer { .. } => "stall_consumer",
+            FaultEvent::LoseRecallCtrl { .. } => "lose_recall_ctrl",
+            FaultEvent::CrashNode { .. } => "crash_node",
+            FaultEvent::PerturbBurst { .. } => "perturb_burst",
+        }
+    }
+
+    /// Serializes the event as a one-line JSON object.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObj::new();
+        o.str("type", self.tag());
+        match self {
+            FaultEvent::DropNotify { kind, index, nth } => {
+                o.str(
+                    "kind",
+                    match kind {
+                        NotifyKind::M1 => "m1",
+                        NotifyKind::M2 => "m2",
+                    },
+                );
+                o.int("index", *index as u64);
+                o.int("nth", *nth);
+            }
+            FaultEvent::DropAck {
+                source,
+                worker,
+                nth,
+            }
+            | FaultEvent::DuplicateAck {
+                source,
+                worker,
+                nth,
+            } => {
+                o.int("source", *source as u64);
+                o.int("worker", *worker as u64);
+                o.int("nth", *nth);
+            }
+            FaultEvent::DelayAck {
+                source,
+                worker,
+                nth,
+                delay_ms,
+            } => {
+                o.int("source", *source as u64);
+                o.int("worker", *worker as u64);
+                o.int("nth", *nth);
+                o.num("delay_ms", *delay_ms);
+            }
+            FaultEvent::DelayData {
+                source,
+                dest,
+                nth,
+                delay_ms,
+            } => {
+                o.int("source", *source as u64);
+                o.int("dest", *dest as u64);
+                o.int("nth", *nth);
+                o.num("delay_ms", *delay_ms);
+            }
+            FaultEvent::DropData { source, dest, nth }
+            | FaultEvent::DuplicateData { source, dest, nth } => {
+                o.int("source", *source as u64);
+                o.int("dest", *dest as u64);
+                o.int("nth", *nth);
+            }
+            FaultEvent::StallProducer { source, nth, ms } => {
+                o.int("source", *source as u64);
+                o.int("nth", *nth);
+                o.num("ms", *ms);
+            }
+            FaultEvent::StallConsumer { worker, nth, ms } => {
+                o.int("worker", *worker as u64);
+                o.int("nth", *nth);
+                o.num("ms", *ms);
+            }
+            FaultEvent::LoseRecallCtrl { phase, worker, nth } => {
+                o.str(
+                    "phase",
+                    match phase {
+                        RecallPhase::Drain => "drain",
+                        RecallPhase::Migrate => "migrate",
+                    },
+                );
+                o.int("worker", *worker as u64);
+                o.int("nth", *nth);
+            }
+            FaultEvent::CrashNode { evaluator, at_ms } => {
+                o.int("evaluator", *evaluator as u64);
+                o.num("at_ms", *at_ms);
+            }
+            FaultEvent::PerturbBurst {
+                evaluator,
+                from_ms,
+                factor,
+            } => {
+                o.int("evaluator", *evaluator as u64);
+                o.num("from_ms", *from_ms);
+                o.num("factor", *factor);
+            }
+        }
+        o.finish()
+    }
+
+    /// Parses an event from a parsed JSON object.
+    pub fn from_json(j: &Json) -> Result<FaultEvent> {
+        let field_u64 = |key: &str| -> Result<u64> {
+            j.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| GridError::Config(format!("fault event missing integer `{key}`")))
+        };
+        let field_usize = |key: &str| -> Result<usize> { Ok(field_u64(key)? as usize) };
+        let field_f64 = |key: &str| -> Result<f64> {
+            j.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| GridError::Config(format!("fault event missing number `{key}`")))
+        };
+        let tag = j
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| GridError::Config("fault event missing `type`".into()))?;
+        Ok(match tag {
+            "drop_notify" => FaultEvent::DropNotify {
+                kind: match j.get("kind").and_then(Json::as_str) {
+                    Some("m1") => NotifyKind::M1,
+                    Some("m2") => NotifyKind::M2,
+                    other => {
+                        return Err(GridError::Config(format!(
+                            "unknown notification kind {other:?}"
+                        )))
+                    }
+                },
+                index: field_usize("index")?,
+                nth: field_u64("nth")?,
+            },
+            "drop_ack" => FaultEvent::DropAck {
+                source: field_usize("source")?,
+                worker: field_usize("worker")?,
+                nth: field_u64("nth")?,
+            },
+            "duplicate_ack" => FaultEvent::DuplicateAck {
+                source: field_usize("source")?,
+                worker: field_usize("worker")?,
+                nth: field_u64("nth")?,
+            },
+            "delay_ack" => FaultEvent::DelayAck {
+                source: field_usize("source")?,
+                worker: field_usize("worker")?,
+                nth: field_u64("nth")?,
+                delay_ms: field_f64("delay_ms")?,
+            },
+            "delay_data" => FaultEvent::DelayData {
+                source: field_usize("source")?,
+                dest: field_usize("dest")?,
+                nth: field_u64("nth")?,
+                delay_ms: field_f64("delay_ms")?,
+            },
+            "drop_data" => FaultEvent::DropData {
+                source: field_usize("source")?,
+                dest: field_usize("dest")?,
+                nth: field_u64("nth")?,
+            },
+            "duplicate_data" => FaultEvent::DuplicateData {
+                source: field_usize("source")?,
+                dest: field_usize("dest")?,
+                nth: field_u64("nth")?,
+            },
+            "stall_producer" => FaultEvent::StallProducer {
+                source: field_usize("source")?,
+                nth: field_u64("nth")?,
+                ms: field_f64("ms")?,
+            },
+            "stall_consumer" => FaultEvent::StallConsumer {
+                worker: field_usize("worker")?,
+                nth: field_u64("nth")?,
+                ms: field_f64("ms")?,
+            },
+            "lose_recall_ctrl" => FaultEvent::LoseRecallCtrl {
+                phase: match j.get("phase").and_then(Json::as_str) {
+                    Some("drain") => RecallPhase::Drain,
+                    Some("migrate") => RecallPhase::Migrate,
+                    other => {
+                        return Err(GridError::Config(format!("unknown recall phase {other:?}")))
+                    }
+                },
+                worker: field_usize("worker")?,
+                nth: field_u64("nth")?,
+            },
+            "crash_node" => FaultEvent::CrashNode {
+                evaluator: field_usize("evaluator")?,
+                at_ms: field_f64("at_ms")?,
+            },
+            "perturb_burst" => FaultEvent::PerturbBurst {
+                evaluator: field_usize("evaluator")?,
+                from_ms: field_f64("from_ms")?,
+                factor: field_f64("factor")?,
+            },
+            other => {
+                return Err(GridError::Config(format!(
+                    "unknown fault event type `{other}`"
+                )))
+            }
+        })
+    }
+}
+
+/// The fault families a scenario matrix iterates over. Each family
+/// generates a themed bundle of [`FaultEvent`]s from a seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultFamily {
+    /// Lose M1/M2 monitoring notifications (best-effort by contract).
+    NotifyLoss,
+    /// Drop, duplicate, and delay checkpoint acknowledgments.
+    AckChaos,
+    /// Delay data-plane exchange buffers.
+    DataDelay,
+    /// Stall producer and consumer threads mid-stream.
+    Stall,
+    /// Crash a node mid-run: a permanent simulator node failure, or a
+    /// swallowed recall control reply (the threaded analogue of a worker
+    /// dying mid-recall).
+    CrashMidRecall,
+    /// Perturbation bursts arriving mid-query.
+    PerturbBurst,
+}
+
+impl FaultFamily {
+    /// Every family, in matrix order.
+    pub const ALL: [FaultFamily; 6] = [
+        FaultFamily::NotifyLoss,
+        FaultFamily::AckChaos,
+        FaultFamily::DataDelay,
+        FaultFamily::Stall,
+        FaultFamily::CrashMidRecall,
+        FaultFamily::PerturbBurst,
+    ];
+
+    /// Stable name used in JSON and CLI arguments.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultFamily::NotifyLoss => "notify_loss",
+            FaultFamily::AckChaos => "ack_chaos",
+            FaultFamily::DataDelay => "data_delay",
+            FaultFamily::Stall => "stall",
+            FaultFamily::CrashMidRecall => "crash_mid_recall",
+            FaultFamily::PerturbBurst => "perturb_burst",
+        }
+    }
+
+    /// Parses a family from its [`FaultFamily::name`].
+    pub fn parse(s: &str) -> Result<FaultFamily> {
+        FaultFamily::ALL
+            .into_iter()
+            .find(|f| f.name() == s)
+            .ok_or_else(|| GridError::Config(format!("unknown fault family `{s}`")))
+    }
+}
+
+/// The exchange shape a plan is generated against.
+#[derive(Debug, Clone, Copy)]
+pub struct Topology {
+    /// Number of source streams (producers).
+    pub sources: usize,
+    /// Number of stage partitions (workers/consumers).
+    pub workers: usize,
+    /// Whether the scenario runs on the simulator (crash faults become
+    /// node failures) or on real threads (crash faults become lost
+    /// recall control replies).
+    pub simulated: bool,
+}
+
+/// A seeded, replayable fault plan: the seed it was generated from plus
+/// the concrete fault events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed the plan was generated from (0 for hand-written plans).
+    pub seed: u64,
+    /// The injected faults.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan: running it must be indistinguishable from running
+    /// without a hook.
+    pub fn empty() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// Generates the plan for one scenario cell deterministically from
+    /// `seed`. The same `(seed, family, topology)` always yields the
+    /// same plan; `GRIDQ_CHAOS_SEED` replays a cell by reproducing its
+    /// seed.
+    pub fn generate(seed: u64, family: FaultFamily, topo: Topology) -> FaultPlan {
+        let mut rng = DetRng::seeded(seed ^ 0xc4a0_5a11);
+        let rng = &mut rng;
+        let sources = topo.sources.max(1);
+        let workers = topo.workers.max(1);
+        let mut events = Vec::new();
+        match family {
+            FaultFamily::NotifyLoss => {
+                for _ in 0..rng.usize_in(1, 5) {
+                    let kind = *rng.pick(&[NotifyKind::M1, NotifyKind::M2]);
+                    let index = match kind {
+                        NotifyKind::M1 => rng.usize_in(0, workers),
+                        NotifyKind::M2 => rng.usize_in(0, sources),
+                    };
+                    events.push(FaultEvent::DropNotify {
+                        kind,
+                        index,
+                        nth: rng.i64_in(1, 7) as u64,
+                    });
+                }
+            }
+            FaultFamily::AckChaos => {
+                for _ in 0..rng.usize_in(1, 5) {
+                    let source = rng.usize_in(0, sources);
+                    let worker = rng.usize_in(0, workers);
+                    let nth = rng.i64_in(1, 9) as u64;
+                    events.push(match rng.usize_in(0, 3) {
+                        0 => FaultEvent::DropAck {
+                            source,
+                            worker,
+                            nth,
+                        },
+                        1 => FaultEvent::DuplicateAck {
+                            source,
+                            worker,
+                            nth,
+                        },
+                        _ => FaultEvent::DelayAck {
+                            source,
+                            worker,
+                            nth,
+                            delay_ms: rng.f64_in(1.0, 40.0),
+                        },
+                    });
+                }
+            }
+            FaultFamily::DataDelay => {
+                for _ in 0..rng.usize_in(1, 4) {
+                    events.push(FaultEvent::DelayData {
+                        source: rng.usize_in(0, sources),
+                        dest: rng.usize_in(0, workers),
+                        nth: rng.i64_in(1, 6) as u64,
+                        delay_ms: rng.f64_in(5.0, 80.0),
+                    });
+                }
+            }
+            FaultFamily::Stall => {
+                for _ in 0..rng.usize_in(1, 4) {
+                    if rng.flip() {
+                        events.push(FaultEvent::StallProducer {
+                            source: rng.usize_in(0, sources),
+                            nth: rng.i64_in(1, 30) as u64,
+                            ms: rng.f64_in(5.0, 120.0),
+                        });
+                    } else {
+                        events.push(FaultEvent::StallConsumer {
+                            worker: rng.usize_in(0, workers),
+                            nth: rng.i64_in(1, 30) as u64,
+                            ms: rng.f64_in(5.0, 120.0),
+                        });
+                    }
+                }
+            }
+            FaultFamily::CrashMidRecall => {
+                if topo.simulated {
+                    events.push(FaultEvent::CrashNode {
+                        evaluator: rng.usize_in(0, workers),
+                        at_ms: rng.f64_in(100.0, 1500.0),
+                    });
+                } else {
+                    events.push(FaultEvent::LoseRecallCtrl {
+                        phase: *rng.pick(&[RecallPhase::Drain, RecallPhase::Migrate]),
+                        worker: rng.usize_in(0, workers),
+                        nth: rng.i64_in(1, 3) as u64,
+                    });
+                }
+            }
+            FaultFamily::PerturbBurst => {
+                for _ in 0..rng.usize_in(1, 3) {
+                    events.push(FaultEvent::PerturbBurst {
+                        evaluator: rng.usize_in(0, workers),
+                        from_ms: rng.f64_in(0.0, 1200.0),
+                        factor: rng.f64_in(4.0, 12.0),
+                    });
+                }
+            }
+        }
+        FaultPlan { seed, events }
+    }
+
+    /// The simulator node failures the plan calls for, as
+    /// `(evaluator, at_ms)` pairs.
+    pub fn crashes(&self) -> Vec<(usize, f64)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                FaultEvent::CrashNode { evaluator, at_ms } => Some((*evaluator, *at_ms)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The perturbation bursts the plan calls for, as
+    /// `(evaluator, from_ms, factor)` triples.
+    pub fn bursts(&self) -> Vec<(usize, f64, f64)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                FaultEvent::PerturbBurst {
+                    evaluator,
+                    from_ms,
+                    factor,
+                } => Some((*evaluator, *from_ms, *factor)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Whether any event is a deliberately broken oracle fixture.
+    pub fn has_fixture_faults(&self) -> bool {
+        self.events.iter().any(FaultEvent::is_fixture_only)
+    }
+
+    /// Serializes the plan as a one-line JSON object.
+    pub fn to_json(&self) -> String {
+        let events: Vec<String> = self.events.iter().map(FaultEvent::to_json).collect();
+        let mut o = JsonObj::new();
+        o.int("seed", self.seed);
+        o.raw("events", &format!("[{}]", events.join(",")));
+        o.finish()
+    }
+
+    /// Parses a plan from its JSON form.
+    pub fn from_json(input: &str) -> Result<FaultPlan> {
+        let j = Json::parse(input).map_err(GridError::Config)?;
+        Self::from_parsed(&j)
+    }
+
+    /// Parses a plan from an already parsed JSON value.
+    pub fn from_parsed(j: &Json) -> Result<FaultPlan> {
+        let seed = j
+            .get("seed")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| GridError::Config("fault plan missing `seed`".into()))?;
+        let events = j
+            .get("events")
+            .and_then(Json::as_array)
+            .ok_or_else(|| GridError::Config("fault plan missing `events`".into()))?
+            .iter()
+            .map(FaultEvent::from_json)
+            .collect::<Result<Vec<_>>>()?;
+        Ok(FaultPlan { seed, events })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOPO: Topology = Topology {
+        sources: 2,
+        workers: 2,
+        simulated: true,
+    };
+
+    #[test]
+    fn generation_is_deterministic() {
+        for family in FaultFamily::ALL {
+            let a = FaultPlan::generate(1303, family, TOPO);
+            let b = FaultPlan::generate(1303, family, TOPO);
+            assert_eq!(a, b, "same seed must give the same {} plan", family.name());
+            assert!(!a.events.is_empty());
+        }
+    }
+
+    #[test]
+    fn no_family_generates_fixture_faults() {
+        for family in FaultFamily::ALL {
+            for seed in [1_u64, 7, 42, 1303, 99991] {
+                for simulated in [true, false] {
+                    let plan = FaultPlan::generate(seed, family, Topology { simulated, ..TOPO });
+                    assert!(
+                        !plan.has_fixture_faults(),
+                        "{} generated a data-loss fixture: {plan:?}",
+                        family.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crash_family_respects_substrate() {
+        let sim = FaultPlan::generate(7, FaultFamily::CrashMidRecall, TOPO);
+        assert!(matches!(sim.events[0], FaultEvent::CrashNode { .. }));
+        let threaded = FaultPlan::generate(
+            7,
+            FaultFamily::CrashMidRecall,
+            Topology {
+                simulated: false,
+                ..TOPO
+            },
+        );
+        assert!(matches!(
+            threaded.events[0],
+            FaultEvent::LoseRecallCtrl { .. }
+        ));
+    }
+
+    #[test]
+    fn plans_round_trip_through_json() {
+        for family in FaultFamily::ALL {
+            for simulated in [true, false] {
+                let plan = FaultPlan::generate(1303, family, Topology { simulated, ..TOPO });
+                let parsed = FaultPlan::from_json(&plan.to_json()).expect("round trip");
+                assert_eq!(plan, parsed, "{} plan must round-trip", family.name());
+            }
+        }
+    }
+
+    #[test]
+    fn fixture_events_round_trip_too() {
+        let plan = FaultPlan {
+            seed: 0,
+            events: vec![
+                FaultEvent::DropData {
+                    source: 0,
+                    dest: 1,
+                    nth: 2,
+                },
+                FaultEvent::DuplicateData {
+                    source: 1,
+                    dest: 0,
+                    nth: 1,
+                },
+            ],
+        };
+        assert!(plan.has_fixture_faults());
+        assert_eq!(plan, FaultPlan::from_json(&plan.to_json()).unwrap());
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(FaultPlan::from_json("{").is_err());
+        assert!(FaultPlan::from_json("{\"seed\":1}").is_err());
+        assert!(FaultPlan::from_json("{\"seed\":1,\"events\":[{\"type\":\"warp\"}]}").is_err());
+    }
+
+    #[test]
+    fn family_names_parse_back() {
+        for family in FaultFamily::ALL {
+            assert_eq!(FaultFamily::parse(family.name()).unwrap(), family);
+        }
+        assert!(FaultFamily::parse("nope").is_err());
+    }
+}

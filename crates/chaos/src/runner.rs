@@ -1,0 +1,789 @@
+//! The scenario runner: executes one `(seed, family, substrate, policy)`
+//! cell by running a fixed workload twice — once clean (the reference,
+//! cached per substrate/policy) and once under the generated
+//! [`FaultPlan`] — and judging the pair with every oracle.
+//!
+//! Workloads are small and fixed so scenario outcomes are comparable
+//! across seeds: R1 cells run a stateful hash-join (the recall
+//! protocol's home turf) with one node perturbed so the control loop has
+//! a real imbalance to correct; R2 cells run a stateless service-call
+//! plan with the same standing perturbation; static cells run the
+//! service-call plan unperturbed. Crash events become simulator node
+//! failures; perturbation bursts are installed through each substrate's
+//! perturbation mechanism (the threaded executor applies them for the
+//! whole run, since its perturbations are constant by design).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use gridq_adapt::{AdaptivityConfig, ResponsePolicy};
+use gridq_common::{
+    ChaosHook, DataType, DistributionVector, Field, GridError, NodeId, QueryId, Result, Schema,
+    SimTime, SubplanId, Tuple, Value,
+};
+use gridq_engine::distributed::{
+    DistributedPlan, ExchangeSpec, ParallelStageSpec, RoutingPolicy, SourceSpec, StreamKeys,
+};
+use gridq_engine::evaluator::{HashJoinFactory, ServiceCallFactory, StreamTag};
+use gridq_engine::physical::Catalog;
+use gridq_engine::service::{FnService, Service, ServiceRegistry};
+use gridq_engine::table::Table;
+use gridq_engine::Expr;
+use gridq_exec::{ThreadedConfig, ThreadedExecutor, ThreadedReport};
+use gridq_grid::{GridEnvironment, Perturbation, PerturbationSchedule};
+use gridq_obs::json::JsonObj;
+use gridq_obs::Json;
+use gridq_sim::{ExecutionReport, Simulation, SimulationConfig};
+
+use crate::hook::PlanHook;
+use crate::oracle::{judge, RunSummary, Verdict};
+use crate::plan::{FaultFamily, FaultPlan, Topology};
+
+/// Which execution substrate a scenario runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Substrate {
+    /// The discrete-event virtual-time simulator (`gridq-sim`).
+    Sim,
+    /// The OS-thread executor (`gridq-exec`).
+    Threaded,
+}
+
+impl Substrate {
+    /// Both substrates, in matrix order.
+    pub const ALL: [Substrate; 2] = [Substrate::Sim, Substrate::Threaded];
+
+    /// Stable name used in JSON and CLI arguments.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Substrate::Sim => "sim",
+            Substrate::Threaded => "threaded",
+        }
+    }
+
+    /// Parses a substrate from its [`Substrate::name`].
+    pub fn parse(s: &str) -> Result<Substrate> {
+        Substrate::ALL
+            .into_iter()
+            .find(|x| x.name() == s)
+            .ok_or_else(|| GridError::Config(format!("unknown substrate `{s}`")))
+    }
+}
+
+/// The adaptivity policy a scenario runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Policy {
+    /// Adaptivity disabled.
+    Static,
+    /// Retrospective responses (recall protocol, stateful stages).
+    R1,
+    /// Prospective responses (in-place routing swap).
+    R2,
+}
+
+impl Policy {
+    /// Every policy, in matrix order.
+    pub const ALL: [Policy; 3] = [Policy::Static, Policy::R1, Policy::R2];
+
+    /// Stable name used in JSON and CLI arguments.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Policy::Static => "static",
+            Policy::R1 => "r1",
+            Policy::R2 => "r2",
+        }
+    }
+
+    /// Parses a policy from its [`Policy::name`].
+    pub fn parse(s: &str) -> Result<Policy> {
+        Policy::ALL
+            .into_iter()
+            .find(|x| x.name() == s)
+            .ok_or_else(|| GridError::Config(format!("unknown policy `{s}`")))
+    }
+
+    /// The adaptivity configuration the policy stands for.
+    pub fn adaptivity(&self) -> AdaptivityConfig {
+        match self {
+            Policy::Static => AdaptivityConfig::disabled(),
+            Policy::R1 => AdaptivityConfig {
+                response: ResponsePolicy::R1,
+                ..Default::default()
+            },
+            Policy::R2 => AdaptivityConfig::default(),
+        }
+    }
+}
+
+/// One cell of the chaos matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scenario {
+    /// Seed the fault plan is generated from.
+    pub seed: u64,
+    /// Fault family to inject.
+    pub family: FaultFamily,
+    /// Substrate to run on.
+    pub substrate: Substrate,
+    /// Adaptivity policy.
+    pub policy: Policy,
+}
+
+impl Scenario {
+    /// A compact `family/substrate/policy/seedN` label for reports.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{}/seed{}",
+            self.family.name(),
+            self.substrate.name(),
+            self.policy.name(),
+            self.seed
+        )
+    }
+
+    /// The exchange topology of this scenario's workload, which the
+    /// plan generator aims its faults at.
+    pub fn topology(&self) -> Topology {
+        Topology {
+            sources: match self.policy {
+                Policy::R1 => 2,
+                _ => 1,
+            },
+            workers: WORKERS,
+            simulated: self.substrate == Substrate::Sim,
+        }
+    }
+}
+
+/// A judged scenario run: the plan that was injected, every oracle's
+/// verdict, and how many fault events actually materialised.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// The cell that ran.
+    pub scenario: Scenario,
+    /// The exact plan injected (rides along so a failure replays).
+    pub plan: FaultPlan,
+    /// Every oracle's judgment (empty when the run itself errored).
+    pub verdicts: Vec<Verdict>,
+    /// Fault events that actually fired (hook events whose `nth`
+    /// occurrence happened, plus crash/burst events, which always apply).
+    pub fired_events: usize,
+    /// Wall-clock duration of the faulted run + judging, milliseconds.
+    pub wall_ms: f64,
+    /// Error that aborted the run, if any. An errored run fails.
+    pub error: Option<String>,
+}
+
+impl ScenarioOutcome {
+    /// True when the run completed and every oracle passed.
+    pub fn passed(&self) -> bool {
+        self.error.is_none() && !self.verdicts.is_empty() && self.verdicts.iter().all(|v| v.passed)
+    }
+
+    /// Serializes the outcome as a one-line JSON object.
+    pub fn to_json(&self) -> String {
+        let verdicts: Vec<String> = self
+            .verdicts
+            .iter()
+            .map(|v| {
+                let mut o = JsonObj::new();
+                o.str("oracle", v.oracle)
+                    .bool("passed", v.passed)
+                    .str("detail", &v.detail);
+                o.finish()
+            })
+            .collect();
+        let mut o = JsonObj::new();
+        o.int("seed", self.scenario.seed)
+            .str("family", self.scenario.family.name())
+            .str("substrate", self.scenario.substrate.name())
+            .str("policy", self.scenario.policy.name())
+            .raw("plan", &self.plan.to_json())
+            .int("fired_events", self.fired_events as u64)
+            .num("wall_ms", self.wall_ms)
+            .bool("passed", self.passed());
+        match &self.error {
+            Some(e) => o.str("error", e),
+            None => o.raw("error", "null"),
+        };
+        o.raw("verdicts", &format!("[{}]", verdicts.join(",")));
+        o.finish()
+    }
+
+    /// Parses an outcome from its JSON form.
+    pub fn from_json(input: &str) -> Result<ScenarioOutcome> {
+        let j = Json::parse(input).map_err(GridError::Config)?;
+        Self::from_parsed(&j)
+    }
+
+    /// Parses an outcome from an already parsed JSON value.
+    pub fn from_parsed(j: &Json) -> Result<ScenarioOutcome> {
+        let field_str = |key: &str| -> Result<&str> {
+            j.get(key)
+                .and_then(Json::as_str)
+                .ok_or_else(|| GridError::Config(format!("outcome missing string `{key}`")))
+        };
+        let scenario = Scenario {
+            seed: j
+                .get("seed")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| GridError::Config("outcome missing `seed`".into()))?,
+            family: FaultFamily::parse(field_str("family")?)?,
+            substrate: Substrate::parse(field_str("substrate")?)?,
+            policy: Policy::parse(field_str("policy")?)?,
+        };
+        let plan = FaultPlan::from_parsed(
+            j.get("plan")
+                .ok_or_else(|| GridError::Config("outcome missing `plan`".into()))?,
+        )?;
+        let verdicts = j
+            .get("verdicts")
+            .and_then(Json::as_array)
+            .ok_or_else(|| GridError::Config("outcome missing `verdicts`".into()))?
+            .iter()
+            .map(|v| {
+                let name = v
+                    .get("oracle")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| GridError::Config("verdict missing `oracle`".into()))?;
+                let oracle = ORACLES
+                    .iter()
+                    .copied()
+                    .find(|o| *o == name)
+                    .ok_or_else(|| GridError::Config(format!("unknown oracle `{name}`")))?;
+                Ok(Verdict {
+                    oracle,
+                    passed: v
+                        .get("passed")
+                        .and_then(Json::as_bool)
+                        .ok_or_else(|| GridError::Config("verdict missing `passed`".into()))?,
+                    detail: v
+                        .get("detail")
+                        .and_then(Json::as_str)
+                        .unwrap_or_default()
+                        .to_string(),
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let error = match j.get("error") {
+            Some(e) if !e.is_null() => Some(
+                e.as_str()
+                    .ok_or_else(|| GridError::Config("outcome `error` must be a string".into()))?
+                    .to_string(),
+            ),
+            _ => None,
+        };
+        Ok(ScenarioOutcome {
+            scenario,
+            plan,
+            verdicts,
+            fired_events: j.get("fired_events").and_then(Json::as_u64).unwrap_or(0) as usize,
+            wall_ms: j.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0),
+            error,
+        })
+    }
+}
+
+/// The stable oracle names, in judging order.
+pub const ORACLES: [&str; 5] = [
+    "conservation",
+    "log_conservation",
+    "recall_safety",
+    "timeline_causality",
+    "teardown",
+];
+
+/// Stage partitions in every chaos workload.
+const WORKERS: usize = 2;
+/// Standing cost factor on node 2 that gives adaptive policies a real
+/// imbalance to correct (present in the reference run too).
+const IMBALANCE_FACTOR: f64 = 10.0;
+
+/// The scenario matrix for one seed: every fault family on both
+/// substrates under R1 (the policy with the most protocol surface), plus
+/// spot-checks of R2 and static cells.
+pub fn matrix(seed: u64) -> Vec<Scenario> {
+    let mut cells = Vec::new();
+    for family in FaultFamily::ALL {
+        for substrate in Substrate::ALL {
+            cells.push(Scenario {
+                seed,
+                family,
+                substrate,
+                policy: Policy::R1,
+            });
+        }
+    }
+    for substrate in Substrate::ALL {
+        cells.push(Scenario {
+            seed,
+            family: FaultFamily::NotifyLoss,
+            substrate,
+            policy: Policy::R2,
+        });
+        cells.push(Scenario {
+            seed,
+            family: FaultFamily::Stall,
+            substrate,
+            policy: Policy::Static,
+        });
+    }
+    cells.push(Scenario {
+        seed,
+        family: FaultFamily::PerturbBurst,
+        substrate: Substrate::Sim,
+        policy: Policy::R2,
+    });
+    cells
+}
+
+/// Runs scenarios, caching one unfaulted reference run per
+/// `(substrate, policy)` pair so a seed matrix does not re-run it per
+/// cell.
+#[derive(Debug, Default)]
+pub struct Runner {
+    references: HashMap<(Substrate, Policy), RunSummary>,
+}
+
+impl Runner {
+    /// A runner with an empty reference cache.
+    pub fn new() -> Runner {
+        Runner::default()
+    }
+
+    /// Generates the scenario's fault plan from its seed and runs it.
+    pub fn run_scenario(&mut self, scenario: Scenario) -> ScenarioOutcome {
+        let plan = FaultPlan::generate(scenario.seed, scenario.family, scenario.topology());
+        self.run_with_plan(scenario, plan)
+    }
+
+    /// Runs a scenario under an explicit plan (the shrinker's entry
+    /// point). Run errors are captured in the outcome, not returned:
+    /// an errored cell is a failed cell, not a broken harness.
+    pub fn run_with_plan(&mut self, scenario: Scenario, plan: FaultPlan) -> ScenarioOutcome {
+        // The harness's one wall-clock site: scenario timing for reports.
+        let started = Instant::now();
+        let mut outcome = ScenarioOutcome {
+            scenario,
+            plan,
+            verdicts: Vec::new(),
+            fired_events: 0,
+            wall_ms: 0.0,
+            error: None,
+        };
+        let reference = match self.reference(scenario.substrate, scenario.policy) {
+            Ok(r) => r.clone(),
+            Err(e) => {
+                outcome.error = Some(format!("reference run failed: {e}"));
+                outcome.wall_ms = started.elapsed().as_secs_f64() * 1000.0;
+                return outcome;
+            }
+        };
+        match execute(scenario.substrate, scenario.policy, &outcome.plan) {
+            Ok((summary, fired)) => {
+                outcome.verdicts = judge(&reference, &summary);
+                outcome.fired_events = fired;
+            }
+            Err(e) => outcome.error = Some(e.to_string()),
+        }
+        outcome.wall_ms = started.elapsed().as_secs_f64() * 1000.0;
+        outcome
+    }
+
+    /// The cached unfaulted reference for a substrate/policy pair.
+    pub fn reference(&mut self, substrate: Substrate, policy: Policy) -> Result<&RunSummary> {
+        use std::collections::hash_map::Entry;
+        match self.references.entry((substrate, policy)) {
+            Entry::Occupied(e) => Ok(e.into_mut()),
+            Entry::Vacant(e) => {
+                let (summary, _) = execute(substrate, policy, &FaultPlan::empty())?;
+                Ok(e.insert(summary))
+            }
+        }
+    }
+}
+
+/// Executes the workload for `(substrate, policy)` under `plan` and
+/// summarizes the run for the oracles. Returns the summary and the
+/// number of fault events that materialised.
+fn execute(substrate: Substrate, policy: Policy, plan: &FaultPlan) -> Result<(RunSummary, usize)> {
+    let hook = Arc::new(PlanHook::new(plan));
+    let summary = match substrate {
+        Substrate::Sim => run_sim(policy, plan, Arc::clone(&hook))?,
+        Substrate::Threaded => run_threaded(policy, plan, Arc::clone(&hook))?,
+    };
+    // Crash and burst events are realised by the runner, not the hook,
+    // and always apply once the run starts.
+    let realised = plan.events.iter().filter(|e| !e.hook_mediated()).count();
+    Ok((summary, hook.fired().len() + realised))
+}
+
+fn run_sim(policy: Policy, plan: &FaultPlan, hook: Arc<PlanHook>) -> Result<RunSummary> {
+    let w = workload(policy);
+    let mut env = GridEnvironment::demo(WORKERS);
+    for (node, schedule) in perturbation_schedules(&w, plan) {
+        env.set_perturbation(node, schedule);
+    }
+    let config = SimulationConfig {
+        adaptivity: policy.adaptivity(),
+        checkpoint_interval: 8,
+        receive_cost_ms: 0.5,
+        collect_results: true,
+        chaos: Some(hook as Arc<dyn ChaosHook>),
+        ..Default::default()
+    };
+    let sim = Simulation::new(env, w.catalog(), config)?;
+    let failures: Vec<(NodeId, SimTime)> = plan
+        .crashes()
+        .into_iter()
+        .map(|(evaluator, at_ms)| {
+            (
+                NodeId::new((evaluator % WORKERS) as u32 + 1),
+                SimTime::from_millis(at_ms),
+            )
+        })
+        .collect();
+    let report = sim.run_with_failures(&w.plan, &failures)?;
+    Ok(summarize_sim(report))
+}
+
+fn run_threaded(policy: Policy, plan: &FaultPlan, hook: Arc<PlanHook>) -> Result<RunSummary> {
+    if !plan.crashes().is_empty() {
+        return Err(GridError::Config(
+            "crash_node faults require the simulator; the threaded analogue is \
+             lose_recall_ctrl"
+                .into(),
+        ));
+    }
+    let w = workload(policy);
+    let mut perturbations = HashMap::new();
+    if let Some(node) = w.perturb_node {
+        perturbations.insert(node, Perturbation::CostFactor(IMBALANCE_FACTOR));
+    }
+    // The threaded executor's perturbations are constant for the whole
+    // run, so a burst's start time is dropped and its factor applies
+    // from the beginning.
+    for (evaluator, _from_ms, factor) in plan.bursts() {
+        perturbations.insert(
+            NodeId::new((evaluator % WORKERS) as u32 + 1),
+            Perturbation::CostFactor(factor),
+        );
+    }
+    let config = ThreadedConfig {
+        adaptivity: policy.adaptivity(),
+        cost_scale: match policy {
+            Policy::R1 => 0.01,
+            _ => 0.002,
+        },
+        perturbations,
+        checkpoint_interval: 8,
+        recall_timeout_ms: 500,
+        chaos: Some(hook as Arc<dyn ChaosHook>),
+        ..Default::default()
+    };
+    let report = ThreadedExecutor::new(w.catalog(), config).run(&w.plan)?;
+    Ok(summarize_threaded(report))
+}
+
+/// Folds the workload's standing imbalance and the plan's perturbation
+/// bursts into one schedule per node.
+fn perturbation_schedules(w: &Workload, plan: &FaultPlan) -> Vec<(NodeId, PerturbationSchedule)> {
+    let mut phases: HashMap<NodeId, Vec<(f64, Perturbation)>> = HashMap::new();
+    if let Some(node) = w.perturb_node {
+        phases
+            .entry(node)
+            .or_default()
+            .push((0.0, Perturbation::CostFactor(IMBALANCE_FACTOR)));
+    }
+    for (evaluator, from_ms, factor) in plan.bursts() {
+        phases
+            .entry(NodeId::new((evaluator % WORKERS) as u32 + 1))
+            .or_default()
+            .push((from_ms.max(0.0), Perturbation::CostFactor(factor)));
+    }
+    phases
+        .into_iter()
+        .map(|(node, mut list)| {
+            list.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let schedule = list
+                .into_iter()
+                .fold(PerturbationSchedule::none(), |s, (from, p)| {
+                    s.then_at(SimTime::from_millis(from), p)
+                });
+            (node, schedule)
+        })
+        .collect()
+}
+
+fn summarize_sim(report: ExecutionReport) -> RunSummary {
+    RunSummary {
+        results: RunSummary::multiset(&report.results),
+        log_audits: report.log_audits,
+        adaptations_deployed: report.adaptations_deployed,
+        state_tuples_migrated: report.state_tuples_migrated,
+        tuples_recalled: report.tuples_redistributed,
+        nodes_failed: report.nodes_failed,
+        final_distribution: report.final_distribution,
+        obs: report.obs,
+    }
+}
+
+fn summarize_threaded(report: ThreadedReport) -> RunSummary {
+    RunSummary {
+        results: RunSummary::multiset(&report.results),
+        log_audits: report.log_audits,
+        adaptations_deployed: report.adaptations_deployed,
+        state_tuples_migrated: report.state_tuples_migrated,
+        tuples_recalled: report.tuples_recalled,
+        nodes_failed: 0,
+        final_distribution: report.final_distribution,
+        obs: report.obs,
+    }
+}
+
+/// A chaos workload: its tables, plan, and standing imbalance.
+struct Workload {
+    tables: Vec<Arc<Table>>,
+    plan: DistributedPlan,
+    perturb_node: Option<NodeId>,
+}
+
+impl Workload {
+    fn catalog(&self) -> Catalog {
+        let mut c = Catalog::new();
+        for t in &self.tables {
+            c.register(Arc::clone(t));
+        }
+        c
+    }
+}
+
+/// The fixed workload for a policy: R1 exercises the stateful hash-join
+/// recall path; R2 and static run the stateless service-call plan. The
+/// slow probe scan keeps producers alive while the imbalance is
+/// diagnosed, so R1 recalls reliably have something to pause.
+fn workload(policy: Policy) -> Workload {
+    match policy {
+        Policy::R1 => {
+            let build = int_table("chaos_build", 60);
+            let probe = int_table("chaos_probe", 300);
+            let plan = join_plan(&build, &probe, 1.0, 10.0);
+            Workload {
+                tables: vec![build, probe],
+                plan,
+                perturb_node: Some(NodeId::new(2)),
+            }
+        }
+        Policy::R2 => {
+            let table = int_table("chaos_t", 200);
+            let plan = call_plan(&table, WORKERS);
+            Workload {
+                tables: vec![table],
+                plan,
+                perturb_node: Some(NodeId::new(2)),
+            }
+        }
+        Policy::Static => {
+            let table = int_table("chaos_t", 200);
+            let plan = call_plan(&table, WORKERS);
+            Workload {
+                tables: vec![table],
+                plan,
+                perturb_node: None,
+            }
+        }
+    }
+}
+
+fn int_table(name: &str, n: usize) -> Arc<Table> {
+    let schema = Schema::new(vec![Field::new("x", DataType::Int)]);
+    let rows = (0..n)
+        .map(|i| Tuple::new(vec![Value::Int(i as i64)]))
+        .collect();
+    Arc::new(Table::new(name, schema, rows).expect("static chaos workload table"))
+}
+
+fn square() -> Arc<dyn Service> {
+    Arc::new(FnService::new(
+        "Square",
+        vec![DataType::Int],
+        DataType::Int,
+        1.0,
+        |args| Ok(Value::Int(args[0].as_int().unwrap().pow(2))),
+    ))
+}
+
+fn call_plan(table: &Arc<Table>, partitions: usize) -> DistributedPlan {
+    let factory = ServiceCallFactory::new(
+        table.schema(),
+        square(),
+        vec![Expr::col(0)],
+        "sq",
+        false,
+        ServiceRegistry::new(),
+    );
+    DistributedPlan {
+        query: QueryId::new(1),
+        sources: vec![SourceSpec {
+            table: table.name().to_string(),
+            node: NodeId::new(0),
+            stream: StreamTag::Single,
+            scan_cost_ms: 0.4,
+        }],
+        stages: vec![ParallelStageSpec {
+            id: SubplanId::new(1),
+            factory: Arc::new(factory),
+            nodes: (0..partitions).map(|i| NodeId::new(i as u32 + 1)).collect(),
+            exchange: ExchangeSpec {
+                routing: RoutingPolicy::Weighted {
+                    initial: DistributionVector::uniform(partitions),
+                },
+                buffer_tuples: 10,
+            },
+        }],
+        collect_node: NodeId::new(0),
+    }
+}
+
+fn join_plan(
+    build: &Arc<Table>,
+    probe: &Arc<Table>,
+    build_scan_cost_ms: f64,
+    probe_scan_cost_ms: f64,
+) -> DistributedPlan {
+    let factory = HashJoinFactory::new(build.schema(), probe.schema(), 0, 0, 0.1, 0.5);
+    DistributedPlan {
+        query: QueryId::new(2),
+        sources: vec![
+            SourceSpec {
+                table: build.name().to_string(),
+                node: NodeId::new(0),
+                stream: StreamTag::Build,
+                scan_cost_ms: build_scan_cost_ms,
+            },
+            SourceSpec {
+                table: probe.name().to_string(),
+                node: NodeId::new(0),
+                stream: StreamTag::Probe,
+                scan_cost_ms: probe_scan_cost_ms,
+            },
+        ],
+        stages: vec![ParallelStageSpec {
+            id: SubplanId::new(1),
+            factory: Arc::new(factory),
+            nodes: vec![NodeId::new(1), NodeId::new(2)],
+            exchange: ExchangeSpec {
+                routing: RoutingPolicy::HashBuckets {
+                    bucket_count: 16,
+                    initial: DistributionVector::uniform(WORKERS),
+                    keys: StreamKeys {
+                        build: Some(0),
+                        probe: Some(0),
+                        single: None,
+                    },
+                },
+                buffer_tuples: 10,
+            },
+        }],
+        collect_node: NodeId::new(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultEvent;
+
+    #[test]
+    fn matrix_covers_every_family_on_both_substrates() {
+        let cells = matrix(1);
+        for family in FaultFamily::ALL {
+            for substrate in Substrate::ALL {
+                assert!(
+                    cells
+                        .iter()
+                        .any(|c| c.family == family && c.substrate == substrate),
+                    "matrix must cover {}/{}",
+                    family.name(),
+                    substrate.name()
+                );
+            }
+        }
+        assert!(cells.iter().any(|c| c.policy == Policy::R2));
+        assert!(cells.iter().any(|c| c.policy == Policy::Static));
+    }
+
+    #[test]
+    fn names_parse_back() {
+        for s in Substrate::ALL {
+            assert_eq!(Substrate::parse(s.name()).unwrap(), s);
+        }
+        for p in Policy::ALL {
+            assert_eq!(Policy::parse(p.name()).unwrap(), p);
+        }
+        assert!(Substrate::parse("quantum").is_err());
+        assert!(Policy::parse("r3").is_err());
+    }
+
+    #[test]
+    fn crash_plans_are_rejected_on_threads() {
+        let mut runner = Runner::new();
+        let scenario = Scenario {
+            seed: 1,
+            family: FaultFamily::CrashMidRecall,
+            substrate: Substrate::Threaded,
+            policy: Policy::Static,
+        };
+        let plan = FaultPlan {
+            seed: 1,
+            events: vec![FaultEvent::CrashNode {
+                evaluator: 0,
+                at_ms: 100.0,
+            }],
+        };
+        let outcome = runner.run_with_plan(scenario, plan);
+        assert!(!outcome.passed());
+        assert!(
+            outcome.error.as_deref().unwrap_or("").contains("simulator"),
+            "{outcome:?}"
+        );
+    }
+
+    #[test]
+    fn sim_static_cell_passes_and_round_trips() {
+        let mut runner = Runner::new();
+        let outcome = runner.run_scenario(Scenario {
+            seed: 1,
+            family: FaultFamily::Stall,
+            substrate: Substrate::Sim,
+            policy: Policy::Static,
+        });
+        assert!(outcome.passed(), "{outcome:?}");
+        assert_eq!(outcome.verdicts.len(), ORACLES.len());
+        let parsed = ScenarioOutcome::from_json(&outcome.to_json()).expect("round trip");
+        assert_eq!(parsed.scenario, outcome.scenario);
+        assert_eq!(parsed.plan, outcome.plan);
+        assert_eq!(parsed.verdicts, outcome.verdicts);
+        assert_eq!(parsed.passed(), outcome.passed());
+    }
+
+    #[test]
+    fn outcome_json_captures_errors() {
+        let outcome = ScenarioOutcome {
+            scenario: Scenario {
+                seed: 7,
+                family: FaultFamily::AckChaos,
+                substrate: Substrate::Threaded,
+                policy: Policy::R1,
+            },
+            plan: FaultPlan::empty(),
+            verdicts: Vec::new(),
+            fired_events: 0,
+            wall_ms: 12.5,
+            error: Some("worker thread(s) panicked: consumer 1".into()),
+        };
+        assert!(!outcome.passed());
+        let parsed = ScenarioOutcome::from_json(&outcome.to_json()).unwrap();
+        assert_eq!(parsed.error, outcome.error);
+        assert!(!parsed.passed());
+    }
+}

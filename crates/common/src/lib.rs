@@ -9,6 +9,7 @@
 //! window with the minimum and maximum samples discarded).
 
 pub mod cast;
+pub mod chaos;
 pub mod check;
 pub mod dist;
 pub mod error;
@@ -22,6 +23,7 @@ pub mod time;
 pub mod tuple;
 pub mod value;
 
+pub use chaos::{ChaosHook, NetAction, NotifyKind, NullChaos, RecallPhase, StallSite};
 pub use dist::{BucketMap, BucketMove, DistributionVector};
 pub use error::{GridError, Result};
 pub use ids::{BucketId, NodeId, OperatorId, PartitionId, QueryId, SubplanId};

@@ -43,7 +43,10 @@ use gridq_adapt::{
 };
 use gridq_common::cast;
 use gridq_common::sync::Mutex;
-use gridq_common::{GridError, NodeId, PartitionId, Result, SimTime, Tuple};
+use gridq_common::{
+    ChaosHook, GridError, NetAction, NodeId, NotifyKind, PartitionId, RecallPhase, Result, SimTime,
+    StallSite, Tuple,
+};
 use gridq_engine::distributed::{DistributedPlan, Router};
 use gridq_engine::evaluator::{PartitionEvaluator, StreamTag};
 use gridq_engine::physical::Catalog;
@@ -52,12 +55,6 @@ use gridq_obs::{Obs, ObsConfig, ObsReport, TimelineKind};
 use gridq_recovery::{Checkpoint, LogAudit, SharedRecoveryLog};
 
 use recall::{Ctrl, ProducerGuard, RecallGate};
-
-/// How long the recall coordinator waits for producers to park and for
-/// each round of consumer replies before abandoning a recall. Generous:
-/// on a healthy run the barrier fills in microseconds, and an abort here
-/// only delays (never corrupts) the query.
-const RECALL_TIMEOUT: Duration = Duration::from_secs(30);
 
 type LogItem = (StreamTag, Tuple);
 type SharedLogs = Arc<Vec<SharedRecoveryLog<LogItem>>>;
@@ -83,6 +80,18 @@ pub struct ThreadedConfig {
     /// Observability layer configuration (metrics registry and
     /// adaptivity timeline).
     pub obs: ObsConfig,
+    /// How long the recall coordinator waits for producers to park and
+    /// for each round of consumer replies before abandoning a recall, in
+    /// wall-clock milliseconds. The default is generous: on a healthy run
+    /// the barrier fills in microseconds, and an abort here only delays
+    /// (never corrupts) the query. Chaos tests shrink it so an injected
+    /// control-reply loss aborts in milliseconds instead of seconds.
+    pub recall_timeout_ms: u64,
+    /// Fault-injection hook consulted at the chaos seams (exchange
+    /// sends, checkpoint acks, monitoring notifications, recall control
+    /// replies, per-tuple work). `None` injects nothing and leaves
+    /// behavior identical to an uninstrumented run.
+    pub chaos: Option<Arc<dyn ChaosHook>>,
 }
 
 impl Default for ThreadedConfig {
@@ -94,6 +103,8 @@ impl Default for ThreadedConfig {
             receive_cost_ms: 1.0,
             checkpoint_interval: 50,
             obs: ObsConfig::default(),
+            recall_timeout_ms: 30_000,
+            chaos: None,
         }
     }
 }
@@ -121,6 +132,11 @@ impl ThreadedConfig {
         if self.checkpoint_interval == 0 {
             return Err(GridError::Config(
                 "checkpoint_interval must be positive".into(),
+            ));
+        }
+        if self.recall_timeout_ms == 0 {
+            return Err(GridError::Config(
+                "recall_timeout_ms must be positive".into(),
             ));
         }
         self.obs.validate()?;
@@ -257,8 +273,9 @@ fn collect_replies(
     token: u64,
     expected: usize,
     want_migrate: bool,
+    timeout: Duration,
 ) -> Option<(u64, u64)> {
-    let deadline = Instant::now() + RECALL_TIMEOUT;
+    let deadline = Instant::now() + timeout;
     let mut got = 0usize;
     let mut moved = 0u64;
     let mut recalled_total = 0u64;
@@ -419,6 +436,7 @@ impl ThreadedExecutor {
             let stage_id = stage.id;
             let query = plan.query;
             let routed_ctr = routed_ctr.clone();
+            let chaos = self.config.chaos.clone();
             producer_handles.push(thread::spawn(move || {
                 // Counts this producer as done even if it panics, so the
                 // recall barrier can never wait on a dead thread.
@@ -430,11 +448,37 @@ impl ThreadedExecutor {
                     if items.is_empty() {
                         return;
                     }
+                    let fate = chaos
+                        .as_ref()
+                        .map_or(NetAction::Deliver, |c| c.on_data(sidx, dest));
+                    if fate == NetAction::Drop {
+                        // Data-plane loss is unrecoverable by design
+                        // (acks cover id ranges regardless of delivery);
+                        // expressible only so the multiset oracle can
+                        // prove it fails loudly.
+                        return;
+                    }
+                    if let NetAction::DelayMs(extra) = fate {
+                        if extra.is_finite() && extra > 0.0 {
+                            spin_for(extra, scale);
+                        }
+                    }
                     let send_started = Instant::now();
                     let mut count = 0usize;
                     for item in items {
                         match item {
                             Staged::Tuple(tag, t) => {
+                                if fate == NetAction::Duplicate {
+                                    // Fixture-only, like Drop: the data
+                                    // plane has no dedup, the oracle must
+                                    // see the surplus.
+                                    count += 1;
+                                    let _ = senders[dest].send(Msg::Tuple {
+                                        stream: tag,
+                                        source: sidx,
+                                        tuple: t.clone(),
+                                    });
+                                }
                                 count += 1;
                                 let _ = senders[dest].send(Msg::Tuple {
                                     stream: tag,
@@ -451,7 +495,10 @@ impl ThreadedExecutor {
                             }
                         }
                     }
-                    if monitoring && count > 0 {
+                    let m2_kept = chaos
+                        .as_ref()
+                        .is_none_or(|c| c.on_notification(NotifyKind::M2, sidx));
+                    if monitoring && count > 0 && m2_kept {
                         let send_cost =
                             send_started.elapsed().as_secs_f64() * 1000.0 / scale.max(1e-9);
                         let _ = raw.send(Raw::M2(M2 {
@@ -512,7 +559,18 @@ impl ThreadedExecutor {
                             restaged_total.fetch_add(restage(&mut buffers), Ordering::Relaxed);
                         }
                     }
-                    spin_for(scan_cost, scale);
+                    let stall = chaos
+                        .as_ref()
+                        .map_or(0.0, |c| c.stall_ms(StallSite::Producer, sidx));
+                    spin_for(
+                        scan_cost
+                            + if stall.is_finite() {
+                                stall.max(0.0)
+                            } else {
+                                0.0
+                            },
+                        scale,
+                    );
                     let dest = {
                         let mut r = router.lock();
                         r.route(stream, row).unwrap_or(0)
@@ -585,6 +643,7 @@ impl ThreadedExecutor {
             let stage_id = stage.id;
             let query = plan.query;
             let processed_ctr = processed_ctr.clone();
+            let chaos = self.config.chaos.clone();
             consumer_handles.push(thread::spawn(move || -> (u64, Vec<Tuple>) {
                 let started = Instant::now();
                 let mut processed = 0u64;
@@ -616,8 +675,16 @@ impl ThreadedExecutor {
                     let Ok(outcome) = evaluator.process(stream, tuple) else {
                         return;
                     };
-                    let model_cost =
-                        perturbed(outcome.base_cost_ms, perturbation.as_ref()) + receive_cost;
+                    let stall = chaos
+                        .as_ref()
+                        .map_or(0.0, |c| c.stall_ms(StallSite::Consumer, i));
+                    let model_cost = perturbed(outcome.base_cost_ms, perturbation.as_ref())
+                        + receive_cost
+                        + if stall.is_finite() {
+                            stall.max(0.0)
+                        } else {
+                            0.0
+                        };
                     spin_for(model_cost, scale);
                     *processed += 1;
                     processed_total.fetch_add(1, Ordering::Relaxed);
@@ -640,6 +707,18 @@ impl ThreadedExecutor {
                                outputs_total: u64,
                                force: bool| {
                     if !monitoring || *batch == 0 || (!force && *batch < interval) {
+                        return;
+                    }
+                    if chaos
+                        .as_ref()
+                        .is_some_and(|c| !c.on_notification(NotifyKind::M1, i))
+                    {
+                        // The notification is lost in flight: the batch
+                        // counters still reset, exactly as if it had been
+                        // sent and dropped by the network.
+                        *batch = 0;
+                        *batch_cost = 0.0;
+                        *batch_wait = 0.0;
                         return;
                     }
                     let _ = raw.send(Raw::M1(M1 {
@@ -749,13 +828,45 @@ impl ThreadedExecutor {
                         Msg::Checkpoint { source, cp, epoch } => {
                             debug_assert_eq!(cp.dest as usize, i);
                             if let Some(logs) = &logs {
-                                let _ = logs[source].acknowledge(cp.dest, cp.id, epoch);
+                                // Acks are best-effort control traffic: a
+                                // lost one keeps the window in the log
+                                // until a later ack supersedes it, a
+                                // duplicate is rejected as stale by the
+                                // log itself.
+                                match chaos
+                                    .as_ref()
+                                    .map_or(NetAction::Deliver, |c| c.on_ack(source, i))
+                                {
+                                    NetAction::Drop => {}
+                                    NetAction::Duplicate => {
+                                        let _ = logs[source].acknowledge(cp.dest, cp.id, epoch);
+                                        let _ = logs[source].acknowledge(cp.dest, cp.id, epoch);
+                                    }
+                                    NetAction::DelayMs(extra) => {
+                                        if extra.is_finite() && extra > 0.0 {
+                                            spin_for(extra, scale);
+                                        }
+                                        let _ = logs[source].acknowledge(cp.dest, cp.id, epoch);
+                                    }
+                                    NetAction::Deliver => {
+                                        let _ = logs[source].acknowledge(cp.dest, cp.id, epoch);
+                                    }
+                                }
                             }
                         }
                         Msg::Drain { token } => {
                             // FIFO channel: everything sent before the
                             // pause is now behind us.
-                            let _ = ctrl.send(Ctrl::Drained { token });
+                            if chaos
+                                .as_ref()
+                                .is_none_or(|c| c.on_recall_ctrl(RecallPhase::Drain, i))
+                            {
+                                let _ = ctrl.send(Ctrl::Drained { token });
+                            }
+                            // A swallowed reply models a crashed worker
+                            // mid-recall: the coordinator's barrier times
+                            // out and the recall aborts pre-swap, leaving
+                            // router and state untouched.
                         }
                         Msg::Migrate {
                             token,
@@ -828,11 +939,16 @@ impl ThreadedExecutor {
                                     }
                                 }
                             }
-                            let _ = ctrl.send(Ctrl::MigrateDone {
-                                token,
-                                state_moved,
-                                recalled,
-                            });
+                            if chaos
+                                .as_ref()
+                                .is_none_or(|c| c.on_recall_ctrl(RecallPhase::Migrate, i))
+                            {
+                                let _ = ctrl.send(Ctrl::MigrateDone {
+                                    token,
+                                    state_moved,
+                                    recalled,
+                                });
+                            }
                         }
                         Msg::Migrated {
                             stream,
@@ -888,6 +1004,7 @@ impl ThreadedExecutor {
             let stage_id = stage.id;
             let partitions_u32 = cast::index_to_u32(partitions)?;
             let scale = self.config.cost_scale;
+            let recall_timeout = Duration::from_millis(self.config.recall_timeout_ms);
             let obs = obs.clone();
             thread::spawn(move || -> AdaptStats {
                 let mut detector = MonitoringEventDetector::new(&adapt);
@@ -1035,7 +1152,7 @@ impl ThreadedExecutor {
                         // Retrospective: run the drain-barrier recall.
                         recall_token += 1;
                         let token = recall_token;
-                        match gate.begin_pause(RECALL_TIMEOUT) {
+                        match gate.begin_pause(recall_timeout) {
                             None => {
                                 stats.recalls_aborted += 1;
                             }
@@ -1052,8 +1169,14 @@ impl ThreadedExecutor {
                                 let drained = adapt_senders
                                     .iter()
                                     .all(|tx| tx.send(Msg::Drain { token }).is_ok())
-                                    && collect_replies(&ctrl_rx, token, adapt_senders.len(), false)
-                                        .is_some();
+                                    && collect_replies(
+                                        &ctrl_rx,
+                                        token,
+                                        adapt_senders.len(),
+                                        false,
+                                        recall_timeout,
+                                    )
+                                    .is_some();
                                 if !drained {
                                     gate.abort_pause();
                                     stats.recalls_aborted += 1;
@@ -1097,8 +1220,13 @@ impl ThreadedExecutor {
                                         outgoing,
                                     });
                                 }
-                                let replies =
-                                    collect_replies(&ctrl_rx, token, adapt_senders.len(), true);
+                                let replies = collect_replies(
+                                    &ctrl_rx,
+                                    token,
+                                    adapt_senders.len(),
+                                    true,
+                                    recall_timeout,
+                                );
                                 let (moved, recalled) = replies.unwrap_or((0, 0));
                                 stats.state_tuples_migrated += moved;
                                 stats.tuples_recalled += recalled;
@@ -1139,10 +1267,16 @@ impl ThreadedExecutor {
                 }
                 detector.reset_for_query();
                 diagnoser.reset_for_query();
-                debug_assert_eq!(
-                    detector.tracked_streams() + diagnoser.tracked_cost_entries(),
-                    0
-                );
+                let after = detector.tracked_streams() + diagnoser.tracked_cost_entries();
+                debug_assert_eq!(after, 0);
+                // Surfaced separately from the pre-eviction gauge so the
+                // chaos oracles can assert a chaos-killed worker's streams
+                // were actually retired, not merely counted.
+                if let Some(o) = &obs {
+                    o.metrics()
+                        .gauge("adapt.tracked_streams_after_teardown")
+                        .set(cast::usize_to_f64(after));
+                }
                 stats
             })
         };

@@ -269,6 +269,78 @@ mod tests {
         assert_eq!(gate.pause_point(), 0);
     }
 
+    /// Forced spurious wakeups: notifying the condvar without changing
+    /// the predicate is, to a waiter, exactly a spurious wakeup. A
+    /// parked producer must re-check `pause_requested` and re-park every
+    /// time, keeping the externally observable parked count stable (the
+    /// decrement/re-increment in `pause_point` happens inside one
+    /// critical section).
+    #[test]
+    fn spurious_wakeups_do_not_release_a_parked_producer() {
+        let gate = Arc::new(RecallGate::new(1));
+        let gate2 = Arc::clone(&gate);
+        let worker = thread::spawn(move || {
+            let _guard = ProducerGuard::new(Arc::clone(&gate2));
+            let deadline = Instant::now() + Duration::from_secs(10);
+            let mut epoch = gate2.pause_point();
+            while epoch == 0 && Instant::now() < deadline {
+                epoch = gate2.pause_point();
+            }
+            epoch
+        });
+        assert_eq!(gate.begin_pause(Duration::from_secs(10)), Some(1));
+        for _ in 0..1_000 {
+            gate.cv.notify_all();
+            let s = gate.lock();
+            assert!(s.pause_requested, "hammering must not withdraw the pause");
+            assert_eq!(s.parked, 1, "a spuriously woken producer re-parks");
+        }
+        gate.resume(3);
+        assert_eq!(worker.join().unwrap(), 3, "the real resume still lands");
+    }
+
+    /// The coordinator's barrier wait must also survive spurious
+    /// wakeups: a chaos thread hammers the condvar while two producers
+    /// park only after a delay, and `begin_pause` must neither return
+    /// early nor miscount.
+    #[test]
+    fn coordinator_barrier_tolerates_spurious_wakeups() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let gate = Arc::new(RecallGate::new(2));
+        let stop = Arc::new(AtomicBool::new(false));
+        let (gate_chaos, stop_chaos) = (Arc::clone(&gate), Arc::clone(&stop));
+        let chaos = thread::spawn(move || {
+            while !stop_chaos.load(Ordering::Acquire) {
+                gate_chaos.cv.notify_all();
+                thread::yield_now();
+            }
+        });
+        let mut workers = Vec::new();
+        for i in 0..2 {
+            let gate = Arc::clone(&gate);
+            workers.push(thread::spawn(move || {
+                let _guard = ProducerGuard::new(Arc::clone(&gate));
+                // Stagger arrivals so the barrier waits through plenty
+                // of spurious notifications before it can fill.
+                thread::sleep(Duration::from_millis(20 * (i + 1)));
+                let deadline = Instant::now() + Duration::from_secs(10);
+                let mut epoch = gate.pause_point();
+                while epoch == 0 && Instant::now() < deadline {
+                    epoch = gate.pause_point();
+                }
+                epoch
+            }));
+        }
+        let parked = gate.begin_pause(Duration::from_secs(10));
+        assert_eq!(parked, Some(2), "barrier must fill exactly, never early");
+        gate.resume(1);
+        stop.store(true, Ordering::Release);
+        chaos.join().unwrap();
+        for w in workers {
+            assert_eq!(w.join().unwrap(), 1);
+        }
+    }
+
     #[test]
     fn guard_counts_a_panicking_producer_as_done() {
         let gate = Arc::new(RecallGate::new(1));

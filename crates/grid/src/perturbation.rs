@@ -59,6 +59,15 @@ impl Perturbation {
 /// Phases are given as `(start_time, perturbation)` pairs; the active
 /// perturbation at time `t` is the last phase whose start does not exceed
 /// `t`. Before the first phase the node is unperturbed.
+///
+/// Phase intervals are **half-open**: phase `i` covers
+/// `[from_i, from_{i+1})` and the final phase covers `[from_n, ∞)`. A
+/// probe landing exactly on a phase start therefore observes the *new*
+/// phase, never the old one. This boundary convention is load-bearing:
+/// the simulator evaluates schedules at exact `SimTime` event stamps and
+/// the chaos harness schedules perturbation bursts at exact boundaries,
+/// so activation at `t == from` must be deterministic rather than
+/// dependent on float jitter around the boundary.
 #[derive(Debug, Clone, Default)]
 pub struct PerturbationSchedule {
     phases: Vec<(SimTime, Perturbation)>,
@@ -78,7 +87,9 @@ impl PerturbationSchedule {
     }
 
     /// Appends a phase starting at `from`. Phases must be appended in
-    /// non-decreasing start order.
+    /// non-decreasing start order; ties are permitted, and among phases
+    /// sharing a start time the last appended one wins (its predecessors
+    /// cover an empty half-open interval).
     pub fn then_at(mut self, from: SimTime, p: Perturbation) -> Self {
         if let Some((last, _)) = self.phases.last() {
             assert!(
@@ -90,7 +101,9 @@ impl PerturbationSchedule {
         self
     }
 
-    /// The perturbation active at time `t`.
+    /// The perturbation active at time `t`: the last phase with
+    /// `from <= t`, so a phase activates exactly *at* its start time
+    /// (half-open intervals — see the type-level docs).
     pub fn active_at(&self, t: SimTime) -> &Perturbation {
         let mut active = &Perturbation::None;
         for (from, p) in &self.phases {
@@ -189,5 +202,103 @@ mod tests {
         let _ = PerturbationSchedule::none()
             .then_at(SimTime::from_millis(100.0), Perturbation::None)
             .then_at(SimTime::from_millis(50.0), Perturbation::None);
+    }
+
+    #[test]
+    fn phase_boundary_is_half_open() {
+        let s = PerturbationSchedule::none()
+            .then_at(SimTime::from_millis(100.0), Perturbation::CostFactor(10.0))
+            .then_at(SimTime::from_millis(200.0), Perturbation::SleepMs(5.0));
+        // Just before a boundary the previous phase still holds...
+        assert_eq!(
+            *s.active_at(SimTime::from_millis(99.999)),
+            Perturbation::None
+        );
+        // ...and exactly at the boundary the new phase is already active.
+        assert_eq!(
+            *s.active_at(SimTime::from_millis(100.0)),
+            Perturbation::CostFactor(10.0)
+        );
+        assert_eq!(
+            *s.active_at(SimTime::from_millis(199.999)),
+            Perturbation::CostFactor(10.0)
+        );
+        assert_eq!(
+            *s.active_at(SimTime::from_millis(200.0)),
+            Perturbation::SleepMs(5.0)
+        );
+    }
+
+    #[test]
+    fn coincident_phase_starts_resolve_to_the_last_appended() {
+        let s = PerturbationSchedule::none()
+            .then_at(SimTime::from_millis(100.0), Perturbation::CostFactor(2.0))
+            .then_at(SimTime::from_millis(100.0), Perturbation::CostFactor(3.0));
+        assert_eq!(
+            *s.active_at(SimTime::from_millis(100.0)),
+            Perturbation::CostFactor(3.0)
+        );
+        assert_eq!(*s.active_at(SimTime::from_millis(99.0)), Perturbation::None);
+    }
+
+    /// Property check of `active_at` against a naive reference scan, with
+    /// probes pinned to exact phase starts so the half-open boundary can
+    /// never silently regress to an exclusive one.
+    #[test]
+    fn active_at_matches_naive_reference_on_random_schedules() {
+        use gridq_common::check::{Check, Gen};
+
+        Check::new("perturbation_schedule_active_at")
+            .cases(200)
+            .run(
+                |rng| {
+                    let mut starts = rng.vec_of(0, 8, |r| r.f64_in(0.0, 1000.0));
+                    starts.sort_by(f64::total_cmp);
+                    // Occasionally force a coincident pair to exercise ties.
+                    if starts.len() >= 2 && rng.flip() {
+                        starts[1] = starts[0];
+                    }
+                    starts
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, from)| (from, 2.0 + i as f64))
+                        .collect::<Vec<(f64, f64)>>()
+                },
+                |phases| {
+                    let schedule =
+                        phases
+                            .iter()
+                            .fold(PerturbationSchedule::none(), |s, (from, factor)| {
+                                s.then_at(
+                                    SimTime::from_millis(*from),
+                                    Perturbation::CostFactor(*factor),
+                                )
+                            });
+                    // Probe every exact boundary plus points strictly inside
+                    // and outside each interval.
+                    // Clamp below-zero probes: SimTime::from_millis clamps
+                    // negatives to zero, and the reference compares raw f64s.
+                    let mut probes = vec![0.0, 1e6];
+                    for (from, _) in phases {
+                        probes.extend([*from, (from - 0.125).max(0.0), from + 0.125]);
+                    }
+                    for t in probes {
+                        let expected = phases
+                            .iter()
+                            .rev()
+                            .find(|(from, _)| *from <= t)
+                            .map_or(Perturbation::None, |(_, factor)| {
+                                Perturbation::CostFactor(*factor)
+                            });
+                        let got = schedule.active_at(SimTime::from_millis(t));
+                        if *got != expected {
+                            return Err(format!(
+                                "at t={t}: schedule says {got:?}, reference says {expected:?}"
+                            ));
+                        }
+                    }
+                    Ok(())
+                },
+            );
     }
 }

@@ -67,10 +67,21 @@ impl<T> DestLog<T> {
 }
 
 /// Per-destination recovery logs for one exchange producer.
+///
+/// The log keeps its own conservation counters (see [`RecoveryLog::audit`]):
+/// drained entries count as *retired* because every drain path re-delivers
+/// them outside the ack protocol (failure resends, retrospective recalls),
+/// and entries re-recorded afterwards count as freshly recorded — so
+/// [`LogAudit::conserved`] holds across drains and re-records.
 #[derive(Debug, Clone)]
 pub struct RecoveryLog<T> {
     dests: Vec<DestLog<T>>,
     interval: usize,
+    recorded: u64,
+    pruned: u64,
+    retired: u64,
+    acks_accepted: u64,
+    acks_dropped: u64,
 }
 
 impl<T> RecoveryLog<T> {
@@ -86,6 +97,11 @@ impl<T> RecoveryLog<T> {
         Ok(RecoveryLog {
             dests: (0..dest_count).map(|_| DestLog::new()).collect(),
             interval,
+            recorded: 0,
+            pruned: 0,
+            retired: 0,
+            acks_accepted: 0,
+            acks_dropped: 0,
         })
     }
 
@@ -122,14 +138,16 @@ impl<T> RecoveryLog<T> {
             item,
         });
         log.since_last += 1;
-        if log.since_last >= interval {
+        let cp = if log.since_last >= interval {
             let id = log.next_cp;
             log.next_cp += 1;
             log.since_last = 0;
-            Ok(Some(Checkpoint { dest, id }))
+            Some(Checkpoint { dest, id })
         } else {
-            Ok(None)
-        }
+            None
+        };
+        self.recorded += 1;
+        Ok(cp)
     }
 
     /// Forces a checkpoint covering any items recorded since the last
@@ -150,26 +168,34 @@ impl<T> RecoveryLog<T> {
     /// window it (or an earlier checkpoint) closes. Acknowledging an
     /// unemitted or already-acknowledged checkpoint is an error.
     pub fn acknowledge(&mut self, dest: u32, id: u64) -> Result<usize> {
-        let log = self.dest_mut(dest)?;
-        if id >= log.next_cp {
-            return Err(GridError::Execution(format!(
-                "acknowledging unemitted checkpoint {id} on dest {dest}"
-            )));
-        }
-        if let Some(acked) = log.acked {
-            if id <= acked {
-                return Err(GridError::Execution(format!(
+        let result = {
+            let log = self.dest_mut(dest)?;
+            if id >= log.next_cp {
+                Err(GridError::Execution(format!(
+                    "acknowledging unemitted checkpoint {id} on dest {dest}"
+                )))
+            } else if log.acked.is_some_and(|acked| id <= acked) {
+                Err(GridError::Execution(format!(
                     "checkpoint {id} on dest {dest} already acknowledged"
-                )));
+                )))
+            } else {
+                log.acked = Some(id);
+                let mut pruned = 0;
+                while log.entries.front().is_some_and(|e| e.cp <= id) {
+                    log.entries.pop_front();
+                    pruned += 1;
+                }
+                Ok(pruned)
             }
+        };
+        match &result {
+            Ok(pruned) => {
+                self.pruned += *pruned as u64;
+                self.acks_accepted += 1;
+            }
+            Err(_) => self.acks_dropped += 1,
         }
-        log.acked = Some(id);
-        let mut pruned = 0;
-        while log.entries.front().is_some_and(|e| e.cp <= id) {
-            log.entries.pop_front();
-            pruned += 1;
-        }
-        Ok(pruned)
+        result
     }
 
     /// Number of unacknowledged items logged for `dest`.
@@ -195,9 +221,13 @@ impl<T> RecoveryLog<T> {
     /// redistribution re-sends these items under new ownership, so the old
     /// stream's windows are void).
     pub fn drain_all(&mut self, dest: u32) -> Result<Vec<T>> {
-        let log = self.dest_mut(dest)?;
-        log.since_last = 0;
-        Ok(log.entries.drain(..).map(|e| e.item).collect())
+        let drained: Vec<T> = {
+            let log = self.dest_mut(dest)?;
+            log.since_last = 0;
+            log.entries.drain(..).map(|e| e.item).collect()
+        };
+        self.retired += drained.len() as u64;
+        Ok(drained)
     }
 
     /// Removes and returns the unacknowledged items for `dest` matching
@@ -207,18 +237,37 @@ impl<T> RecoveryLog<T> {
         dest: u32,
         mut pred: impl FnMut(&T) -> bool,
     ) -> Result<Vec<T>> {
-        let log = self.dest_mut(dest)?;
-        let mut drained = Vec::new();
-        let mut kept = VecDeque::with_capacity(log.entries.len());
-        for entry in log.entries.drain(..) {
-            if pred(&entry.item) {
-                drained.push(entry.item);
-            } else {
-                kept.push_back(entry);
+        let drained = {
+            let log = self.dest_mut(dest)?;
+            let mut drained = Vec::new();
+            let mut kept = VecDeque::with_capacity(log.entries.len());
+            for entry in log.entries.drain(..) {
+                if pred(&entry.item) {
+                    drained.push(entry.item);
+                } else {
+                    kept.push_back(entry);
+                }
             }
-        }
-        log.entries = kept;
+            log.entries = kept;
+            drained
+        };
+        self.retired += drained.len() as u64;
         Ok(drained)
+    }
+
+    /// Snapshot of this log's conservation counters. Drained entries
+    /// appear as `retired` (every drain path re-delivers them outside the
+    /// ack protocol); entries re-recorded after a drain count as freshly
+    /// `recorded`, so [`LogAudit::conserved`] holds across both.
+    pub fn audit(&self) -> LogAudit {
+        LogAudit {
+            recorded: self.recorded,
+            pruned: self.pruned,
+            retired: self.retired,
+            unacked: self.total_unacked() as u64,
+            acks_accepted: self.acks_accepted,
+            acks_dropped: self.acks_dropped,
+        }
     }
 }
 
@@ -610,6 +659,30 @@ mod tests {
         assert_eq!(l.record(0, 3).unwrap(), None);
         assert_eq!(l.record(0, 4).unwrap(), None);
         assert!(l.record(0, 5).unwrap().is_some());
+    }
+
+    #[test]
+    fn plain_log_audit_conserves_across_drain_and_rerecord() {
+        let mut l = log(1, 2);
+        for i in 0..5 {
+            l.record(0, i).unwrap();
+        }
+        assert_eq!(l.acknowledge(0, 0).unwrap(), 2);
+        assert!(l.acknowledge(0, 0).is_err()); // duplicate → dropped
+        let drained = l.drain_all(0).unwrap();
+        assert_eq!(drained.len(), 3);
+        // Re-record the drained items (the failure-resend pattern).
+        for i in drained {
+            l.record(0, i).unwrap();
+        }
+        let audit = l.audit();
+        assert_eq!(audit.recorded, 8, "5 original + 3 re-recorded");
+        assert_eq!(audit.pruned, 2);
+        assert_eq!(audit.retired, 3);
+        assert_eq!(audit.unacked, 3);
+        assert_eq!(audit.acks_accepted, 1);
+        assert_eq!(audit.acks_dropped, 1);
+        assert!(audit.conserved(), "not conserved: {audit:?}");
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Simulation configuration.
 
+use std::sync::Arc;
+
 use gridq_adapt::AdaptivityConfig;
-use gridq_common::{GridError, Result};
+use gridq_common::{ChaosHook, GridError, Result};
 use gridq_obs::ObsConfig;
 
 /// Cost-model and protocol parameters of a simulated execution.
@@ -47,6 +49,11 @@ pub struct SimulationConfig {
     /// Observability layer configuration (metrics registry and
     /// adaptivity timeline).
     pub obs: ObsConfig,
+    /// Fault-injection hook consulted at the chaos seams (exchange
+    /// sends, checkpoint acks, monitoring notifications, per-tuple
+    /// work). `None` injects nothing and leaves behavior identical to
+    /// an uninstrumented run.
+    pub chaos: Option<Arc<dyn ChaosHook>>,
 }
 
 impl Default for SimulationConfig {
@@ -64,6 +71,7 @@ impl Default for SimulationConfig {
             seed: 0x5eed,
             collect_results: false,
             obs: ObsConfig::default(),
+            chaos: None,
         }
     }
 }

@@ -15,7 +15,10 @@ use gridq_adapt::{
     AdaptationCommand, AdaptivityConfig, CommUpdate, CostUpdate, DetectorOutput, Diagnoser,
     MonitoringEventDetector, ProducerId, Responder, ResponsePolicy, M1, M2,
 };
-use gridq_common::{DetRng, GridError, NodeId, PartitionId, Result, SimTime, SubplanId, Tuple};
+use gridq_common::{
+    DetRng, GridError, NetAction, NodeId, NotifyKind, PartitionId, Result, SimTime, StallSite,
+    SubplanId, Tuple,
+};
 use gridq_engine::distributed::Router;
 use gridq_engine::evaluator::{PartitionEvaluator, StreamTag};
 use gridq_engine::physical::Catalog;
@@ -427,6 +430,49 @@ impl<'a> Run<'a> {
         })
     }
 
+    // -- chaos seams ------------------------------------------------------
+    //
+    // Each helper consults the installed fault hook and falls back to
+    // the pass-through default, so runs without a hook are identical to
+    // uninstrumented ones.
+
+    fn chaos_data(&self, source: usize, dest: u32) -> NetAction {
+        match &self.config.chaos {
+            Some(h) => h.on_data(source, dest as usize),
+            None => NetAction::Deliver,
+        }
+    }
+
+    fn chaos_ack(&self, source: usize, worker: usize) -> NetAction {
+        match &self.config.chaos {
+            Some(h) => h.on_ack(source, worker),
+            None => NetAction::Deliver,
+        }
+    }
+
+    fn chaos_notify(&self, kind: NotifyKind, index: usize) -> bool {
+        match &self.config.chaos {
+            Some(h) => h.on_notification(kind, index),
+            None => true,
+        }
+    }
+
+    /// Extra virtual-time stall injected at `site`; guarded so a hook
+    /// cannot push costs negative or non-finite.
+    fn chaos_stall(&self, site: StallSite, index: usize) -> f64 {
+        match &self.config.chaos {
+            Some(h) => {
+                let v = h.stall_ms(site, index);
+                if v.is_finite() && v > 0.0 {
+                    v
+                } else {
+                    0.0
+                }
+            }
+            None => 0.0,
+        }
+    }
+
     /// Records a timeline event (no-op when obs is disabled; the zero
     /// sequence number is never read in that case).
     fn obs_record(&self, at: SimTime, kind: TimelineKind) -> u64 {
@@ -496,7 +542,7 @@ impl<'a> Run<'a> {
             self.sources[s].scan_cost_ms,
             self.now,
             &mut self.rng,
-        )?;
+        )? + self.chaos_stall(StallSite::Producer, s);
         let mut t = self.now.offset(scan);
         let dest = self.router.route(stream, &row)?;
         let marker = self.sources[s].log.record(dest, (stream, row.clone()))?;
@@ -540,9 +586,39 @@ impl<'a> Run<'a> {
         let bytes: usize = items.iter().map(Item::payload_bytes).sum();
         let send_cost = self.env.buffer_cost_ms(node, dest_node, tuples, bytes);
         let mut done = at.offset(send_cost);
-        let id = self.alloc_buffer(dest, items);
-        self.queue
-            .schedule(done, Event::BufferArrive { buffer: id });
+        match self.chaos_data(s, dest) {
+            NetAction::Deliver => {
+                let id = self.alloc_buffer(dest, items);
+                self.queue
+                    .schedule(done, Event::BufferArrive { buffer: id });
+            }
+            NetAction::DelayMs(extra) => {
+                let arrive = done.offset(if extra.is_finite() {
+                    extra.max(0.0)
+                } else {
+                    0.0
+                });
+                let id = self.alloc_buffer(dest, items);
+                self.queue
+                    .schedule(arrive, Event::BufferArrive { buffer: id });
+            }
+            NetAction::Duplicate => {
+                // Fixture-only: redelivered data duplicates results
+                // unless the collector deduplicates.
+                let copy = items.clone();
+                let id = self.alloc_buffer(dest, items);
+                self.queue
+                    .schedule(done, Event::BufferArrive { buffer: id });
+                let id = self.alloc_buffer(dest, copy);
+                self.queue
+                    .schedule(done, Event::BufferArrive { buffer: id });
+            }
+            NetAction::Drop => {
+                // Fixture-only: data-plane loss is unrecoverable by
+                // design (no retransmission); the multiset oracle must
+                // catch this loudly.
+            }
+        }
         if self.monitoring_on && tuples > 0 {
             done = done.offset(self.config.monitor_cost_ms);
             let event = M2 {
@@ -554,7 +630,11 @@ impl<'a> Run<'a> {
                 at: done,
             };
             self.report.raw_m2_events += 1;
-            self.feed_detector_m2(node, event);
+            // A lost notification was still generated (and paid for);
+            // the detector simply never sees it.
+            if self.chaos_notify(NotifyKind::M2, s) {
+                self.feed_detector_m2(node, event);
+            }
         }
         Ok(done)
     }
@@ -661,15 +741,31 @@ impl<'a> Run<'a> {
                     let lat = self
                         .env
                         .control_cost_ms(self.consumers[i].node, self.sources[source].node);
-                    self.queue.schedule(
-                        t.offset(lat),
-                        Event::AckArrive {
-                            source,
-                            dest: ci,
-                            cp,
-                            epoch,
-                        },
-                    );
+                    let ack = Event::AckArrive {
+                        source,
+                        dest: ci,
+                        cp,
+                        epoch,
+                    };
+                    // Acks are best-effort control traffic: the log keeps
+                    // the covered entries until a later ack supersedes a
+                    // lost one, so losing/duplicating them must be safe.
+                    match self.chaos_ack(source, i) {
+                        NetAction::Deliver => self.queue.schedule(t.offset(lat), ack),
+                        NetAction::DelayMs(extra) => {
+                            let extra = if extra.is_finite() {
+                                extra.max(0.0)
+                            } else {
+                                0.0
+                            };
+                            self.queue.schedule(t.offset(lat + extra), ack);
+                        }
+                        NetAction::Duplicate => {
+                            self.queue.schedule(t.offset(lat), ack.clone());
+                            self.queue.schedule(t.offset(lat), ack);
+                        }
+                        NetAction::Drop => {}
+                    }
                 }
                 self.reschedule_step(ci, t);
                 Ok(())
@@ -693,6 +789,7 @@ impl<'a> Run<'a> {
             }
         }
         cost += std::mem::take(&mut self.consumers[i].penalty_ms);
+        cost += self.chaos_stall(StallSite::Consumer, i);
 
         let out_count = outcome.outputs.len() as u64;
         self.consumers[i].out_staged.extend(outcome.outputs);
@@ -783,7 +880,9 @@ impl<'a> Run<'a> {
         c.batch_wait_ms = 0.0;
         let node = c.node;
         self.report.raw_m1_events += 1;
-        self.feed_detector_m1(node, event);
+        if self.chaos_notify(NotifyKind::M1, i) {
+            self.feed_detector_m1(node, event);
+        }
     }
 
     // -- adaptivity control plane -----------------------------------------
@@ -1525,14 +1624,22 @@ impl<'a> Run<'a> {
             d.reset_for_query();
         }
         self.diagnoser.reset_for_query();
-        debug_assert_eq!(
-            self.detectors
-                .values()
-                .map(MonitoringEventDetector::tracked_streams)
-                .sum::<usize>()
-                + self.diagnoser.tracked_cost_entries(),
-            0
-        );
+        let after: usize = self
+            .detectors
+            .values()
+            .map(MonitoringEventDetector::tracked_streams)
+            .sum::<usize>()
+            + self.diagnoser.tracked_cost_entries();
+        debug_assert_eq!(after, 0);
+        // Post-eviction count: chaos oracles assert this is zero even
+        // after injected node crashes (retire_partition + reset must
+        // leave nothing tracked).
+        if let Some(obs) = &self.obs {
+            obs.metrics()
+                .gauge("adapt.tracked_streams_after_teardown")
+                .set(after as f64);
+        }
+        self.report.log_audits = self.sources.iter().map(|s| s.log.audit()).collect();
         self.report.obs = self.obs.as_ref().map(Obs::report);
         self.report
     }

@@ -28,6 +28,9 @@
 //!   configurations.
 //! - [`core`] — the `GridQueryProcessor` façade (GDQS equivalent):
 //!   SQL → plan → schedule → adaptive execution.
+//! - [`chaos`] — a deterministic fault-injection harness with invariant
+//!   oracles (tuple/log conservation, recall safety, timeline causality,
+//!   teardown hygiene) over both substrates.
 //!
 //! ## Quickstart
 //!
@@ -47,6 +50,7 @@
 //! ```
 
 pub use gridq_adapt as adapt;
+pub use gridq_chaos as chaos;
 pub use gridq_common as common;
 pub use gridq_core as core;
 pub use gridq_engine as engine;

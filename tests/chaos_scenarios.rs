@@ -1,0 +1,148 @@
+//! Tier-1 chaos smoke: a pinned corner of the full chaos matrix runs on
+//! every `cargo test`, so fault-injection regressions surface before the
+//! seeded CI matrix does. Three pinned seeds × three fault families
+//! (notification drop, thread stall, crash mid-recall) × both
+//! substrates, every oracle green, and every report round-tripping
+//! through the JSON parser.
+
+use gridq::chaos::{
+    FaultEvent, FaultFamily, FaultPlan, Policy, Runner, Scenario, ScenarioOutcome, Substrate,
+    ORACLES,
+};
+use gridq::obs::Json;
+
+const SEEDS: [u64; 3] = [1, 7, 1303];
+const FAMILIES: [FaultFamily; 3] = [
+    FaultFamily::NotifyLoss,
+    FaultFamily::Stall,
+    FaultFamily::CrashMidRecall,
+];
+
+#[test]
+fn pinned_cells_pass_every_oracle_and_round_trip() {
+    let mut runner = Runner::new();
+    let mut lines = Vec::new();
+    for seed in SEEDS {
+        for family in FAMILIES {
+            for substrate in Substrate::ALL {
+                let scenario = Scenario {
+                    seed,
+                    family,
+                    substrate,
+                    policy: Policy::R1,
+                };
+                let outcome = runner.run_scenario(scenario);
+                assert!(
+                    outcome.passed(),
+                    "{} must pass: {outcome:?}",
+                    scenario.label()
+                );
+                assert_eq!(
+                    outcome.verdicts.len(),
+                    ORACLES.len(),
+                    "every oracle judges every run"
+                );
+                for (verdict, name) in outcome.verdicts.iter().zip(ORACLES) {
+                    assert_eq!(verdict.oracle, name, "oracles report in a stable order");
+                    assert!(
+                        verdict.passed,
+                        "{}: oracle {name} failed: {}",
+                        scenario.label(),
+                        verdict.detail
+                    );
+                }
+                let parsed = ScenarioOutcome::from_json(&outcome.to_json())
+                    .expect("report line must parse back");
+                assert_eq!(parsed.scenario, outcome.scenario);
+                assert_eq!(parsed.plan, outcome.plan);
+                assert_eq!(parsed.verdicts, outcome.verdicts);
+                assert!(parsed.passed());
+                lines.push(outcome.to_json());
+            }
+        }
+    }
+    // The aggregate report (what the `chaos` binary writes and CI
+    // uploads) parses as one JSON document too.
+    let report = format!("[{}]", lines.join(","));
+    let doc = Json::parse(&report).expect("aggregate report parses");
+    let cells = doc.as_array().expect("report is an array");
+    assert_eq!(
+        cells.len(),
+        SEEDS.len() * FAMILIES.len() * Substrate::ALL.len()
+    );
+    for cell in cells {
+        assert!(ScenarioOutcome::from_parsed(cell)
+            .expect("cell parses")
+            .passed());
+    }
+}
+
+/// A node killed by a chaos fault must not leak detector/diagnoser
+/// per-stream state: the teardown oracle reads the
+/// `adapt.tracked_streams_after_teardown` gauge and the chaos report
+/// surfaces the verdict. The detail message pins the gauge path (an
+/// obs-disabled run would pass vacuously with a different message).
+#[test]
+fn chaos_killed_node_retires_every_tracked_stream() {
+    let mut runner = Runner::new();
+    for seed in SEEDS {
+        let scenario = Scenario {
+            seed,
+            family: FaultFamily::CrashMidRecall,
+            substrate: Substrate::Sim,
+            policy: Policy::R1,
+        };
+        let outcome = runner.run_scenario(scenario);
+        assert!(outcome.passed(), "{outcome:?}");
+        let teardown = outcome
+            .verdicts
+            .iter()
+            .find(|v| v.oracle == "teardown")
+            .expect("teardown verdict present");
+        assert!(teardown.passed);
+        assert_eq!(
+            teardown.detail, "tracked streams fully evicted at teardown",
+            "the gauge must actually be read, not skipped"
+        );
+    }
+}
+
+/// The acceptance fixture: a deliberately unrecoverable data-plane fault
+/// must fail the conservation oracle, and shrinking must keep the
+/// failure while producing a reproducer of at most five events.
+#[test]
+fn broken_oracle_fixture_fails_loudly_and_shrinks_small() {
+    let mut runner = Runner::new();
+    let scenario = Scenario {
+        seed: 0,
+        family: FaultFamily::DataDelay,
+        substrate: Substrate::Sim,
+        policy: Policy::Static,
+    };
+    let mut events = vec![FaultEvent::DropData {
+        source: 0,
+        dest: 1,
+        nth: 1,
+    }];
+    for nth in 1..=7 {
+        events.push(FaultEvent::DelayData {
+            source: 0,
+            dest: nth as usize % 2,
+            nth,
+            delay_ms: 3.0,
+        });
+    }
+    let failing = runner.run_with_plan(scenario, FaultPlan { seed: 0, events });
+    assert!(!failing.passed(), "data loss must fail an oracle");
+    assert!(failing
+        .verdicts
+        .iter()
+        .any(|v| v.oracle == "conservation" && !v.passed));
+    let minimal = gridq::chaos::shrink_failure(&mut runner, scenario, failing);
+    assert!(!minimal.passed(), "shrinking must preserve the failure");
+    assert!(
+        minimal.plan.events.len() <= 5,
+        "reproducer must shrink to at most five events, got {:?}",
+        minimal.plan
+    );
+}
