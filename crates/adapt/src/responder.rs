@@ -75,6 +75,8 @@ pub struct Responder {
     pub declined_cooldown: u64,
     /// Deploy acknowledgements received from the execution substrate.
     pub deploys_acknowledged: u64,
+    /// Node-failure failovers accepted (never declined).
+    pub node_failovers: u64,
 }
 
 impl Responder {
@@ -91,6 +93,7 @@ impl Responder {
             declined_near_completion: 0,
             declined_cooldown: 0,
             deploys_acknowledged: 0,
+            node_failovers: 0,
         }
     }
 
@@ -146,6 +149,22 @@ impl Responder {
     pub fn on_deploy_acknowledged(&mut self, at: SimTime) {
         self.deploys_acknowledged += 1;
         self.sink.incr("responder.deploys_acknowledged", 1);
+        match self.last_adaptation {
+            Some(last) if at.since(last) <= 0.0 => {}
+            _ => self.last_adaptation = Some(at),
+        }
+    }
+
+    /// Records a node-failure failover decision. Unlike a performance
+    /// proposal this is never declined: the progress cutoff and the
+    /// cooldown do not apply, because a dead partition processes nothing
+    /// no matter how close the query is to completion or how recently a
+    /// rebalance ran. It does *restart* the cooldown, so a performance
+    /// rebalance cannot fire while the failover recall is still
+    /// migrating state.
+    pub fn on_node_failure(&mut self, at: SimTime) {
+        self.node_failovers += 1;
+        self.sink.incr("responder.node_failovers", 1);
         match self.last_adaptation {
             Some(last) if at.since(last) <= 0.0 => {}
             _ => self.last_adaptation = Some(at),
@@ -284,6 +303,32 @@ mod tests {
         r.on_deploy_acknowledged(SimTime::from_millis(50.0));
         let (d2, _) = r.on_imbalance(&imbalance(250.0), 0.1);
         assert_eq!(d2, ResponderDecision::CoolingDown);
+    }
+
+    #[test]
+    fn node_failure_bypasses_gates_but_restarts_cooldown() {
+        let config = AdaptivityConfig {
+            cooldown_ms: 100.0,
+            ..Default::default()
+        };
+        let mut r = Responder::new(&config);
+        let (d1, _) = r.on_imbalance(&imbalance(10.0), 0.1);
+        assert_eq!(d1, ResponderDecision::Accepted);
+        // 20 ms later — deep inside the cooldown — a node dies. The
+        // failover is accepted unconditionally...
+        r.on_node_failure(SimTime::from_millis(30.0));
+        assert_eq!(r.node_failovers, 1);
+        // ...and restarts the cooldown: a performance proposal 80 ms
+        // after the original deploy (but only 60 ms after the failover)
+        // is still declined.
+        let (d2, _) = r.on_imbalance(&imbalance(90.0), 0.1);
+        assert_eq!(d2, ResponderDecision::CoolingDown);
+        let (d3, _) = r.on_imbalance(&imbalance(140.0), 0.1);
+        assert_eq!(d3, ResponderDecision::Accepted);
+        // A failover stamped in the past never rewinds the cooldown.
+        r.on_node_failure(SimTime::from_millis(50.0));
+        let (d4, _) = r.on_imbalance(&imbalance(180.0), 0.1);
+        assert_eq!(d4, ResponderDecision::CoolingDown);
     }
 
     #[test]

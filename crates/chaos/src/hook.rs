@@ -1,7 +1,8 @@
 //! The [`ChaosHook`] implementation driving a [`FaultPlan`].
 //!
 //! A [`PlanHook`] keeps one occurrence counter per seam edge (data edge,
-//! ack edge, notification stream, recall-control phase, stall site) and
+//! ack edge, notification stream, recall-control phase, stall site,
+//! per-worker received-message count for consumer crashes) and
 //! fires an event exactly when its edge counter reaches the event's
 //! `nth`. Counters live behind the workspace's poison-recovering mutex:
 //! the threaded substrate calls the hook from producer, consumer, and
@@ -27,6 +28,8 @@ struct HookState {
     ctrl: HashMap<(u8, usize), u64>,
     /// Step count per `(site, index)`.
     stalls: HashMap<(u8, usize), u64>,
+    /// Received-message count per worker (the `crash_worker` seam).
+    crashes: HashMap<usize, u64>,
     /// Indices (into the plan's event list) of events that fired.
     fired: Vec<usize>,
 }
@@ -228,6 +231,24 @@ impl ChaosHook for PlanHook {
         s.fired.extend(fired);
         total
     }
+
+    fn crash_worker(&self, worker: usize) -> bool {
+        let mut s = self.state.lock();
+        let n = {
+            let c = s.crashes.entry(worker).or_insert(0);
+            *c += 1;
+            *c
+        };
+        for (idx, event) in self.events.iter().enumerate() {
+            if let FaultEvent::CrashConsumer { worker: ew, nth } = *event {
+                if ew == worker && nth == n {
+                    s.fired.push(idx);
+                    return true;
+                }
+            }
+        }
+        false
+    }
 }
 
 #[cfg(test)]
@@ -292,6 +313,17 @@ mod tests {
         assert!(hook.on_recall_ctrl(RecallPhase::Drain, 0), "wrong phase");
         assert!(!hook.on_recall_ctrl(RecallPhase::Migrate, 0), "fires");
         assert_eq!(hook.fired(), vec![0, 1]);
+    }
+
+    #[test]
+    fn consumer_crash_fires_at_the_nth_message_only() {
+        let hook = PlanHook::new(&plan(vec![FaultEvent::CrashConsumer { worker: 1, nth: 3 }]));
+        assert!(!hook.crash_worker(0), "other workers survive");
+        assert!(!hook.crash_worker(1), "first message");
+        assert!(!hook.crash_worker(1), "second message");
+        assert!(hook.crash_worker(1), "third message kills");
+        assert!(!hook.crash_worker(1), "fires only once");
+        assert_eq!(hook.fired(), vec![0]);
     }
 
     #[test]

@@ -416,6 +416,7 @@ mod tests {
             retired: 3,
             unacked: 3,
             acks_accepted: 2,
+            acks_duplicate: 1,
             acks_dropped: 0,
         };
         let ok = RunSummary {
@@ -429,6 +430,7 @@ mod tests {
             retired: 3,
             unacked: 1,
             acks_accepted: 2,
+            acks_duplicate: 0,
             acks_dropped: 0,
         };
         let bad = RunSummary {

@@ -8,13 +8,17 @@
 //! rides along in the report, and parse back so a reproducer can be
 //! replayed without regeneration.
 //!
-//! The generator respects the fault model documented on
-//! [`gridq_common::chaos`]: data-plane traffic is only delayed or
-//! stalled; loss and duplication are reserved for best-effort
-//! control-plane traffic. [`FaultEvent::DropData`] and
-//! [`FaultEvent::DuplicateData`] exist solely as the deliberately broken
-//! fixtures that prove the oracle layer fails loudly — no family ever
-//! generates them.
+//! The generator matches the fault model documented on
+//! [`gridq_common::chaos`]: data-plane loss and duplication heal through
+//! checkpoint-window retransmission and consumer-side deduplication, so
+//! [`FaultEvent::DropData`] and [`FaultEvent::DuplicateData`] are live
+//! matrix families ([`FaultFamily::DataLoss`], [`FaultFamily::DataDup`])
+//! rather than broken fixtures, and [`FaultFamily::NodeCrash`] kills a
+//! worker outright on either substrate (a simulator node failure, or a
+//! consumer thread killed through the `crash_worker` seam with failover
+//! recovering it). The one deliberately unrecoverable shape — enough
+//! drops on one edge to outlast the retry budget, or a crash with no
+//! failover — is what proves the oracle layer fails loudly.
 
 use gridq_common::check::Gen;
 use gridq_common::{DetRng, GridError, NotifyKind, RecallPhase, Result};
@@ -84,9 +88,11 @@ pub enum FaultEvent {
     },
     /// Drop the `nth` data buffer on edge `source -> dest`.
     ///
-    /// **Fixture only.** Data-plane loss is unrecoverable by design; this
-    /// event exists so tests can prove the conservation oracle catches
-    /// it. No [`FaultFamily`] generates it.
+    /// Survivable: the covered checkpoint windows stay unacknowledged in
+    /// the producer's recovery log and are retransmitted with jittered
+    /// exponential backoff until delivered or the retry budget is spent
+    /// (the latter degrades into an explicit delivery gap, which the
+    /// conservation oracle flags).
     DropData {
         /// Producing source index.
         source: usize,
@@ -97,8 +103,9 @@ pub enum FaultEvent {
     },
     /// Duplicate the `nth` data buffer on edge `source -> dest`.
     ///
-    /// **Fixture only**, like [`FaultEvent::DropData`]: the data plane
-    /// has no dedup, so the surplus must surface in the oracle.
+    /// Survivable: consumers track `(source, seq)` pairs in resilient
+    /// runs and absorb the redelivered copy (paying only the receive
+    /// cost), so the result multiset is unchanged.
     DuplicateData {
         /// Producing source index.
         source: usize,
@@ -147,6 +154,19 @@ pub enum FaultEvent {
         /// Virtual crash time in milliseconds.
         at_ms: f64,
     },
+    /// Kill consumer `worker` at its `nth` received message. Threaded
+    /// substrate only — realised through the `crash_worker` hook seam:
+    /// the consumer thread returns without flushing, acknowledging, or
+    /// replying, exactly as if its node died. With failover enabled the
+    /// heartbeat detector declares it dead and drives the failover
+    /// recall; without failover the run degrades into explicit delivery
+    /// gaps that the conservation oracle flags.
+    CrashConsumer {
+        /// Worker index.
+        worker: usize,
+        /// Received-message count to die at (1-based).
+        nth: u64,
+    },
     /// Apply a cost-factor perturbation burst to evaluator `evaluator`
     /// from `from_ms` on. Realised through the substrate's perturbation
     /// mechanism, not the hook.
@@ -162,15 +182,6 @@ pub enum FaultEvent {
 }
 
 impl FaultEvent {
-    /// Whether the event is a deliberately broken oracle fixture that no
-    /// generator family emits (data-plane loss or duplication).
-    pub fn is_fixture_only(&self) -> bool {
-        matches!(
-            self,
-            FaultEvent::DropData { .. } | FaultEvent::DuplicateData { .. }
-        )
-    }
-
     /// Whether the event is realised through the [`ChaosHook`] seams (as
     /// opposed to node-failure or perturbation machinery).
     ///
@@ -196,6 +207,7 @@ impl FaultEvent {
             FaultEvent::StallConsumer { .. } => "stall_consumer",
             FaultEvent::LoseRecallCtrl { .. } => "lose_recall_ctrl",
             FaultEvent::CrashNode { .. } => "crash_node",
+            FaultEvent::CrashConsumer { .. } => "crash_consumer",
             FaultEvent::PerturbBurst { .. } => "perturb_burst",
         }
     }
@@ -282,6 +294,10 @@ impl FaultEvent {
             FaultEvent::CrashNode { evaluator, at_ms } => {
                 o.int("evaluator", *evaluator as u64);
                 o.num("at_ms", *at_ms);
+            }
+            FaultEvent::CrashConsumer { worker, nth } => {
+                o.int("worker", *worker as u64);
+                o.int("nth", *nth);
             }
             FaultEvent::PerturbBurst {
                 evaluator,
@@ -384,6 +400,10 @@ impl FaultEvent {
                 evaluator: field_usize("evaluator")?,
                 at_ms: field_f64("at_ms")?,
             },
+            "crash_consumer" => FaultEvent::CrashConsumer {
+                worker: field_usize("worker")?,
+                nth: field_u64("nth")?,
+            },
             "perturb_burst" => FaultEvent::PerturbBurst {
                 evaluator: field_usize("evaluator")?,
                 from_ms: field_f64("from_ms")?,
@@ -408,24 +428,37 @@ pub enum FaultFamily {
     AckChaos,
     /// Delay data-plane exchange buffers.
     DataDelay,
+    /// Drop data-plane exchange buffers (healed by checkpoint-window
+    /// retransmission from the recovery log).
+    DataLoss,
+    /// Duplicate data-plane exchange buffers (absorbed by consumer-side
+    /// `(source, seq)` deduplication).
+    DataDup,
     /// Stall producer and consumer threads mid-stream.
     Stall,
     /// Crash a node mid-run: a permanent simulator node failure, or a
     /// swallowed recall control reply (the threaded analogue of a worker
     /// dying mid-recall).
     CrashMidRecall,
+    /// Kill a worker outright on either substrate: a simulator node
+    /// failure, or a consumer thread killed through the `crash_worker`
+    /// seam with heartbeat/lease failover recovering it (R1 only).
+    NodeCrash,
     /// Perturbation bursts arriving mid-query.
     PerturbBurst,
 }
 
 impl FaultFamily {
     /// Every family, in matrix order.
-    pub const ALL: [FaultFamily; 6] = [
+    pub const ALL: [FaultFamily; 9] = [
         FaultFamily::NotifyLoss,
         FaultFamily::AckChaos,
         FaultFamily::DataDelay,
+        FaultFamily::DataLoss,
+        FaultFamily::DataDup,
         FaultFamily::Stall,
         FaultFamily::CrashMidRecall,
+        FaultFamily::NodeCrash,
         FaultFamily::PerturbBurst,
     ];
 
@@ -435,8 +468,11 @@ impl FaultFamily {
             FaultFamily::NotifyLoss => "notify_loss",
             FaultFamily::AckChaos => "ack_chaos",
             FaultFamily::DataDelay => "data_delay",
+            FaultFamily::DataLoss => "data_loss",
+            FaultFamily::DataDup => "data_dup",
             FaultFamily::Stall => "stall",
             FaultFamily::CrashMidRecall => "crash_mid_recall",
+            FaultFamily::NodeCrash => "node_crash",
             FaultFamily::PerturbBurst => "perturb_burst",
         }
     }
@@ -543,6 +579,24 @@ impl FaultPlan {
                     });
                 }
             }
+            FaultFamily::DataLoss => {
+                for _ in 0..rng.usize_in(1, 4) {
+                    events.push(FaultEvent::DropData {
+                        source: rng.usize_in(0, sources),
+                        dest: rng.usize_in(0, workers),
+                        nth: rng.i64_in(1, 5) as u64,
+                    });
+                }
+            }
+            FaultFamily::DataDup => {
+                for _ in 0..rng.usize_in(1, 4) {
+                    events.push(FaultEvent::DuplicateData {
+                        source: rng.usize_in(0, sources),
+                        dest: rng.usize_in(0, workers),
+                        nth: rng.i64_in(1, 5) as u64,
+                    });
+                }
+            }
             FaultFamily::Stall => {
                 for _ in 0..rng.usize_in(1, 4) {
                     if rng.flip() {
@@ -571,6 +625,19 @@ impl FaultPlan {
                         phase: *rng.pick(&[RecallPhase::Drain, RecallPhase::Migrate]),
                         worker: rng.usize_in(0, workers),
                         nth: rng.i64_in(1, 3) as u64,
+                    });
+                }
+            }
+            FaultFamily::NodeCrash => {
+                if topo.simulated {
+                    events.push(FaultEvent::CrashNode {
+                        evaluator: rng.usize_in(0, workers),
+                        at_ms: rng.f64_in(100.0, 1500.0),
+                    });
+                } else {
+                    events.push(FaultEvent::CrashConsumer {
+                        worker: rng.usize_in(0, workers),
+                        nth: rng.i64_in(5, 25) as u64,
                     });
                 }
             }
@@ -615,9 +682,16 @@ impl FaultPlan {
             .collect()
     }
 
-    /// Whether any event is a deliberately broken oracle fixture.
-    pub fn has_fixture_faults(&self) -> bool {
-        self.events.iter().any(FaultEvent::is_fixture_only)
+    /// The consumer-crash events the plan calls for, as
+    /// `(worker, nth)` pairs (threaded substrate only).
+    pub fn consumer_crashes(&self) -> Vec<(usize, u64)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                FaultEvent::CrashConsumer { worker, nth } => Some((*worker, *nth)),
+                _ => None,
+            })
+            .collect()
     }
 
     /// Serializes the plan as a one-line JSON object.
@@ -673,23 +747,28 @@ mod tests {
     }
 
     #[test]
-    fn no_family_generates_fixture_faults() {
-        for family in FaultFamily::ALL {
-            for seed in [1_u64, 7, 42, 1303, 99991] {
-                for simulated in [true, false] {
-                    let plan = FaultPlan::generate(seed, family, Topology { simulated, ..TOPO });
-                    assert!(
-                        !plan.has_fixture_faults(),
-                        "{} generated a data-loss fixture: {plan:?}",
-                        family.name()
-                    );
-                }
+    fn data_families_generate_live_data_faults() {
+        for seed in [1_u64, 7, 42, 1303, 99991] {
+            for simulated in [true, false] {
+                let topo = Topology { simulated, ..TOPO };
+                let loss = FaultPlan::generate(seed, FaultFamily::DataLoss, topo);
+                assert!(!loss.events.is_empty());
+                assert!(loss
+                    .events
+                    .iter()
+                    .all(|e| matches!(e, FaultEvent::DropData { .. })));
+                let dup = FaultPlan::generate(seed, FaultFamily::DataDup, topo);
+                assert!(!dup.events.is_empty());
+                assert!(dup
+                    .events
+                    .iter()
+                    .all(|e| matches!(e, FaultEvent::DuplicateData { .. })));
             }
         }
     }
 
     #[test]
-    fn crash_family_respects_substrate() {
+    fn crash_families_respect_substrate() {
         let sim = FaultPlan::generate(7, FaultFamily::CrashMidRecall, TOPO);
         assert!(matches!(sim.events[0], FaultEvent::CrashNode { .. }));
         let threaded = FaultPlan::generate(
@@ -704,6 +783,23 @@ mod tests {
             threaded.events[0],
             FaultEvent::LoseRecallCtrl { .. }
         ));
+        let sim_crash = FaultPlan::generate(7, FaultFamily::NodeCrash, TOPO);
+        assert!(matches!(sim_crash.events[0], FaultEvent::CrashNode { .. }));
+        assert_eq!(sim_crash.crashes().len(), 1);
+        let threaded_crash = FaultPlan::generate(
+            7,
+            FaultFamily::NodeCrash,
+            Topology {
+                simulated: false,
+                ..TOPO
+            },
+        );
+        assert!(matches!(
+            threaded_crash.events[0],
+            FaultEvent::CrashConsumer { .. }
+        ));
+        assert_eq!(threaded_crash.consumer_crashes().len(), 1);
+        assert!(threaded_crash.events[0].hook_mediated());
     }
 
     #[test]
@@ -718,7 +814,7 @@ mod tests {
     }
 
     #[test]
-    fn fixture_events_round_trip_too() {
+    fn hand_written_data_and_crash_events_round_trip() {
         let plan = FaultPlan {
             seed: 0,
             events: vec![
@@ -732,9 +828,9 @@ mod tests {
                     dest: 0,
                     nth: 1,
                 },
+                FaultEvent::CrashConsumer { worker: 1, nth: 12 },
             ],
         };
-        assert!(plan.has_fixture_faults());
         assert_eq!(plan, FaultPlan::from_json(&plan.to_json()).unwrap());
     }
 

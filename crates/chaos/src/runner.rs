@@ -8,10 +8,13 @@
 //! protocol's home turf) with one node perturbed so the control loop has
 //! a real imbalance to correct; R2 cells run a stateless service-call
 //! plan with the same standing perturbation; static cells run the
-//! service-call plan unperturbed. Crash events become simulator node
-//! failures; perturbation bursts are installed through each substrate's
-//! perturbation mechanism (the threaded executor applies them for the
-//! whole run, since its perturbations are constant by design).
+//! service-call plan unperturbed. `CrashNode` events become simulator
+//! node failures and `CrashConsumer` events kill a threaded worker
+//! through the `crash_worker` seam (with heartbeat/lease failover
+//! enabled under R1 so the death is survivable); perturbation bursts are
+//! installed through each substrate's perturbation mechanism (the
+//! threaded executor applies them for the whole run, since its
+//! perturbations are constant by design).
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -30,7 +33,7 @@ use gridq_engine::physical::Catalog;
 use gridq_engine::service::{FnService, Service, ServiceRegistry};
 use gridq_engine::table::Table;
 use gridq_engine::Expr;
-use gridq_exec::{ThreadedConfig, ThreadedExecutor, ThreadedReport};
+use gridq_exec::{FailoverConfig, RetryPolicy, ThreadedConfig, ThreadedExecutor, ThreadedReport};
 use gridq_grid::{GridEnvironment, Perturbation, PerturbationSchedule};
 use gridq_obs::json::JsonObj;
 use gridq_obs::Json;
@@ -449,11 +452,41 @@ fn run_sim(policy: Policy, plan: &FaultPlan, hook: Arc<PlanHook>) -> Result<RunS
 fn run_threaded(policy: Policy, plan: &FaultPlan, hook: Arc<PlanHook>) -> Result<RunSummary> {
     if !plan.crashes().is_empty() {
         return Err(GridError::Config(
-            "crash_node faults require the simulator; the threaded analogue is \
-             lose_recall_ctrl"
+            "crash_node faults require the simulator; the threaded analogues are \
+             crash_consumer and lose_recall_ctrl"
                 .into(),
         ));
     }
+    let crashing = !plan.consumer_crashes().is_empty();
+    // A killed consumer is survivable only under R1 (failover rides the
+    // recall machinery). Any other policy leaves failover off, so the
+    // crash degrades into explicit delivery gaps that the conservation
+    // oracle flags — the deliberately unrecoverable cell; a short retry
+    // budget keeps that degradation quick.
+    let failover = if crashing && policy == Policy::R1 {
+        FailoverConfig {
+            enabled: true,
+            heartbeat_ms: 20,
+            lease_ms: 300,
+        }
+    } else {
+        FailoverConfig::default()
+    };
+    let delivery_retry = if crashing && !failover.enabled {
+        RetryPolicy {
+            base_ms: 5.0,
+            max_retries: 4,
+            ..Default::default()
+        }
+    } else if crashing {
+        RetryPolicy {
+            base_ms: 20.0,
+            max_retries: 8,
+            ..Default::default()
+        }
+    } else {
+        RetryPolicy::default()
+    };
     let w = workload(policy);
     let mut perturbations = HashMap::new();
     if let Some(node) = w.perturb_node {
@@ -478,6 +511,8 @@ fn run_threaded(policy: Policy, plan: &FaultPlan, hook: Arc<PlanHook>) -> Result
         checkpoint_interval: 8,
         recall_timeout_ms: 500,
         chaos: Some(hook as Arc<dyn ChaosHook>),
+        delivery_retry,
+        failover,
         ..Default::default()
     };
     let report = ThreadedExecutor::new(w.catalog(), config).run(&w.plan)?;
@@ -534,7 +569,7 @@ fn summarize_threaded(report: ThreadedReport) -> RunSummary {
         adaptations_deployed: report.adaptations_deployed,
         state_tuples_migrated: report.state_tuples_migrated,
         tuples_recalled: report.tuples_recalled,
-        nodes_failed: 0,
+        nodes_failed: report.nodes_failed,
         final_distribution: report.final_distribution,
         obs: report.obs,
     }

@@ -56,40 +56,45 @@ mod tests {
     use crate::plan::{FaultEvent, FaultFamily};
     use crate::runner::{Policy, Substrate};
 
-    /// A sim plan with one data-loss fixture buried in harmless delays
-    /// must shrink to the single event that breaks conservation.
+    /// A severed-edge plan (every delivery and retransmission on one
+    /// edge dropped) padded with harmless delays must shrink to a
+    /// smaller all-drop reproducer that still exhausts the retry budget
+    /// and breaks conservation.
     #[test]
-    fn shrinks_to_the_single_breaking_event() {
+    fn shrinks_to_a_smaller_breaking_reproducer() {
         let mut runner = Runner::new();
         let scenario = Scenario {
             seed: 0,
-            family: FaultFamily::DataDelay,
+            family: FaultFamily::DataLoss,
             substrate: Substrate::Sim,
             policy: Policy::Static,
         };
-        let mut events = vec![FaultEvent::DropData {
-            source: 0,
-            dest: 0,
-            nth: 1,
-        }];
+        let mut events: Vec<FaultEvent> = (1..=25)
+            .map(|nth| FaultEvent::DropData {
+                source: 0,
+                dest: 1,
+                nth,
+            })
+            .collect();
         for nth in 1..=6 {
             events.push(FaultEvent::DelayData {
                 source: 0,
-                dest: nth as usize % 2,
+                dest: 0,
                 nth,
                 delay_ms: 4.0,
             });
         }
+        let original_len = events.len();
         let failing = runner.run_with_plan(scenario, FaultPlan { seed: 0, events });
         assert!(
             !failing.passed(),
-            "fixture must break an oracle: {failing:?}"
+            "a severed edge must break an oracle: {failing:?}"
         );
         let minimal = shrink_failure(&mut runner, scenario, failing);
-        assert!(!minimal.passed());
+        assert!(!minimal.passed(), "shrinking must preserve the failure");
         assert!(
-            minimal.plan.events.len() <= 5,
-            "reproducer must be small: {:?}",
+            minimal.plan.events.len() < original_len,
+            "reproducer must shrink: {:?}",
             minimal.plan
         );
         assert!(
@@ -97,8 +102,8 @@ mod tests {
                 .plan
                 .events
                 .iter()
-                .any(|e| matches!(e, FaultEvent::DropData { .. })),
-            "the breaking event must survive shrinking: {:?}",
+                .all(|e| matches!(e, FaultEvent::DropData { .. })),
+            "the harmless delays must shrink away: {:?}",
             minimal.plan
         );
     }

@@ -10,14 +10,16 @@
 //! instrumented paths are behaviorally identical to the uninstrumented
 //! ones.
 //!
-//! The fault model is deliberately honest about what the architecture
-//! can survive: data-plane *loss* is unrecoverable by design (checkpoint
-//! acks cover id ranges regardless of delivery and there is no
-//! retransmission), so plans built from this trait drop or duplicate
-//! only best-effort control-plane traffic (M1/M2 notifications,
-//! checkpoint acks, recall control replies) and restrict the data plane
-//! to delays and stalls. Dropping data remains expressible solely so the
-//! oracle layer can prove it fails loudly.
+//! The fault model matches what the architecture survives: checkpoint
+//! acknowledgements are per-window and producers *retransmit* windows
+//! whose acks never arrive, so dropped or duplicated data-plane buffers
+//! are recovered by the at-least-once transport and absorbed by
+//! consumer-side deduplication. Crashing a worker outright
+//! ([`ChaosHook::crash_worker`]) is survivable too when failover is
+//! enabled: the heartbeat detector declares the worker dead and its
+//! recovery-log entries replay to the survivors. The one deliberately
+//! unrecoverable combination — a crash with no failover (static policy)
+//! — exists so the oracle layer can prove data loss fails loudly.
 
 use std::fmt;
 
@@ -107,6 +109,18 @@ pub trait ChaosHook: fmt::Debug + Send + Sync {
         let _ = (site, index);
         0.0
     }
+
+    /// Returns `true` to kill consumer `worker` right now. The threaded
+    /// executor consults this once per received message; on `true` the
+    /// consumer returns immediately — no flush, no acknowledgements, no
+    /// control replies — exactly as if its node died. With failover
+    /// enabled the heartbeat detector then drives recovery; without it
+    /// the run degrades gracefully and the conservation oracle reports
+    /// the loss.
+    fn crash_worker(&self, worker: usize) -> bool {
+        let _ = worker;
+        false
+    }
 }
 
 /// A hook that injects nothing — usable wherever a concrete default is
@@ -134,5 +148,6 @@ mod tests {
         assert!(hook.on_recall_ctrl(RecallPhase::Migrate, 2));
         assert_eq!(hook.stall_ms(StallSite::Producer, 0), 0.0);
         assert_eq!(hook.stall_ms(StallSite::Consumer, 1), 0.0);
+        assert!(!hook.crash_worker(0));
     }
 }

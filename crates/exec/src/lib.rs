@@ -28,6 +28,7 @@
 //! distribution — so stateful hash-partitioned stages repartition
 //! mid-flight without losing or duplicating a tuple.
 
+mod failover;
 mod recall;
 
 use std::collections::{HashMap, HashSet};
@@ -44,8 +45,8 @@ use gridq_adapt::{
 use gridq_common::cast;
 use gridq_common::sync::Mutex;
 use gridq_common::{
-    ChaosHook, GridError, NetAction, NodeId, NotifyKind, PartitionId, RecallPhase, Result, SimTime,
-    StallSite, Tuple,
+    ChaosHook, DistributionVector, GridError, NetAction, NodeId, NotifyKind, PartitionId,
+    RecallPhase, Result, SimTime, StallSite, SubplanId, Tuple,
 };
 use gridq_engine::distributed::{DistributedPlan, Router};
 use gridq_engine::evaluator::{PartitionEvaluator, StreamTag};
@@ -54,6 +55,8 @@ use gridq_grid::Perturbation;
 use gridq_obs::{Obs, ObsConfig, ObsReport, TimelineKind};
 use gridq_recovery::{Checkpoint, LogAudit, SharedRecoveryLog};
 
+pub use failover::{DeliveryGap, FailoverConfig, RetryPolicy};
+use failover::{HeartbeatMonitor, RetryBackoff};
 use recall::{Ctrl, ProducerGuard, RecallGate};
 
 type LogItem = (StreamTag, Tuple);
@@ -89,9 +92,16 @@ pub struct ThreadedConfig {
     pub recall_timeout_ms: u64,
     /// Fault-injection hook consulted at the chaos seams (exchange
     /// sends, checkpoint acks, monitoring notifications, recall control
-    /// replies, per-tuple work). `None` injects nothing and leaves
-    /// behavior identical to an uninstrumented run.
+    /// replies, per-tuple work, worker crashes). `None` injects nothing
+    /// and leaves behavior identical to an uninstrumented run.
     pub chaos: Option<Arc<dyn ChaosHook>>,
+    /// Delivery-retry policy: how producers back off and retransmit
+    /// unacknowledged recovery-log windows. Consulted only in resilient
+    /// mode (a chaos hook installed, or failover enabled).
+    pub delivery_retry: RetryPolicy,
+    /// Heartbeat/lease failure detection and the failover recall.
+    /// Requires R1 adaptivity: failover rides the recall machinery.
+    pub failover: FailoverConfig,
 }
 
 impl Default for ThreadedConfig {
@@ -105,6 +115,8 @@ impl Default for ThreadedConfig {
             obs: ObsConfig::default(),
             recall_timeout_ms: 30_000,
             chaos: None,
+            delivery_retry: RetryPolicy::default(),
+            failover: FailoverConfig::default(),
         }
     }
 }
@@ -137,6 +149,18 @@ impl ThreadedConfig {
         if self.recall_timeout_ms == 0 {
             return Err(GridError::Config(
                 "recall_timeout_ms must be positive".into(),
+            ));
+        }
+        self.delivery_retry.validate()?;
+        self.failover.validate()?;
+        if self.failover.enabled
+            && !(self.adaptivity.enabled && self.adaptivity.response == ResponsePolicy::R1)
+        {
+            return Err(GridError::Config(
+                "failover requires retrospective (R1) adaptivity: declaring a \
+                 node dead is only useful if the recall machinery can drain, \
+                 redistribute, and replay its state"
+                    .into(),
             ));
         }
         self.obs.validate()?;
@@ -172,8 +196,21 @@ pub struct ThreadedReport {
     /// In-flight tuples re-routed by recalls: held tuples recalled from
     /// consumers plus staged buffers re-routed by producers.
     pub tuples_recalled: u64,
-    /// Conservation audit of each source's recovery log (R1 runs only;
-    /// indexed like `DistributedPlan::sources`).
+    /// Consumers declared dead by the heartbeat detector.
+    pub nodes_failed: u64,
+    /// Failover recalls that drained, redistributed, and replayed a dead
+    /// partition's log entries to the survivors.
+    pub failovers_completed: u64,
+    /// Tuples retransmitted from recovery logs by the delivery-retry
+    /// epilogue (resilient runs only).
+    pub tuples_retransmitted: u64,
+    /// Windows left undelivered after the retry budget ran out, one
+    /// entry per (source, dest) edge that gave up. Empty on a healthy
+    /// run; the query completes either way.
+    pub delivery_gaps: Vec<DeliveryGap>,
+    /// Conservation audit of each source's recovery log (logging runs
+    /// only: R1 adaptivity, chaos, or failover; indexed like
+    /// `DistributedPlan::sources`).
     pub log_audits: Vec<LogAudit>,
     /// The final routing distribution.
     pub final_distribution: Vec<f64>,
@@ -233,6 +270,11 @@ enum Staged {
 enum Raw {
     M1(M1),
     M2(M2),
+    /// A consumer liveness beat (failover runs only): sent once per
+    /// receive-loop iteration, renews the worker's lease.
+    Beat(usize),
+    /// A consumer finished cleanly; its lease no longer applies.
+    Done(usize),
     ProducersDone,
 }
 
@@ -246,6 +288,8 @@ struct AdaptStats {
     recalls_aborted: u64,
     state_tuples_migrated: u64,
     tuples_recalled: u64,
+    nodes_failed: u64,
+    failovers_completed: u64,
 }
 
 fn spin_for(model_ms: f64, scale: f64) {
@@ -300,6 +344,199 @@ fn collect_replies(
         }
     }
     Some((moved, recalled_total))
+}
+
+/// How many times a failover recall is retried after an aborted attempt
+/// (lost control reply, barrier timeout) before the dead worker is left
+/// to the producers' delivery-gap path.
+const FAILOVER_ATTEMPTS: u32 = 3;
+
+/// Everything one failover recall attempt borrows from the adaptivity
+/// thread's state.
+struct FailoverRun<'a, R, N>
+where
+    R: Fn(SimTime, TimelineKind) -> u64,
+    N: Fn() -> SimTime,
+{
+    dead: usize,
+    down_seq: u64,
+    gate: Option<&'a RecallGate>,
+    monitor: Option<&'a HeartbeatMonitor>,
+    logs: Option<&'a Vec<SharedRecoveryLog<LogItem>>>,
+    adapt_senders: &'a [Sender<Msg>],
+    ctrl_rx: &'a Receiver<Ctrl>,
+    router: &'a Mutex<Router>,
+    diagnoser: &'a mut Diagnoser,
+    responder: &'a mut Responder,
+    obs: Option<&'a Obs>,
+    record: &'a R,
+    now_model: &'a N,
+    stage_id: SubplanId,
+    build_source: Option<usize>,
+    recall_timeout: Duration,
+    recall_token: &'a mut u64,
+    stats: &'a mut AdaptStats,
+}
+
+/// Runs one failover recall attempt for a dead consumer: drain barrier
+/// over the survivors, redistribution away from the dead partition,
+/// replay of that partition's surviving recovery-log entries to their
+/// new owners, epoch-bumped resume. Returns `false` when the attempt had
+/// to abort; the caller retries up to [`FAILOVER_ATTEMPTS`] times.
+///
+/// Deliberately records no `Deploy`/`RecallStart`/`RecallFinish`
+/// timeline events — those carry diagnosis back-references and a
+/// failover has no diagnosis. `NodeDown -> Failover` is this path's
+/// causal pair.
+fn run_failover<R, N>(run: FailoverRun<'_, R, N>) -> bool
+where
+    R: Fn(SimTime, TimelineKind) -> u64,
+    N: Fn() -> SimTime,
+{
+    let FailoverRun {
+        dead,
+        down_seq,
+        gate,
+        monitor,
+        logs,
+        adapt_senders,
+        ctrl_rx,
+        router,
+        diagnoser,
+        responder,
+        obs,
+        record,
+        now_model,
+        stage_id,
+        build_source,
+        recall_timeout,
+        recall_token,
+        stats,
+    } = run;
+    // Config validation ties failover to R1 adaptivity, so the gate and
+    // logs always exist here; degrade to "handled" rather than spin if
+    // that invariant ever breaks.
+    let (Some(gate), Some(m), Some(logs)) = (gate, monitor, logs) else {
+        return true;
+    };
+    *recall_token += 1;
+    let token = *recall_token;
+    match gate.begin_pause(recall_timeout) {
+        None => return false,
+        Some(0) => {
+            // No producer is parked, so none can be trusted to hold its
+            // buffers still across the barrier; retry on a later
+            // iteration once the retry epilogues reach a pause point.
+            gate.abort_pause();
+            return false;
+        }
+        Some(_) => {}
+    }
+    let targets: Vec<usize> = (0..adapt_senders.len())
+        .filter(|&p| !m.is_dead(p) && !m.is_done(p))
+        .collect();
+    let drained = !targets.is_empty()
+        && targets
+            .iter()
+            .all(|&p| adapt_senders[p].send(Msg::Drain { token }).is_ok())
+        && collect_replies(ctrl_rx, token, targets.len(), false, recall_timeout).is_some();
+    if !drained {
+        gate.abort_pause();
+        return false;
+    }
+    // Route nothing more at the dead partition: zero its weight (and any
+    // previously declared dead peer's) and renormalize over survivors.
+    let target = {
+        let current = router.lock().current_distribution();
+        let w: Vec<f64> = current
+            .weights()
+            .iter()
+            .enumerate()
+            .map(|(p, &w)| if p == dead || m.is_dead(p) { 0.0 } else { w })
+            .collect();
+        DistributionVector::new(&w)
+    };
+    let Ok(target) = target else {
+        // Every partition is dead or weightless; nothing to deploy.
+        gate.abort_pause();
+        return false;
+    };
+    let moves = {
+        let mut r = router.lock();
+        r.apply_retrospective(&target)
+    };
+    let Ok(moves) = moves else {
+        gate.abort_pause();
+        return false;
+    };
+    diagnoser.set_distribution(target);
+    let bucket_count = router.lock().bucket_count();
+    for &p in &targets {
+        let outgoing = moves.outgoing.get(p).cloned().unwrap_or_default();
+        let _ = adapt_senders[p].send(Msg::Migrate {
+            token,
+            bucket_count,
+            outgoing,
+        });
+    }
+    let Some((moved, recalled)) =
+        collect_replies(ctrl_rx, token, targets.len(), true, recall_timeout)
+    else {
+        gate.abort_pause();
+        return false;
+    };
+    stats.state_tuples_migrated += moved;
+    stats.tuples_recalled += recalled;
+    // Replay the dead partition's surviving log entries, build stream
+    // first so reconstructed operator state is in place before any
+    // replayed probe tuple can reach it.
+    let mut order: Vec<usize> = (0..logs.len()).collect();
+    order.sort_by_key(|&s| usize::from(Some(s) != build_source));
+    let fallback = targets.first().copied().unwrap_or(0);
+    let mut replayed = 0u64;
+    for s in order {
+        let entries = logs[s].drain_dest(dead as u32).unwrap_or_default();
+        for (stream, tuple) in entries {
+            let routed = {
+                let mut r = router.lock();
+                r.route(stream, &tuple)
+            };
+            let dest = match routed {
+                Ok(d) if targets.contains(&(d as usize)) => d as usize,
+                _ => fallback,
+            };
+            replayed += 1;
+            let _ = adapt_senders[dest].send(Msg::Migrated {
+                stream,
+                source: s,
+                tuple: tuple.clone(),
+            });
+            // Re-record under the new owner, but send no checkpoint
+            // markers from here: a coordinator-sent marker could close a
+            // window whose tail is still staged unsent at the producer,
+            // acknowledging tuples that were never delivered. The
+            // producers' per-attempt forced checkpoints close these
+            // windows instead, and retransmissions of already-replayed
+            // tuples collapse in the consumers' dedup filter.
+            let _ = logs[s].record_replayed(dest as u32, (stream, tuple));
+        }
+    }
+    stats.failovers_completed += 1;
+    if let Some(o) = obs {
+        o.metrics().counter("exec.failovers").add(1);
+        o.metrics().counter("exec.tuples_replayed").add(replayed);
+    }
+    record(
+        now_model(),
+        TimelineKind::Failover {
+            partition: PartitionId::new(stage_id, dead as u32).to_string(),
+            replayed,
+            down_seq,
+        },
+    );
+    responder.on_deploy_acknowledged(now_model());
+    gate.resume(gate.epoch() + 1);
+    true
 }
 
 /// Executes a single-stage distributed plan over real threads.
@@ -393,25 +630,50 @@ impl ThreadedExecutor {
             sum
         };
 
+        // Resilient mode hardens the data plane: recovery logs always on,
+        // whole windows flushed atomically, producers retransmitting
+        // unacknowledged windows, consumers deduplicating. It is what
+        // makes injected drops/duplicates and node crashes survivable.
+        let resilient = self.config.chaos.is_some() || self.config.failover.enabled;
+        let logging_on = recall_on || resilient;
+
         // Recall-protocol state: one recovery log per source and the
         // gate producers park behind during a recall.
-        let logs: Option<SharedLogs> = if recall_on {
+        let logs: Option<SharedLogs> = if logging_on {
             let mut v = Vec::with_capacity(plan.sources.len());
+            // In resilient mode a whole window must fit one exchange
+            // buffer, so a dropped or duplicated batch hits tuples and
+            // marker atomically: marker delivery implies content delivery.
+            let effective = self
+                .config
+                .checkpoint_interval
+                .min(stage.exchange.buffer_tuples.max(1));
             for s in &plan.sources {
-                // Build tuples become downstream operator state, so their
-                // log entries stay recallable for the whole run:
-                // effectively no checkpointing (mirrors the simulator).
-                let interval = if s.stream == StreamTag::Build {
-                    usize::MAX / 2
+                let log = if s.stream == StreamTag::Build {
+                    if resilient {
+                        // Build tuples are downstream operator state: keep
+                        // the entries replayable after delivery so node
+                        // failure can reconstruct a dead partition, while
+                        // markers still flow as delivery receipts.
+                        SharedRecoveryLog::retained(partitions, effective)?
+                    } else {
+                        // Effectively no checkpointing (mirrors the
+                        // simulator): entries stay recallable all run.
+                        SharedRecoveryLog::new(partitions, usize::MAX / 2)?
+                    }
+                } else if resilient {
+                    SharedRecoveryLog::new(partitions, effective)?
                 } else {
-                    self.config.checkpoint_interval
+                    SharedRecoveryLog::new(partitions, self.config.checkpoint_interval)?
                 };
-                v.push(SharedRecoveryLog::new(partitions, interval)?);
+                v.push(log);
             }
             Some(Arc::new(v))
         } else {
             None
         };
+        let delivery_gaps: Arc<Mutex<Vec<DeliveryGap>>> = Arc::new(Mutex::new(Vec::new()));
+        let retransmitted_total = Arc::new(AtomicU64::new(0));
         let gate = recall_on.then(|| Arc::new(RecallGate::new(plan.sources.len())));
         let build_source = plan
             .sources
@@ -437,6 +699,9 @@ impl ThreadedExecutor {
             let query = plan.query;
             let routed_ctr = routed_ctr.clone();
             let chaos = self.config.chaos.clone();
+            let retry_policy = self.config.delivery_retry.clone();
+            let gaps = Arc::clone(&delivery_gaps);
+            let retransmitted = Arc::clone(&retransmitted_total);
             producer_handles.push(thread::spawn(move || {
                 // Counts this producer as done even if it panics, so the
                 // recall barrier can never wait on a dead thread.
@@ -452,10 +717,11 @@ impl ThreadedExecutor {
                         .as_ref()
                         .map_or(NetAction::Deliver, |c| c.on_data(sidx, dest));
                     if fate == NetAction::Drop {
-                        // Data-plane loss is unrecoverable by design
-                        // (acks cover id ranges regardless of delivery);
-                        // expressible only so the multiset oracle can
-                        // prove it fails loudly.
+                        // The whole batch vanishes — tuples and the
+                        // marker that would acknowledge them, together.
+                        // In resilient mode the window's ack never
+                        // arrives, so the retry epilogue retransmits it
+                        // from the recovery log.
                         return;
                     }
                     if let NetAction::DelayMs(extra) = fate {
@@ -469,9 +735,9 @@ impl ThreadedExecutor {
                         match item {
                             Staged::Tuple(tag, t) => {
                                 if fate == NetAction::Duplicate {
-                                    // Fixture-only, like Drop: the data
-                                    // plane has no dedup, the oracle must
-                                    // see the surplus.
+                                    // At-least-once transport: the second
+                                    // copy is absorbed by the consumer's
+                                    // (source, seq) dedup filter.
                                     count += 1;
                                     let _ = senders[dest].send(Msg::Tuple {
                                         stream: tag,
@@ -576,17 +842,28 @@ impl ThreadedExecutor {
                         r.route(stream, row).unwrap_or(0)
                     } as usize;
                     buffers[dest].push(Staged::Tuple(stream, row.clone()));
+                    let mut window_closed = false;
                     if let Some(logs) = &logs {
                         if let Ok(Some(cp)) = logs[sidx].record(dest as u32, (stream, row.clone()))
                         {
                             buffers[dest].push(Staged::Marker(cp, logs[sidx].epoch()));
+                            window_closed = true;
                         }
                     }
                     routed_total.fetch_add(1, Ordering::Relaxed);
                     if let Some(c) = &routed_ctr {
                         c.add(1);
                     }
-                    if buffers[dest].len() >= buffer_tuples {
+                    if resilient {
+                        // Flush at window boundaries only: the interval is
+                        // clamped to the buffer size, so a whole window
+                        // (tuples plus marker) always travels in one
+                        // batch and a chaos drop or duplicate hits it
+                        // atomically.
+                        if window_closed {
+                            flush(dest, &mut buffers, &started_local);
+                        }
+                    } else if buffers[dest].len() >= buffer_tuples {
                         flush(dest, &mut buffers, &started_local);
                     }
                 }
@@ -601,7 +878,10 @@ impl ThreadedExecutor {
                     }
                 }
                 for (dest, sender) in senders.iter().enumerate() {
-                    if stream != StreamTag::Build {
+                    // Resilient runs checkpoint build streams too: the
+                    // markers are delivery receipts, and retained build
+                    // logs keep the entries replayable regardless.
+                    if stream != StreamTag::Build || resilient {
                         if let Some(logs) = &logs {
                             if let Ok(Some(cp)) = logs[sidx].force_checkpoint(dest as u32) {
                                 buffers[dest].push(Staged::Marker(cp, logs[sidx].epoch()));
@@ -609,7 +889,91 @@ impl ThreadedExecutor {
                         }
                     }
                     flush(dest, &mut buffers, &started_local);
-                    let _ = sender.send(Msg::Eos(stream));
+                    if !resilient {
+                        let _ = sender.send(Msg::Eos(stream));
+                    }
+                }
+                if resilient {
+                    // Delivery-retry epilogue: wait out a deterministic
+                    // jittered backoff for in-flight acks, retransmit any
+                    // window still unacknowledged, and repeat within the
+                    // retry budget. A destination that never acks becomes
+                    // an explicit DeliveryGap — the query completes with
+                    // a loud record of what is missing instead of
+                    // hanging. Only then does Eos go out, so consumers
+                    // cannot exit while redelivery is still possible.
+                    if let Some(log_vec) = &logs {
+                        let mut backoff = RetryBackoff::new(&retry_policy, sidx as u64);
+                        'retry: for attempt in 0..=retry_policy.max_retries {
+                            // Sleep in short slices with a pause-point in
+                            // each, so a concurrent (failover) recall can
+                            // still park this producer.
+                            let mut remaining = backoff.delay_ms(attempt);
+                            while remaining > 0.0 {
+                                if let Some(g) = &gate {
+                                    let now_epoch = g.pause_point();
+                                    if now_epoch != epoch {
+                                        epoch = now_epoch;
+                                        restaged_total
+                                            .fetch_add(restage(&mut buffers), Ordering::Relaxed);
+                                        for dest in 0..senders.len() {
+                                            flush(dest, &mut buffers, &started_local);
+                                        }
+                                    }
+                                }
+                                let slice = remaining.min(5.0);
+                                thread::sleep(Duration::from_secs_f64(slice / 1000.0));
+                                remaining -= slice;
+                            }
+                            // Close any window the run left open since the
+                            // final scan flush (recalls and failover
+                            // replay append to open windows) and push its
+                            // marker out with whatever the buffer holds —
+                            // one batch, so marker delivery still implies
+                            // content delivery.
+                            for dest in 0..senders.len() {
+                                if let Ok(Some(cp)) = log_vec[sidx].force_checkpoint(dest as u32) {
+                                    buffers[dest].push(Staged::Marker(cp, log_vec[sidx].epoch()));
+                                    flush(dest, &mut buffers, &started_local);
+                                }
+                            }
+                            let mut undelivered_any = false;
+                            for dest in 0..senders.len() {
+                                let windows = log_vec[sidx].undelivered_windows(dest as u32);
+                                if windows.is_empty() {
+                                    continue;
+                                }
+                                undelivered_any = true;
+                                if attempt == retry_policy.max_retries {
+                                    let tuples: u64 =
+                                        windows.iter().map(|(_, w)| w.len() as u64).sum();
+                                    gaps.lock().push(DeliveryGap {
+                                        source: sidx,
+                                        dest,
+                                        windows: windows.len() as u64,
+                                        tuples,
+                                    });
+                                } else {
+                                    let epoch_now = log_vec[sidx].epoch();
+                                    for (cp, items) in windows {
+                                        retransmitted
+                                            .fetch_add(items.len() as u64, Ordering::Relaxed);
+                                        for (tag, t) in items {
+                                            buffers[dest].push(Staged::Tuple(tag, t));
+                                        }
+                                        buffers[dest].push(Staged::Marker(cp, epoch_now));
+                                        flush(dest, &mut buffers, &started_local);
+                                    }
+                                }
+                            }
+                            if !undelivered_any {
+                                break 'retry;
+                            }
+                        }
+                    }
+                    for sender in &senders {
+                        let _ = sender.send(Msg::Eos(stream));
+                    }
                 }
             }));
         }
@@ -644,6 +1008,12 @@ impl ThreadedExecutor {
             let query = plan.query;
             let processed_ctr = processed_ctr.clone();
             let chaos = self.config.chaos.clone();
+            let failover_on = self.config.failover.enabled;
+            let recv_slice_ms = if failover_on {
+                self.config.failover.heartbeat_ms.min(50)
+            } else {
+                50
+            };
             consumer_handles.push(thread::spawn(move || -> (u64, Vec<Tuple>) {
                 let started = Instant::now();
                 let mut processed = 0u64;
@@ -660,6 +1030,47 @@ impl ThreadedExecutor {
                 // consumes the build input first), or recalled to their
                 // new owner by a retrospective redistribution.
                 let mut held_probes: Vec<(usize, Tuple)> = Vec::new();
+                // Resilient-mode dedup: the transport is at-least-once
+                // (retransmission, chaos duplication), processing must be
+                // effectively-once. `(source, seq)` identifies a tuple.
+                let mut seen: HashSet<(usize, u64)> = HashSet::new();
+                // Probe-window acks deferred while the build phase is
+                // incomplete: an ack is a *processing* receipt here, and
+                // held probes are unprocessed — a crash before the build
+                // completes must find their windows still replayable.
+                let mut pending_acks: Vec<(usize, Checkpoint, u64)> = Vec::new();
+                // Applies one checkpoint ack through the chaos seam. In
+                // resilient mode the pending outputs are handed to the
+                // collector *first*: once a window is acknowledged its
+                // outputs are owned downstream, so a later crash of this
+                // consumer can never lose them (replay covers exactly the
+                // unacknowledged windows).
+                let apply_ack =
+                    |source: usize, cp: Checkpoint, epoch: u64, out: &mut Vec<Tuple>| {
+                        let Some(logs) = &logs else { return };
+                        if resilient && !out.is_empty() {
+                            let _ = results.send(std::mem::take(out));
+                        }
+                        match chaos
+                            .as_ref()
+                            .map_or(NetAction::Deliver, |c| c.on_ack(source, i))
+                        {
+                            NetAction::Drop => {}
+                            NetAction::Duplicate => {
+                                let _ = logs[source].acknowledge(cp.dest, cp.id, epoch);
+                                let _ = logs[source].acknowledge(cp.dest, cp.id, epoch);
+                            }
+                            NetAction::DelayMs(extra) => {
+                                if extra.is_finite() && extra > 0.0 {
+                                    spin_for(extra, scale);
+                                }
+                                let _ = logs[source].acknowledge(cp.dest, cp.id, epoch);
+                            }
+                            NetAction::Deliver => {
+                                let _ = logs[source].acknowledge(cp.dest, cp.id, epoch);
+                            }
+                        }
+                    };
                 // Evaluates one tuple, spending the modelled (and
                 // perturbed) cost in real time. Shared by the streaming
                 // path, the held-probe replay, and migrated re-delivery,
@@ -742,8 +1153,14 @@ impl ThreadedExecutor {
                     *batch_wait = 0.0;
                 };
                 loop {
+                    // Beat before blocking: an idle consumer renews its
+                    // lease once per receive slice, a busy one once per
+                    // message.
+                    if failover_on {
+                        let _ = raw.send(Raw::Beat(i));
+                    }
                     let wait_started = Instant::now();
-                    let msg = match rx.recv_timeout(Duration::from_millis(50)) {
+                    let msg = match rx.recv_timeout(Duration::from_millis(recv_slice_ms)) {
                         Ok(m) => m,
                         Err(RecvTimeoutError::Timeout) => {
                             // The partition spent this whole slice
@@ -756,6 +1173,48 @@ impl ThreadedExecutor {
                         Err(RecvTimeoutError::Disconnected) => break,
                     };
                     batch_wait += wait_started.elapsed().as_secs_f64() * 1000.0;
+                    // The crash seam: consulted once per received
+                    // message. Dying here means no flush, no acks, no
+                    // control replies — exactly a vanished node.
+                    if chaos.as_ref().is_some_and(|c| c.crash_worker(i)) {
+                        return (processed, Vec::new());
+                    }
+                    // Resilient-mode dedup filter. Data-plane tuples are
+                    // checked-and-recorded (a retransmitted or duplicated
+                    // copy is dropped here); recall/replay re-deliveries
+                    // are recorded but always processed — bucket
+                    // ping-pong legitimately re-delivers a seq, and the
+                    // recall barrier already guarantees exactly-once for
+                    // that path.
+                    let msg = match msg {
+                        Msg::Tuple {
+                            stream,
+                            source,
+                            tuple,
+                        } if resilient => {
+                            if !seen.insert((source, tuple.seq())) {
+                                continue;
+                            }
+                            Msg::Tuple {
+                                stream,
+                                source,
+                                tuple,
+                            }
+                        }
+                        Msg::Migrated {
+                            stream,
+                            source,
+                            tuple,
+                        } if resilient => {
+                            seen.insert((source, tuple.seq()));
+                            Msg::Migrated {
+                                stream,
+                                source,
+                                tuple,
+                            }
+                        }
+                        other => other,
+                    };
                     match msg {
                         Msg::Eos(tag) => {
                             eos_seen += 1;
@@ -763,7 +1222,14 @@ impl ThreadedExecutor {
                                 build_eos_seen += 1;
                             }
                             if build_eos_needed > 0 && build_eos_seen == build_eos_needed {
-                                for (_, tuple) in std::mem::take(&mut held_probes) {
+                                for (n, (_, tuple)) in
+                                    std::mem::take(&mut held_probes).into_iter().enumerate()
+                                {
+                                    // Replaying a large backlog takes real
+                                    // time; keep the lease renewed.
+                                    if failover_on && n % 16 == 0 {
+                                        let _ = raw.send(Raw::Beat(i));
+                                    }
                                     process_one(
                                         &mut evaluator,
                                         StreamTag::Probe,
@@ -782,6 +1248,12 @@ impl ThreadedExecutor {
                                         outputs_total,
                                         false,
                                     );
+                                }
+                                // The held probes are processed: their
+                                // deferred window acks are now true
+                                // processing receipts, so release them.
+                                for (source, cp, epoch) in std::mem::take(&mut pending_acks) {
+                                    apply_ack(source, cp, epoch, &mut out);
                                 }
                             }
                             if eos_seen == eos_needed {
@@ -827,31 +1299,16 @@ impl ThreadedExecutor {
                         }
                         Msg::Checkpoint { source, cp, epoch } => {
                             debug_assert_eq!(cp.dest as usize, i);
-                            if let Some(logs) = &logs {
-                                // Acks are best-effort control traffic: a
-                                // lost one keeps the window in the log
-                                // until a later ack supersedes it, a
-                                // duplicate is rejected as stale by the
-                                // log itself.
-                                match chaos
-                                    .as_ref()
-                                    .map_or(NetAction::Deliver, |c| c.on_ack(source, i))
-                                {
-                                    NetAction::Drop => {}
-                                    NetAction::Duplicate => {
-                                        let _ = logs[source].acknowledge(cp.dest, cp.id, epoch);
-                                        let _ = logs[source].acknowledge(cp.dest, cp.id, epoch);
-                                    }
-                                    NetAction::DelayMs(extra) => {
-                                        if extra.is_finite() && extra > 0.0 {
-                                            spin_for(extra, scale);
-                                        }
-                                        let _ = logs[source].acknowledge(cp.dest, cp.id, epoch);
-                                    }
-                                    NetAction::Deliver => {
-                                        let _ = logs[source].acknowledge(cp.dest, cp.id, epoch);
-                                    }
-                                }
+                            // Acks are best-effort control traffic: a
+                            // lost one keeps the window in the log until
+                            // a retransmission's ack supersedes it, a
+                            // duplicate is absorbed by the log itself.
+                            let building =
+                                build_eos_needed > 0 && build_eos_seen < build_eos_needed;
+                            if resilient && building && Some(source) != build_source {
+                                pending_acks.push((source, cp, epoch));
+                            } else {
+                                apply_ack(source, cp, epoch, &mut out);
                             }
                         }
                         Msg::Drain { token } => {
@@ -882,12 +1339,14 @@ impl ThreadedExecutor {
                             if let Some(bc) = bucket_count {
                                 if !outgoing.is_empty() {
                                     let extracted = evaluator.extract_state(bc, &outgoing);
-                                    if let (Some(logs), Some(b)) = (&logs, build_source) {
-                                        let moved: HashSet<u64> =
-                                            extracted.iter().map(|(_, t)| t.seq()).collect();
-                                        let _ = logs[b].retire_matching(i as u32, |(s, t)| {
-                                            *s == StreamTag::Build && moved.contains(&t.seq())
-                                        });
+                                    if !resilient {
+                                        if let (Some(logs), Some(b)) = (&logs, build_source) {
+                                            let moved: HashSet<u64> =
+                                                extracted.iter().map(|(_, t)| t.seq()).collect();
+                                            let _ = logs[b].retire_matching(i as u32, |(s, t)| {
+                                                *s == StreamTag::Build && moved.contains(&t.seq())
+                                            });
+                                        }
                                     }
                                     for (stream, tuple) in extracted {
                                         let dest = {
@@ -902,6 +1361,25 @@ impl ThreadedExecutor {
                                             // defensively if not.
                                             let _ = evaluator.process(stream, &tuple);
                                         } else {
+                                            if resilient {
+                                                // The log entry follows its
+                                                // tuple to the new owner's
+                                                // open window instead of
+                                                // retiring: a later crash
+                                                // there must still find it
+                                                // replayable.
+                                                if let (Some(logs), Some(b)) = (&logs, build_source)
+                                                {
+                                                    let seq = tuple.seq();
+                                                    let _ = logs[b].migrate_matching(
+                                                        i as u32,
+                                                        dest as u32,
+                                                        |(s, t)| {
+                                                            *s == StreamTag::Build && t.seq() == seq
+                                                        },
+                                                    );
+                                                }
+                                            }
                                             let _ = peers[dest].send(Msg::Migrated {
                                                 stream,
                                                 source: build_source.unwrap_or(0),
@@ -922,7 +1400,23 @@ impl ThreadedExecutor {
                                     if dest == i {
                                         held_probes.push((source, tuple));
                                     } else {
-                                        retire.entry(source).or_default().insert(tuple.seq());
+                                        if resilient {
+                                            // As with build state: the
+                                            // entry rides along, staying
+                                            // replayable at the new owner.
+                                            if let Some(logs) = &logs {
+                                                let seq = tuple.seq();
+                                                let _ = logs[source].migrate_matching(
+                                                    i as u32,
+                                                    dest as u32,
+                                                    |(s, t)| {
+                                                        *s == StreamTag::Probe && t.seq() == seq
+                                                    },
+                                                );
+                                            }
+                                        } else {
+                                            retire.entry(source).or_default().insert(tuple.seq());
+                                        }
                                         recalled += 1;
                                         let _ = peers[dest].send(Msg::Migrated {
                                             stream: StreamTag::Probe,
@@ -983,6 +1477,10 @@ impl ThreadedExecutor {
                         }
                     }
                 }
+                if failover_on {
+                    // A clean exit is not a death: retire the lease.
+                    let _ = raw.send(Raw::Done(i));
+                }
                 let _ = results.send(std::mem::take(&mut out));
                 (processed, Vec::new())
             }));
@@ -1006,6 +1504,8 @@ impl ThreadedExecutor {
             let scale = self.config.cost_scale;
             let recall_timeout = Duration::from_millis(self.config.recall_timeout_ms);
             let obs = obs.clone();
+            let failover_cfg = self.config.failover.clone();
+            let flogs = logs.clone();
             thread::spawn(move || -> AdaptStats {
                 let mut detector = MonitoringEventDetector::new(&adapt);
                 let mut diagnoser = Diagnoser::new(stage_id, partitions_u32, initial, &adapt);
@@ -1033,7 +1533,85 @@ impl ThreadedExecutor {
                 };
                 let mut stats = AdaptStats::default();
                 let mut recall_token = 0u64;
-                while let Ok(raw) = raw_rx.recv() {
+                let mut monitor = failover_cfg
+                    .enabled
+                    .then(|| HeartbeatMonitor::new(partitions, failover_cfg.lease_ms));
+                // Dead workers awaiting a failover recall, with per-worker
+                // attempt counts: an aborted attempt (lost control reply,
+                // barrier timeout) is retried a few times before the worker
+                // is left to the producers' delivery-gap path.
+                let mut failover_queue: Vec<(usize, u64, u32)> = Vec::new();
+                loop {
+                    // With a monitor installed the loop must keep checking
+                    // leases even when no monitoring events arrive, so the
+                    // blocking receive becomes a heartbeat-paced timeout.
+                    let received = if monitor.is_some() {
+                        match raw_rx
+                            .recv_timeout(Duration::from_millis(failover_cfg.heartbeat_ms.max(1)))
+                        {
+                            Ok(r) => Some(r),
+                            Err(RecvTimeoutError::Timeout) => None,
+                            Err(RecvTimeoutError::Disconnected) => break,
+                        }
+                    } else {
+                        match raw_rx.recv() {
+                            Ok(r) => Some(r),
+                            Err(_) => break,
+                        }
+                    };
+                    if let Some(m) = &mut monitor {
+                        match received {
+                            Some(Raw::Beat(w)) => m.beat(w),
+                            Some(Raw::Done(w)) => m.mark_done(w),
+                            _ => {}
+                        }
+                        while let Some(dead) = m.expired() {
+                            stats.nodes_failed += 1;
+                            let at = now_model();
+                            let down_seq = record(
+                                at,
+                                TimelineKind::NodeDown {
+                                    partition: PartitionId::new(stage_id, dead as u32).to_string(),
+                                },
+                            );
+                            responder.on_node_failure(at);
+                            failover_queue.push((dead, down_seq, 0));
+                        }
+                    }
+                    if !failover_queue.is_empty() {
+                        let (dead, down_seq, attempts) = failover_queue[0];
+                        let completed = run_failover(FailoverRun {
+                            dead,
+                            down_seq,
+                            gate: gate.as_deref(),
+                            monitor: monitor.as_ref(),
+                            logs: flogs.as_deref(),
+                            adapt_senders: &adapt_senders,
+                            ctrl_rx: &ctrl_rx,
+                            router: &router,
+                            diagnoser: &mut diagnoser,
+                            responder: &mut responder,
+                            obs: obs.as_ref(),
+                            record: &record,
+                            now_model: &now_model,
+                            stage_id,
+                            build_source,
+                            recall_timeout,
+                            recall_token: &mut recall_token,
+                            stats: &mut stats,
+                        });
+                        if completed {
+                            failover_queue.remove(0);
+                        } else if attempts + 1 >= FAILOVER_ATTEMPTS {
+                            // Give up: the producers' retry budget will
+                            // exhaust against the dead partition and record
+                            // an explicit delivery gap instead of hanging.
+                            failover_queue.remove(0);
+                        } else {
+                            failover_queue[0].2 = attempts + 1;
+                        }
+                    }
+                    let Some(raw) = received else { continue };
                     let (output, at, raw_seq) = match raw {
                         Raw::M1(event) => {
                             stats.m1 += 1;
@@ -1064,6 +1642,9 @@ impl ThreadedExecutor {
                             );
                             (output, event.at, raw_seq)
                         }
+                        // Liveness traffic was consumed by the monitor
+                        // above; it never feeds the detector.
+                        Raw::Beat(_) | Raw::Done(_) => continue,
                         Raw::ProducersDone => break,
                     };
                     let imbalance = match output {
@@ -1124,7 +1705,30 @@ impl ThreadedExecutor {
                                 diagnosis_seq,
                             },
                         );
-                        let Some(cmd) = cmd else { continue };
+                        let Some(mut cmd) = cmd else { continue };
+                        // A diagnosis computed from pre-failure observations
+                        // may still weight a dead partition; zero it so no
+                        // adaptation resurrects routing to a lost worker.
+                        if let Some(m) = &monitor {
+                            let weights = cmd.new_distribution.weights();
+                            let stale = weights
+                                .iter()
+                                .enumerate()
+                                .any(|(p, &w)| m.is_dead(p) && w > 0.0);
+                            if stale {
+                                let w: Vec<f64> = weights
+                                    .iter()
+                                    .enumerate()
+                                    .map(|(p, &w)| if m.is_dead(p) { 0.0 } else { w })
+                                    .collect();
+                                match DistributionVector::new(&w) {
+                                    Ok(d) => cmd.new_distribution = d,
+                                    // All surviving weight vanished: nothing
+                                    // sane to deploy.
+                                    Err(_) => continue,
+                                }
+                            }
+                        }
                         diagnoser.set_distribution(cmd.new_distribution.clone());
                         if !cmd.retrospective {
                             // Prospective: swap the routing table; only
@@ -1166,13 +1770,23 @@ impl ThreadedExecutor {
                                 stats.recalls_aborted += 1;
                             }
                             Some(_) => {
-                                let drained = adapt_senders
-                                    .iter()
-                                    .all(|tx| tx.send(Msg::Drain { token }).is_ok())
+                                // Dead workers can never answer the barrier;
+                                // address the recall to the survivors only.
+                                let targets: Vec<usize> = (0..adapt_senders.len())
+                                    .filter(|&p| {
+                                        monitor
+                                            .as_ref()
+                                            .is_none_or(|m| !m.is_dead(p) && !m.is_done(p))
+                                    })
+                                    .collect();
+                                let drained = !targets.is_empty()
+                                    && targets.iter().all(|&p| {
+                                        adapt_senders[p].send(Msg::Drain { token }).is_ok()
+                                    })
                                     && collect_replies(
                                         &ctrl_rx,
                                         token,
-                                        adapt_senders.len(),
+                                        targets.len(),
                                         false,
                                         recall_timeout,
                                     )
@@ -1211,10 +1825,10 @@ impl ThreadedExecutor {
                                     },
                                 );
                                 let bucket_count = router.lock().bucket_count();
-                                for (p, tx) in adapt_senders.iter().enumerate() {
+                                for &p in &targets {
                                     let outgoing =
                                         moves.outgoing.get(p).cloned().unwrap_or_default();
-                                    let _ = tx.send(Msg::Migrate {
+                                    let _ = adapt_senders[p].send(Msg::Migrate {
                                         token,
                                         bucket_count,
                                         outgoing,
@@ -1223,7 +1837,7 @@ impl ThreadedExecutor {
                                 let replies = collect_replies(
                                     &ctrl_rx,
                                     token,
-                                    adapt_senders.len(),
+                                    targets.len(),
                                     true,
                                     recall_timeout,
                                 );
@@ -1326,7 +1940,16 @@ impl ThreadedExecutor {
         while let Ok(batch) = result_rx.try_recv() {
             results.extend(batch);
         }
+        if resilient {
+            // At-least-once transport can double-deliver across a crash
+            // seam (a worker flushed results, died before acking, and the
+            // retransmission was processed by its successor). Collapse
+            // exact duplicates here so the report is effectively-once.
+            let mut seen = HashSet::new();
+            results.retain(|t: &Tuple| seen.insert((t.seq(), format!("{:?}", t.values()))));
+        }
         let final_distribution = router.lock().current_distribution().weights().to_vec();
+        let delivery_gaps = std::mem::take(&mut *delivery_gaps.lock());
         Ok(ThreadedReport {
             wall_ms: started.elapsed().as_secs_f64() * 1000.0,
             results,
@@ -1338,6 +1961,10 @@ impl ThreadedExecutor {
             recalls_aborted: stats.recalls_aborted,
             state_tuples_migrated: stats.state_tuples_migrated,
             tuples_recalled: stats.tuples_recalled + restaged_total.load(Ordering::Relaxed),
+            nodes_failed: stats.nodes_failed,
+            failovers_completed: stats.failovers_completed,
+            tuples_retransmitted: retransmitted_total.load(Ordering::Relaxed),
+            delivery_gaps,
             log_audits: logs
                 .map(|logs| logs.iter().map(SharedRecoveryLog::audit).collect())
                 .unwrap_or_default(),
@@ -1885,5 +2512,265 @@ mod tests {
             report.raw_m1_events, 3,
             "10 + 10 + tail(5) batches must all be reported"
         );
+    }
+
+    /// Drops the first `drops` data batches and duplicates the next
+    /// `dups`, then delivers faithfully — a lossy start with a clean
+    /// tail, so the retry budget always converges.
+    #[derive(Debug)]
+    struct FlakyStart {
+        drops: u64,
+        dups: u64,
+        data_calls: AtomicU64,
+        ack_calls: AtomicU64,
+    }
+
+    impl FlakyStart {
+        fn new(drops: u64, dups: u64) -> Self {
+            FlakyStart {
+                drops,
+                dups,
+                data_calls: AtomicU64::new(0),
+                ack_calls: AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl ChaosHook for FlakyStart {
+        fn on_data(&self, _source: usize, _dest: usize) -> NetAction {
+            let n = self.data_calls.fetch_add(1, Ordering::Relaxed);
+            if n < self.drops {
+                NetAction::Drop
+            } else if n < self.drops + self.dups {
+                NetAction::Duplicate
+            } else {
+                NetAction::Deliver
+            }
+        }
+
+        fn on_ack(&self, _source: usize, _worker: usize) -> NetAction {
+            // Duplicate the first ack too: the log must absorb it.
+            if self.ack_calls.fetch_add(1, Ordering::Relaxed) == 0 {
+                NetAction::Duplicate
+            } else {
+                NetAction::Deliver
+            }
+        }
+    }
+
+    #[test]
+    fn dropped_and_duplicated_batches_are_healed_by_retransmission() {
+        let table = int_table("t", 200);
+        let plan = call_plan(&table, 2);
+        let clean = ThreadedExecutor::new(
+            catalog(&[&table]),
+            ThreadedConfig {
+                adaptivity: AdaptivityConfig::disabled(),
+                cost_scale: 0.002,
+                ..Default::default()
+            },
+        )
+        .run(&plan)
+        .unwrap();
+        let report = ThreadedExecutor::new(
+            catalog(&[&table]),
+            ThreadedConfig {
+                adaptivity: AdaptivityConfig::disabled(),
+                cost_scale: 0.002,
+                chaos: Some(Arc::new(FlakyStart::new(4, 4))),
+                delivery_retry: RetryPolicy {
+                    base_ms: 5.0,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+        .run(&plan)
+        .unwrap();
+        assert_eq!(
+            multiset(&clean.results),
+            multiset(&report.results),
+            "retransmission and dedup must restore the clean multiset"
+        );
+        assert!(
+            report.tuples_retransmitted > 0,
+            "dropped windows must be retransmitted: {report:?}"
+        );
+        assert!(report.delivery_gaps.is_empty(), "nothing was undeliverable");
+        for audit in &report.log_audits {
+            assert!(audit.conserved(), "log audit must balance: {audit:?}");
+            assert_eq!(audit.unacked, 0, "all windows eventually acked: {audit:?}");
+        }
+        assert!(
+            report.log_audits.iter().any(|a| a.acks_duplicate > 0),
+            "the duplicated ack must be counted: {:?}",
+            report.log_audits
+        );
+    }
+
+    /// Drops every data batch to one destination, forever: a dead link.
+    #[derive(Debug)]
+    struct DeadLinkTo(usize);
+
+    impl ChaosHook for DeadLinkTo {
+        fn on_data(&self, _source: usize, dest: usize) -> NetAction {
+            if dest == self.0 {
+                NetAction::Drop
+            } else {
+                NetAction::Deliver
+            }
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_record_delivery_gaps_instead_of_hanging() {
+        let table = int_table("t", 100);
+        let plan = call_plan(&table, 2);
+        let report = ThreadedExecutor::new(
+            catalog(&[&table]),
+            ThreadedConfig {
+                adaptivity: AdaptivityConfig::disabled(),
+                cost_scale: 0.002,
+                chaos: Some(Arc::new(DeadLinkTo(1))),
+                delivery_retry: RetryPolicy {
+                    base_ms: 2.0,
+                    max_retries: 3,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+        .run(&plan)
+        .unwrap();
+        // The query completed — degraded, not hung — and says exactly
+        // what is missing.
+        assert!(
+            !report.delivery_gaps.is_empty(),
+            "a dead link must surface as a gap: {report:?}"
+        );
+        assert!(report.delivery_gaps.iter().all(|g| g.dest == 1));
+        let gapped: u64 = report.delivery_gaps.iter().map(|g| g.tuples).sum();
+        assert!(gapped > 0);
+        assert!(report.results.len() < 100, "partition 1's share is missing");
+        assert!(!report.results.is_empty(), "partition 0 still answered");
+        for audit in &report.log_audits {
+            assert!(audit.conserved(), "log audit must balance: {audit:?}");
+        }
+        assert!(
+            report.log_audits.iter().any(|a| a.unacked > 0),
+            "the gapped windows stay visibly unacknowledged"
+        );
+    }
+
+    /// Crashes one worker after it has received `after` messages.
+    #[derive(Debug)]
+    struct CrashOnNth {
+        worker: usize,
+        after: u64,
+        calls: AtomicU64,
+    }
+
+    impl ChaosHook for CrashOnNth {
+        fn crash_worker(&self, worker: usize) -> bool {
+            worker == self.worker && self.calls.fetch_add(1, Ordering::Relaxed) + 1 == self.after
+        }
+    }
+
+    #[test]
+    // The failover recall assigns the dead partition the literal weight
+    // 0.0 (not a computed residue), so bit-exact equality is the
+    // property under test.
+    #[allow(clippy::float_cmp)]
+    fn consumer_crash_fails_over_and_matches_static() {
+        let build = int_table("b", 60);
+        let probe = int_table("p", 300);
+        let plan = join_plan(&build, &probe, 0.1, 0.1);
+        let static_report = ThreadedExecutor::new(
+            catalog(&[&build, &probe]),
+            ThreadedConfig {
+                adaptivity: AdaptivityConfig::disabled(),
+                cost_scale: 0.002,
+                ..Default::default()
+            },
+        )
+        .run(&plan)
+        .unwrap();
+        assert_eq!(static_report.results.len(), 60);
+
+        // Kill partition 1 on its 10th message — mid-build, while it
+        // holds operator state and deferred probe windows.
+        let adapt = AdaptivityConfig {
+            response: ResponsePolicy::R1,
+            ..Default::default()
+        };
+        let report = ThreadedExecutor::new(
+            catalog(&[&build, &probe]),
+            ThreadedConfig {
+                adaptivity: adapt,
+                cost_scale: 0.002,
+                checkpoint_interval: 8,
+                chaos: Some(Arc::new(CrashOnNth {
+                    worker: 1,
+                    after: 10,
+                    calls: AtomicU64::new(0),
+                })),
+                delivery_retry: RetryPolicy {
+                    base_ms: 20.0,
+                    max_retries: 8,
+                    ..Default::default()
+                },
+                failover: FailoverConfig {
+                    enabled: true,
+                    heartbeat_ms: 20,
+                    lease_ms: 300,
+                },
+                ..Default::default()
+            },
+        )
+        .run(&plan)
+        .unwrap();
+
+        assert_eq!(report.nodes_failed, 1, "one death detected: {report:?}");
+        assert!(
+            report.failovers_completed >= 1,
+            "the failover recall must complete: {report:?}"
+        );
+        assert!(
+            report.delivery_gaps.is_empty(),
+            "replay + retransmission means nothing is lost: {report:?}"
+        );
+        assert_eq!(
+            multiset(&static_report.results),
+            multiset(&report.results),
+            "a crashed consumer must not change the result multiset"
+        );
+        for audit in &report.log_audits {
+            assert!(audit.conserved(), "log audit must balance: {audit:?}");
+        }
+        assert_eq!(
+            report.final_distribution[1], 0.0,
+            "the dead partition keeps zero weight: {:?}",
+            report.final_distribution
+        );
+        // Timeline: the failover links back to the death that caused it.
+        let obs = report.obs.as_ref().expect("obs enabled by default");
+        let failover = obs
+            .events
+            .iter()
+            .find(|e| matches!(e.kind, TimelineKind::Failover { .. }))
+            .expect("a Failover event is recorded");
+        let TimelineKind::Failover {
+            down_seq, replayed, ..
+        } = &failover.kind
+        else {
+            unreachable!()
+        };
+        assert!(*replayed > 0, "the dead partition's log entries replay");
+        let down = obs
+            .events
+            .iter()
+            .find(|e| e.seq == *down_seq)
+            .expect("NodeDown in timeline");
+        assert!(matches!(down.kind, TimelineKind::NodeDown { .. }));
     }
 }

@@ -32,6 +32,11 @@ pub const CLOCK_SITES: &[&str] = &[
     // The chaos runner stamps scenario outcomes with wall-clock duration
     // for its reports; fault injection itself is deterministic.
     "crates/chaos/src/runner.rs",
+    // The heartbeat/lease failure detector must read real time: a dead
+    // consumer thread sends nothing, so only wall-clock lease expiry can
+    // distinguish "dead" from "slow". The simulator's failover path uses
+    // virtual time; this module serves the threaded substrate only.
+    "crates/exec/src/failover.rs",
 ];
 
 /// The one file allowed to name `std::sync::{Mutex, RwLock, Condvar}`:

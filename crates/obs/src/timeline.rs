@@ -110,6 +110,25 @@ pub enum TimelineKind {
         /// Sequence number of the matching [`TimelineKind::RecallStart`].
         start_seq: u64,
     },
+    /// The failure detector declared a node dead: its heartbeat lease
+    /// expired (threaded substrate) or a `NodeFail` event fired
+    /// (simulator).
+    NodeDown {
+        /// Partition label of the dead node, e.g. `"sp1.1"`.
+        partition: String,
+    },
+    /// Node-failure failover finished: work was redistributed away from
+    /// the dead partition and its recovery-log entries were replayed to
+    /// the surviving owners.
+    Failover {
+        /// Partition label of the dead node.
+        partition: String,
+        /// Recovery-log entries replayed to new owners.
+        replayed: u64,
+        /// Sequence number of the [`TimelineKind::NodeDown`] that
+        /// triggered this failover.
+        down_seq: u64,
+    },
 }
 
 impl TimelineKind {
@@ -124,6 +143,8 @@ impl TimelineKind {
             TimelineKind::Deploy { .. } => "deploy",
             TimelineKind::RecallStart { .. } => "recall_start",
             TimelineKind::RecallFinish { .. } => "recall_finish",
+            TimelineKind::NodeDown { .. } => "node_down",
+            TimelineKind::Failover { .. } => "failover",
         }
     }
 }
@@ -236,6 +257,18 @@ impl TimelineEvent {
                     .int("state_tuples_migrated", *state_tuples_migrated)
                     .int("tuples_recalled", *tuples_recalled)
                     .int("start_seq", *start_seq);
+            }
+            TimelineKind::NodeDown { partition } => {
+                obj.str("partition", partition);
+            }
+            TimelineKind::Failover {
+                partition,
+                replayed,
+                down_seq,
+            } => {
+                obj.str("partition", partition)
+                    .int("replayed", *replayed)
+                    .int("down_seq", *down_seq);
             }
         }
         obj.finish()
@@ -406,6 +439,14 @@ mod tests {
                 tuples_recalled: 4,
                 start_seq: 6,
             },
+            TimelineKind::NodeDown {
+                partition: "sp1.1".into(),
+            },
+            TimelineKind::Failover {
+                partition: "sp1.1".into(),
+                replayed: 42,
+                down_seq: 8,
+            },
         ];
         let t = Timeline::new(16);
         for (i, kind) in kinds.into_iter().enumerate() {
@@ -423,7 +464,9 @@ mod tests {
                 "responder",
                 "deploy",
                 "recall_start",
-                "recall_finish"
+                "recall_finish",
+                "node_down",
+                "failover"
             ]
         );
         for event in &events {
@@ -460,5 +503,13 @@ mod tests {
         );
         let m1 = Json::parse(&events[0].to_json_line()).unwrap();
         assert_eq!(m1.get("leaf_wait_ms").and_then(Json::as_f64), Some(0.75));
+        // The failover pair links back to the node-down declaration.
+        let failover = Json::parse(&events[9].to_json_line()).unwrap();
+        assert_eq!(failover.get("down_seq").and_then(Json::as_u64), Some(8));
+        assert_eq!(failover.get("replayed").and_then(Json::as_u64), Some(42));
+        assert_eq!(
+            failover.get("partition").and_then(Json::as_str),
+            Some("sp1.1")
+        );
     }
 }

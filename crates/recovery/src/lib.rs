@@ -10,7 +10,15 @@
 //! outgoing tuples in a local *recovery log*. When the tuples between two
 //! checkpoints have finished processing downstream (and are no longer
 //! needed by operators higher in the plan), the consumer returns an
-//! acknowledgement and the producer prunes the covered log prefix.
+//! acknowledgement and the producer prunes the covered window.
+//!
+//! Acknowledgements are **per window**: a marker's ack confirms exactly
+//! the entries recorded under that checkpoint id, never earlier windows
+//! whose own markers (and possibly tuples) may still be in flight or
+//! lost. That is what makes the log usable as a *replay* substrate, not
+//! just an audit: a window whose marker never comes back stays in the
+//! log, and [`RecoveryLog::undelivered_windows`] hands it back — tuples
+//! plus a reconstructed marker — for retransmission.
 //!
 //! At any point the log therefore holds exactly the tuples that have *not*
 //! finished being processed: all in-transit tuples plus the tuples that
@@ -18,11 +26,18 @@
 //! (R1) repartitioning** possible — the Responder can extract the
 //! unacknowledged tuples and re-send them under a new distribution policy.
 //!
+//! Logs come in two modes. The default **prune** mode pops a window's
+//! entries when it is acknowledged. **Retained** mode
+//! ([`RecoveryLog::retained`]) marks the window delivered but keeps the
+//! entries: build streams use it, because build tuples *are* the
+//! downstream operator state and must stay replayable for node-failure
+//! recovery even after their delivery is confirmed.
+//!
 //! The log is generic over the logged item so it can be tested in
 //! isolation; the execution substrates instantiate it with
 //! `(StreamTag, Tuple)` pairs.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use gridq_common::{GridError, Result};
 
@@ -33,6 +48,31 @@ pub struct Checkpoint {
     pub dest: u32,
     /// Monotonically increasing checkpoint id within that destination.
     pub id: u64,
+}
+
+/// Result of applying an acknowledgement to a [`RecoveryLog`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ack {
+    /// The acknowledgement was applied. In prune mode `pruned` counts the
+    /// entries popped from the window; a retained log always reports 0.
+    Applied {
+        /// Entries removed from the log by this acknowledgement.
+        pruned: usize,
+    },
+    /// The window was already acknowledged. Benign by design: an
+    /// at-least-once transport retransmits windows, so the same marker
+    /// can legitimately be processed (and acknowledged) more than once.
+    Duplicate,
+}
+
+/// How a log treats an acknowledged window's entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LogMode {
+    /// Acknowledged windows are popped from the log.
+    Prune,
+    /// Acknowledged windows are marked delivered but their entries stay
+    /// replayable (build streams: the entries are downstream state).
+    Retain,
 }
 
 #[derive(Debug, Clone)]
@@ -51,8 +91,12 @@ struct DestLog<T> {
     next_cp: u64,
     /// Entries recorded since the last checkpoint.
     since_last: usize,
-    /// Highest acknowledged checkpoint id (`None` before the first ack).
-    acked: Option<u64>,
+    /// Every checkpoint id below this is acknowledged.
+    acked_floor: u64,
+    /// Acknowledged ids at or above the floor (out-of-order acks whose
+    /// predecessors are still outstanding). Compacted into the floor as
+    /// soon as the sequence becomes contiguous, so it stays small.
+    acked_above: BTreeSet<u64>,
 }
 
 impl<T> DestLog<T> {
@@ -61,7 +105,19 @@ impl<T> DestLog<T> {
             entries: VecDeque::new(),
             next_cp: 0,
             since_last: 0,
-            acked: None,
+            acked_floor: 0,
+            acked_above: BTreeSet::new(),
+        }
+    }
+
+    fn is_acked(&self, id: u64) -> bool {
+        id < self.acked_floor || self.acked_above.contains(&id)
+    }
+
+    fn mark_acked(&mut self, id: u64) {
+        self.acked_above.insert(id);
+        while self.acked_above.remove(&self.acked_floor) {
+            self.acked_floor += 1;
         }
     }
 }
@@ -77,18 +133,34 @@ impl<T> DestLog<T> {
 pub struct RecoveryLog<T> {
     dests: Vec<DestLog<T>>,
     interval: usize,
+    mode: LogMode,
     recorded: u64,
     pruned: u64,
     retired: u64,
     acks_accepted: u64,
+    acks_duplicate: u64,
     acks_dropped: u64,
 }
 
 impl<T> RecoveryLog<T> {
-    /// Creates logs for `dest_count` destinations with a checkpoint every
-    /// `interval` recorded tuples per destination. `interval` must be
-    /// positive.
+    /// Creates pruning logs for `dest_count` destinations with a
+    /// checkpoint every `interval` recorded tuples per destination.
+    /// `interval` must be positive.
     pub fn new(dest_count: usize, interval: usize) -> Result<Self> {
+        Self::with_mode(dest_count, interval, LogMode::Prune)
+    }
+
+    /// Creates retained logs: acknowledgements mark windows delivered
+    /// (advancing the delivery watermark consulted by
+    /// [`RecoveryLog::undelivered_windows`]) but never remove entries.
+    /// Build streams use this mode, because their tuples are the
+    /// downstream operator state and must stay replayable for the whole
+    /// run.
+    pub fn retained(dest_count: usize, interval: usize) -> Result<Self> {
+        Self::with_mode(dest_count, interval, LogMode::Retain)
+    }
+
+    fn with_mode(dest_count: usize, interval: usize, mode: LogMode) -> Result<Self> {
         if interval == 0 {
             return Err(GridError::Config(
                 "checkpoint interval must be positive".into(),
@@ -97,10 +169,12 @@ impl<T> RecoveryLog<T> {
         Ok(RecoveryLog {
             dests: (0..dest_count).map(|_| DestLog::new()).collect(),
             interval,
+            mode,
             recorded: 0,
             pruned: 0,
             retired: 0,
             acks_accepted: 0,
+            acks_duplicate: 0,
             acks_dropped: 0,
         })
     }
@@ -113,6 +187,11 @@ impl<T> RecoveryLog<T> {
     /// The checkpoint interval.
     pub fn interval(&self) -> usize {
         self.interval
+    }
+
+    /// True for a retained (never-pruning) log.
+    pub fn is_retained(&self) -> bool {
+        self.mode == LogMode::Retain
     }
 
     fn dest(&self, dest: u32) -> Result<&DestLog<T>> {
@@ -150,6 +229,26 @@ impl<T> RecoveryLog<T> {
         Ok(cp)
     }
 
+    /// Appends a migrated item to `dest`'s *open* window without ever
+    /// emitting a marker. Unlike [`RecoveryLog::record`] this can never
+    /// close the window, so no marker id is silently consumed: the
+    /// migrated entries are covered by the next real or forced checkpoint
+    /// on `dest`, whose marker the producer actually sends. The appended
+    /// item counts toward the open window's fill (so a following record
+    /// or force can close it) and as recorded again — the drain that
+    /// produced it retired the original incarnation, keeping the audit
+    /// balanced.
+    pub fn record_migrated(&mut self, dest: u32, item: T) -> Result<()> {
+        let log = self.dest_mut(dest)?;
+        log.entries.push_back(Entry {
+            cp: log.next_cp,
+            item,
+        });
+        log.since_last += 1;
+        self.recorded += 1;
+        Ok(())
+    }
+
     /// Forces a checkpoint covering any items recorded since the last
     /// one; used when a stream ends mid-window. Returns `None` if the
     /// window is empty.
@@ -164,51 +263,67 @@ impl<T> RecoveryLog<T> {
         Ok(Some(Checkpoint { dest, id }))
     }
 
-    /// Acknowledges checkpoint `id` on `dest`, pruning every entry whose
-    /// window it (or an earlier checkpoint) closes. Acknowledging an
-    /// unemitted or already-acknowledged checkpoint is an error.
-    pub fn acknowledge(&mut self, dest: u32, id: u64) -> Result<usize> {
+    /// Acknowledges checkpoint `id` on `dest`. The ack covers exactly the
+    /// entries of window `id` — never earlier windows, whose markers (or
+    /// tuples) may independently be lost in flight. In prune mode the
+    /// window's entries are popped; a retained log only advances the
+    /// delivery watermark. A repeated ack is reported as
+    /// [`Ack::Duplicate`] and changes nothing; acknowledging a checkpoint
+    /// that was never emitted is an error (a protocol bug, not a race).
+    pub fn acknowledge(&mut self, dest: u32, id: u64) -> Result<Ack> {
+        let mode = self.mode;
         let result = {
             let log = self.dest_mut(dest)?;
             if id >= log.next_cp {
                 Err(GridError::Execution(format!(
                     "acknowledging unemitted checkpoint {id} on dest {dest}"
                 )))
-            } else if log.acked.is_some_and(|acked| id <= acked) {
-                Err(GridError::Execution(format!(
-                    "checkpoint {id} on dest {dest} already acknowledged"
-                )))
+            } else if log.is_acked(id) {
+                Ok(Ack::Duplicate)
             } else {
-                log.acked = Some(id);
-                let mut pruned = 0;
-                while log.entries.front().is_some_and(|e| e.cp <= id) {
-                    log.entries.pop_front();
-                    pruned += 1;
-                }
-                Ok(pruned)
+                log.mark_acked(id);
+                let pruned = match mode {
+                    LogMode::Retain => 0,
+                    LogMode::Prune => {
+                        let mut kept = VecDeque::with_capacity(log.entries.len());
+                        let mut pruned = 0usize;
+                        for entry in log.entries.drain(..) {
+                            if entry.cp == id {
+                                pruned += 1;
+                            } else {
+                                kept.push_back(entry);
+                            }
+                        }
+                        log.entries = kept;
+                        pruned
+                    }
+                };
+                Ok(Ack::Applied { pruned })
             }
         };
         match &result {
-            Ok(pruned) => {
+            Ok(Ack::Applied { pruned }) => {
                 self.pruned += *pruned as u64;
                 self.acks_accepted += 1;
             }
+            Ok(Ack::Duplicate) => self.acks_duplicate += 1,
             Err(_) => self.acks_dropped += 1,
         }
         result
     }
 
-    /// Number of unacknowledged items logged for `dest`.
+    /// Number of items still logged for `dest` (in a retained log this
+    /// includes delivered entries, which stay replayable by design).
     pub fn unacked_len(&self, dest: u32) -> usize {
         self.dest(dest).map(|l| l.entries.len()).unwrap_or(0)
     }
 
-    /// Total unacknowledged items across all destinations.
+    /// Total logged items across all destinations.
     pub fn total_unacked(&self) -> usize {
         self.dests.iter().map(|l| l.entries.len()).sum()
     }
 
-    /// Iterates over the unacknowledged items for `dest`, oldest first.
+    /// Iterates over the logged items for `dest`, oldest first.
     pub fn iter_unacked(&self, dest: u32) -> impl Iterator<Item = &T> {
         self.dests
             .get(dest as usize)
@@ -216,9 +331,49 @@ impl<T> RecoveryLog<T> {
             .flat_map(|l| l.entries.iter().map(|e| &e.item))
     }
 
-    /// Removes and returns every unacknowledged item for `dest`, oldest
-    /// first. The open checkpoint window resets (a retrospective
-    /// redistribution re-sends these items under new ownership, so the old
+    /// The closed-but-unacknowledged windows on `dest`, oldest first:
+    /// each is the reconstructed marker plus clones of the entries it
+    /// covers, ready for retransmission. Windows whose entries have all
+    /// been drained or migrated elsewhere are omitted (there is nothing
+    /// left here to lose). The open window is not included — its marker
+    /// has not been sent yet, so nothing can acknowledge it.
+    pub fn undelivered_windows(&self, dest: u32) -> Vec<(Checkpoint, Vec<T>)>
+    where
+        T: Clone,
+    {
+        let Ok(log) = self.dest(dest) else {
+            return Vec::new();
+        };
+        let mut windows: BTreeMap<u64, Vec<T>> = BTreeMap::new();
+        for entry in &log.entries {
+            if entry.cp < log.next_cp && !log.is_acked(entry.cp) {
+                windows
+                    .entry(entry.cp)
+                    .or_default()
+                    .push(entry.item.clone());
+            }
+        }
+        windows
+            .into_iter()
+            .map(|(id, items)| (Checkpoint { dest, id }, items))
+            .collect()
+    }
+
+    /// True when `dest` has at least one closed window that still awaits
+    /// acknowledgement and still holds entries (the retry-loop
+    /// termination condition).
+    pub fn has_undelivered(&self, dest: u32) -> bool {
+        self.dest(dest).is_ok_and(|log| {
+            log.entries
+                .iter()
+                .any(|e| e.cp < log.next_cp && !log.is_acked(e.cp))
+        })
+    }
+
+    /// Removes and returns every logged item for `dest`, oldest first —
+    /// in a retained log this includes delivered entries (node-failure
+    /// recovery replays the full build state). The open checkpoint window
+    /// resets (the items are re-sent under new ownership, so the old
     /// stream's windows are void).
     pub fn drain_all(&mut self, dest: u32) -> Result<Vec<T>> {
         let drained: Vec<T> = {
@@ -230,8 +385,8 @@ impl<T> RecoveryLog<T> {
         Ok(drained)
     }
 
-    /// Removes and returns the unacknowledged items for `dest` matching
-    /// `pred`, preserving order among both kept and drained items.
+    /// Removes and returns the logged items for `dest` matching `pred`,
+    /// preserving order among both kept and drained items.
     pub fn drain_matching(
         &mut self,
         dest: u32,
@@ -266,6 +421,7 @@ impl<T> RecoveryLog<T> {
             retired: self.retired,
             unacked: self.total_unacked() as u64,
             acks_accepted: self.acks_accepted,
+            acks_duplicate: self.acks_duplicate,
             acks_dropped: self.acks_dropped,
         }
     }
@@ -279,12 +435,16 @@ pub enum AckOutcome {
     /// The acknowledgement carried a stale epoch (it was issued before a
     /// window-voiding drain) and was dropped.
     Stale,
-    /// The acknowledgement raced a drain that already emptied its window
-    /// (or duplicated an earlier ack) and was ignored.
+    /// The window was already acknowledged. Benign under an
+    /// at-least-once transport: retransmitted markers are processed (and
+    /// acknowledged) again by design.
+    Duplicate,
+    /// The acknowledgement was malformed (unemitted checkpoint, unknown
+    /// destination) and was ignored.
     Ignored,
 }
 
-/// A point-in-time conservation audit of a [`SharedRecoveryLog`].
+/// A point-in-time conservation audit of a recovery log.
 ///
 /// Every recorded entry must be accounted for exactly once: pruned by an
 /// acknowledgement, retired by a retrospective migration, or still
@@ -298,11 +458,16 @@ pub struct LogAudit {
     /// Entries retired by retrospective migration (the migration traffic
     /// itself carries the exactly-once guarantee for them).
     pub retired: u64,
-    /// Entries still unacknowledged.
+    /// Entries still held in the log (for a retained build log this
+    /// includes delivered entries, kept replayable by design).
     pub unacked: u64,
     /// Acknowledgements accepted.
     pub acks_accepted: u64,
-    /// Acknowledgements dropped as stale or ignored as races.
+    /// Duplicate acknowledgements absorbed (retransmitted markers; never
+    /// part of the conservation equation, but a retransmission-health
+    /// signal).
+    pub acks_duplicate: u64,
+    /// Acknowledgements dropped as stale or malformed.
     pub acks_dropped: u64,
 }
 
@@ -313,6 +478,23 @@ impl LogAudit {
     }
 }
 
+/// A per-(source, destination) record of recovery-log windows a producer
+/// could not deliver within its retry budget. The query still completes;
+/// the gap is the explicit, queryable record of what is missing. Both
+/// substrates report these: the threaded executor from its wall-clock
+/// retry loop, the simulator from its virtual-time `RetryCheck` events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeliveryGap {
+    /// Producer (source) index that gave up.
+    pub source: usize,
+    /// Consumer (partition) index that never acknowledged.
+    pub dest: usize,
+    /// Number of closed windows left undelivered.
+    pub windows: u64,
+    /// Total tuples in those windows.
+    pub tuples: u64,
+}
+
 #[derive(Debug)]
 struct SharedInner<T> {
     log: RecoveryLog<T>,
@@ -321,6 +503,7 @@ struct SharedInner<T> {
     pruned: u64,
     retired: u64,
     acks_accepted: u64,
+    acks_duplicate: u64,
     acks_dropped: u64,
 }
 
@@ -348,17 +531,28 @@ pub struct SharedRecoveryLog<T> {
 }
 
 impl<T> SharedRecoveryLog<T> {
-    /// Creates a shared log for `dest_count` destinations checkpointing
-    /// every `interval` records per destination.
+    /// Creates a shared pruning log for `dest_count` destinations
+    /// checkpointing every `interval` records per destination.
     pub fn new(dest_count: usize, interval: usize) -> Result<Self> {
+        Self::wrap(RecoveryLog::new(dest_count, interval)?)
+    }
+
+    /// Creates a shared retained log (see [`RecoveryLog::retained`]):
+    /// acknowledgements confirm delivery but entries stay replayable.
+    pub fn retained(dest_count: usize, interval: usize) -> Result<Self> {
+        Self::wrap(RecoveryLog::retained(dest_count, interval)?)
+    }
+
+    fn wrap(log: RecoveryLog<T>) -> Result<Self> {
         Ok(SharedRecoveryLog {
             inner: gridq_common::sync::Mutex::new(SharedInner {
-                log: RecoveryLog::new(dest_count, interval)?,
+                log,
                 epoch: 0,
                 recorded: 0,
                 pruned: 0,
                 retired: 0,
                 acks_accepted: 0,
+                acks_duplicate: 0,
                 acks_dropped: 0,
             }),
         })
@@ -379,6 +573,11 @@ impl<T> SharedRecoveryLog<T> {
         inner.epoch
     }
 
+    /// True for a retained (never-pruning) log.
+    pub fn is_retained(&self) -> bool {
+        self.inner.lock().log.is_retained()
+    }
+
     /// Records an outgoing item for `dest`; returns the checkpoint marker
     /// to insert into the stream when this record closes a window.
     pub fn record(&self, dest: u32, item: T) -> Result<Option<Checkpoint>> {
@@ -394,9 +593,10 @@ impl<T> SharedRecoveryLog<T> {
     }
 
     /// Applies an acknowledgement of checkpoint `id` on `dest` stamped
-    /// with `epoch`. Stale epochs and benign races (windows emptied by a
-    /// concurrent drain, duplicated acks) are dropped, not errors: under
-    /// real threads an ack can always cross a redistribution in flight.
+    /// with `epoch`. Stale epochs, duplicated acks (expected under an
+    /// at-least-once transport), and benign races are absorbed, not
+    /// errors: under real threads an ack can always cross a
+    /// redistribution or a retransmission in flight.
     pub fn acknowledge(&self, dest: u32, id: u64, epoch: u64) -> AckOutcome {
         let mut inner = self.inner.lock();
         if epoch != inner.epoch {
@@ -404,10 +604,14 @@ impl<T> SharedRecoveryLog<T> {
             return AckOutcome::Stale;
         }
         match inner.log.acknowledge(dest, id) {
-            Ok(pruned) => {
+            Ok(Ack::Applied { pruned }) => {
                 inner.pruned += pruned as u64;
                 inner.acks_accepted += 1;
                 AckOutcome::Accepted(pruned)
+            }
+            Ok(Ack::Duplicate) => {
+                inner.acks_duplicate += 1;
+                AckOutcome::Duplicate
             }
             Err(_) => {
                 inner.acks_dropped += 1;
@@ -421,8 +625,8 @@ impl<T> SharedRecoveryLog<T> {
     /// valid for the entries left behind). Used when a producer restages
     /// its own unsent buffers under a new distribution: the producer is
     /// still alive, so a later (or forced end-of-stream) checkpoint on
-    /// `to` closes the migrated entries' window. Returns how many entries
-    /// moved.
+    /// `to` closes the migrated entries' window — migration itself never
+    /// consumes a marker id. Returns how many entries moved.
     pub fn migrate_matching(
         &self,
         from: u32,
@@ -433,10 +637,7 @@ impl<T> SharedRecoveryLog<T> {
         let drained = inner.log.drain_matching(from, pred)?;
         let moved = drained.len();
         for item in drained {
-            // Re-recorded entries ride existing windows: any marker id
-            // silently consumed here is covered by a later or forced
-            // checkpoint on `to` (acks prune every earlier window).
-            let _ = inner.log.record(to, item)?;
+            inner.log.record_migrated(to, item)?;
         }
         Ok(moved)
     }
@@ -454,12 +655,53 @@ impl<T> SharedRecoveryLog<T> {
         Ok(drained.len())
     }
 
-    /// Number of unacknowledged entries logged for `dest`.
+    /// Drains every logged entry for `dest` — the node-failure recovery
+    /// path. When anything was drained the dest's windows are void, so
+    /// the epoch is bumped: in-flight acks from before the failure can no
+    /// longer touch the log. An empty drain bumps nothing — there were no
+    /// windows to void, and invalidating unrelated in-flight acks would
+    /// force pointless retransmission churn. Returns the entries, oldest
+    /// first (for a retained build log this is the full replayable state).
+    pub fn drain_dest(&self, dest: u32) -> Result<Vec<T>> {
+        let mut inner = self.inner.lock();
+        let drained = inner.log.drain_all(dest)?;
+        if !drained.is_empty() {
+            inner.retired += drained.len() as u64;
+            inner.epoch += 1;
+        }
+        Ok(drained)
+    }
+
+    /// Re-records an entry drained by failure recovery under its new
+    /// destination. Counts as freshly recorded (the drain retired the old
+    /// incarnation), and returns a marker when the record closes a
+    /// window, exactly like [`SharedRecoveryLog::record`].
+    pub fn record_replayed(&self, dest: u32, item: T) -> Result<Option<Checkpoint>> {
+        self.record(dest, item)
+    }
+
+    /// The closed-but-unacknowledged windows on `dest` (marker plus entry
+    /// clones), for retransmission. See
+    /// [`RecoveryLog::undelivered_windows`].
+    pub fn undelivered_windows(&self, dest: u32) -> Vec<(Checkpoint, Vec<T>)>
+    where
+        T: Clone,
+    {
+        self.inner.lock().log.undelivered_windows(dest)
+    }
+
+    /// True when `dest` still has a closed window awaiting delivery
+    /// confirmation.
+    pub fn has_undelivered(&self, dest: u32) -> bool {
+        self.inner.lock().log.has_undelivered(dest)
+    }
+
+    /// Number of entries logged for `dest`.
     pub fn unacked_len(&self, dest: u32) -> usize {
         self.inner.lock().log.unacked_len(dest)
     }
 
-    /// Total unacknowledged entries across destinations.
+    /// Total logged entries across destinations.
     pub fn total_unacked(&self) -> usize {
         self.inner.lock().log.total_unacked()
     }
@@ -478,6 +720,7 @@ impl<T> SharedRecoveryLog<T> {
             retired: inner.retired,
             unacked: inner.log.total_unacked() as u64,
             acks_accepted: inner.acks_accepted,
+            acks_duplicate: inner.acks_duplicate,
             acks_dropped: inner.acks_dropped,
         }
     }
@@ -489,6 +732,13 @@ mod tests {
 
     fn log(dests: usize, interval: usize) -> RecoveryLog<u64> {
         RecoveryLog::new(dests, interval).unwrap()
+    }
+
+    fn applied(ack: Result<Ack>) -> usize {
+        match ack.unwrap() {
+            Ack::Applied { pruned } => pruned,
+            Ack::Duplicate => panic!("expected an applied ack, got a duplicate"),
+        }
     }
 
     #[test]
@@ -519,28 +769,33 @@ mod tests {
     }
 
     #[test]
-    fn acknowledge_prunes_covered_prefix() {
+    fn acknowledge_prunes_exactly_its_window() {
         let mut l = log(1, 2);
         for i in 0..6 {
             l.record(0, i).unwrap();
         }
         // Checkpoints 0 (items 0,1), 1 (items 2,3), 2 (items 4,5).
         assert_eq!(l.unacked_len(0), 6);
-        assert_eq!(l.acknowledge(0, 0).unwrap(), 2);
+        assert_eq!(applied(l.acknowledge(0, 0)), 2);
         assert_eq!(l.unacked_len(0), 4);
-        // Ack of cp 2 covers cp 1's window too.
-        assert_eq!(l.acknowledge(0, 2).unwrap(), 4);
+        // Acks are per window: acking cp 2 must NOT prune cp 1's window —
+        // cp 1's marker (and possibly its tuples) may be lost in flight,
+        // and pruning here would make that loss unrecoverable.
+        assert_eq!(applied(l.acknowledge(0, 2)), 2);
+        assert_eq!(l.unacked_len(0), 2);
+        assert_eq!(applied(l.acknowledge(0, 1)), 2);
         assert_eq!(l.unacked_len(0), 0);
     }
 
     #[test]
-    fn acknowledge_unemitted_or_duplicate_fails() {
+    fn acknowledge_unemitted_fails_duplicate_is_benign() {
         let mut l = log(1, 2);
         l.record(0, 1).unwrap();
         assert!(l.acknowledge(0, 0).is_err()); // not yet emitted
         l.record(0, 2).unwrap(); // emits cp 0
-        assert_eq!(l.acknowledge(0, 0).unwrap(), 2);
-        assert!(l.acknowledge(0, 0).is_err()); // duplicate
+        assert_eq!(applied(l.acknowledge(0, 0)), 2);
+        // A retransmitted marker produces a repeat ack: absorbed.
+        assert_eq!(l.acknowledge(0, 0).unwrap(), Ack::Duplicate);
     }
 
     #[test]
@@ -551,7 +806,7 @@ mod tests {
         let cp = l.force_checkpoint(0).unwrap().unwrap();
         assert_eq!(cp.id, 0);
         assert_eq!(l.force_checkpoint(0).unwrap(), None); // window empty
-        assert_eq!(l.acknowledge(0, cp.id).unwrap(), 2);
+        assert_eq!(applied(l.acknowledge(0, cp.id)), 2);
     }
 
     #[test]
@@ -590,7 +845,7 @@ mod tests {
         // cp0 covers {0,1}, cp1 covers {2,3}.
         let _ = l.drain_matching(0, |x| *x == 1).unwrap();
         // Acking cp0 prunes the remaining item 0 only.
-        assert_eq!(l.acknowledge(0, 0).unwrap(), 1);
+        assert_eq!(applied(l.acknowledge(0, 0)), 1);
         assert_eq!(l.unacked_len(0), 2);
     }
 
@@ -613,30 +868,40 @@ mod tests {
     }
 
     #[test]
-    fn duplicate_ack_is_rejected_without_losing_items() {
+    fn duplicate_ack_is_benign_without_losing_items() {
         let mut l = log(1, 2);
         for i in 0..4 {
             l.record(0, i).unwrap();
         }
-        assert_eq!(l.acknowledge(0, 0).unwrap(), 2);
-        assert!(l.acknowledge(0, 0).is_err(), "duplicate ack must error");
-        // The failed ack must not have pruned anything.
+        assert_eq!(applied(l.acknowledge(0, 0)), 2);
+        assert_eq!(l.acknowledge(0, 0).unwrap(), Ack::Duplicate);
+        // The duplicate ack must not have pruned anything.
         assert_eq!(l.unacked_len(0), 2);
-        assert_eq!(l.acknowledge(0, 1).unwrap(), 2);
+        assert_eq!(applied(l.acknowledge(0, 1)), 2);
     }
 
     #[test]
-    fn out_of_order_ack_covers_skipped_windows() {
+    fn out_of_order_ack_leaves_skipped_windows_recoverable() {
         let mut l = log(1, 2);
         for i in 0..6 {
             l.record(0, i).unwrap();
         }
-        // Checkpoints 0, 1, 2 are all emitted; acking 2 directly (acks 0
-        // and 1 lost in transit) prunes everything they covered.
-        assert_eq!(l.acknowledge(0, 2).unwrap(), 6);
-        assert_eq!(l.unacked_len(0), 0);
-        // A late ack for a superseded checkpoint is stale, not a prune.
-        assert!(l.acknowledge(0, 1).is_err());
+        // Checkpoints 0, 1, 2 are all emitted; cp 2's ack arrives first
+        // (acks 0 and 1 lost in transit). Only window 2 is pruned — the
+        // earlier windows stay replayable until their own acks (or
+        // retransmissions) come back.
+        assert_eq!(applied(l.acknowledge(0, 2)), 2);
+        assert_eq!(l.unacked_len(0), 4);
+        let undelivered: Vec<u64> = l
+            .undelivered_windows(0)
+            .iter()
+            .map(|(cp, _)| cp.id)
+            .collect();
+        assert_eq!(undelivered, vec![0, 1]);
+        // The late ack for window 1 applies normally.
+        assert_eq!(applied(l.acknowledge(0, 1)), 2);
+        assert_eq!(applied(l.acknowledge(0, 0)), 2);
+        assert!(!l.has_undelivered(0));
     }
 
     #[test]
@@ -667,8 +932,8 @@ mod tests {
         for i in 0..5 {
             l.record(0, i).unwrap();
         }
-        assert_eq!(l.acknowledge(0, 0).unwrap(), 2);
-        assert!(l.acknowledge(0, 0).is_err()); // duplicate → dropped
+        assert_eq!(applied(l.acknowledge(0, 0)), 2);
+        assert_eq!(l.acknowledge(0, 0).unwrap(), Ack::Duplicate);
         let drained = l.drain_all(0).unwrap();
         assert_eq!(drained.len(), 3);
         // Re-record the drained items (the failure-resend pattern).
@@ -681,8 +946,104 @@ mod tests {
         assert_eq!(audit.retired, 3);
         assert_eq!(audit.unacked, 3);
         assert_eq!(audit.acks_accepted, 1);
-        assert_eq!(audit.acks_dropped, 1);
+        assert_eq!(audit.acks_duplicate, 1);
+        assert_eq!(audit.acks_dropped, 0);
         assert!(audit.conserved(), "not conserved: {audit:?}");
+    }
+
+    /// The satellite regression: a retransmitted window produces a
+    /// duplicate ack, and the audit must stay conserved — the duplicate
+    /// is counted on its own channel, never as an accepted prune or a
+    /// protocol error.
+    #[test]
+    fn duplicate_ack_under_retransmission_conserves_audit() {
+        let mut l = log(1, 2);
+        for i in 0..4 {
+            l.record(0, i).unwrap();
+        }
+        // Window 0's first ack is lost; the producer retransmits the
+        // window from the log...
+        let windows = l.undelivered_windows(0);
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[0].0, Checkpoint { dest: 0, id: 0 });
+        assert_eq!(windows[0].1, vec![0, 1]);
+        // ...and then BOTH acks arrive: the original (delayed, not lost
+        // after all) and the retransmission's.
+        assert_eq!(applied(l.acknowledge(0, 0)), 2);
+        assert_eq!(l.acknowledge(0, 0).unwrap(), Ack::Duplicate);
+        assert_eq!(applied(l.acknowledge(0, 1)), 2);
+        let audit = l.audit();
+        assert_eq!(audit.recorded, 4);
+        assert_eq!(audit.pruned, 4);
+        assert_eq!(audit.acks_accepted, 2);
+        assert_eq!(audit.acks_duplicate, 1);
+        assert_eq!(audit.acks_dropped, 0);
+        assert!(audit.conserved(), "not conserved: {audit:?}");
+    }
+
+    #[test]
+    fn undelivered_windows_exclude_acked_and_open() {
+        let mut l = log(1, 2);
+        for i in 0..5 {
+            l.record(0, i).unwrap(); // windows 0 and 1 close; item 4 open
+        }
+        l.acknowledge(0, 0).unwrap();
+        let windows = l.undelivered_windows(0);
+        assert_eq!(windows.len(), 1, "only window 1 is closed and unacked");
+        assert_eq!(windows[0].0, Checkpoint { dest: 0, id: 1 });
+        assert_eq!(windows[0].1, vec![2, 3]);
+        assert!(l.has_undelivered(0));
+        l.acknowledge(0, 1).unwrap();
+        assert!(!l.has_undelivered(0), "open window never counts");
+        assert!(l.undelivered_windows(0).is_empty());
+    }
+
+    #[test]
+    fn retained_log_keeps_entries_across_acks() {
+        let mut l = RecoveryLog::<u64>::retained(1, 2).unwrap();
+        for i in 0..4 {
+            l.record(0, i).unwrap();
+        }
+        assert_eq!(l.acknowledge(0, 0).unwrap(), Ack::Applied { pruned: 0 });
+        // Delivery is confirmed (the window leaves the retransmission
+        // set) but the entries stay replayable.
+        assert_eq!(l.unacked_len(0), 4);
+        let undelivered: Vec<u64> = l
+            .undelivered_windows(0)
+            .iter()
+            .map(|(cp, _)| cp.id)
+            .collect();
+        assert_eq!(undelivered, vec![1]);
+        l.acknowledge(0, 1).unwrap();
+        assert!(!l.has_undelivered(0));
+        // Node-failure recovery still gets the full state back.
+        assert_eq!(l.drain_all(0).unwrap(), vec![0, 1, 2, 3]);
+        let audit = l.audit();
+        assert_eq!(audit.pruned, 0);
+        assert_eq!(audit.retired, 4);
+        assert!(audit.conserved(), "not conserved: {audit:?}");
+    }
+
+    #[test]
+    fn record_migrated_rides_open_window_without_marker() {
+        let mut l = log(2, 3);
+        l.record(0, 1).unwrap();
+        l.record(0, 2).unwrap();
+        // Two entries migrate to dest 1's open window; no marker id may
+        // be consumed silently, or its window could never be acked.
+        let moved = l.drain_matching(0, |_| true).unwrap();
+        for item in moved {
+            l.record_migrated(1, item).unwrap();
+        }
+        assert_eq!(l.unacked_len(1), 2);
+        assert!(!l.has_undelivered(1), "window still open");
+        // The next real record closes the window (2 migrated + 1 fresh
+        // reach the interval) and its marker covers all three.
+        let cp = l.record(1, 3).unwrap().expect("window closes");
+        assert_eq!(cp.id, 0);
+        assert_eq!(applied(l.acknowledge(1, cp.id)), 3);
+        assert_eq!(l.unacked_len(1), 0);
+        assert!(l.audit().conserved());
     }
 
     #[test]
@@ -754,13 +1115,14 @@ mod shared_tests {
     }
 
     #[test]
-    fn duplicate_ack_is_ignored_not_fatal() {
+    fn duplicate_ack_is_absorbed_not_fatal() {
         let log = SharedRecoveryLog::<u64>::new(1, 1).unwrap();
         let cp = log.record(0, 7).unwrap().unwrap();
         assert_eq!(log.acknowledge(0, cp.id, 0), AckOutcome::Accepted(1));
-        assert_eq!(log.acknowledge(0, cp.id, 0), AckOutcome::Ignored);
+        assert_eq!(log.acknowledge(0, cp.id, 0), AckOutcome::Duplicate);
         let audit = log.audit();
-        assert_eq!(audit.acks_dropped, 1);
+        assert_eq!(audit.acks_duplicate, 1);
+        assert_eq!(audit.acks_dropped, 0);
         assert!(audit.conserved());
     }
 
@@ -804,6 +1166,35 @@ mod shared_tests {
         assert_eq!(audit.unacked, 2);
         assert!(audit.conserved());
     }
+
+    #[test]
+    fn drain_dest_voids_windows_and_bumps_epoch() {
+        let log = SharedRecoveryLog::<u64>::new(2, 2).unwrap();
+        for i in 0..4 {
+            log.record(0, i).unwrap(); // windows 0 and 1 close on dest 0
+        }
+        log.record(1, 9).unwrap();
+        // Dest 0's node dies: drain everything for replay elsewhere.
+        let drained = log.drain_dest(0).unwrap();
+        assert_eq!(drained, vec![0, 1, 2, 3]);
+        assert_eq!(log.epoch(), 1, "window-voiding drain bumps the epoch");
+        // A pre-failure ack arrives late: stale, dropped.
+        assert_eq!(log.acknowledge(0, 0, 0), AckOutcome::Stale);
+        // The survivor's entries are untouched.
+        assert_eq!(log.unacked_len(1), 1);
+        // Re-record under the new owner; the audit stays conserved.
+        for item in drained {
+            log.record_replayed(1, item).unwrap();
+        }
+        let audit = log.audit();
+        assert_eq!(audit.recorded, 9, "5 original + 4 replayed");
+        assert_eq!(audit.retired, 4);
+        assert!(audit.conserved(), "not conserved: {audit:?}");
+        // Draining the now-empty dest again voids nothing, so in-flight
+        // acks elsewhere must survive: no epoch bump.
+        assert!(log.drain_dest(0).unwrap().is_empty());
+        assert_eq!(log.epoch(), 1, "empty drain must not bump the epoch");
+    }
 }
 
 #[cfg(test)]
@@ -826,7 +1217,7 @@ mod proptests {
                 let mut log = RecoveryLog::<u64>::new(1, 3).unwrap();
                 let mut next_item = 0u64;
                 let mut emitted_cps: Vec<u64> = Vec::new();
-                let mut acked_upto: Option<u64> = None;
+                let mut acked: Vec<u64> = Vec::new();
                 let mut accounted = 0usize; // pruned or drained
                 for &op in ops {
                     match op {
@@ -837,15 +1228,20 @@ mod proptests {
                             next_item += 1;
                         }
                         2 => {
-                            // Ack the next unacked emitted checkpoint, if any.
+                            // Ack the oldest unacked emitted checkpoint.
                             let candidate = emitted_cps
                                 .iter()
                                 .copied()
-                                .filter(|id| acked_upto.is_none_or(|a| *id > a))
+                                .filter(|id| !acked.contains(id))
                                 .min();
                             if let Some(id) = candidate {
-                                accounted += log.acknowledge(0, id).unwrap();
-                                acked_upto = Some(id);
+                                match log.acknowledge(0, id).unwrap() {
+                                    Ack::Applied { pruned } => accounted += pruned,
+                                    Ack::Duplicate => {
+                                        return Err(format!("unexpected duplicate ack of {id}"))
+                                    }
+                                }
+                                acked.push(id);
                             }
                         }
                         _ => {

@@ -52,8 +52,19 @@ pub struct SimulationConfig {
     /// Fault-injection hook consulted at the chaos seams (exchange
     /// sends, checkpoint acks, monitoring notifications, per-tuple
     /// work). `None` injects nothing and leaves behavior identical to
-    /// an uninstrumented run.
+    /// an uninstrumented run. Installing a hook switches the run into
+    /// resilient mode: producers retransmit unacknowledged checkpoint
+    /// windows (see `retry_base_ms`/`retry_max`) and consumers
+    /// deduplicate redelivered tuples, so data-plane loss and
+    /// duplication heal instead of corrupting the result.
     pub chaos: Option<Arc<dyn ChaosHook>>,
+    /// Base delivery-retry backoff in virtual milliseconds (resilient
+    /// runs only). Retry `k` waits `retry_base_ms * 2^k`, jittered
+    /// deterministically into `[0.5, 1.0)` of the nominal value.
+    pub retry_base_ms: f64,
+    /// Retransmission rounds per source before undelivered windows are
+    /// abandoned and reported as explicit delivery gaps.
+    pub retry_max: u32,
 }
 
 impl Default for SimulationConfig {
@@ -72,6 +83,8 @@ impl Default for SimulationConfig {
             collect_results: false,
             obs: ObsConfig::default(),
             chaos: None,
+            retry_base_ms: 25.0,
+            retry_max: 6,
         }
     }
 }
@@ -99,6 +112,19 @@ impl SimulationConfig {
                 return Err(GridError::Config(format!("{name} must be non-negative")));
             }
         }
+        if !self.retry_base_ms.is_finite() || self.retry_base_ms <= 0.0 {
+            return Err(GridError::Config(format!(
+                "retry_base_ms must be positive and finite, got {}",
+                self.retry_base_ms
+            )));
+        }
+        if self.retry_max == 0 {
+            return Err(GridError::Config(
+                "retry_max must be at least 1; model a dead link with an \
+                 all-drop chaos plan, not a zero retry budget"
+                    .into(),
+            ));
+        }
         Ok(())
     }
 }
@@ -123,6 +149,12 @@ mod tests {
         c.receive_cost_ms = -1.0;
         assert!(c.validate().is_err());
         c.receive_cost_ms = f64::NAN;
+        assert!(c.validate().is_err());
+        c.receive_cost_ms = 0.0;
+        c.retry_base_ms = 0.0;
+        assert!(c.validate().is_err());
+        c.retry_base_ms = 25.0;
+        c.retry_max = 0;
         assert!(c.validate().is_err());
     }
 }

@@ -71,6 +71,17 @@ pub enum Event {
         /// The failing node.
         node: gridq_common::NodeId,
     },
+    /// A finished source checks for unacknowledged checkpoint windows
+    /// (resilient runs only): undelivered windows are retransmitted with
+    /// jittered exponential backoff until acknowledged or the retry
+    /// budget is spent, and end-of-stream is released only once the
+    /// retry loop resolves.
+    RetryCheck {
+        /// Source index.
+        source: usize,
+        /// Retry round, 0-based.
+        attempt: u32,
+    },
 }
 
 #[derive(Debug)]

@@ -26,11 +26,16 @@ use gridq_engine::table::Table;
 use gridq_engine::DistributedPlan;
 use gridq_grid::GridEnvironment;
 use gridq_obs::{Counter, Obs, TimelineKind};
-use gridq_recovery::RecoveryLog;
+use gridq_recovery::{DeliveryGap, RecoveryLog};
 
 use crate::config::SimulationConfig;
 use crate::events::{Event, EventQueue};
 use crate::report::ExecutionReport;
+
+/// One destination's undelivered windows, as returned by
+/// [`RecoveryLog::undelivered_windows`]: each entry pairs the window's
+/// checkpoint marker with the logged tuples it covers.
+type UndeliveredWindows = Vec<(gridq_recovery::Checkpoint, Vec<(StreamTag, Tuple)>)>;
 
 /// An item travelling through an exchange into a consumer queue.
 #[derive(Debug, Clone)]
@@ -42,6 +47,13 @@ enum Item {
         stream: StreamTag,
         tuple: Tuple,
         source: usize,
+        /// Carried by recall transfers and failure replay rather than
+        /// first-time (or retransmitted) producer delivery. Migrated
+        /// items bypass the consumer's duplicate filter: a hash bucket
+        /// that ping-pongs between partitions legitimately re-delivers
+        /// the same `(source, seq)` to a consumer that processed it
+        /// under an earlier distribution.
+        migrated: bool,
     },
     /// A checkpoint marker: when it reaches the head of the queue, all
     /// preceding tuples from `source` have been processed and can be
@@ -72,6 +84,9 @@ struct SourceRun {
     resume_at: SimTime,
     routed: u64,
     done: bool,
+    /// Jitter stream for the delivery-retry backoff, forked per source
+    /// so concurrent retry schedules decorrelate deterministically.
+    retry_rng: DetRng,
 }
 
 struct ConsumerRun {
@@ -89,6 +104,11 @@ struct ConsumerRun {
     finished: bool,
     /// The node hosting this partition failed; the partition is gone.
     dead: bool,
+    /// `(source, seq)` pairs this consumer has processed (resilient runs
+    /// only): retransmitted windows redeliver tuples that already
+    /// arrived, and at-least-once transport must not become
+    /// more-than-once processing.
+    seen: HashSet<(usize, u64)>,
     inputs: u64,
     outputs: u64,
     batch_inputs: u32,
@@ -103,12 +123,22 @@ impl ConsumerRun {
         self.build_queue.is_empty() && self.main_queue.is_empty()
     }
 
-    fn enqueue(&mut self, item: Item) {
+    fn enqueue(&mut self, item: Item, build_sources: &HashSet<usize>) {
         match &item {
             Item::Tuple {
                 stream: StreamTag::Build,
                 ..
             } => self.build_queue.push_back(item),
+            // A build-source checkpoint rides the build queue: it stays
+            // ordered after its window's tuples yet ahead of held probe
+            // tuples. Resilient runs withhold build end-of-stream until
+            // these markers are acknowledged, and probes are held until
+            // build end-of-stream — parking the marker behind the
+            // probes would deadlock that cycle into a retry-budget
+            // timeout.
+            Item::Checkpoint { source, .. } if build_sources.contains(source) => {
+                self.build_queue.push_back(item);
+            }
             _ => self.main_queue.push_back(item),
         }
     }
@@ -227,7 +257,7 @@ impl Simulation {
             }
         }
         let mut run = Run::new(self, plan)?;
-        run.dedup_results = !failures.is_empty();
+        run.dedup_results = run.dedup_results || !failures.is_empty();
         for (node, at) in failures {
             run.queue.schedule(*at, Event::NodeFail { node: *node });
         }
@@ -260,9 +290,14 @@ struct Run<'a> {
     diag_node: NodeId,
     total_rows: u64,
     collected: u64,
+    /// A chaos hook is installed: producers retransmit unacknowledged
+    /// windows, consumers deduplicate redelivered tuples, and
+    /// end-of-stream is withheld until each source's retry loop
+    /// resolves.
+    resilient: bool,
     /// Deduplicate collected results by (sequence number, value hash);
-    /// enabled only for failure-injection runs, where at-least-once
-    /// redelivery is expected.
+    /// enabled for failure-injection and resilient runs, where
+    /// at-least-once redelivery is expected.
     dedup_results: bool,
     seen_results: HashSet<(u64, u64)>,
     last_result_at: SimTime,
@@ -307,6 +342,8 @@ impl<'a> Run<'a> {
                 "plans with more than one build-stream source are not supported".into(),
             ));
         }
+        let resilient = sim.config.chaos.is_some();
+        let mut retry_root = DetRng::seeded(sim.config.seed ^ 0x0072_6574_7279); // "retry"
         let mut sources = Vec::with_capacity(plan.sources.len());
         let mut build_sources = HashSet::new();
         for (idx, spec) in plan.sources.iter().enumerate() {
@@ -317,13 +354,20 @@ impl<'a> Run<'a> {
             if spec.stream == StreamTag::Build {
                 build_sources.insert(idx);
             }
-            // Build tuples form downstream operator state and are never
-            // acknowledged, so their log windows never close: model that
-            // with an unreachable checkpoint interval.
-            let interval = if spec.stream == StreamTag::Build {
-                usize::MAX / 2
+            // Build tuples form downstream operator state and must stay
+            // replayable for the whole run. Without a chaos hook their
+            // windows simply never close (an unreachable interval); a
+            // resilient run instead checkpoints them into a *retained*
+            // log, so delivery is tracked for the retry loop while every
+            // entry stays available to failure recovery.
+            let log = if spec.stream == StreamTag::Build {
+                if resilient {
+                    RecoveryLog::retained(partitions as usize, sim.config.checkpoint_interval)?
+                } else {
+                    RecoveryLog::new(partitions as usize, usize::MAX / 2)?
+                }
             } else {
-                sim.config.checkpoint_interval
+                RecoveryLog::new(partitions as usize, sim.config.checkpoint_interval)?
             };
             sources.push(SourceRun {
                 node: spec.node,
@@ -332,11 +376,12 @@ impl<'a> Run<'a> {
                 table,
                 pos: 0,
                 staged: (0..partitions).map(|_| Vec::new()).collect(),
-                log: RecoveryLog::new(partitions as usize, interval)?,
+                log,
                 epoch: 0,
                 resume_at: SimTime::ZERO,
                 routed: 0,
                 done: false,
+                retry_rng: retry_root.fork(idx as u64),
             });
         }
         let all_sources: HashSet<usize> = (0..sources.len()).collect();
@@ -357,6 +402,7 @@ impl<'a> Run<'a> {
                 eos_remaining: all_sources.clone(),
                 finished: false,
                 dead: false,
+                seen: HashSet::new(),
                 inputs: 0,
                 outputs: 0,
                 batch_inputs: 0,
@@ -416,7 +462,8 @@ impl<'a> Run<'a> {
             diag_node: plan.collect_node,
             total_rows,
             collected: 0,
-            dedup_results: false,
+            resilient,
+            dedup_results: resilient,
             seen_results: HashSet::new(),
             last_result_at: SimTime::ZERO,
             last_finish_at: SimTime::ZERO,
@@ -515,6 +562,7 @@ impl<'a> Run<'a> {
                 } => self.apply_adaptation(command, diagnosis_seq)?,
                 Event::CollectArrive { buffer } => self.collect_arrive(buffer),
                 Event::NodeFail { node } => self.node_fail(node)?,
+                Event::RetryCheck { source, attempt } => self.retry_check(source, attempt)?,
             }
         }
         Ok(())
@@ -554,6 +602,7 @@ impl<'a> Run<'a> {
             stream,
             tuple: row,
             source: s,
+            migrated: false,
         });
         if let Some(cp) = marker {
             let epoch = self.sources[s].epoch;
@@ -563,7 +612,17 @@ impl<'a> Run<'a> {
                 epoch,
             });
         }
-        if self.sources[s].staged[dest as usize].len() >= self.buffer_tuples {
+        // Resilient runs flush exactly at window boundaries: an ack is
+        // trusted to mean "the whole window arrived", which only holds
+        // if a marker can never be delivered while the head of its
+        // window was lost in an earlier, separately dropped buffer.
+        // Fault-free runs keep the plain size-based batching.
+        let flush = if self.resilient {
+            marker.is_some()
+        } else {
+            self.sources[s].staged[dest as usize].len() >= self.buffer_tuples
+        };
+        if flush {
             t = self.send_staged(s, dest, t)?;
         }
         self.queue.schedule(t, Event::SourceStep { source: s });
@@ -603,8 +662,9 @@ impl<'a> Run<'a> {
                     .schedule(arrive, Event::BufferArrive { buffer: id });
             }
             NetAction::Duplicate => {
-                // Fixture-only: redelivered data duplicates results
-                // unless the collector deduplicates.
+                // Redelivered data: the consumer's (source, seq) filter
+                // absorbs the extra copy, and a duplicated checkpoint
+                // marker is absorbed by the log as a duplicate ack.
                 let copy = items.clone();
                 let id = self.alloc_buffer(dest, items);
                 self.queue
@@ -614,9 +674,11 @@ impl<'a> Run<'a> {
                     .schedule(done, Event::BufferArrive { buffer: id });
             }
             NetAction::Drop => {
-                // Fixture-only: data-plane loss is unrecoverable by
-                // design (no retransmission); the multiset oracle must
-                // catch this loudly.
+                // Lost data: the covered windows stay unacknowledged in
+                // the recovery log, and the producer's retry loop
+                // retransmits them after backoff (only an installed
+                // chaos hook can return `Drop`, and a hook always puts
+                // the run in resilient mode).
             }
         }
         if self.monitoring_on && tuples > 0 {
@@ -644,30 +706,159 @@ impl<'a> Run<'a> {
             return Ok(());
         }
         self.sources[s].done = true;
+        // Build streams are never checkpointed in non-resilient runs:
+        // their tuples form downstream operator state and the pruning
+        // log would discard the only copy failure recovery and
+        // retrospective state migration rely on. Resilient runs use a
+        // retaining log for build streams (acks mark delivery without
+        // pruning), so every stream can be checkpointed and covered by
+        // the delivery-retry loop.
+        let checkpointed = self.resilient || self.sources[s].stream != StreamTag::Build;
         let mut t = self.now;
         for dest in 0..self.consumers.len() as u32 {
-            // Build streams are never checkpointed: their tuples form
-            // downstream operator state and must stay in the recovery
-            // log for the lifetime of the query (an acknowledgement
-            // would prune the only copy that failure recovery and
-            // retrospective state migration rely on).
-            if self.sources[s].stream == StreamTag::Build {
-                self.sources[s].staged[dest as usize].push(Item::Eos { source: s });
-                t = self.send_staged(s, dest, t)?;
-                continue;
+            if checkpointed {
+                if let Some(cp) = self.sources[s].log.force_checkpoint(dest)? {
+                    let epoch = self.sources[s].epoch;
+                    self.sources[s].staged[dest as usize].push(Item::Checkpoint {
+                        source: s,
+                        cp: cp.id,
+                        epoch,
+                    });
+                }
             }
-            if let Some(cp) = self.sources[s].log.force_checkpoint(dest)? {
-                let epoch = self.sources[s].epoch;
+            // Resilient runs withhold end-of-stream: a dropped Eos would
+            // strand the consumer, so it is released chaos-exempt only
+            // once the retry loop resolves (all windows acknowledged,
+            // or the retry budget is spent and gaps are recorded).
+            if !self.resilient {
+                self.sources[s].staged[dest as usize].push(Item::Eos { source: s });
+            }
+            t = self.send_staged(s, dest, t)?;
+        }
+        if self.resilient {
+            let delay = self.retry_delay_ms(s, 0);
+            self.queue.schedule(
+                t.offset(delay),
+                Event::RetryCheck {
+                    source: s,
+                    attempt: 0,
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// Jittered exponential backoff before retry round `attempt`:
+    /// `retry_base_ms * 2^min(attempt, 10)` scaled deterministically into
+    /// `[0.5, 1.0)` by the source's forked jitter stream (mirrors the
+    /// threaded executor's `RetryBackoff`).
+    fn retry_delay_ms(&mut self, s: usize, attempt: u32) -> f64 {
+        let nominal = self.config.retry_base_ms * f64::from(1u32 << attempt.min(10));
+        nominal * (0.5 + 0.5 * self.sources[s].retry_rng.uniform())
+    }
+
+    /// Resilient-mode delivery retry: retransmits any checkpoint window
+    /// that has not been acknowledged, then either schedules the next
+    /// round, or — once everything is acknowledged or the retry budget
+    /// is spent — releases end-of-stream.
+    fn retry_check(&mut self, s: usize, attempt: u32) -> Result<()> {
+        // A retrospective recall pauses producers; retrying mid-recall
+        // would race the redistribution's own log replay.
+        let resume_at = self.sources[s].resume_at;
+        if self.now < resume_at {
+            self.queue
+                .schedule(resume_at, Event::RetryCheck { source: s, attempt });
+            return Ok(());
+        }
+        let mut pending: Vec<(u32, UndeliveredWindows)> = Vec::new();
+        for dest in 0..self.consumers.len() as u32 {
+            if self.consumers[dest as usize].dead {
+                continue; // node-failure recovery owns those windows
+            }
+            let windows = self.sources[s].log.undelivered_windows(dest);
+            if !windows.is_empty() {
+                pending.push((dest, windows));
+            }
+        }
+        if pending.is_empty() {
+            self.release_eos(s);
+            return Ok(());
+        }
+        if attempt >= self.config.retry_max {
+            for (dest, windows) in pending {
+                let tuples: u64 = windows.iter().map(|(_, w)| w.len() as u64).sum();
+                let gap = DeliveryGap {
+                    source: s,
+                    dest: dest as usize,
+                    windows: windows.len() as u64,
+                    tuples,
+                };
+                self.report.note(
+                    self.now,
+                    format!(
+                        "delivery gap: source {s} -> partition {dest}, {} windows \
+                         ({tuples} tuples) unacknowledged after {attempt} retries",
+                        windows.len()
+                    ),
+                );
+                self.report.delivery_gaps.push(gap);
+            }
+            self.release_eos(s);
+            return Ok(());
+        }
+        let epoch = self.sources[s].epoch;
+        let mut t = self.now;
+        for (dest, windows) in pending {
+            for (cp, tuples) in windows {
+                for (stream, tuple) in tuples {
+                    self.report.tuples_retransmitted += 1;
+                    self.sources[s].staged[dest as usize].push(Item::Tuple {
+                        stream,
+                        tuple,
+                        source: s,
+                        // Retransmissions are first-class deliveries: the
+                        // consumer's dedup filter decides whether the
+                        // original copy already arrived.
+                        migrated: false,
+                    });
+                }
                 self.sources[s].staged[dest as usize].push(Item::Checkpoint {
                     source: s,
                     cp: cp.id,
                     epoch,
                 });
             }
-            self.sources[s].staged[dest as usize].push(Item::Eos { source: s });
+            // Chaos-exposed on purpose: a retransmission can be dropped
+            // again, which is what the escalating backoff is for.
             t = self.send_staged(s, dest, t)?;
         }
+        let delay = self.retry_delay_ms(s, attempt + 1);
+        self.queue.schedule(
+            t.offset(delay),
+            Event::RetryCheck {
+                source: s,
+                attempt: attempt + 1,
+            },
+        );
         Ok(())
+    }
+
+    /// Delivers end-of-stream for source `s` to every live consumer,
+    /// bypassing the chaos seam: the retry loop has already resolved
+    /// every window, and a dropped Eos would hang the run rather than
+    /// corrupt it — there is nothing left for the fault model to probe.
+    fn release_eos(&mut self, s: usize) {
+        let node = self.sources[s].node;
+        for dest in 0..self.consumers.len() as u32 {
+            if self.consumers[dest as usize].dead {
+                continue;
+            }
+            let dest_node = self.consumers[dest as usize].node;
+            let cost = self.env.buffer_cost_ms(node, dest_node, 0, 0);
+            let id = self.alloc_buffer(dest, vec![Item::Eos { source: s }]);
+            self.queue
+                .schedule(self.now.offset(cost), Event::BufferArrive { buffer: id });
+        }
     }
 
     // -- buffers ----------------------------------------------------------
@@ -688,7 +879,7 @@ impl<'a> Run<'a> {
             return Ok(()); // the partition is gone; the logs recover it
         }
         for item in items {
-            c.enqueue(item);
+            c.enqueue(item, &self.build_sources);
         }
         if c.finished {
             c.finished = false;
@@ -770,7 +961,30 @@ impl<'a> Run<'a> {
                 self.reschedule_step(ci, t);
                 Ok(())
             }
-            Some(Item::Tuple { stream, tuple, .. }) => self.process_tuple(ci, stream, tuple),
+            Some(Item::Tuple {
+                stream,
+                tuple,
+                source,
+                migrated,
+            }) => {
+                if self.resilient {
+                    // Effectively-once processing over at-least-once
+                    // transport: a redelivered copy (chaos duplication or
+                    // retransmission racing the original) is recognised
+                    // by (source, seq) and skipped, paying only the
+                    // receive cost. Migrated tuples are recorded but
+                    // never skipped: a recall or failure replay moves a
+                    // tuple to a partition that must genuinely process
+                    // it, even if it saw the same (source, seq) before a
+                    // bucket ping-pong.
+                    let fresh = self.consumers[i].seen.insert((source, tuple.seq()));
+                    if !fresh && !migrated {
+                        self.reschedule_step(ci, self.now.offset(self.config.receive_cost_ms));
+                        return Ok(());
+                    }
+                }
+                self.process_tuple(ci, stream, tuple)
+            }
         }
     }
 
@@ -1189,6 +1403,7 @@ impl<'a> Run<'a> {
                             stream,
                             tuple,
                             source: build_source,
+                            migrated: true,
                         });
                 }
             }
@@ -1207,6 +1422,7 @@ impl<'a> Run<'a> {
                         stream,
                         tuple,
                         source,
+                        migrated,
                     } => {
                         let dest = self.router.route(stream, &tuple)? as usize;
                         if dest == from {
@@ -1214,6 +1430,7 @@ impl<'a> Run<'a> {
                                 stream,
                                 tuple,
                                 source,
+                                migrated,
                             };
                             match stream {
                                 StreamTag::Build => keep_build.push_back(item),
@@ -1232,6 +1449,7 @@ impl<'a> Run<'a> {
                                     stream,
                                     tuple,
                                     source,
+                                    migrated: true,
                                 });
                         }
                     }
@@ -1255,6 +1473,7 @@ impl<'a> Run<'a> {
                         stream,
                         tuple,
                         source,
+                        migrated,
                     } => {
                         let new_dest = self.router.route(stream, &tuple)? as usize;
                         if new_dest == dest as usize {
@@ -1262,6 +1481,7 @@ impl<'a> Run<'a> {
                                 stream,
                                 tuple,
                                 source,
+                                migrated,
                             });
                         } else {
                             self.report.tuples_redistributed += 1;
@@ -1276,6 +1496,7 @@ impl<'a> Run<'a> {
                                     stream,
                                     tuple,
                                     source,
+                                    migrated: true,
                                 });
                         }
                     }
@@ -1312,6 +1533,7 @@ impl<'a> Run<'a> {
                                 stream,
                                 tuple,
                                 source: s,
+                                migrated: false,
                             });
                         }
                         marker @ Item::Checkpoint { .. } => {
@@ -1453,6 +1675,19 @@ impl<'a> Run<'a> {
             t,
             format!("node {node} failed ({} partitions lost)", dead_now.len()),
         );
+        // One NodeDown per lost partition; the matching Failover record
+        // below links back here via `down_seq` so the timeline shows
+        // each death paired with exactly one completed recovery.
+        let mut down_seqs: HashMap<usize, u64> = HashMap::new();
+        for &ci in &dead_now {
+            let seq = self.obs_record(
+                t,
+                TimelineKind::NodeDown {
+                    partition: PartitionId::new(self.stage_id, ci as u32).to_string(),
+                },
+            );
+            down_seqs.insert(ci, seq);
+        }
         for &ci in &dead_now {
             let c = &mut self.consumers[ci];
             c.dead = true;
@@ -1521,10 +1756,13 @@ impl<'a> Run<'a> {
         // any probe/single buffer, so resent probes never race the join
         // state they depend on — even across different sources.
         let mut waves: [Vec<(usize, u32, Vec<Item>)>; 2] = [Vec::new(), Vec::new()];
+        let mut replayed: HashMap<usize, u64> = HashMap::new();
         for s in 0..self.sources.len() {
             let mut resend: Vec<(StreamTag, Tuple)> = Vec::new();
             for &dead in &dead_set {
-                resend.extend(self.sources[s].log.drain_all(dead as u32)?);
+                let drained = self.sources[s].log.drain_all(dead as u32)?;
+                *replayed.entry(dead).or_default() += drained.len() as u64;
+                resend.extend(drained);
             }
             if resend.is_empty() {
                 continue;
@@ -1540,6 +1778,10 @@ impl<'a> Run<'a> {
                     stream,
                     tuple,
                     source: s,
+                    // Replayed work may legitimately revisit a partition
+                    // that half-processed the original buffer before the
+                    // crash lost it; dedup must not suppress it.
+                    migrated: true,
                 });
             }
             for (wave, map) in per_dest.into_iter().enumerate() {
@@ -1593,6 +1835,16 @@ impl<'a> Run<'a> {
                 self.report.failure_resent_tuples
             ),
         );
+        for &ci in &dead_now {
+            self.obs_record(
+                t,
+                TimelineKind::Failover {
+                    partition: PartitionId::new(self.stage_id, ci as u32).to_string(),
+                    replayed: replayed.get(&ci).copied().unwrap_or(0),
+                    down_seq: down_seqs[&ci],
+                },
+            );
+        }
         Ok(())
     }
 
@@ -1671,6 +1923,7 @@ mod tests {
             batch_wait_ms: 0.0,
             out_staged: Vec::new(),
             penalty_ms: 0.0,
+            seen: HashSet::new(),
         }
     }
 
@@ -1700,6 +1953,7 @@ mod tests {
             stream,
             tuple: Tuple::new(vec![Value::Int(v)]),
             source,
+            migrated: false,
         }
     }
 
@@ -1707,8 +1961,8 @@ mod tests {
     fn build_items_processed_before_probes() {
         let mut c = consumer();
         let build_sources = HashSet::from([0usize]);
-        c.enqueue(tuple_item(StreamTag::Probe, 1, 1));
-        c.enqueue(tuple_item(StreamTag::Build, 2, 0));
+        c.enqueue(tuple_item(StreamTag::Probe, 1, 1), &build_sources);
+        c.enqueue(tuple_item(StreamTag::Build, 2, 0), &build_sources);
         // Build queue has priority.
         assert!(matches!(
             c.next_item(&build_sources),
@@ -1738,13 +1992,16 @@ mod tests {
         // recovery.
         let mut c = consumer();
         let build_sources = HashSet::from([0usize]);
-        c.enqueue(tuple_item(StreamTag::Probe, 1, 1));
-        c.enqueue(Item::Checkpoint {
-            source: 1,
-            cp: 0,
-            epoch: 0,
-        });
-        c.enqueue(Item::Eos { source: 0 });
+        c.enqueue(tuple_item(StreamTag::Probe, 1, 1), &build_sources);
+        c.enqueue(
+            Item::Checkpoint {
+                source: 1,
+                cp: 0,
+                epoch: 0,
+            },
+            &build_sources,
+        );
+        c.enqueue(Item::Eos { source: 0 }, &build_sources);
         // Probes are held (build not done); the EOS is pulled forward.
         assert!(matches!(
             c.next_item(&build_sources),
@@ -1768,15 +2025,52 @@ mod tests {
     }
 
     #[test]
+    fn build_source_checkpoints_ride_the_build_queue() {
+        // A build-source marker must not park behind held probe tuples:
+        // resilient runs withhold build EOS until the marker is acked,
+        // and probes are held until build EOS — a cycle that would only
+        // resolve through a retry-budget timeout.
+        let mut c = consumer();
+        let build_sources = HashSet::from([0usize]);
+        c.enqueue(tuple_item(StreamTag::Probe, 1, 1), &build_sources);
+        c.enqueue(tuple_item(StreamTag::Build, 2, 0), &build_sources);
+        c.enqueue(
+            Item::Checkpoint {
+                source: 0,
+                cp: 0,
+                epoch: 0,
+            },
+            &build_sources,
+        );
+        // Build tuple first, then its marker — both ahead of the held
+        // probe, preserving tuples-before-marker order.
+        assert!(matches!(
+            c.next_item(&build_sources),
+            Some(Item::Tuple {
+                stream: StreamTag::Build,
+                ..
+            })
+        ));
+        assert!(matches!(
+            c.next_item(&build_sources),
+            Some(Item::Checkpoint { source: 0, .. })
+        ));
+        assert!(c.next_item(&build_sources).is_none(), "probe still held");
+    }
+
+    #[test]
     fn single_stream_items_flow_without_gating() {
         let mut c = consumer();
         let build_sources = HashSet::new();
-        c.enqueue(tuple_item(StreamTag::Single, 1, 0));
-        c.enqueue(Item::Checkpoint {
-            source: 0,
-            cp: 0,
-            epoch: 0,
-        });
+        c.enqueue(tuple_item(StreamTag::Single, 1, 0), &build_sources);
+        c.enqueue(
+            Item::Checkpoint {
+                source: 0,
+                cp: 0,
+                epoch: 0,
+            },
+            &build_sources,
+        );
         assert!(matches!(
             c.next_item(&build_sources),
             Some(Item::Tuple { .. })

@@ -1,0 +1,388 @@
+//! Delivery-robustness tests: data-plane loss and duplication heal
+//! through recovery-log retransmission and consumer-side deduplication,
+//! exhausted retry budgets degrade into explicit delivery gaps instead
+//! of hangs, and node failures leave a paired NodeDown/Failover trace
+//! in the adaptivity timeline.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use gridq_adapt::AdaptivityConfig;
+use gridq_common::{
+    ChaosHook, DataType, DistributionVector, Field, NetAction, NodeId, QueryId, Schema, SimTime,
+    SubplanId, Tuple, Value,
+};
+use gridq_engine::distributed::{
+    DistributedPlan, ExchangeSpec, ParallelStageSpec, RoutingPolicy, SourceSpec, StreamKeys,
+};
+use gridq_engine::evaluator::{HashJoinFactory, ServiceCallFactory, StreamTag};
+use gridq_engine::physical::Catalog;
+use gridq_engine::service::{FnService, ServiceRegistry};
+use gridq_engine::table::Table;
+use gridq_engine::Expr;
+use gridq_grid::GridEnvironment;
+use gridq_obs::TimelineKind;
+use gridq_sim::{Simulation, SimulationConfig};
+
+fn int_table(name: &str, n: usize) -> Arc<Table> {
+    let schema = Schema::new(vec![Field::new("x", DataType::Int)]);
+    let rows = (0..n)
+        .map(|i| Tuple::new(vec![Value::Int(i as i64)]))
+        .collect();
+    Arc::new(Table::new(name, schema, rows).unwrap())
+}
+
+fn call_plan(table: &Arc<Table>, partitions: usize) -> DistributedPlan {
+    let factory = ServiceCallFactory::new(
+        table.schema(),
+        Arc::new(FnService::new(
+            "Square",
+            vec![DataType::Int],
+            DataType::Int,
+            1.5,
+            |args| Ok(Value::Int(args[0].as_int().unwrap().pow(2))),
+        )),
+        vec![Expr::col(0)],
+        "sq",
+        false,
+        ServiceRegistry::new(),
+    );
+    DistributedPlan {
+        query: QueryId::new(1),
+        sources: vec![SourceSpec {
+            table: table.name().to_string(),
+            node: NodeId::new(0),
+            stream: StreamTag::Single,
+            scan_cost_ms: 0.5,
+        }],
+        stages: vec![ParallelStageSpec {
+            id: SubplanId::new(1),
+            factory: Arc::new(factory),
+            nodes: (0..partitions).map(|i| NodeId::new(i as u32 + 1)).collect(),
+            exchange: ExchangeSpec {
+                routing: RoutingPolicy::Weighted {
+                    initial: DistributionVector::uniform(partitions),
+                },
+                buffer_tuples: 10,
+            },
+        }],
+        collect_node: NodeId::new(0),
+    }
+}
+
+fn join_plan(build: &Arc<Table>, probe: &Arc<Table>, partitions: usize) -> DistributedPlan {
+    let factory = HashJoinFactory::new(build.schema(), probe.schema(), 0, 0, 0.2, 1.5);
+    DistributedPlan {
+        query: QueryId::new(2),
+        sources: vec![
+            SourceSpec {
+                table: build.name().to_string(),
+                node: NodeId::new(0),
+                stream: StreamTag::Build,
+                scan_cost_ms: 0.3,
+            },
+            SourceSpec {
+                table: probe.name().to_string(),
+                node: NodeId::new(0),
+                stream: StreamTag::Probe,
+                scan_cost_ms: 0.3,
+            },
+        ],
+        stages: vec![ParallelStageSpec {
+            id: SubplanId::new(1),
+            factory: Arc::new(factory),
+            nodes: (0..partitions).map(|i| NodeId::new(i as u32 + 1)).collect(),
+            exchange: ExchangeSpec {
+                routing: RoutingPolicy::HashBuckets {
+                    bucket_count: 32,
+                    initial: DistributionVector::uniform(partitions),
+                    keys: StreamKeys {
+                        build: Some(0),
+                        probe: Some(0),
+                        single: None,
+                    },
+                },
+                buffer_tuples: 10,
+            },
+        }],
+        collect_node: NodeId::new(0),
+    }
+}
+
+fn catalog(tables: &[&Arc<Table>]) -> Catalog {
+    let mut c = Catalog::new();
+    for t in tables {
+        c.register(Arc::clone(t));
+    }
+    c
+}
+
+fn config(chaos: Option<Arc<dyn ChaosHook>>) -> SimulationConfig {
+    SimulationConfig {
+        adaptivity: AdaptivityConfig::disabled(),
+        collect_results: true,
+        receive_cost_ms: 0.5,
+        checkpoint_interval: 8,
+        chaos,
+        ..Default::default()
+    }
+}
+
+fn sorted_strs(tuples: &[Tuple]) -> Vec<String> {
+    let mut v: Vec<String> = tuples.iter().map(ToString::to_string).collect();
+    v.sort();
+    v
+}
+
+/// Drops the first `budget` data-plane buffers on every edge.
+#[derive(Debug)]
+struct DropFirst {
+    budget: u64,
+    dropped: AtomicU64,
+}
+
+impl ChaosHook for DropFirst {
+    fn on_data(&self, _source: usize, _dest: usize) -> NetAction {
+        if self.dropped.fetch_add(1, Ordering::Relaxed) < self.budget {
+            NetAction::Drop
+        } else {
+            NetAction::Deliver
+        }
+    }
+}
+
+/// Duplicates every `nth` data-plane buffer.
+#[derive(Debug)]
+struct DupEvery {
+    nth: u64,
+    sent: AtomicU64,
+}
+
+impl ChaosHook for DupEvery {
+    fn on_data(&self, _source: usize, _dest: usize) -> NetAction {
+        if self.sent.fetch_add(1, Ordering::Relaxed).is_multiple_of(self.nth) {
+            NetAction::Duplicate
+        } else {
+            NetAction::Deliver
+        }
+    }
+}
+
+/// Severs one destination entirely: every data buffer addressed to it
+/// is lost, initial deliveries and retransmissions alike.
+#[derive(Debug)]
+struct SeverDest(usize);
+
+impl ChaosHook for SeverDest {
+    fn on_data(&self, _source: usize, dest: usize) -> NetAction {
+        if dest == self.0 {
+            NetAction::Drop
+        } else {
+            NetAction::Deliver
+        }
+    }
+}
+
+#[test]
+fn dropped_buffers_are_retransmitted_until_the_result_is_whole() {
+    let table = int_table("t", 300);
+    let plan = call_plan(&table, 2);
+    let clean = Simulation::new(GridEnvironment::demo(2), catalog(&[&table]), config(None))
+        .unwrap()
+        .run(&plan)
+        .unwrap();
+    assert_eq!(clean.tuples_output, 300);
+
+    let hook = Arc::new(DropFirst {
+        budget: 6,
+        dropped: AtomicU64::new(0),
+    });
+    let report = Simulation::new(
+        GridEnvironment::demo(2),
+        catalog(&[&table]),
+        config(Some(hook)),
+    )
+    .unwrap()
+    .run(&plan)
+    .unwrap();
+    assert!(
+        report.tuples_retransmitted > 0,
+        "drops must trigger the retry loop: {:?}",
+        report.timeline
+    );
+    assert!(
+        report.delivery_gaps.is_empty(),
+        "{:?}",
+        report.delivery_gaps
+    );
+    assert_eq!(
+        sorted_strs(&report.results),
+        sorted_strs(&clean.results),
+        "retransmission must restore the exact result multiset"
+    );
+    for audit in &report.log_audits {
+        assert!(audit.conserved(), "log audit must balance: {audit:?}");
+    }
+}
+
+#[test]
+fn duplicated_buffers_are_absorbed_by_consumer_dedup() {
+    let table = int_table("t", 300);
+    let plan = call_plan(&table, 2);
+    let clean = Simulation::new(GridEnvironment::demo(2), catalog(&[&table]), config(None))
+        .unwrap()
+        .run(&plan)
+        .unwrap();
+
+    let hook = Arc::new(DupEvery {
+        nth: 3,
+        sent: AtomicU64::new(0),
+    });
+    let report = Simulation::new(
+        GridEnvironment::demo(2),
+        catalog(&[&table]),
+        config(Some(hook)),
+    )
+    .unwrap()
+    .run(&plan)
+    .unwrap();
+    assert_eq!(
+        sorted_strs(&report.results),
+        sorted_strs(&clean.results),
+        "duplicated deliveries must not duplicate results: {:?}",
+        report.timeline
+    );
+    assert!(report.delivery_gaps.is_empty());
+    for audit in &report.log_audits {
+        assert!(audit.conserved(), "log audit must balance: {audit:?}");
+        assert!(
+            audit.acks_duplicate > 0 || audit.acks_accepted > 0,
+            "duplicated markers surface as duplicate acks: {audit:?}"
+        );
+    }
+}
+
+#[test]
+fn join_heals_lost_build_and_probe_buffers() {
+    let build = int_table("build", 96);
+    let probe_schema = Schema::new(vec![Field::new("y", DataType::Int)]);
+    let probe_rows: Vec<Tuple> = (0..200)
+        .map(|i| Tuple::new(vec![Value::Int((i % 128) as i64)]))
+        .collect();
+    let probe = Arc::new(Table::new("probe", probe_schema, probe_rows).unwrap());
+    let plan = join_plan(&build, &probe, 2);
+    let clean = Simulation::new(
+        GridEnvironment::demo(2),
+        catalog(&[&build, &probe]),
+        config(None),
+    )
+    .unwrap()
+    .run(&plan)
+    .unwrap();
+
+    let hook = Arc::new(DropFirst {
+        budget: 4,
+        dropped: AtomicU64::new(0),
+    });
+    let report = Simulation::new(
+        GridEnvironment::demo(2),
+        catalog(&[&build, &probe]),
+        config(Some(hook)),
+    )
+    .unwrap()
+    .run(&plan)
+    .unwrap();
+    assert!(report.tuples_retransmitted > 0, "{:?}", report.timeline);
+    assert!(
+        report.delivery_gaps.is_empty(),
+        "{:?}",
+        report.delivery_gaps
+    );
+    assert_eq!(
+        sorted_strs(&report.results),
+        sorted_strs(&clean.results),
+        "join state rebuilt from retained build log must reproduce the \
+         clean multiset: {:?}",
+        report.timeline
+    );
+}
+
+#[test]
+fn exhausted_retries_degrade_into_explicit_gaps_not_a_hang() {
+    let table = int_table("t", 200);
+    let plan = call_plan(&table, 2);
+    let hook = Arc::new(SeverDest(1));
+    let mut cfg = config(Some(hook));
+    cfg.retry_max = 2; // keep the doomed retry ladder short
+    let report = Simulation::new(GridEnvironment::demo(2), catalog(&[&table]), cfg)
+        .unwrap()
+        .run(&plan)
+        .unwrap();
+    assert!(
+        !report.delivery_gaps.is_empty(),
+        "a severed destination must surface as gaps: {:?}",
+        report.timeline
+    );
+    for gap in &report.delivery_gaps {
+        assert_eq!(gap.dest, 1);
+        assert!(gap.tuples > 0);
+    }
+    let lost: u64 = report.delivery_gaps.iter().map(|g| g.tuples).sum();
+    assert_eq!(
+        report.tuples_output + lost,
+        200,
+        "every input is either delivered or accounted for in a gap: {:?}",
+        report.delivery_gaps
+    );
+    assert!(report
+        .timeline
+        .iter()
+        .any(|e| e.what.contains("delivery gap")));
+}
+
+#[test]
+fn node_failure_pairs_node_down_with_failover_in_the_timeline() {
+    let table = int_table("t", 300);
+    let plan = call_plan(&table, 2);
+    let sim = Simulation::new(GridEnvironment::demo(2), catalog(&[&table]), config(None)).unwrap();
+    let healthy = sim.run(&plan).unwrap();
+    let fail_at = SimTime::from_millis(healthy.response_time_ms / 4.0);
+    let report = sim
+        .run_with_failures(&plan, &[(NodeId::new(2), fail_at)])
+        .unwrap();
+    assert_eq!(report.tuples_output, 300, "{:?}", report.timeline);
+    let obs = report.obs.expect("obs enabled by default");
+    let downs: Vec<_> = obs
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, TimelineKind::NodeDown { .. }))
+        .collect();
+    assert_eq!(downs.len(), 1, "one partition lost, one NodeDown");
+    let failovers: Vec<_> = obs
+        .events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            TimelineKind::Failover {
+                partition,
+                replayed,
+                down_seq,
+            } => Some((partition.clone(), *replayed, *down_seq)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        failovers.len(),
+        1,
+        "each death completes exactly one failover"
+    );
+    let (partition, replayed, down_seq) = &failovers[0];
+    assert_eq!(down_seq, &downs[0].seq, "failover links back to its death");
+    match &downs[0].kind {
+        TimelineKind::NodeDown { partition: p } => assert_eq!(p, partition),
+        _ => unreachable!(),
+    }
+    assert_eq!(
+        *replayed, report.failure_resent_tuples,
+        "single-source plan: everything replayed belongs to this partition"
+    );
+}

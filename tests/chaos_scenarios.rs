@@ -1,9 +1,13 @@
 //! Tier-1 chaos smoke: a pinned corner of the full chaos matrix runs on
 //! every `cargo test`, so fault-injection regressions surface before the
-//! seeded CI matrix does. Three pinned seeds × three fault families
-//! (notification drop, thread stall, crash mid-recall) × both
-//! substrates, every oracle green, and every report round-tripping
-//! through the JSON parser.
+//! seeded CI matrix does. Three pinned seeds × six fault families
+//! (notification drop, thread stall, crash mid-recall, data loss, data
+//! duplication, node crash) × both substrates, every oracle green, and
+//! every report round-tripping through the JSON parser. The data-loss,
+//! data-duplication, and node-crash families are live here — dropped
+//! buffers heal through recovery-log retransmission, duplicates are
+//! absorbed by consumer dedup, and a killed threaded consumer fails over
+//! through the heartbeat/lease detector.
 
 use gridq::chaos::{
     FaultEvent, FaultFamily, FaultPlan, Policy, Runner, Scenario, ScenarioOutcome, Substrate,
@@ -12,10 +16,13 @@ use gridq::chaos::{
 use gridq::obs::Json;
 
 const SEEDS: [u64; 3] = [1, 7, 1303];
-const FAMILIES: [FaultFamily; 3] = [
+const FAMILIES: [FaultFamily; 6] = [
     FaultFamily::NotifyLoss,
     FaultFamily::Stall,
     FaultFamily::CrashMidRecall,
+    FaultFamily::DataLoss,
+    FaultFamily::DataDup,
+    FaultFamily::NodeCrash,
 ];
 
 #[test]
@@ -108,32 +115,36 @@ fn chaos_killed_node_retires_every_tracked_stream() {
 }
 
 /// The acceptance fixture: a deliberately unrecoverable data-plane fault
-/// must fail the conservation oracle, and shrinking must keep the
-/// failure while producing a reproducer of at most five events.
+/// — every copy of one edge's traffic dropped until the retry budget is
+/// spent — must fail the conservation oracle, and shrinking must keep
+/// the failure while cutting the plan down to an all-drop reproducer.
 #[test]
 fn broken_oracle_fixture_fails_loudly_and_shrinks_small() {
     let mut runner = Runner::new();
     let scenario = Scenario {
         seed: 0,
-        family: FaultFamily::DataDelay,
+        family: FaultFamily::DataLoss,
         substrate: Substrate::Sim,
         policy: Policy::Static,
     };
-    let mut events = vec![FaultEvent::DropData {
-        source: 0,
-        dest: 1,
-        nth: 1,
-    }];
+    let mut events: Vec<FaultEvent> = (1..=25)
+        .map(|nth| FaultEvent::DropData {
+            source: 0,
+            dest: 1,
+            nth,
+        })
+        .collect();
     for nth in 1..=7 {
         events.push(FaultEvent::DelayData {
             source: 0,
-            dest: nth as usize % 2,
+            dest: 0,
             nth,
             delay_ms: 3.0,
         });
     }
+    let original_len = events.len();
     let failing = runner.run_with_plan(scenario, FaultPlan { seed: 0, events });
-    assert!(!failing.passed(), "data loss must fail an oracle");
+    assert!(!failing.passed(), "permanent data loss must fail an oracle");
     assert!(failing
         .verdicts
         .iter()
@@ -141,8 +152,17 @@ fn broken_oracle_fixture_fails_loudly_and_shrinks_small() {
     let minimal = gridq::chaos::shrink_failure(&mut runner, scenario, failing);
     assert!(!minimal.passed(), "shrinking must preserve the failure");
     assert!(
-        minimal.plan.events.len() <= 5,
-        "reproducer must shrink to at most five events, got {:?}",
+        minimal.plan.events.len() < original_len,
+        "reproducer must shrink, got {:?}",
+        minimal.plan
+    );
+    assert!(
+        minimal
+            .plan
+            .events
+            .iter()
+            .all(|e| matches!(e, FaultEvent::DropData { .. })),
+        "the harmless delays must shrink away: {:?}",
         minimal.plan
     );
 }

@@ -7,10 +7,12 @@
 //! because the two substrates assign sequence numbers independently.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use gridq::adapt::{AdaptivityConfig, AssessmentPolicy, ResponsePolicy};
-use gridq::common::{NodeId, Tuple};
-use gridq::exec::{ThreadedConfig, ThreadedExecutor};
+use gridq::chaos::{FaultEvent, FaultPlan, PlanHook};
+use gridq::common::{NodeId, SimTime, Tuple};
+use gridq::exec::{FailoverConfig, RetryPolicy, ThreadedConfig, ThreadedExecutor};
 use gridq::grid::{
     GridEnvironment, NetworkModel, NodeSpec, Perturbation, PerturbationSchedule, ResourceRegistry,
 };
@@ -208,4 +210,83 @@ fn retrospective_r1_stateful_runs_agree_across_substrates() {
         "probe log must drain: {:?}",
         threaded.log_audits[1]
     );
+}
+
+/// Node-failure parity: killing an evaluator mid-run — a simulated node
+/// death on the simulator, a consumer thread killed through the chaos
+/// seam on the threaded executor — must leave the result multiset
+/// identical to an unfaulted reference run. Recovery-log replay plus
+/// failover rerouting is exactly-once end to end on both substrates.
+#[test]
+fn node_failure_runs_match_the_unfaulted_reference() {
+    let q2 = q2();
+    let plan = q2.plan();
+
+    // Unfaulted threaded reference: the expected join output.
+    let reference = ThreadedExecutor::new(
+        q2.catalog(),
+        ThreadedConfig {
+            adaptivity: AdaptivityConfig::disabled(),
+            cost_scale: 0.002,
+            ..Default::default()
+        },
+    )
+    .run(&plan)
+    .unwrap();
+    assert_eq!(reference.results.len(), 300);
+
+    // Simulator: evaluator node 2 dies halfway through the healthy run;
+    // producers replay its unacknowledged log entries onto node 1.
+    let mut sim_config = q2.sim_config(AdaptivityConfig::disabled());
+    sim_config.collect_results = true;
+    let sim = Simulation::new(env(2, None), q2.catalog(), sim_config).unwrap();
+    let healthy = sim.run(&plan).unwrap();
+    let fail_at = SimTime::from_millis(healthy.response_time_ms * 0.5);
+    let sim_failed = sim
+        .run_with_failures(&plan, &[(NodeId::new(2), fail_at)])
+        .unwrap();
+    assert_eq!(multiset(&reference.results), multiset(&sim_failed.results));
+
+    // Threaded executor: consumer 1 is killed on its 10th received
+    // message; the heartbeat/lease detector declares it dead and the
+    // failover recall replays its log entries to the survivor.
+    let crash = FaultPlan {
+        seed: 0,
+        events: vec![FaultEvent::CrashConsumer { worker: 1, nth: 10 }],
+    };
+    let threaded = ThreadedExecutor::new(
+        q2.catalog(),
+        ThreadedConfig {
+            adaptivity: AdaptivityConfig::with_policies(AssessmentPolicy::A1, ResponsePolicy::R1),
+            cost_scale: 0.002,
+            checkpoint_interval: 8,
+            chaos: Some(Arc::new(PlanHook::new(&crash))),
+            delivery_retry: RetryPolicy {
+                base_ms: 20.0,
+                max_retries: 8,
+                ..Default::default()
+            },
+            failover: FailoverConfig {
+                enabled: true,
+                heartbeat_ms: 20,
+                lease_ms: 300,
+            },
+            ..Default::default()
+        },
+    )
+    .run(&plan)
+    .unwrap();
+    assert_eq!(threaded.nodes_failed, 1, "one death detected: {threaded:?}");
+    assert!(
+        threaded.failovers_completed >= 1,
+        "the failover recall must complete: {threaded:?}"
+    );
+    assert!(
+        threaded.delivery_gaps.is_empty(),
+        "replay + retransmission loses nothing: {threaded:?}"
+    );
+    assert_eq!(multiset(&reference.results), multiset(&threaded.results));
+    for audit in &threaded.log_audits {
+        assert!(audit.conserved(), "log audit must balance: {audit:?}");
+    }
 }
