@@ -3,7 +3,17 @@
 //! ```text
 //! repro [table1|fig2a|fig2b|fig3a|fig3b|fig4|fig5|overheads|monfreq|ablation|obsdemo|threaded|all]
 //!       [--small] [--obs-out PATH] [--json-out PATH]
+//! repro gate --baseline PATH --current PATH [--min-ratio 0.8]
+//! repro trajectory --bench PATH --label NAME --out PATH
 //! ```
+//!
+//! `gate` judges a fresh threaded bench artifact against the committed
+//! baseline: per-scenario throughput below the minimum ratio fails with
+//! exit 1, and a baseline/current scenario-set mismatch (or a malformed
+//! artifact) is a loud exit-2 error rather than a silently vacuous pass.
+//!
+//! `trajectory` appends (or replaces, by label) one condensed entry to
+//! the committed `BENCH_trajectory.json` perf record.
 //!
 //! Values are response times normalised to the unperturbed static
 //! system, printed alongside the paper's reported value where the paper
@@ -24,6 +34,11 @@ use gridq_bench::runners::{self, ReproConfig, Series};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("gate") => run_gate(&args[1..]),
+        Some("trajectory") => run_trajectory(&args[1..]),
+        _ => {}
+    }
     let mut obs_out: Option<String> = None;
     if let Some(i) = args.iter().position(|a| a == "--obs-out") {
         if i + 1 >= args.len() {
@@ -105,6 +120,94 @@ fn main() {
         Err(err) => {
             eprintln!("error: {err}");
             std::process::exit(1);
+        }
+    }
+}
+
+/// Pulls `--flag value` out of an argument slice.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn run_gate(args: &[String]) -> ! {
+    let (Some(baseline), Some(current)) = (
+        flag_value(args, "--baseline"),
+        flag_value(args, "--current"),
+    ) else {
+        eprintln!("usage: repro gate --baseline PATH --current PATH [--min-ratio 0.8]");
+        std::process::exit(2);
+    };
+    let min_ratio: f64 = match flag_value(args, "--min-ratio") {
+        None => 0.8,
+        Some(v) => match v.parse() {
+            Ok(r) => r,
+            Err(_) => {
+                eprintln!("error: --min-ratio must be a number, got `{v}`");
+                std::process::exit(2);
+            }
+        },
+    };
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match gridq_bench::gate::evaluate(&read(&baseline), &read(&current), min_ratio) {
+        Ok(report) => {
+            println!("{}", report.render());
+            std::process::exit(if report.passed() { 0 } else { 1 });
+        }
+        Err(err) => {
+            // Incomparable artifacts (scenario-set mismatch, malformed
+            // JSON): a distinct exit code so CI cannot mistake it for
+            // either a pass or an ordinary perf regression.
+            eprintln!("error: {err}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run_trajectory(args: &[String]) -> ! {
+    let (Some(bench), Some(label), Some(out)) = (
+        flag_value(args, "--bench"),
+        flag_value(args, "--label"),
+        flag_value(args, "--out"),
+    ) else {
+        eprintln!("usage: repro trajectory --bench PATH --label NAME --out PATH");
+        std::process::exit(2);
+    };
+    let bench_json = match std::fs::read_to_string(&bench) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot read {bench}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let existing = match std::fs::read_to_string(&out) {
+        Ok(text) => Some(text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+        Err(e) => {
+            eprintln!("error: cannot read {out}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match gridq_bench::trajectory::append(existing.as_deref(), &label, &bench_json) {
+        Ok(doc) => {
+            if let Err(e) = std::fs::write(&out, doc) {
+                eprintln!("error: cannot write {out}: {e}");
+                std::process::exit(2);
+            }
+            eprintln!("trajectory entry `{label}` written to {out}");
+            std::process::exit(0);
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(2);
         }
     }
 }

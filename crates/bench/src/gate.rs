@@ -1,0 +1,227 @@
+//! The bench regression gate: compares a fresh `repro threaded` artifact
+//! against the committed `BENCH_threaded.json` baseline and fails loudly
+//! when per-scenario throughput (result tuples per median wall
+//! millisecond) regresses below a minimum ratio — or when the two
+//! artifacts do not even describe the same scenario set, which would
+//! silently turn the gate into a no-op.
+//!
+//! Lives in-tree (stdlib + `gridq-obs` JSON only) so CI and local runs
+//! share one implementation: `repro gate --baseline BENCH_threaded.json
+//! --current bench-current.json`.
+
+use gridq_common::{GridError, Result};
+use gridq_obs::Json;
+
+/// The per-scenario slice of a threaded bench artifact the gate reads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioPerf {
+    /// Scenario name (`q1_static`, ...).
+    pub name: String,
+    /// Result tuples the scenario produced.
+    pub results: u64,
+    /// Median wall-clock milliseconds across the samples.
+    pub wall_ms_median: f64,
+}
+
+impl ScenarioPerf {
+    /// Result tuples per median wall millisecond.
+    pub fn throughput(&self) -> f64 {
+        self.results as f64 / self.wall_ms_median
+    }
+}
+
+/// Parses a `BENCH_threaded.json`-shaped document into its scenarios,
+/// rejecting anything structurally off (wrong `bench` tag, empty or
+/// missing scenario array, non-positive medians) — a gate that shrugs at
+/// a malformed artifact is a gate that can be disabled by accident.
+pub fn parse_bench(which: &str, text: &str) -> Result<Vec<ScenarioPerf>> {
+    let doc = Json::parse(text)
+        .map_err(|e| GridError::Config(format!("{which}: not valid JSON: {e}")))?;
+    if doc.get("bench").and_then(Json::as_str) != Some("threaded") {
+        return Err(GridError::Config(format!(
+            "{which}: not a threaded bench artifact (missing `\"bench\": \"threaded\"`)"
+        )));
+    }
+    let scenarios = doc
+        .get("scenarios")
+        .and_then(Json::as_array)
+        .ok_or_else(|| GridError::Config(format!("{which}: no `scenarios` array")))?;
+    if scenarios.is_empty() {
+        return Err(GridError::Config(format!("{which}: empty scenario set")));
+    }
+    let mut out = Vec::with_capacity(scenarios.len());
+    for s in scenarios {
+        let name = s
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| GridError::Config(format!("{which}: scenario without a name")))?
+            .to_string();
+        let results = s
+            .get("results")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| GridError::Config(format!("{which}: {name}: no `results` count")))?;
+        let wall_ms_median = s
+            .get("wall_ms_median")
+            .and_then(Json::as_f64)
+            .filter(|v| v.is_finite() && *v > 0.0)
+            .ok_or_else(|| {
+                GridError::Config(format!("{which}: {name}: missing or non-positive median"))
+            })?;
+        out.push(ScenarioPerf {
+            name,
+            results,
+            wall_ms_median,
+        });
+    }
+    Ok(out)
+}
+
+/// One scenario's verdict from the gate.
+#[derive(Debug, Clone)]
+pub struct GateLine {
+    /// Scenario name.
+    pub name: String,
+    /// Baseline throughput, tuples per median wall ms.
+    pub baseline_tput: f64,
+    /// Current throughput, tuples per median wall ms.
+    pub current_tput: f64,
+    /// `current / baseline`.
+    pub ratio: f64,
+    /// Whether the ratio cleared the gate's minimum.
+    pub passed: bool,
+}
+
+/// The gate's full report: one line per scenario, in baseline order.
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    /// Per-scenario verdicts.
+    pub lines: Vec<GateLine>,
+    /// The minimum ratio the lines were judged against.
+    pub min_ratio: f64,
+}
+
+impl GateReport {
+    /// True when every scenario cleared the minimum ratio.
+    pub fn passed(&self) -> bool {
+        self.lines.iter().all(|l| l.passed)
+    }
+
+    /// Human-readable per-scenario summary plus verdict.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for l in &self.lines {
+            out.push_str(&format!(
+                "{}: baseline {:.2} tuples/ms, current {:.2} ({:.2}x){}\n",
+                l.name,
+                l.baseline_tput,
+                l.current_tput,
+                l.ratio,
+                if l.passed { "" } else { "  << REGRESSION" }
+            ));
+        }
+        out.push_str(&if self.passed() {
+            format!("bench gate OK (min ratio {:.2})", self.min_ratio)
+        } else {
+            format!("bench gate FAILED (min ratio {:.2})", self.min_ratio)
+        });
+        out
+    }
+}
+
+/// Judges `current` against `baseline`. A scenario-set mismatch is an
+/// *error*, not a failure: the artifacts are incomparable and the run
+/// must stop loudly instead of gating whatever subset happens to align.
+pub fn evaluate(baseline: &str, current: &str, min_ratio: f64) -> Result<GateReport> {
+    let base = parse_bench("baseline", baseline)?;
+    let cur = parse_bench("current", current)?;
+    let base_names: Vec<&str> = base.iter().map(|s| s.name.as_str()).collect();
+    let cur_names: Vec<&str> = cur.iter().map(|s| s.name.as_str()).collect();
+    if base_names != cur_names {
+        return Err(GridError::Config(format!(
+            "scenario set mismatch: baseline has {base_names:?}, current has {cur_names:?} — \
+             regenerate the baseline (`repro threaded --small --json-out BENCH_threaded.json`) \
+             when the scenario set changes deliberately"
+        )));
+    }
+    let lines = base
+        .iter()
+        .zip(&cur)
+        .map(|(b, c)| {
+            let ratio = c.throughput() / b.throughput();
+            GateLine {
+                name: b.name.clone(),
+                baseline_tput: b.throughput(),
+                current_tput: c.throughput(),
+                ratio,
+                passed: ratio >= min_ratio,
+            }
+        })
+        .collect();
+    Ok(GateReport { lines, min_ratio })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifact(scenarios: &[(&str, u64, f64)]) -> String {
+        let items: Vec<String> = scenarios
+            .iter()
+            .map(|(name, results, median)| {
+                format!("{{\"name\":\"{name}\",\"results\":{results},\"wall_ms_median\":{median}}}")
+            })
+            .collect();
+        format!(
+            "{{\"bench\":\"threaded\",\"scenarios\":[{}]}}",
+            items.join(",")
+        )
+    }
+
+    #[test]
+    fn matching_scenarios_with_equal_throughput_pass() {
+        let base = artifact(&[("q1_static", 600, 60.0), ("q2_r1_recall", 940, 175.0)]);
+        let report = evaluate(&base, &base, 0.8).unwrap();
+        assert!(report.passed());
+        assert_eq!(report.lines.len(), 2);
+        assert!(report.lines.iter().all(|l| (l.ratio - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn a_regressed_scenario_fails_and_names_itself() {
+        let base = artifact(&[("q1_static", 600, 60.0)]);
+        let cur = artifact(&[("q1_static", 600, 120.0)]); // 0.5x throughput
+        let report = evaluate(&base, &cur, 0.8).unwrap();
+        assert!(!report.passed());
+        assert!(report.render().contains("q1_static"));
+        assert!(report.render().contains("REGRESSION"));
+    }
+
+    #[test]
+    fn scenario_set_mismatch_is_a_loud_error_not_a_pass() {
+        let base = artifact(&[("q1_static", 600, 60.0), ("q2_r1_recall", 940, 175.0)]);
+        let cur = artifact(&[("q1_static", 600, 60.0)]);
+        let err = evaluate(&base, &cur, 0.8).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("scenario set mismatch"), "{msg}");
+        // Both sets are named so the mismatch is actionable.
+        assert!(msg.contains("q2_r1_recall"), "{msg}");
+        // Reordering is a mismatch too: positional comparison of
+        // misaligned sets would gate the wrong pairs.
+        let reordered = artifact(&[("q2_r1_recall", 940, 175.0), ("q1_static", 600, 60.0)]);
+        assert!(evaluate(&base, &reordered, 0.8).is_err());
+    }
+
+    #[test]
+    fn malformed_artifacts_are_rejected() {
+        let good = artifact(&[("q1_static", 600, 60.0)]);
+        for bad in [
+            "not json",
+            "{\"bench\":\"threaded\",\"scenarios\":[]}",
+            "{\"bench\":\"simulated\",\"scenarios\":[{\"name\":\"x\",\"results\":1,\"wall_ms_median\":1.0}]}",
+            "{\"bench\":\"threaded\",\"scenarios\":[{\"name\":\"x\",\"results\":1,\"wall_ms_median\":0.0}]}",
+        ] {
+            assert!(evaluate(&good, bad, 0.8).is_err(), "{bad}");
+            assert!(evaluate(bad, &good, 0.8).is_err(), "{bad}");
+        }
+    }
+}

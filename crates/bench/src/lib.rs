@@ -10,7 +10,9 @@
 //! are normalised, so that the response time corresponding to
 //! no ad / no imb is set to 1 unit for each query").
 
+pub mod gate;
 pub mod harness;
 pub mod runners;
+pub mod trajectory;
 
 pub use runners::{Cell, Series};

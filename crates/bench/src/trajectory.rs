@@ -1,0 +1,177 @@
+//! The performance trajectory: an append-only record of the threaded
+//! substrate's per-scenario throughput across PRs, committed as
+//! `BENCH_trajectory.json`. Each entry condenses one `BENCH_threaded.json`
+//! artifact to its name/results/median triple per scenario; re-appending
+//! an existing label replaces that entry in place, so regenerating a
+//! PR's numbers does not duplicate its row.
+
+use gridq_common::{GridError, Result};
+use gridq_obs::json::JsonObj;
+use gridq_obs::Json;
+
+use crate::gate::{parse_bench, ScenarioPerf};
+
+/// One PR's (or CI run's) condensed bench result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryEntry {
+    /// The entry's label — by convention the PR (`pr7`) or `ci`.
+    pub label: String,
+    /// Per-scenario performance, in bench artifact order.
+    pub scenarios: Vec<ScenarioPerf>,
+}
+
+/// Parses a `BENCH_trajectory.json` document.
+pub fn parse_trajectory(text: &str) -> Result<Vec<TrajectoryEntry>> {
+    let doc = Json::parse(text)
+        .map_err(|e| GridError::Config(format!("trajectory: not valid JSON: {e}")))?;
+    if doc.get("trajectory").and_then(Json::as_str) != Some("threaded") {
+        return Err(GridError::Config(
+            "trajectory: missing `\"trajectory\": \"threaded\"` tag".into(),
+        ));
+    }
+    let entries = doc
+        .get("entries")
+        .and_then(Json::as_array)
+        .ok_or_else(|| GridError::Config("trajectory: no `entries` array".into()))?;
+    let mut out = Vec::with_capacity(entries.len());
+    for e in entries {
+        let label = e
+            .get("label")
+            .and_then(Json::as_str)
+            .ok_or_else(|| GridError::Config("trajectory: entry without a label".into()))?
+            .to_string();
+        let scenarios = e.get("scenarios").and_then(Json::as_array).ok_or_else(|| {
+            GridError::Config(format!("trajectory: {label}: no `scenarios` array"))
+        })?;
+        let mut perf = Vec::with_capacity(scenarios.len());
+        for s in scenarios {
+            let name = s
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| {
+                    GridError::Config(format!("trajectory: {label}: scenario without a name"))
+                })?
+                .to_string();
+            let results = s.get("results").and_then(Json::as_u64).ok_or_else(|| {
+                GridError::Config(format!("trajectory: {label}: {name}: no `results`"))
+            })?;
+            let wall_ms_median = s
+                .get("wall_ms_median")
+                .and_then(Json::as_f64)
+                .filter(|v| v.is_finite() && *v > 0.0)
+                .ok_or_else(|| {
+                    GridError::Config(format!(
+                        "trajectory: {label}: {name}: missing or non-positive median"
+                    ))
+                })?;
+            perf.push(ScenarioPerf {
+                name,
+                results,
+                wall_ms_median,
+            });
+        }
+        out.push(TrajectoryEntry {
+            label,
+            scenarios: perf,
+        });
+    }
+    Ok(out)
+}
+
+/// Serializes entries back to the committed document shape. Throughput
+/// is emitted per scenario as a derived convenience column; `results`
+/// and `wall_ms_median` stay authoritative.
+pub fn render_trajectory(entries: &[TrajectoryEntry]) -> String {
+    let items: Vec<String> = entries
+        .iter()
+        .map(|e| {
+            let scenarios: Vec<String> = e
+                .scenarios
+                .iter()
+                .map(|s| {
+                    let mut obj = JsonObj::new();
+                    obj.str("name", &s.name)
+                        .int("results", s.results)
+                        .num("wall_ms_median", s.wall_ms_median)
+                        .num("tuples_per_ms", s.throughput());
+                    obj.finish()
+                })
+                .collect();
+            let mut obj = JsonObj::new();
+            obj.str("label", &e.label)
+                .raw("scenarios", &format!("[{}]", scenarios.join(",")));
+            obj.finish()
+        })
+        .collect();
+    let mut doc = JsonObj::new();
+    doc.str("trajectory", "threaded")
+        .raw("entries", &format!("[{}]", items.join(",")));
+    doc.finish()
+}
+
+/// Appends (or replaces, when `label` already exists) one entry derived
+/// from a threaded bench artifact. `existing` is the current trajectory
+/// document, or `None` to start a fresh one.
+pub fn append(existing: Option<&str>, label: &str, bench_json: &str) -> Result<String> {
+    if label.is_empty() {
+        return Err(GridError::Config("trajectory: empty label".into()));
+    }
+    let mut entries = match existing {
+        Some(text) => parse_trajectory(text)?,
+        None => Vec::new(),
+    };
+    let entry = TrajectoryEntry {
+        label: label.to_string(),
+        scenarios: parse_bench("bench", bench_json)?,
+    };
+    match entries.iter_mut().find(|e| e.label == label) {
+        Some(slot) => *slot = entry,
+        None => entries.push(entry),
+    }
+    Ok(render_trajectory(&entries))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench(median: f64) -> String {
+        format!(
+            "{{\"bench\":\"threaded\",\"scenarios\":[{{\"name\":\"q1_static\",\
+             \"results\":600,\"wall_ms_median\":{median}}}]}}"
+        )
+    }
+
+    #[test]
+    fn append_starts_extends_and_round_trips() {
+        let one = append(None, "pr6", &bench(60.0)).unwrap();
+        let two = append(Some(&one), "pr7", &bench(6.0)).unwrap();
+        let entries = parse_trajectory(&two).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].label, "pr6");
+        assert_eq!(entries[1].label, "pr7");
+        // 10x the throughput at one tenth the median.
+        let t6 = entries[0].scenarios[0].throughput();
+        let t7 = entries[1].scenarios[0].throughput();
+        assert!((t7 / t6 - 10.0).abs() < 1e-9);
+        // Round trip: render(parse(x)) == x.
+        assert_eq!(render_trajectory(&entries), two);
+    }
+
+    #[test]
+    fn reappending_a_label_replaces_in_place() {
+        let one = append(None, "pr7", &bench(60.0)).unwrap();
+        let two = append(Some(&one), "pr7", &bench(6.0)).unwrap();
+        let entries = parse_trajectory(&two).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert!((entries[0].scenarios[0].wall_ms_median - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        assert!(append(Some("not json"), "pr7", &bench(1.0)).is_err());
+        assert!(append(None, "", &bench(1.0)).is_err());
+        assert!(append(None, "pr7", "{\"bench\":\"threaded\"}").is_err());
+        assert!(parse_trajectory("{\"trajectory\":\"simulated\",\"entries\":[]}").is_err());
+    }
+}

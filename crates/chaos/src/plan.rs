@@ -446,11 +446,19 @@ pub enum FaultFamily {
     NodeCrash,
     /// Perturbation bursts arriving mid-query.
     PerturbBurst,
+    /// Whole-block faults at the batched data plane's block boundary:
+    /// adjacent drop + duplicate of entire tuple blocks on one edge.
+    /// Since the `on_data` seam fires once per flushed block, a drop
+    /// loses every tuple and checkpoint marker the block carried (healed
+    /// by whole-block retransmission from the recovery log — there are
+    /// no partial-block acks) and a duplicate redelivers the full block
+    /// (absorbed by `(source, first_seq..last_seq)` range dedup).
+    BlockBoundary,
 }
 
 impl FaultFamily {
     /// Every family, in matrix order.
-    pub const ALL: [FaultFamily; 9] = [
+    pub const ALL: [FaultFamily; 10] = [
         FaultFamily::NotifyLoss,
         FaultFamily::AckChaos,
         FaultFamily::DataDelay,
@@ -460,6 +468,7 @@ impl FaultFamily {
         FaultFamily::CrashMidRecall,
         FaultFamily::NodeCrash,
         FaultFamily::PerturbBurst,
+        FaultFamily::BlockBoundary,
     ];
 
     /// Stable name used in JSON and CLI arguments.
@@ -474,6 +483,7 @@ impl FaultFamily {
             FaultFamily::CrashMidRecall => "crash_mid_recall",
             FaultFamily::NodeCrash => "node_crash",
             FaultFamily::PerturbBurst => "perturb_burst",
+            FaultFamily::BlockBoundary => "block_boundary",
         }
     }
 
@@ -650,6 +660,24 @@ impl FaultPlan {
                     });
                 }
             }
+            FaultFamily::BlockBoundary => {
+                // Adjacent whole-block drop + duplicate on the same edge:
+                // the block at `nth` is lost (and must be retransmitted
+                // in full) while the very next block is redelivered (and
+                // must dedup in full). Pairing them on one edge stresses
+                // block-atomicity on both sides of the boundary at once.
+                for _ in 0..rng.usize_in(1, 3) {
+                    let source = rng.usize_in(0, sources);
+                    let dest = rng.usize_in(0, workers);
+                    let nth = rng.i64_in(1, 4) as u64;
+                    events.push(FaultEvent::DropData { source, dest, nth });
+                    events.push(FaultEvent::DuplicateData {
+                        source,
+                        dest,
+                        nth: nth + 1,
+                    });
+                }
+            }
         }
         FaultPlan { seed, events }
     }
@@ -800,6 +828,32 @@ mod tests {
         ));
         assert_eq!(threaded_crash.consumer_crashes().len(), 1);
         assert!(threaded_crash.events[0].hook_mediated());
+    }
+
+    #[test]
+    fn block_boundary_pairs_drop_and_dup_on_one_edge() {
+        for seed in [1_u64, 7, 42, 1303, 99991] {
+            for simulated in [true, false] {
+                let topo = Topology { simulated, ..TOPO };
+                let plan = FaultPlan::generate(seed, FaultFamily::BlockBoundary, topo);
+                assert!(!plan.events.is_empty());
+                assert_eq!(plan.events.len() % 2, 0, "events come in drop/dup pairs");
+                for pair in plan.events.chunks(2) {
+                    let FaultEvent::DropData { source, dest, nth } = pair[0] else {
+                        panic!("pair must lead with a drop: {pair:?}");
+                    };
+                    assert_eq!(
+                        pair[1],
+                        FaultEvent::DuplicateData {
+                            source,
+                            dest,
+                            nth: nth + 1
+                        },
+                        "the adjacent block on the same edge must duplicate"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

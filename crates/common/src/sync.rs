@@ -19,6 +19,8 @@
 use std::fmt;
 use std::sync::TryLockError;
 
+pub mod ring;
+
 /// A mutual-exclusion lock that recovers from poisoning.
 ///
 /// API-compatible with the subset of `parking_lot::Mutex` the workspace

@@ -33,7 +33,7 @@ mod recall;
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -43,6 +43,7 @@ use gridq_adapt::{
     ResponsePolicy, M1, M2,
 };
 use gridq_common::cast;
+use gridq_common::sync::ring::{ring, RingReceiver, RingSender, Waker};
 use gridq_common::sync::Mutex;
 use gridq_common::{
     ChaosHook, DistributionVector, GridError, NetAction, NodeId, NotifyKind, PartitionId,
@@ -208,6 +209,11 @@ pub struct ThreadedReport {
     /// entry per (source, dest) edge that gave up. Empty on a healthy
     /// run; the query completes either way.
     pub delivery_gaps: Vec<DeliveryGap>,
+    /// Data-plane block pushes that failed because the destination
+    /// consumer was already gone (its ring closed), counted in tuples.
+    /// Surfaced immediately at send time — not discarded, and not
+    /// deferred until a heartbeat lease expires.
+    pub send_failures: u64,
     /// Conservation audit of each source's recovery log (logging runs
     /// only: R1 adaptivity, chaos, or failover; indexed like
     /// `DistributedPlan::sources`).
@@ -220,24 +226,12 @@ pub struct ThreadedReport {
 }
 
 enum Msg {
-    /// A routed data tuple. `source` indexes `DistributedPlan::sources`,
-    /// so consumers can attribute held tuples to the right recovery log.
-    Tuple {
-        stream: StreamTag,
-        source: usize,
-        tuple: Tuple,
-    },
-    /// A recovery-log checkpoint marker. Sent in-band right after the
-    /// tuple that closed its window, so by FIFO an acknowledged marker
-    /// proves every tuple of the window was delivered.
-    Checkpoint {
-        source: usize,
-        cp: Checkpoint,
-        epoch: u64,
-    },
     /// End of one source's stream; carries the stream tag so consumers
-    /// can tell when the build phase is complete.
-    Eos(StreamTag),
+    /// can tell when the build phase is complete, and the producer index
+    /// so the consumer can drain that producer's data ring first (every
+    /// push precedes the Eos send, but the ring and the control channel
+    /// carry no cross-plane ordering of their own).
+    Eos { stream: StreamTag, source: usize },
     /// Recall barrier marker: the consumer replies `Ctrl::Drained` once
     /// it sees this, proving the channel holds no pre-pause tuples.
     Drain { token: u64 },
@@ -262,9 +256,80 @@ enum Msg {
 /// A producer's per-destination staging buffer entry: either a routed
 /// tuple or a checkpoint marker riding in sequence behind the tuple that
 /// closed its window.
+#[derive(Clone)]
 enum Staged {
     Tuple(StreamTag, Tuple),
     Marker(Checkpoint, u64),
+}
+
+/// The data-plane unit: one producer's staged batch for one destination,
+/// shipped over a bounded SPSC ring in a single push. Routing was paid
+/// once per item when the block was staged; checkpoint markers ride
+/// in-order behind the tuples that closed their windows, so delivering a
+/// block delivers whole windows atomically.
+struct Block {
+    /// Index into `DistributedPlan::sources`, so consumers can attribute
+    /// tuples and markers to the right recovery log.
+    source: usize,
+    items: Vec<Staged>,
+    /// Set on retry-epilogue retransmissions. A retransmitted window
+    /// targets its *original* destination, and a recall may have moved a
+    /// tuple's bucket elsewhere in the meantime — the consumer re-checks
+    /// ownership of fresh tuples from such blocks and forwards strays to
+    /// the current owner. Ordinary blocks skip the check: their routing
+    /// was computed against the live distribution when they were staged.
+    retransmit: bool,
+}
+
+impl Block {
+    /// The resilient-mode dedup key: `(first_seq, last_seq, count)` over
+    /// the block's tuples (markers excluded), or `None` for marker-only
+    /// blocks. Within one source a window's identity is pinned by its
+    /// extremes plus cardinality: windows only ever *shrink* after
+    /// closing (entries migrate out to other destinations' open windows,
+    /// never in), so two same-key deliveries of a source's window at the
+    /// same consumer carry the same tuple set and the second can be
+    /// skipped wholesale.
+    fn range_key(&self) -> Option<(u64, u64, usize)> {
+        let mut first = None;
+        let mut last = 0;
+        let mut count = 0usize;
+        for item in &self.items {
+            if let Staged::Tuple(_, t) = item {
+                let seq = t.seq();
+                first.get_or_insert(seq);
+                last = seq;
+                count += 1;
+            }
+        }
+        first.map(|f| (f, last, count))
+    }
+}
+
+/// A consumer's control-plane address: the mpsc sender plus the waker
+/// that pulls the consumer out of its idle park. Every control send
+/// wakes, so a consumer parked between ring polls reacts to `Eos`,
+/// `Drain`, `Migrate`, and replayed `Migrated` traffic immediately.
+#[derive(Clone)]
+struct CtrlTx {
+    tx: Sender<Msg>,
+    waker: Arc<Waker>,
+}
+
+impl CtrlTx {
+    /// Sends a control message and wakes the consumer. Returns whether
+    /// the consumer's receiver still exists.
+    fn send(&self, msg: Msg) -> bool {
+        let ok = self.tx.send(msg).is_ok();
+        self.waker.wake();
+        ok
+    }
+
+    /// Wakes the consumer without sending (used by producers after a
+    /// ring push).
+    fn wake(&self) {
+        self.waker.wake();
+    }
 }
 
 enum Raw {
@@ -363,7 +428,7 @@ where
     gate: Option<&'a RecallGate>,
     monitor: Option<&'a HeartbeatMonitor>,
     logs: Option<&'a Vec<SharedRecoveryLog<LogItem>>>,
-    adapt_senders: &'a [Sender<Msg>],
+    adapt_senders: &'a [CtrlTx],
     ctrl_rx: &'a Receiver<Ctrl>,
     router: &'a Mutex<Router>,
     diagnoser: &'a mut Diagnoser,
@@ -438,7 +503,7 @@ where
     let drained = !targets.is_empty()
         && targets
             .iter()
-            .all(|&p| adapt_senders[p].send(Msg::Drain { token }).is_ok())
+            .all(|&p| adapt_senders[p].send(Msg::Drain { token }))
         && collect_replies(ctrl_rx, token, targets.len(), false, recall_timeout).is_some();
     if !drained {
         gate.abort_pause();
@@ -473,7 +538,7 @@ where
     let bucket_count = router.lock().bucket_count();
     for &p in &targets {
         let outgoing = moves.outgoing.get(p).cloned().unwrap_or_default();
-        let _ = adapt_senders[p].send(Msg::Migrate {
+        adapt_senders[p].send(Msg::Migrate {
             token,
             bucket_count,
             outgoing,
@@ -506,7 +571,7 @@ where
                 _ => fallback,
             };
             replayed += 1;
-            let _ = adapt_senders[dest].send(Msg::Migrated {
+            adapt_senders[dest].send(Msg::Migrated {
                 stream,
                 source: s,
                 tuple: tuple.clone(),
@@ -593,14 +658,39 @@ impl ThreadedExecutor {
             cast::index_to_u32(partitions)?,
         )?));
 
-        // Channels: producers -> consumers, consumers -> collector,
-        // everyone -> adaptivity thread, consumers -> recall coordinator.
-        let mut to_consumer: Vec<Sender<Msg>> = Vec::new();
+        // Channels. The hot data plane is a bounded SPSC ring per
+        // (producer, consumer) edge carrying whole tuple blocks; the ring
+        // is the backpressure (a slow consumer parks its producers at
+        // `RING_BLOCKS` staged blocks). The control plane (Eos, recall
+        // commands, migrated re-deliveries, backstops) stays on one mpsc
+        // channel per consumer, paired with the waker that interrupts the
+        // consumer's idle park.
+        const RING_BLOCKS: usize = 8;
+        let producers_n = plan.sources.len();
+        let mut to_consumer: Vec<CtrlTx> = Vec::new();
         let mut consumer_rx: Vec<Receiver<Msg>> = Vec::new();
+        let mut consumer_wakers: Vec<Arc<Waker>> = Vec::new();
         for _ in 0..partitions {
             let (tx, rx) = channel();
-            to_consumer.push(tx);
+            let waker = Arc::new(Waker::new());
+            to_consumer.push(CtrlTx {
+                tx,
+                waker: Arc::clone(&waker),
+            });
             consumer_rx.push(rx);
+            consumer_wakers.push(waker);
+        }
+        // ring_txs[producer][consumer] / ring_rxs[consumer][producer].
+        let mut ring_txs: Vec<Vec<RingSender<Block>>> =
+            (0..producers_n).map(|_| Vec::new()).collect();
+        let mut ring_rxs: Vec<Vec<RingReceiver<Block>>> =
+            (0..partitions).map(|_| Vec::new()).collect();
+        for ring_tx_row in ring_txs.iter_mut() {
+            for ring_rx_row in ring_rxs.iter_mut() {
+                let (tx, rx) = ring::<Block>(RING_BLOCKS);
+                ring_tx_row.push(tx);
+                ring_rx_row.push(rx);
+            }
         }
         let (result_tx, result_rx) = channel::<Vec<Tuple>>();
         let (raw_tx, raw_rx) = channel::<Raw>();
@@ -674,6 +764,7 @@ impl ThreadedExecutor {
         };
         let delivery_gaps: Arc<Mutex<Vec<DeliveryGap>>> = Arc::new(Mutex::new(Vec::new()));
         let retransmitted_total = Arc::new(AtomicU64::new(0));
+        let send_failures_total = Arc::new(AtomicU64::new(0));
         let gate = recall_on.then(|| Arc::new(RecallGate::new(plan.sources.len())));
         let build_source = plan
             .sources
@@ -685,7 +776,8 @@ impl ThreadedExecutor {
         for (sidx, source) in plan.sources.iter().enumerate() {
             let table = self.catalog.get(&source.table)?;
             let router = Arc::clone(&router);
-            let senders = to_consumer.clone();
+            let rings = std::mem::take(&mut ring_txs[sidx]);
+            let ctrl = to_consumer.clone();
             let raw = raw_tx.clone();
             let routed_total = Arc::clone(&routed_total);
             let restaged_total = Arc::clone(&restaged_total);
@@ -702,25 +794,43 @@ impl ThreadedExecutor {
             let retry_policy = self.config.delivery_retry.clone();
             let gaps = Arc::clone(&delivery_gaps);
             let retransmitted = Arc::clone(&retransmitted_total);
+            let send_failures = Arc::clone(&send_failures_total);
+            let failover_on = self.config.failover.enabled;
             producer_handles.push(thread::spawn(move || {
                 // Counts this producer as done even if it panics, so the
                 // recall barrier can never wait on a dead thread.
                 let _guard = gate.as_ref().map(|g| ProducerGuard::new(Arc::clone(g)));
-                let mut buffers: Vec<Vec<Staged>> =
-                    (0..senders.len()).map(|_| Vec::new()).collect();
-                let flush = |dest: usize, buffers: &mut Vec<Vec<Staged>>, started: &Instant| {
+                let mut buffers: Vec<Vec<Staged>> = (0..rings.len()).map(|_| Vec::new()).collect();
+                // Ships one staged block to `dest`. Pays the modelled scan
+                // time accumulated in `due` first, in a single sleep:
+                // batching the per-row sleeps at block boundaries is what
+                // lifts the data plane above the OS timer granularity.
+                let flush = |dest: usize,
+                             buffers: &mut Vec<Vec<Staged>>,
+                             disconnected: &mut Vec<bool>,
+                             due: &mut f64,
+                             started: &Instant,
+                             retransmit: bool| {
+                    if *due > 0.0 {
+                        spin_for(*due, scale);
+                        *due = 0.0;
+                    }
                     let items = std::mem::take(&mut buffers[dest]);
                     if items.is_empty() {
                         return;
                     }
+                    let tuples = items
+                        .iter()
+                        .filter(|s| matches!(s, Staged::Tuple(..)))
+                        .count();
                     let fate = chaos
                         .as_ref()
                         .map_or(NetAction::Deliver, |c| c.on_data(sidx, dest));
                     if fate == NetAction::Drop {
-                        // The whole batch vanishes — tuples and the
-                        // marker that would acknowledge them, together.
-                        // In resilient mode the window's ack never
-                        // arrives, so the retry epilogue retransmits it
+                        // The whole block vanishes — tuples and the
+                        // markers that would acknowledge them, together.
+                        // In resilient mode the windows' acks never
+                        // arrive, so the retry epilogue retransmits them
                         // from the recovery log.
                         return;
                     }
@@ -731,35 +841,41 @@ impl ThreadedExecutor {
                     }
                     let send_started = Instant::now();
                     let mut count = 0usize;
-                    for item in items {
-                        match item {
-                            Staged::Tuple(tag, t) => {
-                                if fate == NetAction::Duplicate {
-                                    // At-least-once transport: the second
-                                    // copy is absorbed by the consumer's
-                                    // (source, seq) dedup filter.
-                                    count += 1;
-                                    let _ = senders[dest].send(Msg::Tuple {
-                                        stream: tag,
-                                        source: sidx,
-                                        tuple: t.clone(),
-                                    });
-                                }
-                                count += 1;
-                                let _ = senders[dest].send(Msg::Tuple {
-                                    stream: tag,
-                                    source: sidx,
-                                    tuple: t,
-                                });
-                            }
-                            Staged::Marker(cp, epoch) => {
-                                let _ = senders[dest].send(Msg::Checkpoint {
-                                    source: sidx,
-                                    cp,
-                                    epoch,
-                                });
-                            }
+                    let mut failed = 0usize;
+                    if fate == NetAction::Duplicate {
+                        // At-least-once transport: the cloned block is
+                        // absorbed by the consumer's block-range dedup.
+                        count += tuples;
+                        if rings[dest]
+                            .push(Block {
+                                source: sidx,
+                                items: items.clone(),
+                                retransmit,
+                            })
+                            .is_err()
+                        {
+                            failed += tuples;
                         }
+                    }
+                    count += tuples;
+                    if rings[dest]
+                        .push(Block {
+                            source: sidx,
+                            items,
+                            retransmit,
+                        })
+                        .is_err()
+                    {
+                        failed += tuples;
+                    }
+                    ctrl[dest].wake();
+                    if failed > 0 {
+                        // The consumer is gone: its ring rejected the
+                        // block. Count the loss *now* instead of
+                        // discarding the error — the report surfaces it
+                        // even before any heartbeat lease expires.
+                        disconnected[dest] = true;
+                        send_failures.fetch_add(failed as u64, Ordering::Relaxed);
                     }
                     let m2_kept = chaos
                         .as_ref()
@@ -817,6 +933,10 @@ impl ThreadedExecutor {
                 };
                 let started_local = Instant::now();
                 let mut epoch = gate.as_ref().map(|g| g.epoch()).unwrap_or(0);
+                // Modelled scan milliseconds owed but not yet slept; paid
+                // in one batch at the next flush.
+                let mut due = 0.0f64;
+                let mut disconnected = vec![false; rings.len()];
                 for row in table.rows() {
                     if let Some(g) = &gate {
                         let now_epoch = g.pause_point();
@@ -828,15 +948,12 @@ impl ThreadedExecutor {
                     let stall = chaos
                         .as_ref()
                         .map_or(0.0, |c| c.stall_ms(StallSite::Producer, sidx));
-                    spin_for(
-                        scan_cost
-                            + if stall.is_finite() {
-                                stall.max(0.0)
-                            } else {
-                                0.0
-                            },
-                        scale,
-                    );
+                    due += scan_cost
+                        + if stall.is_finite() {
+                            stall.max(0.0)
+                        } else {
+                            0.0
+                        };
                     let dest = {
                         let mut r = router.lock();
                         r.route(stream, row).unwrap_or(0)
@@ -858,13 +975,27 @@ impl ThreadedExecutor {
                         // Flush at window boundaries only: the interval is
                         // clamped to the buffer size, so a whole window
                         // (tuples plus marker) always travels in one
-                        // batch and a chaos drop or duplicate hits it
+                        // block and a chaos drop or duplicate hits it
                         // atomically.
                         if window_closed {
-                            flush(dest, &mut buffers, &started_local);
+                            flush(
+                                dest,
+                                &mut buffers,
+                                &mut disconnected,
+                                &mut due,
+                                &started_local,
+                                false,
+                            );
                         }
                     } else if buffers[dest].len() >= buffer_tuples {
-                        flush(dest, &mut buffers, &started_local);
+                        flush(
+                            dest,
+                            &mut buffers,
+                            &mut disconnected,
+                            &mut due,
+                            &started_local,
+                            false,
+                        );
                     }
                 }
                 // A recall in flight must complete (and the buffers
@@ -877,7 +1008,7 @@ impl ThreadedExecutor {
                         restaged_total.fetch_add(restage(&mut buffers), Ordering::Relaxed);
                     }
                 }
-                for (dest, sender) in senders.iter().enumerate() {
+                for dest in 0..rings.len() {
                     // Resilient runs checkpoint build streams too: the
                     // markers are delivery receipts, and retained build
                     // logs keep the entries replayable regardless.
@@ -888,9 +1019,19 @@ impl ThreadedExecutor {
                             }
                         }
                     }
-                    flush(dest, &mut buffers, &started_local);
+                    flush(
+                        dest,
+                        &mut buffers,
+                        &mut disconnected,
+                        &mut due,
+                        &started_local,
+                        false,
+                    );
                     if !resilient {
-                        let _ = sender.send(Msg::Eos(stream));
+                        ctrl[dest].send(Msg::Eos {
+                            stream,
+                            source: sidx,
+                        });
                     }
                 }
                 if resilient {
@@ -904,7 +1045,47 @@ impl ThreadedExecutor {
                     // cannot exit while redelivery is still possible.
                     if let Some(log_vec) = &logs {
                         let mut backoff = RetryBackoff::new(&retry_policy, sidx as u64);
+                        let mut gapped = vec![false; rings.len()];
                         'retry: for attempt in 0..=retry_policy.max_retries {
+                            // A destination whose ring closed can never
+                            // ack again, and with failover disabled
+                            // nothing can revive delivery there: record
+                            // its gap immediately instead of sleeping out
+                            // the whole backoff budget against a dead
+                            // consumer. With failover enabled the budget
+                            // is exactly what keeps this producer alive
+                            // until the lease expires and the coordinator
+                            // replays the dead partition's log onto the
+                            // survivors, so the fast path stays off.
+                            if !failover_on {
+                                for dest in 0..rings.len() {
+                                    if !disconnected[dest] || gapped[dest] {
+                                        continue;
+                                    }
+                                    gapped[dest] = true;
+                                    buffers[dest].clear();
+                                    let _ = log_vec[sidx].force_checkpoint(dest as u32);
+                                    let windows = log_vec[sidx].undelivered_windows(dest as u32);
+                                    if !windows.is_empty() {
+                                        let tuples: u64 =
+                                            windows.iter().map(|(_, w)| w.len() as u64).sum();
+                                        gaps.lock().push(DeliveryGap {
+                                            source: sidx,
+                                            dest,
+                                            windows: windows.len() as u64,
+                                            tuples,
+                                        });
+                                    }
+                                }
+                                // Nothing pending at any live destination:
+                                // skip the remaining backoff outright.
+                                if (0..rings.len()).all(|d| {
+                                    gapped[d]
+                                        || log_vec[sidx].undelivered_windows(d as u32).is_empty()
+                                }) {
+                                    break 'retry;
+                                }
+                            }
                             // Sleep in short slices with a pause-point in
                             // each, so a concurrent (failover) recall can
                             // still park this producer.
@@ -916,8 +1097,15 @@ impl ThreadedExecutor {
                                         epoch = now_epoch;
                                         restaged_total
                                             .fetch_add(restage(&mut buffers), Ordering::Relaxed);
-                                        for dest in 0..senders.len() {
-                                            flush(dest, &mut buffers, &started_local);
+                                        for dest in 0..rings.len() {
+                                            flush(
+                                                dest,
+                                                &mut buffers,
+                                                &mut disconnected,
+                                                &mut due,
+                                                &started_local,
+                                                false,
+                                            );
                                         }
                                     }
                                 }
@@ -929,16 +1117,29 @@ impl ThreadedExecutor {
                             // final scan flush (recalls and failover
                             // replay append to open windows) and push its
                             // marker out with whatever the buffer holds —
-                            // one batch, so marker delivery still implies
+                            // one block, so marker delivery still implies
                             // content delivery.
-                            for dest in 0..senders.len() {
+                            for dest in 0..rings.len() {
+                                if gapped[dest] {
+                                    continue;
+                                }
                                 if let Ok(Some(cp)) = log_vec[sidx].force_checkpoint(dest as u32) {
                                     buffers[dest].push(Staged::Marker(cp, log_vec[sidx].epoch()));
-                                    flush(dest, &mut buffers, &started_local);
+                                    flush(
+                                        dest,
+                                        &mut buffers,
+                                        &mut disconnected,
+                                        &mut due,
+                                        &started_local,
+                                        false,
+                                    );
                                 }
                             }
                             let mut undelivered_any = false;
-                            for dest in 0..senders.len() {
+                            for dest in 0..rings.len() {
+                                if gapped[dest] {
+                                    continue;
+                                }
                                 let windows = log_vec[sidx].undelivered_windows(dest as u32);
                                 if windows.is_empty() {
                                     continue;
@@ -962,7 +1163,14 @@ impl ThreadedExecutor {
                                             buffers[dest].push(Staged::Tuple(tag, t));
                                         }
                                         buffers[dest].push(Staged::Marker(cp, epoch_now));
-                                        flush(dest, &mut buffers, &started_local);
+                                        flush(
+                                            dest,
+                                            &mut buffers,
+                                            &mut disconnected,
+                                            &mut due,
+                                            &started_local,
+                                            true,
+                                        );
                                     }
                                 }
                             }
@@ -971,8 +1179,11 @@ impl ThreadedExecutor {
                             }
                         }
                     }
-                    for sender in &senders {
-                        let _ = sender.send(Msg::Eos(stream));
+                    for c in &ctrl {
+                        c.send(Msg::Eos {
+                            stream,
+                            source: sidx,
+                        });
                     }
                 }
             }));
@@ -991,6 +1202,8 @@ impl ThreadedExecutor {
             .count();
         let mut consumer_handles = Vec::new();
         for (i, rx) in consumer_rx.into_iter().enumerate() {
+            let rings = std::mem::take(&mut ring_rxs[i]);
+            let waker = Arc::clone(&consumer_wakers[i]);
             let mut evaluator = stage.factory.create(i as u32);
             let node = stage.nodes[i];
             let perturbation = self.config.perturbations.get(&node).cloned();
@@ -1034,6 +1247,16 @@ impl ThreadedExecutor {
                 // (retransmission, chaos duplication), processing must be
                 // effectively-once. `(source, seq)` identifies a tuple.
                 let mut seen: HashSet<(usize, u64)> = HashSet::new();
+                // Whole-block dedup, the fast path over `seen`: closed
+                // windows only shrink on retransmission, so a block that
+                // re-arrives with an identical (source, first_seq,
+                // last_seq, count) range is the same block.
+                let mut seen_blocks: HashSet<(usize, u64, u64, usize)> = HashSet::new();
+                // Modelled processing cost accrued but not yet spent in
+                // real time; paid once per block (or control message)
+                // instead of once per tuple, which is where batching wins
+                // its throughput back from the sleep granularity floor.
+                let mut due = 0.0f64;
                 // Probe-window acks deferred while the build phase is
                 // incomplete: an ack is a *processing* receipt here, and
                 // held probes are unprocessed — a crash before the build
@@ -1071,10 +1294,13 @@ impl ThreadedExecutor {
                             }
                         }
                     };
-                // Evaluates one tuple, spending the modelled (and
-                // perturbed) cost in real time. Shared by the streaming
-                // path, the held-probe replay, and migrated re-delivery,
-                // so every processed tuple feeds the same M1 batch.
+                // Evaluates one tuple, accruing the modelled (and
+                // perturbed) cost into `due` for the caller to pay as one
+                // sleep. Shared by the streaming path, the held-probe
+                // replay, and migrated re-delivery, so every processed
+                // tuple feeds the same M1 batch. The M1 cost estimate
+                // stays per-tuple exact because it reads the model, not
+                // the wall clock.
                 let process_one = |evaluator: &mut Box<dyn PartitionEvaluator>,
                                    stream: StreamTag,
                                    tuple: &Tuple,
@@ -1082,7 +1308,8 @@ impl ThreadedExecutor {
                                    processed: &mut u64,
                                    outputs_total: &mut u64,
                                    batch: &mut u32,
-                                   batch_cost: &mut f64| {
+                                   batch_cost: &mut f64,
+                                   due: &mut f64| {
                     let Ok(outcome) = evaluator.process(stream, tuple) else {
                         return;
                     };
@@ -1096,7 +1323,7 @@ impl ThreadedExecutor {
                         } else {
                             0.0
                         };
-                    spin_for(model_cost, scale);
+                    *due += model_cost;
                     *processed += 1;
                     processed_total.fetch_add(1, Ordering::Relaxed);
                     if let Some(c) = &processed_ctr {
@@ -1152,93 +1379,459 @@ impl ThreadedExecutor {
                     *batch_cost = 0.0;
                     *batch_wait = 0.0;
                 };
+                // Consumes one tuple block off a ring. Resilient-mode
+                // dedup runs at two granularities: a whole-block range
+                // hit skips every tuple in one set probe (markers still
+                // apply — acks are idempotent, and the duplicate may be
+                // the only copy whose ack survives the chaos plan), and
+                // the per-tuple `seen` filter catches redelivery that is
+                // not block-identical (a window retransmitted into a
+                // differently-packed block).
+                let handle_block = |block: Block,
+                                    evaluator: &mut Box<dyn PartitionEvaluator>,
+                                    out: &mut Vec<Tuple>,
+                                    processed: &mut u64,
+                                    outputs_total: &mut u64,
+                                    batch: &mut u32,
+                                    batch_cost: &mut f64,
+                                    batch_wait: &mut f64,
+                                    due: &mut f64,
+                                    held_probes: &mut Vec<(usize, Tuple)>,
+                                    pending_acks: &mut Vec<(usize, Checkpoint, u64)>,
+                                    seen: &mut HashSet<(usize, u64)>,
+                                    seen_blocks: &mut HashSet<(usize, u64, u64, usize)>,
+                                    build_eos_seen: usize| {
+                    let source = block.source;
+                    let retransmit = block.retransmit;
+                    let dup = resilient
+                        && block.range_key().is_some_and(|(first, last, count)| {
+                            !seen_blocks.insert((source, first, last, count))
+                        });
+                    let building = build_eos_needed > 0 && build_eos_seen < build_eos_needed;
+                    for staged in block.items {
+                        match staged {
+                            Staged::Tuple(stream, tuple) => {
+                                if dup {
+                                    continue;
+                                }
+                                if resilient && !seen.insert((source, tuple.seq())) {
+                                    continue;
+                                }
+                                if retransmit {
+                                    // A retransmitted window was addressed
+                                    // before any bucket moves since it
+                                    // closed: under hash routing a fresh
+                                    // tuple whose bucket migrated away must
+                                    // be processed by the current owner.
+                                    // Forwarding here — behind the dedup
+                                    // filter, log entry riding along — is
+                                    // the sound direction: re-routing at
+                                    // the producer would let an ack-loss
+                                    // redelivery reach a partition that
+                                    // never saw the original and duplicate
+                                    // its output.
+                                    let owner = {
+                                        let mut r = router.lock();
+                                        r.bucket_count()
+                                            .map(|_| r.route(stream, &tuple).unwrap_or(i as u32))
+                                    };
+                                    if let Some(owner) = owner {
+                                        if owner as usize != i {
+                                            if let Some(logs) = &logs {
+                                                let seq = tuple.seq();
+                                                let _ = logs[source].migrate_matching(
+                                                    i as u32,
+                                                    owner,
+                                                    |(s, t)| *s == stream && t.seq() == seq,
+                                                );
+                                            }
+                                            peers[owner as usize].send(Msg::Migrated {
+                                                stream,
+                                                source,
+                                                tuple,
+                                            });
+                                            continue;
+                                        }
+                                    }
+                                }
+                                if stream == StreamTag::Probe && building {
+                                    held_probes.push((source, tuple));
+                                } else {
+                                    process_one(
+                                        evaluator,
+                                        stream,
+                                        &tuple,
+                                        out,
+                                        processed,
+                                        outputs_total,
+                                        batch,
+                                        batch_cost,
+                                        due,
+                                    );
+                                    emit_m1(
+                                        batch,
+                                        batch_cost,
+                                        batch_wait,
+                                        *processed,
+                                        *outputs_total,
+                                        false,
+                                    );
+                                }
+                            }
+                            Staged::Marker(cp, epoch) => {
+                                debug_assert_eq!(cp.dest as usize, i);
+                                // Acks are best-effort control traffic: a
+                                // lost one keeps the window in the log
+                                // until a retransmission's ack supersedes
+                                // it, a duplicate is absorbed by the log
+                                // itself. Probe-window acks are deferred
+                                // while the build phase is incomplete.
+                                if resilient && building && Some(source) != build_source {
+                                    pending_acks.push((source, cp, epoch));
+                                } else {
+                                    apply_ack(source, cp, epoch, out);
+                                }
+                            }
+                        }
+                    }
+                    // Pay the block's accumulated modelled cost as one
+                    // sleep instead of one per tuple.
+                    if *due > 0.0 {
+                        spin_for(*due, scale);
+                        *due = 0.0;
+                    }
+                };
+                // Drains one ring, consulting the crash seam once per
+                // block. A macro rather than a closure: it needs the
+                // enclosing `return` (a crash is the whole thread dying).
+                macro_rules! drain_ring {
+                    ($r:expr) => {
+                        while let Some(block) = $r.pop() {
+                            if chaos.as_ref().is_some_and(|c| c.crash_worker(i)) {
+                                return (processed, Vec::new());
+                            }
+                            handle_block(
+                                block,
+                                &mut evaluator,
+                                &mut out,
+                                &mut processed,
+                                &mut outputs_total,
+                                &mut batch,
+                                &mut batch_cost,
+                                &mut batch_wait,
+                                &mut due,
+                                &mut held_probes,
+                                &mut pending_acks,
+                                &mut seen,
+                                &mut seen_blocks,
+                                build_eos_seen,
+                            );
+                        }
+                    };
+                }
+                // Set once the control channel disconnects (every
+                // producer and the coordinator are gone); the loop makes
+                // one final pass over the rings before exiting.
+                let mut ctrl_gone = false;
+                // A control message pulled out of order by the data
+                // plane's preemption check, handled first next cycle.
+                let mut stashed: Option<Msg> = None;
+                // Set by the final Eos: exit once the cycle unwinds.
+                let mut done = false;
+                // The two planes carry no ordering between them, so the
+                // loop re-establishes the old single-FIFO guarantees by
+                // construction. Control drains first and completely: a
+                // recall re-delivery (`Migrated`) is enqueued before the
+                // coordinator resumes the producers, hence before any
+                // post-recall block is pushed — handling all visible
+                // control before any data keeps migrated state ahead of
+                // the tuples that probe it. The data drain re-checks the
+                // control channel before every block for the same reason.
+                // The inverse direction (a block pushed before Eos/Drain
+                // was sent) is handled inside those arms, which drain the
+                // rings the guarantee covers before acting.
                 loop {
-                    // Beat before blocking: an idle consumer renews its
-                    // lease once per receive slice, a busy one once per
-                    // message.
+                    // Beat per cycle: an idle consumer renews its lease
+                    // once per park slice, a busy one once per pass.
                     if failover_on {
                         let _ = raw.send(Raw::Beat(i));
                     }
-                    let wait_started = Instant::now();
-                    let msg = match rx.recv_timeout(Duration::from_millis(recv_slice_ms)) {
-                        Ok(m) => m,
-                        Err(RecvTimeoutError::Timeout) => {
-                            // The partition spent this whole slice
-                            // waiting for input. Dropping it (as this arm
-                            // once did) understated the leaf-wait signal
-                            // the A2 diagnoser keys on.
-                            batch_wait += wait_started.elapsed().as_secs_f64() * 1000.0;
-                            continue;
+                    let mut progressed = false;
+                    // Control plane, exhaustively and in FIFO order.
+                    loop {
+                        let msg = match stashed.take() {
+                            Some(m) => m,
+                            None => match rx.try_recv() {
+                                Ok(m) => m,
+                                Err(TryRecvError::Disconnected) => {
+                                    ctrl_gone = true;
+                                    break;
+                                }
+                                Err(TryRecvError::Empty) => break,
+                            },
+                        };
+                        progressed = true;
+                        // The crash seam: consulted once per control
+                        // message (and once per block in the drains).
+                        // Dying here means no flush, no acks, no control
+                        // replies — exactly a vanished node.
+                        if chaos.as_ref().is_some_and(|c| c.crash_worker(i)) {
+                            return (processed, Vec::new());
                         }
-                        Err(RecvTimeoutError::Disconnected) => break,
-                    };
-                    batch_wait += wait_started.elapsed().as_secs_f64() * 1000.0;
-                    // The crash seam: consulted once per received
-                    // message. Dying here means no flush, no acks, no
-                    // control replies — exactly a vanished node.
-                    if chaos.as_ref().is_some_and(|c| c.crash_worker(i)) {
-                        return (processed, Vec::new());
-                    }
-                    // Resilient-mode dedup filter. Data-plane tuples are
-                    // checked-and-recorded (a retransmitted or duplicated
-                    // copy is dropped here); recall/replay re-deliveries
-                    // are recorded but always processed — bucket
-                    // ping-pong legitimately re-delivers a seq, and the
-                    // recall barrier already guarantees exactly-once for
-                    // that path.
-                    let msg = match msg {
-                        Msg::Tuple {
-                            stream,
-                            source,
-                            tuple,
-                        } if resilient => {
-                            if !seen.insert((source, tuple.seq())) {
-                                continue;
-                            }
-                            Msg::Tuple {
-                                stream,
+                        match msg {
+                            Msg::Eos {
+                                stream: tag,
                                 source,
-                                tuple,
+                            } => {
+                                // Every push from this producer precedes
+                                // its Eos: consume its ring before acting,
+                                // so the held-probe replay and the final
+                                // exit observe all of its blocks.
+                                drain_ring!(rings[source]);
+                                eos_seen += 1;
+                                if tag == StreamTag::Build {
+                                    build_eos_seen += 1;
+                                }
+                                if build_eos_needed > 0 && build_eos_seen == build_eos_needed {
+                                    for (n, (_, tuple)) in
+                                        std::mem::take(&mut held_probes).into_iter().enumerate()
+                                    {
+                                        // Replaying a large backlog takes real
+                                        // time; pay the accrued cost in
+                                        // slices and keep the lease renewed.
+                                        if n % 16 == 0 {
+                                            if failover_on {
+                                                let _ = raw.send(Raw::Beat(i));
+                                            }
+                                            if due > 0.0 {
+                                                spin_for(due, scale);
+                                                due = 0.0;
+                                            }
+                                        }
+                                        process_one(
+                                            &mut evaluator,
+                                            StreamTag::Probe,
+                                            &tuple,
+                                            &mut out,
+                                            &mut processed,
+                                            &mut outputs_total,
+                                            &mut batch,
+                                            &mut batch_cost,
+                                            &mut due,
+                                        );
+                                        emit_m1(
+                                            &mut batch,
+                                            &mut batch_cost,
+                                            &mut batch_wait,
+                                            processed,
+                                            outputs_total,
+                                            false,
+                                        );
+                                    }
+                                    if due > 0.0 {
+                                        spin_for(due, scale);
+                                        due = 0.0;
+                                    }
+                                    // The held probes are processed: their
+                                    // deferred window acks are now true
+                                    // processing receipts, so release them.
+                                    for (source, cp, epoch) in std::mem::take(&mut pending_acks) {
+                                        apply_ack(source, cp, epoch, &mut out);
+                                    }
+                                }
+                                if eos_seen == eos_needed {
+                                    // Flush the partial tail batch before the
+                                    // monitoring record goes quiet.
+                                    emit_m1(
+                                        &mut batch,
+                                        &mut batch_cost,
+                                        &mut batch_wait,
+                                        processed,
+                                        outputs_total,
+                                        true,
+                                    );
+                                    done = true;
+                                }
                             }
-                        }
-                        Msg::Migrated {
-                            stream,
-                            source,
-                            tuple,
-                        } if resilient => {
-                            seen.insert((source, tuple.seq()));
+                            Msg::Drain { token } => {
+                                // The producers are parked behind the recall
+                                // gate, so the rings hold everything sent
+                                // before the pause: consume it all before
+                                // replying, which is exactly what `Drained`
+                                // promises the coordinator.
+                                for r in &rings {
+                                    drain_ring!(r);
+                                }
+                                if chaos
+                                    .as_ref()
+                                    .is_none_or(|c| c.on_recall_ctrl(RecallPhase::Drain, i))
+                                {
+                                    let _ = ctrl.send(Ctrl::Drained { token });
+                                }
+                                // A swallowed reply models a crashed worker
+                                // mid-recall: the coordinator's barrier times
+                                // out and the recall aborts pre-swap, leaving
+                                // router and state untouched.
+                            }
+                            Msg::Migrate {
+                                token,
+                                bucket_count,
+                                outgoing,
+                            } => {
+                                let mut state_moved = 0u64;
+                                let mut recalled = 0u64;
+                                // Hand the surrendered buckets' operator
+                                // state to the new owners. The entries leave
+                                // this consumer's slice of the build log: the
+                                // migration traffic now carries them.
+                                if let Some(bc) = bucket_count {
+                                    if !outgoing.is_empty() {
+                                        let extracted = evaluator.extract_state(bc, &outgoing);
+                                        if !resilient {
+                                            if let (Some(logs), Some(b)) = (&logs, build_source) {
+                                                let moved: HashSet<u64> = extracted
+                                                    .iter()
+                                                    .map(|(_, t)| t.seq())
+                                                    .collect();
+                                                let _ =
+                                                    logs[b].retire_matching(i as u32, |(s, t)| {
+                                                        *s == StreamTag::Build
+                                                            && moved.contains(&t.seq())
+                                                    });
+                                            }
+                                        }
+                                        for (stream, tuple) in extracted {
+                                            let dest = {
+                                                let mut r = router.lock();
+                                                r.route(stream, &tuple).unwrap_or(i as u32)
+                                            }
+                                                as usize;
+                                            state_moved += 1;
+                                            if dest == i {
+                                                // Outgoing buckets route away
+                                                // by construction; re-insert
+                                                // defensively if not.
+                                                let _ = evaluator.process(stream, &tuple);
+                                            } else {
+                                                if resilient {
+                                                    // The log entry follows its
+                                                    // tuple to the new owner's
+                                                    // open window instead of
+                                                    // retiring: a later crash
+                                                    // there must still find it
+                                                    // replayable.
+                                                    if let (Some(logs), Some(b)) =
+                                                        (&logs, build_source)
+                                                    {
+                                                        let seq = tuple.seq();
+                                                        let _ = logs[b].migrate_matching(
+                                                            i as u32,
+                                                            dest as u32,
+                                                            |(s, t)| {
+                                                                *s == StreamTag::Build
+                                                                    && t.seq() == seq
+                                                            },
+                                                        );
+                                                    }
+                                                }
+                                                peers[dest].send(Msg::Migrated {
+                                                    stream,
+                                                    source: build_source.unwrap_or(0),
+                                                    tuple,
+                                                });
+                                            }
+                                        }
+                                    }
+                                }
+                                // Recall held probe tuples whose bucket moved.
+                                if !held_probes.is_empty() {
+                                    let mut retire: HashMap<usize, HashSet<u64>> = HashMap::new();
+                                    for (source, tuple) in std::mem::take(&mut held_probes) {
+                                        let dest = {
+                                            let mut r = router.lock();
+                                            r.route(StreamTag::Probe, &tuple).unwrap_or(i as u32)
+                                        }
+                                            as usize;
+                                        if dest == i {
+                                            held_probes.push((source, tuple));
+                                        } else {
+                                            if resilient {
+                                                // As with build state: the
+                                                // entry rides along, staying
+                                                // replayable at the new owner.
+                                                if let Some(logs) = &logs {
+                                                    let seq = tuple.seq();
+                                                    let _ = logs[source].migrate_matching(
+                                                        i as u32,
+                                                        dest as u32,
+                                                        |(s, t)| {
+                                                            *s == StreamTag::Probe && t.seq() == seq
+                                                        },
+                                                    );
+                                                }
+                                            } else {
+                                                retire
+                                                    .entry(source)
+                                                    .or_default()
+                                                    .insert(tuple.seq());
+                                            }
+                                            recalled += 1;
+                                            peers[dest].send(Msg::Migrated {
+                                                stream: StreamTag::Probe,
+                                                source,
+                                                tuple,
+                                            });
+                                        }
+                                    }
+                                    if let Some(logs) = &logs {
+                                        for (source, seqs) in retire {
+                                            let _ =
+                                                logs[source].retire_matching(i as u32, |(s, t)| {
+                                                    *s == StreamTag::Probe
+                                                        && seqs.contains(&t.seq())
+                                                });
+                                        }
+                                    }
+                                }
+                                if chaos
+                                    .as_ref()
+                                    .is_none_or(|c| c.on_recall_ctrl(RecallPhase::Migrate, i))
+                                {
+                                    let _ = ctrl.send(Ctrl::MigrateDone {
+                                        token,
+                                        state_moved,
+                                        recalled,
+                                    });
+                                }
+                            }
                             Msg::Migrated {
                                 stream,
                                 source,
                                 tuple,
-                            }
-                        }
-                        other => other,
-                    };
-                    match msg {
-                        Msg::Eos(tag) => {
-                            eos_seen += 1;
-                            if tag == StreamTag::Build {
-                                build_eos_seen += 1;
-                            }
-                            if build_eos_needed > 0 && build_eos_seen == build_eos_needed {
-                                for (n, (_, tuple)) in
-                                    std::mem::take(&mut held_probes).into_iter().enumerate()
+                            } => {
+                                // Recorded but always processed: bucket
+                                // ping-pong legitimately re-delivers a seq,
+                                // and the recall barrier already guarantees
+                                // exactly-once for this path.
+                                if resilient {
+                                    seen.insert((source, tuple.seq()));
+                                }
+                                if stream == StreamTag::Probe
+                                    && build_eos_needed > 0
+                                    && build_eos_seen < build_eos_needed
                                 {
-                                    // Replaying a large backlog takes real
-                                    // time; keep the lease renewed.
-                                    if failover_on && n % 16 == 0 {
-                                        let _ = raw.send(Raw::Beat(i));
-                                    }
+                                    held_probes.push((source, tuple));
+                                } else {
                                     process_one(
                                         &mut evaluator,
-                                        StreamTag::Probe,
+                                        stream,
                                         &tuple,
                                         &mut out,
                                         &mut processed,
                                         &mut outputs_total,
                                         &mut batch,
                                         &mut batch_cost,
+                                        &mut due,
                                     );
                                     emit_m1(
                                         &mut batch,
@@ -1248,232 +1841,98 @@ impl ThreadedExecutor {
                                         outputs_total,
                                         false,
                                     );
-                                }
-                                // The held probes are processed: their
-                                // deferred window acks are now true
-                                // processing receipts, so release them.
-                                for (source, cp, epoch) in std::mem::take(&mut pending_acks) {
-                                    apply_ack(source, cp, epoch, &mut out);
+                                    if due > 0.0 {
+                                        spin_for(due, scale);
+                                        due = 0.0;
+                                    }
                                 }
                             }
-                            if eos_seen == eos_needed {
-                                // Flush the partial tail batch before the
-                                // monitoring record goes quiet.
-                                emit_m1(
-                                    &mut batch,
-                                    &mut batch_cost,
-                                    &mut batch_wait,
-                                    processed,
-                                    outputs_total,
-                                    true,
-                                );
-                                break;
+                        }
+                        if done {
+                            break;
+                        }
+                    }
+                    if done {
+                        break;
+                    }
+                    // Data plane: drain every ring, re-checking the
+                    // control channel before each block — a `Migrated`
+                    // that arrives mid-drain precedes any block pushed
+                    // after it, so control preempts.
+                    'drain: for r in &rings {
+                        loop {
+                            if !ctrl_gone {
+                                match rx.try_recv() {
+                                    Ok(m) => {
+                                        stashed = Some(m);
+                                        break 'drain;
+                                    }
+                                    Err(TryRecvError::Disconnected) => ctrl_gone = true,
+                                    Err(TryRecvError::Empty) => {}
+                                }
                             }
-                        }
-                        Msg::Tuple {
-                            stream: StreamTag::Probe,
-                            source,
-                            tuple,
-                        } if build_eos_needed > 0 && build_eos_seen < build_eos_needed => {
-                            held_probes.push((source, tuple));
-                        }
-                        Msg::Tuple { stream, tuple, .. } => {
-                            process_one(
+                            let Some(block) = r.pop() else { break };
+                            progressed = true;
+                            if chaos.as_ref().is_some_and(|c| c.crash_worker(i)) {
+                                return (processed, Vec::new());
+                            }
+                            handle_block(
+                                block,
                                 &mut evaluator,
-                                stream,
-                                &tuple,
                                 &mut out,
                                 &mut processed,
                                 &mut outputs_total,
                                 &mut batch,
                                 &mut batch_cost,
-                            );
-                            emit_m1(
-                                &mut batch,
-                                &mut batch_cost,
                                 &mut batch_wait,
-                                processed,
-                                outputs_total,
-                                false,
+                                &mut due,
+                                &mut held_probes,
+                                &mut pending_acks,
+                                &mut seen,
+                                &mut seen_blocks,
+                                build_eos_seen,
                             );
                         }
-                        Msg::Checkpoint { source, cp, epoch } => {
-                            debug_assert_eq!(cp.dest as usize, i);
-                            // Acks are best-effort control traffic: a
-                            // lost one keeps the window in the log until
-                            // a retransmission's ack supersedes it, a
-                            // duplicate is absorbed by the log itself.
-                            let building =
-                                build_eos_needed > 0 && build_eos_seen < build_eos_needed;
-                            if resilient && building && Some(source) != build_source {
-                                pending_acks.push((source, cp, epoch));
-                            } else {
-                                apply_ack(source, cp, epoch, &mut out);
-                            }
+                    }
+                    if stashed.is_some() {
+                        continue;
+                    }
+                    if ctrl_gone {
+                        // Every sender is gone and the rings were just
+                        // drained dry: nothing more can arrive.
+                        break;
+                    }
+                    if progressed {
+                        continue;
+                    }
+                    // Idle. Register on the waker, then re-poll both
+                    // planes: a push or send that landed between the
+                    // polls above and the registration would wake nobody,
+                    // and the park would eat a full slice against input
+                    // already waiting.
+                    waker.register();
+                    if rings.iter().any(|r| !r.is_empty()) {
+                        waker.clear();
+                        continue;
+                    }
+                    match rx.try_recv() {
+                        Ok(m) => {
+                            waker.clear();
+                            stashed = Some(m);
                         }
-                        Msg::Drain { token } => {
-                            // FIFO channel: everything sent before the
-                            // pause is now behind us.
-                            if chaos
-                                .as_ref()
-                                .is_none_or(|c| c.on_recall_ctrl(RecallPhase::Drain, i))
-                            {
-                                let _ = ctrl.send(Ctrl::Drained { token });
-                            }
-                            // A swallowed reply models a crashed worker
-                            // mid-recall: the coordinator's barrier times
-                            // out and the recall aborts pre-swap, leaving
-                            // router and state untouched.
+                        Err(TryRecvError::Disconnected) => {
+                            waker.clear();
+                            ctrl_gone = true;
                         }
-                        Msg::Migrate {
-                            token,
-                            bucket_count,
-                            outgoing,
-                        } => {
-                            let mut state_moved = 0u64;
-                            let mut recalled = 0u64;
-                            // Hand the surrendered buckets' operator
-                            // state to the new owners. The entries leave
-                            // this consumer's slice of the build log: the
-                            // migration traffic now carries them.
-                            if let Some(bc) = bucket_count {
-                                if !outgoing.is_empty() {
-                                    let extracted = evaluator.extract_state(bc, &outgoing);
-                                    if !resilient {
-                                        if let (Some(logs), Some(b)) = (&logs, build_source) {
-                                            let moved: HashSet<u64> =
-                                                extracted.iter().map(|(_, t)| t.seq()).collect();
-                                            let _ = logs[b].retire_matching(i as u32, |(s, t)| {
-                                                *s == StreamTag::Build && moved.contains(&t.seq())
-                                            });
-                                        }
-                                    }
-                                    for (stream, tuple) in extracted {
-                                        let dest = {
-                                            let mut r = router.lock();
-                                            r.route(stream, &tuple).unwrap_or(i as u32)
-                                        }
-                                            as usize;
-                                        state_moved += 1;
-                                        if dest == i {
-                                            // Outgoing buckets route away
-                                            // by construction; re-insert
-                                            // defensively if not.
-                                            let _ = evaluator.process(stream, &tuple);
-                                        } else {
-                                            if resilient {
-                                                // The log entry follows its
-                                                // tuple to the new owner's
-                                                // open window instead of
-                                                // retiring: a later crash
-                                                // there must still find it
-                                                // replayable.
-                                                if let (Some(logs), Some(b)) = (&logs, build_source)
-                                                {
-                                                    let seq = tuple.seq();
-                                                    let _ = logs[b].migrate_matching(
-                                                        i as u32,
-                                                        dest as u32,
-                                                        |(s, t)| {
-                                                            *s == StreamTag::Build && t.seq() == seq
-                                                        },
-                                                    );
-                                                }
-                                            }
-                                            let _ = peers[dest].send(Msg::Migrated {
-                                                stream,
-                                                source: build_source.unwrap_or(0),
-                                                tuple,
-                                            });
-                                        }
-                                    }
-                                }
-                            }
-                            // Recall held probe tuples whose bucket moved.
-                            if !held_probes.is_empty() {
-                                let mut retire: HashMap<usize, HashSet<u64>> = HashMap::new();
-                                for (source, tuple) in std::mem::take(&mut held_probes) {
-                                    let dest = {
-                                        let mut r = router.lock();
-                                        r.route(StreamTag::Probe, &tuple).unwrap_or(i as u32)
-                                    } as usize;
-                                    if dest == i {
-                                        held_probes.push((source, tuple));
-                                    } else {
-                                        if resilient {
-                                            // As with build state: the
-                                            // entry rides along, staying
-                                            // replayable at the new owner.
-                                            if let Some(logs) = &logs {
-                                                let seq = tuple.seq();
-                                                let _ = logs[source].migrate_matching(
-                                                    i as u32,
-                                                    dest as u32,
-                                                    |(s, t)| {
-                                                        *s == StreamTag::Probe && t.seq() == seq
-                                                    },
-                                                );
-                                            }
-                                        } else {
-                                            retire.entry(source).or_default().insert(tuple.seq());
-                                        }
-                                        recalled += 1;
-                                        let _ = peers[dest].send(Msg::Migrated {
-                                            stream: StreamTag::Probe,
-                                            source,
-                                            tuple,
-                                        });
-                                    }
-                                }
-                                if let Some(logs) = &logs {
-                                    for (source, seqs) in retire {
-                                        let _ = logs[source].retire_matching(i as u32, |(s, t)| {
-                                            *s == StreamTag::Probe && seqs.contains(&t.seq())
-                                        });
-                                    }
-                                }
-                            }
-                            if chaos
-                                .as_ref()
-                                .is_none_or(|c| c.on_recall_ctrl(RecallPhase::Migrate, i))
-                            {
-                                let _ = ctrl.send(Ctrl::MigrateDone {
-                                    token,
-                                    state_moved,
-                                    recalled,
-                                });
-                            }
-                        }
-                        Msg::Migrated {
-                            stream,
-                            source,
-                            tuple,
-                        } => {
-                            if stream == StreamTag::Probe
-                                && build_eos_needed > 0
-                                && build_eos_seen < build_eos_needed
-                            {
-                                held_probes.push((source, tuple));
-                            } else {
-                                process_one(
-                                    &mut evaluator,
-                                    stream,
-                                    &tuple,
-                                    &mut out,
-                                    &mut processed,
-                                    &mut outputs_total,
-                                    &mut batch,
-                                    &mut batch_cost,
-                                );
-                                emit_m1(
-                                    &mut batch,
-                                    &mut batch_cost,
-                                    &mut batch_wait,
-                                    processed,
-                                    outputs_total,
-                                    false,
-                                );
-                            }
+                        Err(TryRecvError::Empty) => {
+                            // The partition spends this slice waiting for
+                            // input. Dropping the wait (as this arm once
+                            // did) understated the leaf-wait signal the
+                            // A2 diagnoser keys on.
+                            let wait_started = Instant::now();
+                            thread::park_timeout(Duration::from_millis(recv_slice_ms));
+                            waker.clear();
+                            batch_wait += wait_started.elapsed().as_secs_f64() * 1000.0;
                         }
                     }
                 }
@@ -1780,9 +2239,9 @@ impl ThreadedExecutor {
                                     })
                                     .collect();
                                 let drained = !targets.is_empty()
-                                    && targets.iter().all(|&p| {
-                                        adapt_senders[p].send(Msg::Drain { token }).is_ok()
-                                    })
+                                    && targets
+                                        .iter()
+                                        .all(|&p| adapt_senders[p].send(Msg::Drain { token }))
                                     && collect_replies(
                                         &ctrl_rx,
                                         token,
@@ -1828,7 +2287,7 @@ impl ThreadedExecutor {
                                 for &p in &targets {
                                     let outgoing =
                                         moves.outgoing.get(p).cloned().unwrap_or_default();
-                                    let _ = adapt_senders[p].send(Msg::Migrate {
+                                    adapt_senders[p].send(Msg::Migrate {
                                         token,
                                         bucket_count,
                                         outgoing,
@@ -1908,7 +2367,10 @@ impl ThreadedExecutor {
                 // without them the consumers would wait forever, because
                 // the recall coordinator keeps the channels open.
                 for tx in &backstop {
-                    let _ = tx.send(Msg::Eos(plan.sources[i].stream));
+                    tx.send(Msg::Eos {
+                        stream: plan.sources[i].stream,
+                        source: i,
+                    });
                 }
             }
         }
@@ -1964,6 +2426,7 @@ impl ThreadedExecutor {
             nodes_failed: stats.nodes_failed,
             failovers_completed: stats.failovers_completed,
             tuples_retransmitted: retransmitted_total.load(Ordering::Relaxed),
+            send_failures: send_failures_total.load(Ordering::Relaxed),
             delivery_gaps,
             log_audits: logs
                 .map(|logs| logs.iter().map(SharedRecoveryLog::audit).collect())
@@ -2659,6 +3122,57 @@ mod tests {
         assert!(
             report.log_audits.iter().any(|a| a.unacked > 0),
             "the gapped windows stay visibly unacknowledged"
+        );
+    }
+
+    #[test]
+    fn dead_consumer_surfaces_gaps_before_failover_would_fire() {
+        // A consumer that dies with failover disabled used to have its
+        // push errors silently discarded (`let _ = send(...)`) and the
+        // producer then slept out the entire retry/backoff budget against
+        // the closed channel before any gap surfaced. Closed-ring pushes
+        // are now counted into `send_failures` and the retry loop gaps
+        // the destination out immediately.
+        let table = int_table("t", 200);
+        let plan = call_plan(&table, 2);
+        let started = Instant::now();
+        let report = ThreadedExecutor::new(
+            catalog(&[&table]),
+            ThreadedConfig {
+                adaptivity: AdaptivityConfig::disabled(),
+                cost_scale: 0.002,
+                chaos: Some(Arc::new(CrashOnNth {
+                    worker: 1,
+                    after: 2,
+                    calls: AtomicU64::new(0),
+                })),
+                delivery_retry: RetryPolicy {
+                    base_ms: 500.0,
+                    max_retries: 6,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+        .run(&plan)
+        .unwrap();
+        let wall = started.elapsed();
+        assert!(
+            report.send_failures > 0,
+            "pushes into the dead consumer's closed ring are counted: {report:?}"
+        );
+        assert!(
+            !report.delivery_gaps.is_empty(),
+            "the dead consumer surfaces as delivery gaps: {report:?}"
+        );
+        assert!(report.delivery_gaps.iter().all(|g| g.dest == 1));
+        assert!(report.results.len() < 200, "partition 1's share is missing");
+        assert!(!report.results.is_empty(), "partition 0 still answered");
+        // The full budget would be ~30s of backoff (500ms doubling over
+        // 6 retries); the fast path must settle in roughly one attempt.
+        assert!(
+            wall < Duration::from_secs(10),
+            "the gap fast path must not sleep out the backoff budget: {wall:?}"
         );
     }
 

@@ -37,6 +37,11 @@ pub const CLOCK_SITES: &[&str] = &[
     // distinguish "dead" from "slow". The simulator's failover path uses
     // virtual time; this module serves the threaded substrate only.
     "crates/exec/src/failover.rs",
+    // The SPSC ring's `pop_wait` park deadline is a real-thread timeout:
+    // a parked consumer can only be freed by wall-clock expiry, and the
+    // ring serves the threaded substrate exclusively (the simulator has
+    // no rings — buffers travel through the virtual-time event queue).
+    "crates/common/src/sync/ring.rs",
 ];
 
 /// The one file allowed to name `std::sync::{Mutex, RwLock, Condvar}`:
@@ -46,7 +51,7 @@ pub const SYNC_SITE: &str = "crates/common/src/sync.rs";
 /// Struct-name fragments that mark a type as a monitoring window, log,
 /// or history whose growth must be visibly bounded.
 const BOUNDED_NAME_PATTERNS: &[&str] = &[
-    "Window", "Log", "Timeline", "History", "Journal", "Buffer", "Recorder", "Trace",
+    "Window", "Log", "Timeline", "History", "Journal", "Buffer", "Recorder", "Trace", "Ring",
 ];
 
 /// Idents that count as visible eviction evidence inside an impl block.

@@ -44,3 +44,26 @@ impl LogicalPlan {
         self.nodes.push(x);
     }
 }
+
+pub struct RetryRing {
+    slots: Vec<u32>,
+}
+
+impl RetryRing {
+    pub fn add(&mut self, x: u32) {
+        self.slots.push(x);
+    }
+}
+
+pub struct DrainedRing {
+    slots: Vec<u32>,
+}
+
+impl DrainedRing {
+    pub fn add(&mut self, x: u32) {
+        self.slots.push(x);
+    }
+    pub fn take(&mut self) -> Vec<u32> {
+        self.slots.drain(..).collect()
+    }
+}

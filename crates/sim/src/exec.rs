@@ -982,6 +982,50 @@ impl<'a> Run<'a> {
                         self.reschedule_step(ci, self.now.offset(self.config.receive_cost_ms));
                         return Ok(());
                     }
+                    // A retransmission targets the window's *original*
+                    // destination — by the time it lands, a recall may
+                    // have moved the tuple's bucket elsewhere. Producer-
+                    // side re-routing would be unsound (a processed-but-
+                    // unacknowledged tuple re-routed to the new owner
+                    // bypasses the old owner's dedup and duplicates
+                    // output), so the stale copy is forwarded here, past
+                    // the dedup filter: fresh means the original never
+                    // arrived, and the current owner must process it.
+                    // The recovery-log entry follows the tuple so the
+                    // log invariant (every unacknowledged tuple logged
+                    // under its current owner) keeps holding.
+                    if !migrated && fresh && self.router.bucket_count().is_some() {
+                        let owner = self.router.route(stream, &tuple)?;
+                        if owner != ci {
+                            let seq = tuple.seq();
+                            let drained = self.sources[source]
+                                .log
+                                .drain_matching(ci, |(s, t)| *s == stream && t.seq() == seq)?;
+                            for entry in drained {
+                                let _ = self.sources[source].log.record(owner, entry)?;
+                            }
+                            self.report.tuples_redistributed += 1;
+                            let from_node = self.consumers[i].node;
+                            let to_node = self.consumers[owner as usize].node;
+                            let bytes = tuple.byte_size();
+                            let cost = self.env.buffer_cost_ms(from_node, to_node, 1, bytes);
+                            let id = self.alloc_buffer(
+                                owner,
+                                vec![Item::Tuple {
+                                    stream,
+                                    tuple,
+                                    source,
+                                    migrated: true,
+                                }],
+                            );
+                            self.queue.schedule(
+                                self.now.offset(self.config.receive_cost_ms + cost),
+                                Event::BufferArrive { buffer: id },
+                            );
+                            self.reschedule_step(ci, self.now.offset(self.config.receive_cost_ms));
+                            return Ok(());
+                        }
+                    }
                 }
                 self.process_tuple(ci, stream, tuple)
             }

@@ -160,7 +160,11 @@ struct DupEvery {
 
 impl ChaosHook for DupEvery {
     fn on_data(&self, _source: usize, _dest: usize) -> NetAction {
-        if self.sent.fetch_add(1, Ordering::Relaxed).is_multiple_of(self.nth) {
+        if self
+            .sent
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(self.nth)
+        {
             NetAction::Duplicate
         } else {
             NetAction::Deliver

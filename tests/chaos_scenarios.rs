@@ -1,13 +1,13 @@
 //! Tier-1 chaos smoke: a pinned corner of the full chaos matrix runs on
 //! every `cargo test`, so fault-injection regressions surface before the
-//! seeded CI matrix does. Three pinned seeds × six fault families
+//! seeded CI matrix does. Three pinned seeds × seven fault families
 //! (notification drop, thread stall, crash mid-recall, data loss, data
-//! duplication, node crash) × both substrates, every oracle green, and
-//! every report round-tripping through the JSON parser. The data-loss,
-//! data-duplication, and node-crash families are live here — dropped
-//! buffers heal through recovery-log retransmission, duplicates are
-//! absorbed by consumer dedup, and a killed threaded consumer fails over
-//! through the heartbeat/lease detector.
+//! duplication, node crash, block-boundary drop/dup pairs) × both
+//! substrates, every oracle green, and every report round-tripping
+//! through the JSON parser. The data-plane families are live here —
+//! dropped blocks heal through whole-block recovery-log retransmission,
+//! duplicated blocks are absorbed by consumer range dedup, and a killed
+//! threaded consumer fails over through the heartbeat/lease detector.
 
 use gridq::chaos::{
     FaultEvent, FaultFamily, FaultPlan, Policy, Runner, Scenario, ScenarioOutcome, Substrate,
@@ -16,13 +16,14 @@ use gridq::chaos::{
 use gridq::obs::Json;
 
 const SEEDS: [u64; 3] = [1, 7, 1303];
-const FAMILIES: [FaultFamily; 6] = [
+const FAMILIES: [FaultFamily; 7] = [
     FaultFamily::NotifyLoss,
     FaultFamily::Stall,
     FaultFamily::CrashMidRecall,
     FaultFamily::DataLoss,
     FaultFamily::DataDup,
     FaultFamily::NodeCrash,
+    FaultFamily::BlockBoundary,
 ];
 
 #[test]

@@ -1,0 +1,183 @@
+//! Monitoring stride-sampling guarantees on both substrates.
+//!
+//! The M1 sampling stride (`monitoring_interval_tuples`) must be a
+//! property of the *tuple stream*, not of the transport framing: the
+//! stride phase carries across exchange buffers / tuple blocks, so a
+//! partition that processed `n` tuples at stride `k` emits exactly
+//! `floor(n / k)` periodic M1 events (the threaded executor adds one
+//! forced tail flush at end-of-stream so the last partial batch is not
+//! lost). A stride that reset per block would emit *zero* periodic
+//! events whenever the block size is below the interval — which is why
+//! these tests pin a block size (7) strictly smaller than the stride
+//! (10) and coprime to it.
+//!
+//! The second pair of tests pins the estimator itself: the mean M1 cost
+//! seen by the detector under stride sampling must match the mean under
+//! exhaustive (stride-1) monitoring, on both substrates.
+
+use std::collections::HashMap;
+
+use gridq::adapt::{AdaptivityConfig, AssessmentPolicy, ResponsePolicy};
+use gridq::common::NodeId;
+use gridq::exec::{ThreadedConfig, ThreadedExecutor, ThreadedReport};
+use gridq::grid::{
+    GridEnvironment, NetworkModel, NodeSpec, Perturbation, PerturbationSchedule, ResourceRegistry,
+};
+use gridq::sim::{ExecutionReport, Simulation, SimulationConfig};
+use gridq::workload::experiments::Q1Experiment;
+
+const STRIDE: u32 = 10;
+
+/// Q1 sized so every partition crosses several stride boundaries, with
+/// an exchange buffer (7) smaller than and coprime to the stride (10).
+fn q1() -> Q1Experiment {
+    Q1Experiment {
+        tuples: 250,
+        buffer_tuples: 7,
+        ..Default::default()
+    }
+}
+
+fn adapt(interval: u32) -> AdaptivityConfig {
+    AdaptivityConfig {
+        monitoring_interval_tuples: interval,
+        ..AdaptivityConfig::with_policies(AssessmentPolicy::A1, ResponsePolicy::R2)
+    }
+}
+
+fn env(evaluators: u32, perturbed: Option<NodeId>) -> GridEnvironment {
+    let mut registry = ResourceRegistry::new();
+    registry
+        .register(NodeSpec::data(NodeId::new(0), "datastore"))
+        .unwrap();
+    for i in 0..evaluators {
+        registry
+            .register(NodeSpec::compute(NodeId::new(i + 1), format!("eval{i}")))
+            .unwrap();
+    }
+    let mut env = GridEnvironment::new(registry, NetworkModel::lan_100mbps());
+    if let Some(node) = perturbed {
+        env.set_perturbation(
+            node,
+            PerturbationSchedule::constant(Perturbation::CostFactor(4.0)),
+        );
+    }
+    env
+}
+
+fn run_threaded(interval: u32, perturbed: bool) -> ThreadedReport {
+    let q1 = q1();
+    let perturbations = if perturbed {
+        let mut m = HashMap::new();
+        m.insert(NodeId::new(2), Perturbation::CostFactor(4.0));
+        m
+    } else {
+        HashMap::new()
+    };
+    ThreadedExecutor::new(
+        q1.catalog(),
+        ThreadedConfig {
+            adaptivity: adapt(interval),
+            cost_scale: 0.002,
+            perturbations,
+            ..Default::default()
+        },
+    )
+    .run(&q1.plan())
+    .unwrap()
+}
+
+fn run_sim(interval: u32, perturbed: bool) -> ExecutionReport {
+    let q1 = q1();
+    let mut config: SimulationConfig = q1.sim_config(adapt(interval));
+    config.collect_results = true;
+    let node = perturbed.then(|| NodeId::new(2));
+    let sim = Simulation::new(env(2, node), q1.catalog(), config).unwrap();
+    sim.run(&q1.plan()).unwrap()
+}
+
+/// Mean of the per-M1 detector cost observations (histogram sum/count).
+fn detector_m1_mean(obs: &gridq::obs::ObsReport) -> f64 {
+    let h = obs
+        .metrics
+        .histograms
+        .get("detector.m1_avg_cost_ms")
+        .expect("detector observed at least one M1 cost");
+    assert!(h.count > 0);
+    h.sum / h.count as f64
+}
+
+#[test]
+fn threaded_stride_phase_carries_across_blocks() {
+    let report = run_threaded(STRIDE, false);
+    assert_eq!(report.results.len(), 250);
+    let stride = u64::from(STRIDE);
+    // floor(n/k) periodic events per partition plus one forced tail
+    // flush for a partial last batch: ceil(n/k) in total.
+    let expected: u64 = report
+        .per_partition_processed
+        .iter()
+        .map(|n| n.div_ceil(stride))
+        .sum();
+    assert_eq!(
+        report.raw_m1_events, expected,
+        "per-partition processed: {:?}",
+        report.per_partition_processed
+    );
+    // The discriminator: blocks hold 7 tuples, the stride is 10. If the
+    // stride phase reset at block boundaries no periodic M1 would ever
+    // fire, leaving only the forced tails (one per partition).
+    assert!(
+        report.raw_m1_events > report.per_partition_processed.len() as u64,
+        "periodic M1s must fire across block boundaries: {report:?}"
+    );
+}
+
+#[test]
+fn sim_stride_phase_carries_across_buffers() {
+    let report = run_sim(STRIDE, false);
+    assert_eq!(report.results.len(), 250);
+    let stride = u64::from(STRIDE);
+    // The simulator emits periodic M1s only (no forced tail).
+    let expected: u64 = report
+        .per_partition_processed
+        .iter()
+        .map(|n| n / stride)
+        .sum();
+    assert_eq!(
+        report.raw_m1_events, expected,
+        "per-partition processed: {:?}",
+        report.per_partition_processed
+    );
+    assert!(
+        report.raw_m1_events > 0,
+        "periodic M1s must fire across buffer boundaries: {report:?}"
+    );
+}
+
+#[test]
+fn threaded_sampled_m1_mean_matches_exhaustive() {
+    // Node 2 runs 4x slower, so the two partitions' cost streams differ:
+    // a biased sampler (one that over-weights short tail batches) would
+    // drift from the exhaustive mean.
+    let exhaustive = run_threaded(1, true);
+    let sampled = run_threaded(STRIDE, true);
+    let e = detector_m1_mean(exhaustive.obs.as_ref().expect("obs on by default"));
+    let s = detector_m1_mean(sampled.obs.as_ref().expect("obs on by default"));
+    assert!(
+        (s - e).abs() / e < 0.10,
+        "sampled M1 mean {s:.3} must stay within 10% of exhaustive {e:.3}"
+    );
+}
+
+#[test]
+fn sim_sampled_m1_mean_matches_exhaustive() {
+    let exhaustive = run_sim(1, true);
+    let sampled = run_sim(STRIDE, true);
+    let e = detector_m1_mean(exhaustive.obs.as_ref().expect("obs on by default"));
+    let s = detector_m1_mean(sampled.obs.as_ref().expect("obs on by default"));
+    assert!(
+        (s - e).abs() / e < 0.10,
+        "sampled M1 mean {s:.3} must stay within 10% of exhaustive {e:.3}"
+    );
+}
