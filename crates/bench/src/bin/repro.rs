@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [table1|fig2a|fig2b|fig3a|fig3b|fig4|fig5|overheads|monfreq|ablation|obsdemo|threaded|all]
+//! repro [table1|fig2a|fig2b|fig3a|fig3b|fig4|fig5|overheads|monfreq|ablation|obsdemo|threaded|sockets|all]
 //!       [--small] [--obs-out PATH] [--json-out PATH]
 //! repro gate --baseline PATH --current PATH [--min-ratio 0.8]
 //! repro trajectory --bench PATH --label NAME --out PATH
@@ -29,6 +29,10 @@
 //! R2, and retrospective R1 recall scenarios); with `--json-out PATH`
 //! it also writes the per-scenario wall-clock quantiles and adaptivity
 //! counters to PATH (the `BENCH_threaded.json` CI artifact).
+//!
+//! `sockets` benchmarks the socket substrate in the same three shapes
+//! (with the routing swap and recall scripted); `--json-out PATH`
+//! writes the `BENCH_sockets.json` CI artifact.
 
 use gridq_bench::runners::{self, ReproConfig, Series};
 
@@ -72,8 +76,8 @@ fn main() {
         eprintln!("error: --obs-out only applies to the obsdemo experiment");
         std::process::exit(2);
     }
-    if json_out.is_some() && which != "threaded" {
-        eprintln!("error: --json-out only applies to the threaded benchmark");
+    if json_out.is_some() && which != "threaded" && which != "sockets" {
+        eprintln!("error: --json-out only applies to the threaded and sockets benchmarks");
         std::process::exit(2);
     }
     let result = if which == "threaded" {
@@ -83,6 +87,16 @@ fn main() {
                     gridq_common::GridError::Execution(format!("cannot write {path}: {e}"))
                 })?;
                 eprintln!("threaded benchmark artifact written to {path}");
+            }
+            Ok(bench.series)
+        })
+    } else if which == "sockets" {
+        runners::sockets_bench(&config).and_then(|bench| {
+            if let Some(path) = &json_out {
+                std::fs::write(path, &bench.json).map_err(|e| {
+                    gridq_common::GridError::Execution(format!("cannot write {path}: {e}"))
+                })?;
+                eprintln!("sockets benchmark artifact written to {path}");
             }
             Ok(bench.series)
         })
@@ -228,7 +242,7 @@ fn run(which: &str, config: &ReproConfig) -> gridq_common::Result<Vec<Series>> {
         other => Err(gridq_common::GridError::Config(format!(
             "unknown experiment `{other}`; expected one of table1, fig2a, fig2b, \
              fig3a, fig3b, fig4, fig5, overheads, monfreq, ablation, obsdemo, \
-             threaded, all"
+             threaded, sockets, all"
         ))),
     }
 }

@@ -30,18 +30,32 @@ impl ScenarioPerf {
     }
 }
 
-/// Parses a `BENCH_threaded.json`-shaped document into its scenarios,
-/// rejecting anything structurally off (wrong `bench` tag, empty or
-/// missing scenario array, non-positive medians) — a gate that shrugs at
-/// a malformed artifact is a gate that can be disabled by accident.
-pub fn parse_bench(which: &str, text: &str) -> Result<Vec<ScenarioPerf>> {
+/// The bench artifact tags the gate understands, one per wall-clock
+/// substrate.
+const BENCH_TAGS: [&str; 2] = ["threaded", "sockets"];
+
+/// The artifact's `bench` tag, validated against the known substrate
+/// tags (`threaded` or `sockets`).
+pub fn bench_tag(which: &str, text: &str) -> Result<String> {
     let doc = Json::parse(text)
         .map_err(|e| GridError::Config(format!("{which}: not valid JSON: {e}")))?;
-    if doc.get("bench").and_then(Json::as_str) != Some("threaded") {
-        return Err(GridError::Config(format!(
-            "{which}: not a threaded bench artifact (missing `\"bench\": \"threaded\"`)"
-        )));
+    match doc.get("bench").and_then(Json::as_str) {
+        Some(tag) if BENCH_TAGS.contains(&tag) => Ok(tag.to_string()),
+        _ => Err(GridError::Config(format!(
+            "{which}: not a bench artifact (expected `\"bench\"` of {BENCH_TAGS:?})"
+        ))),
     }
+}
+
+/// Parses a `BENCH_threaded.json`/`BENCH_sockets.json`-shaped document
+/// into its scenarios, rejecting anything structurally off (wrong
+/// `bench` tag, empty or missing scenario array, non-positive medians)
+/// — a gate that shrugs at a malformed artifact is a gate that can be
+/// disabled by accident.
+pub fn parse_bench(which: &str, text: &str) -> Result<Vec<ScenarioPerf>> {
+    bench_tag(which, text)?;
+    let doc = Json::parse(text)
+        .map_err(|e| GridError::Config(format!("{which}: not valid JSON: {e}")))?;
     let scenarios = doc
         .get("scenarios")
         .and_then(Json::as_array)
@@ -132,6 +146,14 @@ impl GateReport {
 /// *error*, not a failure: the artifacts are incomparable and the run
 /// must stop loudly instead of gating whatever subset happens to align.
 pub fn evaluate(baseline: &str, current: &str, min_ratio: f64) -> Result<GateReport> {
+    let base_tag = bench_tag("baseline", baseline)?;
+    let cur_tag = bench_tag("current", current)?;
+    if base_tag != cur_tag {
+        return Err(GridError::Config(format!(
+            "bench tag mismatch: baseline is `{base_tag}`, current is `{cur_tag}` — \
+             the gate only compares artifacts from the same substrate"
+        )));
+    }
     let base = parse_bench("baseline", baseline)?;
     let cur = parse_bench("current", current)?;
     let base_names: Vec<&str> = base.iter().map(|s| s.name.as_str()).collect();
@@ -147,13 +169,26 @@ pub fn evaluate(baseline: &str, current: &str, min_ratio: f64) -> Result<GateRep
         .iter()
         .zip(&cur)
         .map(|(b, c)| {
-            let ratio = c.throughput() / b.throughput();
+            // A zero-throughput baseline cell makes the plain quotient
+            // degenerate: current/0 is +inf (any regression would pass
+            // vacuously) and 0/0 is NaN (NaN >= x is false, failing a
+            // cell that did not regress). Make both explicit: against a
+            // zero baseline, any current throughput is at least as good.
+            // Medians are validated positive, so zero throughput is
+            // exactly `results == 0` — compare the integers.
+            let (ratio, passed) = if b.results == 0 {
+                let ratio = if c.results == 0 { 1.0 } else { f64::INFINITY };
+                (ratio, true)
+            } else {
+                let ratio = c.throughput() / b.throughput();
+                (ratio, ratio >= min_ratio)
+            };
             GateLine {
                 name: b.name.clone(),
                 baseline_tput: b.throughput(),
                 current_tput: c.throughput(),
                 ratio,
-                passed: ratio >= min_ratio,
+                passed,
             }
         })
         .collect();
@@ -212,6 +247,35 @@ mod tests {
     }
 
     #[test]
+    fn zero_throughput_baseline_cells_are_explicit_not_vacuous() {
+        // zero/zero: nothing regressed; the ratio is pinned to 1.0, not
+        // NaN (which would fail the >= comparison despite no regression).
+        let base = artifact(&[("q1_static", 0, 60.0)]);
+        let report = evaluate(&base, &base, 0.8).unwrap();
+        assert!(report.passed());
+        assert!((report.lines[0].ratio - 1.0).abs() < 1e-12);
+
+        // zero/nonzero: strictly better than the baseline; passes with an
+        // explicit infinite ratio rather than by NaN/inf accident — and a
+        // *regression* against a nonzero baseline still fails even when
+        // another cell has a zero baseline.
+        let cur = artifact(&[("q1_static", 600, 60.0)]);
+        let report = evaluate(&base, &cur, 0.8).unwrap();
+        assert!(report.passed());
+        assert!(report.lines[0].ratio.is_infinite());
+
+        let base = artifact(&[("q1_static", 0, 60.0), ("q2_r1_recall", 940, 175.0)]);
+        let cur = artifact(&[("q1_static", 600, 60.0), ("q2_r1_recall", 940, 350.0)]);
+        let report = evaluate(&base, &cur, 0.8).unwrap();
+        assert!(!report.passed());
+        assert!(
+            report.render().contains("q2_r1_recall"),
+            "{}",
+            report.render()
+        );
+    }
+
+    #[test]
     fn malformed_artifacts_are_rejected() {
         let good = artifact(&[("q1_static", 600, 60.0)]);
         for bad in [
@@ -223,5 +287,18 @@ mod tests {
             assert!(evaluate(&good, bad, 0.8).is_err(), "{bad}");
             assert!(evaluate(bad, &good, 0.8).is_err(), "{bad}");
         }
+    }
+
+    #[test]
+    fn sockets_artifacts_gate_against_sockets_baselines_only() {
+        let sockets = "{\"bench\":\"sockets\",\"scenarios\":[{\"name\":\"q1_static\",\
+             \"results\":600,\"wall_ms_median\":6.0}]}";
+        // Same-substrate comparison works.
+        let report = evaluate(sockets, sockets, 0.8).unwrap();
+        assert!(report.passed());
+        // Cross-substrate comparison is a loud error, not a ratio.
+        let threaded = artifact(&[("q1_static", 600, 60.0)]);
+        let err = evaluate(&threaded, sockets, 0.8).unwrap_err();
+        assert!(err.to_string().contains("bench tag mismatch"), "{err}");
     }
 }

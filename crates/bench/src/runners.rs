@@ -873,6 +873,164 @@ pub fn threaded_bench(config: &ReproConfig) -> Result<ThreadedBench> {
     })
 }
 
+/// The socket-substrate benchmark artifact.
+pub struct SocketsBench {
+    /// Summary series for the console.
+    pub series: Vec<Series>,
+    /// The JSON document for `BENCH_sockets.json`.
+    pub json: String,
+}
+
+/// Benchmarks the socket substrate in the same three shapes as
+/// [`threaded_bench`] — Q1 static, Q1 with a prospective routing swap
+/// under the 10x perturbation, and the stateful Q2 join with a
+/// retrospective recall — but over real socket connections, with the
+/// swap/recall scripted (the decision stack is benchmarked on the other
+/// substrates; what this artifact tracks is the wire data plane's
+/// cost). `GRIDQ_BENCH_SAMPLES` overrides the per-scenario run count.
+pub fn sockets_bench(config: &ReproConfig) -> Result<SocketsBench> {
+    use gridq_exec::socket::{
+        ScriptedAdaptation, ServiceResolver, SocketConfig, SocketExecutor, WireStageSpec,
+    };
+    use gridq_workload::{protein_interactions, protein_sequences, EntropyAnalyser};
+    use std::sync::Arc;
+
+    let samples: usize = std::env::var("GRIDQ_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+        .max(1);
+
+    let q1 = &config.q1;
+    let q2 = Q2Experiment {
+        probe_cost_ms: 0.5,
+        build_cost_ms: 0.1,
+        receive_cost_ms: 1.0,
+        bucket_count: 16,
+        buffer_tuples: 10,
+        ..config.q2.clone()
+    };
+    let mut q2_plan = q2.plan();
+    q2_plan.sources[0].scan_cost_ms = 1.0;
+    q2_plan.sources[1].scan_cost_ms = 10.0;
+
+    let resolver: ServiceResolver = Arc::new(|name: &str, cost_ms: f64| {
+        (name == "EntropyAnalyser").then(|| {
+            Arc::new(EntropyAnalyser::new(cost_ms)) as Arc<dyn gridq_engine::service::Service>
+        })
+    });
+    let q1_spec = || WireStageSpec::ServiceCall {
+        input_schema: protein_sequences(1, q1.seq_len, q1.seed).schema().clone(),
+        service: "EntropyAnalyser".into(),
+        service_cost_ms: q1.ws_cost_ms,
+        arg_cols: vec![1],
+        output_name: "entropy".into(),
+        keep_input: false,
+    };
+    let q2_spec = || WireStageSpec::HashJoin {
+        build_schema: protein_sequences(1, q2.seq_len, q2.seed).schema().clone(),
+        probe_schema: protein_interactions(1, 1, q2.seed).schema().clone(),
+        build_key: 0,
+        probe_key: 0,
+        build_cost_ms: q2.build_cost_ms,
+        probe_cost_ms: q2.probe_cost_ms,
+    };
+    let perturbed = || {
+        let mut p = std::collections::HashMap::new();
+        p.insert(NodeId::new(2), Perturbation::CostFactor(10.0));
+        p
+    };
+
+    let mut cells = Vec::new();
+    let mut scenario_objs = Vec::new();
+    let mut bench_scenario =
+        |name: &str, run: &dyn Fn() -> Result<gridq_exec::socket::SocketReport>| -> Result<()> {
+            let mut wall = Vec::with_capacity(samples);
+            let mut last = None;
+            for _ in 0..samples {
+                let report = run()?;
+                wall.push(report.wall_ms);
+                last = Some(report);
+            }
+            let report = last.expect("samples >= 1");
+            wall.sort_by(|a, b| a.total_cmp(b));
+            let median = wall[wall.len() / 2];
+            cells.push(Cell::new(format!("{name}: median wall ms"), None, median));
+            cells.push(Cell::new(
+                format!("{name}: adaptations deployed"),
+                None,
+                report.adaptations_deployed as f64,
+            ));
+            cells.push(Cell::new(
+                format!("{name}: recalls completed"),
+                None,
+                report.recalls_completed as f64,
+            ));
+            let mut obj = JsonObj::new();
+            obj.str("name", name)
+                .int("samples", samples as u64)
+                .num("wall_ms_min", wall[0])
+                .num("wall_ms_median", median)
+                .num("wall_ms_max", wall[wall.len() - 1])
+                .int("results", report.results.len() as u64)
+                .int("adaptations_deployed", report.adaptations_deployed)
+                .int("recalls_completed", report.recalls_completed)
+                .int("recalls_aborted", report.recalls_aborted)
+                .int("state_tuples_migrated", report.state_tuples_migrated)
+                .int("tuples_recalled", report.tuples_recalled)
+                .int("tuples_retransmitted", report.tuples_retransmitted)
+                .int("dedup_peak_entries", report.dedup_peak_entries)
+                .int("reconnects", report.reconnects);
+            scenario_objs.push(obj.finish());
+            Ok(())
+        };
+
+    bench_scenario("q1_static", &|| {
+        let mut sc = SocketConfig::new(q1_spec(), Arc::clone(&resolver));
+        sc.cost_scale = 0.002;
+        SocketExecutor::new(q1.catalog(), sc).run(&q1.plan())
+    })?;
+    bench_scenario("q1_r2_scripted", &|| {
+        let mut sc = SocketConfig::new(q1_spec(), Arc::clone(&resolver));
+        sc.cost_scale = 0.01;
+        sc.perturbations = perturbed();
+        sc.adaptations = vec![ScriptedAdaptation {
+            after_routed: q1.tuples as u64 / 4,
+            weights: vec![0.9, 0.1],
+            retrospective: false,
+        }];
+        SocketExecutor::new(q1.catalog(), sc).run(&q1.plan())
+    })?;
+    bench_scenario("q2_r1_recall", &|| {
+        let mut sc = SocketConfig::new(q2_spec(), Arc::clone(&resolver));
+        sc.cost_scale = 0.05;
+        sc.checkpoint_interval = 8;
+        sc.perturbations = perturbed();
+        sc.adaptations = vec![ScriptedAdaptation {
+            after_routed: (q2.sequences + q2.interactions / 4) as u64,
+            weights: vec![0.25, 0.75],
+            retrospective: true,
+        }];
+        SocketExecutor::new(q2.catalog(), sc).run(&q2_plan)
+    })?;
+
+    let mut doc = JsonObj::new();
+    doc.str("bench", "sockets")
+        .int("q1_tuples", q1.tuples as u64)
+        .int("q2_sequences", q2.sequences as u64)
+        .int("q2_interactions", q2.interactions as u64)
+        .int("samples", samples as u64)
+        .raw("scenarios", &format!("[{}]", scenario_objs.join(",")));
+    Ok(SocketsBench {
+        series: vec![Series {
+            id: "sockets",
+            title: "socket substrate — wall-clock smoke (static / scripted R2 / R1 recall)".into(),
+            cells,
+        }],
+        json: doc.finish(),
+    })
+}
+
 /// Every artifact, in paper order.
 pub fn all(config: &ReproConfig) -> Result<Vec<Series>> {
     let mut out = Vec::new();

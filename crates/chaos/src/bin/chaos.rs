@@ -3,8 +3,13 @@
 //! cell, and optionally writes the full JSON report.
 //!
 //! ```text
-//! chaos [--seeds 1,7,1303] [--json-out report.json]
+//! chaos [--seeds 1,7,1303] [--socket] [--json-out report.json]
 //! ```
+//!
+//! `--socket` swaps the classic sim/threaded matrix for the
+//! socket-substrate matrix (connection drops, partial writes, slow
+//! peers over real sockets) so CI can run the two surfaces as separate
+//! jobs with separate artifacts.
 //!
 //! `GRIDQ_CHAOS_SEED=<n>` overrides `--seeds` with a single seed — the
 //! replay knob for a failure reported by CI: the same seed regenerates
@@ -12,11 +17,12 @@
 //!
 //! Exit status is non-zero when any cell fails, so CI can gate on it.
 
-use gridq_chaos::{matrix, shrink_failure, Runner, ScenarioOutcome};
+use gridq_chaos::{matrix, shrink_failure, socket_matrix, Runner, ScenarioOutcome};
 
 fn main() {
     let mut seeds: Vec<u64> = vec![1, 7, 1303];
     let mut json_out: Option<String> = None;
+    let mut socket = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -37,8 +43,10 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--socket" => socket = true,
             "--help" | "-h" => {
-                println!("usage: chaos [--seeds 1,7,1303] [--json-out report.json]");
+                println!("usage: chaos [--seeds 1,7,1303] [--socket] [--json-out report.json]");
+                println!("       --socket runs the socket-substrate matrix instead");
                 println!("env:   GRIDQ_CHAOS_SEED=<n> replays a single seed's matrix");
                 return;
             }
@@ -65,7 +73,12 @@ fn main() {
     let mut outcomes: Vec<ScenarioOutcome> = Vec::new();
     let mut failures = 0usize;
     for &seed in &seeds {
-        for scenario in matrix(seed) {
+        let cells = if socket {
+            socket_matrix(seed)
+        } else {
+            matrix(seed)
+        };
+        for scenario in cells {
             let outcome = runner.run_scenario(scenario);
             let outcome = if outcome.passed() {
                 outcome

@@ -30,6 +30,13 @@ struct HookState {
     stalls: HashMap<(u8, usize), u64>,
     /// Received-message count per worker (the `crash_worker` seam).
     crashes: HashMap<usize, u64>,
+    /// Data-frame write count per worker connection (the socket
+    /// substrate's `conn_drop` seam).
+    conn_writes: HashMap<usize, u64>,
+    /// Data-frame write count per worker connection (the socket
+    /// substrate's `partial_write` seam; counted separately because the
+    /// two seams are consulted independently per frame).
+    partial_writes: HashMap<usize, u64>,
     /// Indices (into the plan's event list) of events that fired.
     fired: Vec<usize>,
 }
@@ -248,6 +255,60 @@ impl ChaosHook for PlanHook {
             }
         }
         false
+    }
+
+    fn conn_drop(&self, worker: usize) -> bool {
+        let mut s = self.state.lock();
+        let n = {
+            let c = s.conn_writes.entry(worker).or_insert(0);
+            *c += 1;
+            *c
+        };
+        for (idx, event) in self.events.iter().enumerate() {
+            if let FaultEvent::ConnDrop { worker: ew, nth } = *event {
+                if ew == worker && nth == n {
+                    s.fired.push(idx);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn partial_write(&self, worker: usize) -> bool {
+        let mut s = self.state.lock();
+        let n = {
+            let c = s.partial_writes.entry(worker).or_insert(0);
+            *c += 1;
+            *c
+        };
+        for (idx, event) in self.events.iter().enumerate() {
+            if let FaultEvent::PartialWrite { worker: ew, nth } = *event {
+                if ew == worker && nth == n {
+                    s.fired.push(idx);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn slow_peer_stall_ms(&self, worker: usize) -> f64 {
+        // Consulted once per worker when the coordinator builds the
+        // CONFIG frame, so there is no occurrence counter to advance.
+        let mut s = self.state.lock();
+        let mut total = 0.0;
+        let mut fired = Vec::new();
+        for (idx, event) in self.events.iter().enumerate() {
+            if let FaultEvent::SlowPeer { worker: ew, ms } = *event {
+                if ew == worker {
+                    total += ms.max(0.0);
+                    fired.push(idx);
+                }
+            }
+        }
+        s.fired.extend(fired);
+        total
     }
 }
 

@@ -1,7 +1,7 @@
 #![warn(missing_docs)]
 
-//! Deterministic fault injection with invariant oracles over both
-//! execution substrates.
+//! Deterministic fault injection with invariant oracles over the
+//! execution substrates (simulator, threaded, and sockets).
 //!
 //! The adaptivity control loop (monitor → assess → respond) and the
 //! recall/recovery protocols underneath it make strong promises: no
@@ -22,6 +22,9 @@
 //! - [`Runner`] executes `(seed, family, substrate, policy)` matrix
 //!   cells; [`shrink_failure`] minimises a failing plan to a small
 //!   reproducer, mirroring `gridq_common::check`'s shrinking.
+//! - [`socket_matrix`] covers the socket substrate's wire-level fault
+//!   families (connection drops, partial writes, slow peers), which
+//!   have no seam on the in-process substrates.
 //!
 //! Replaying: every JSON report embeds the scenario's seed and exact
 //! plan. `GRIDQ_CHAOS_SEED=<n>` makes the `chaos` binary run just that
@@ -50,7 +53,9 @@ pub mod shrink;
 pub use hook::PlanHook;
 pub use oracle::{judge, RunSummary, Verdict};
 pub use plan::{FaultEvent, FaultFamily, FaultPlan, Topology};
-pub use runner::{matrix, Policy, Runner, Scenario, ScenarioOutcome, Substrate, ORACLES};
+pub use runner::{
+    matrix, socket_matrix, Policy, Runner, Scenario, ScenarioOutcome, Substrate, ORACLES,
+};
 pub use shrink::shrink_failure;
 
 #[cfg(test)]

@@ -179,6 +179,40 @@ pub enum FaultEvent {
         /// Cost multiplier while active.
         factor: f64,
     },
+    /// Tear down the socket connection to worker `worker` immediately
+    /// before its `nth` data frame is written (socket substrate only).
+    ///
+    /// Survivable: the worker observes EOF, reconnects with a `Hello`
+    /// carrying its last received sequence number, and the link layer
+    /// retransmits the unacknowledged outbox suffix.
+    ConnDrop {
+        /// Worker (connection) index.
+        worker: usize,
+        /// Data frame to sever before (1-based).
+        nth: u64,
+    },
+    /// Write worker `worker`'s `nth` data frame in deliberately tiny
+    /// chunks (socket substrate only), splitting the frame header and
+    /// payload at arbitrary byte boundaries.
+    ///
+    /// Survivable by construction: the incremental frame decoder buffers
+    /// partial bytes until a whole frame materialises.
+    PartialWrite {
+        /// Worker (connection) index.
+        worker: usize,
+        /// Data frame to fragment (1-based).
+        nth: u64,
+    },
+    /// Stall worker `worker` for `ms` extra model milliseconds before
+    /// every socket read (socket substrate only). A peer that stops
+    /// draining its receive buffer exerts kernel backpressure on the
+    /// coordinator's writer and, transitively, the producer rings.
+    SlowPeer {
+        /// Worker (connection) index.
+        worker: usize,
+        /// Extra pre-read stall in model milliseconds.
+        ms: f64,
+    },
 }
 
 impl FaultEvent {
@@ -209,6 +243,9 @@ impl FaultEvent {
             FaultEvent::CrashNode { .. } => "crash_node",
             FaultEvent::CrashConsumer { .. } => "crash_consumer",
             FaultEvent::PerturbBurst { .. } => "perturb_burst",
+            FaultEvent::ConnDrop { .. } => "conn_drop",
+            FaultEvent::PartialWrite { .. } => "partial_write",
+            FaultEvent::SlowPeer { .. } => "slow_peer",
         }
     }
 
@@ -307,6 +344,14 @@ impl FaultEvent {
                 o.int("evaluator", *evaluator as u64);
                 o.num("from_ms", *from_ms);
                 o.num("factor", *factor);
+            }
+            FaultEvent::ConnDrop { worker, nth } | FaultEvent::PartialWrite { worker, nth } => {
+                o.int("worker", *worker as u64);
+                o.int("nth", *nth);
+            }
+            FaultEvent::SlowPeer { worker, ms } => {
+                o.int("worker", *worker as u64);
+                o.num("ms", *ms);
             }
         }
         o.finish()
@@ -409,6 +454,18 @@ impl FaultEvent {
                 from_ms: field_f64("from_ms")?,
                 factor: field_f64("factor")?,
             },
+            "conn_drop" => FaultEvent::ConnDrop {
+                worker: field_usize("worker")?,
+                nth: field_u64("nth")?,
+            },
+            "partial_write" => FaultEvent::PartialWrite {
+                worker: field_usize("worker")?,
+                nth: field_u64("nth")?,
+            },
+            "slow_peer" => FaultEvent::SlowPeer {
+                worker: field_usize("worker")?,
+                ms: field_f64("ms")?,
+            },
             other => {
                 return Err(GridError::Config(format!(
                     "unknown fault event type `{other}`"
@@ -454,11 +511,21 @@ pub enum FaultFamily {
     /// no partial-block acks) and a duplicate redelivers the full block
     /// (absorbed by `(source, first_seq..last_seq)` range dedup).
     BlockBoundary,
+    /// Sever worker connections mid-stream (socket substrate only):
+    /// healed by reconnect handshakes plus link-level outbox
+    /// retransmission.
+    ConnDrop,
+    /// Fragment data frames into tiny writes (socket substrate only):
+    /// absorbed by the incremental frame decoder.
+    PartialWrite,
+    /// Stall worker reads so kernel backpressure reaches the producers
+    /// (socket substrate only).
+    SlowPeer,
 }
 
 impl FaultFamily {
     /// Every family, in matrix order.
-    pub const ALL: [FaultFamily; 10] = [
+    pub const ALL: [FaultFamily; 13] = [
         FaultFamily::NotifyLoss,
         FaultFamily::AckChaos,
         FaultFamily::DataDelay,
@@ -469,7 +536,25 @@ impl FaultFamily {
         FaultFamily::NodeCrash,
         FaultFamily::PerturbBurst,
         FaultFamily::BlockBoundary,
+        FaultFamily::ConnDrop,
+        FaultFamily::PartialWrite,
+        FaultFamily::SlowPeer,
     ];
+
+    /// The transport families only the socket substrate's seams realise.
+    pub const SOCKET: [FaultFamily; 3] = [
+        FaultFamily::ConnDrop,
+        FaultFamily::PartialWrite,
+        FaultFamily::SlowPeer,
+    ];
+
+    /// True for families whose seams exist only on the socket substrate
+    /// (real connections to drop, real writes to fragment, real reads to
+    /// stall). The sim/threaded matrix skips them — their events would
+    /// never fire there.
+    pub fn socket_only(&self) -> bool {
+        FaultFamily::SOCKET.contains(self)
+    }
 
     /// Stable name used in JSON and CLI arguments.
     pub fn name(&self) -> &'static str {
@@ -484,6 +569,9 @@ impl FaultFamily {
             FaultFamily::NodeCrash => "node_crash",
             FaultFamily::PerturbBurst => "perturb_burst",
             FaultFamily::BlockBoundary => "block_boundary",
+            FaultFamily::ConnDrop => "conn_drop",
+            FaultFamily::PartialWrite => "partial_write",
+            FaultFamily::SlowPeer => "slow_peer",
         }
     }
 
@@ -675,6 +763,30 @@ impl FaultPlan {
                         source,
                         dest,
                         nth: nth + 1,
+                    });
+                }
+            }
+            FaultFamily::ConnDrop => {
+                for _ in 0..rng.usize_in(1, 4) {
+                    events.push(FaultEvent::ConnDrop {
+                        worker: rng.usize_in(0, workers),
+                        nth: rng.i64_in(1, 5) as u64,
+                    });
+                }
+            }
+            FaultFamily::PartialWrite => {
+                for _ in 0..rng.usize_in(2, 6) {
+                    events.push(FaultEvent::PartialWrite {
+                        worker: rng.usize_in(0, workers),
+                        nth: rng.i64_in(1, 8) as u64,
+                    });
+                }
+            }
+            FaultFamily::SlowPeer => {
+                for _ in 0..rng.usize_in(1, 3) {
+                    events.push(FaultEvent::SlowPeer {
+                        worker: rng.usize_in(0, workers),
+                        ms: rng.f64_in(1.0, 8.0),
                     });
                 }
             }

@@ -33,6 +33,10 @@ use gridq_engine::physical::Catalog;
 use gridq_engine::service::{FnService, Service, ServiceRegistry};
 use gridq_engine::table::Table;
 use gridq_engine::Expr;
+use gridq_exec::socket::{
+    standard_resolver, ScriptedAdaptation, SocketConfig, SocketExecutor, SocketReport,
+    WireStageSpec,
+};
 use gridq_exec::{FailoverConfig, RetryPolicy, ThreadedConfig, ThreadedExecutor, ThreadedReport};
 use gridq_grid::{GridEnvironment, Perturbation, PerturbationSchedule};
 use gridq_obs::json::JsonObj;
@@ -50,17 +54,21 @@ pub enum Substrate {
     Sim,
     /// The OS-thread executor (`gridq-exec`).
     Threaded,
+    /// The socket substrate: coordinator + workers over real
+    /// length-prefixed socket connections (`gridq-exec::socket`).
+    Socket,
 }
 
 impl Substrate {
-    /// Both substrates, in matrix order.
-    pub const ALL: [Substrate; 2] = [Substrate::Sim, Substrate::Threaded];
+    /// Every substrate, in matrix order.
+    pub const ALL: [Substrate; 3] = [Substrate::Sim, Substrate::Threaded, Substrate::Socket];
 
     /// Stable name used in JSON and CLI arguments.
     pub fn name(&self) -> &'static str {
         match self {
             Substrate::Sim => "sim",
             Substrate::Threaded => "threaded",
+            Substrate::Socket => "socket",
         }
     }
 
@@ -301,13 +309,22 @@ const WORKERS: usize = 2;
 /// imbalance to correct (present in the reference run too).
 const IMBALANCE_FACTOR: f64 = 10.0;
 
-/// The scenario matrix for one seed: every fault family on both
-/// substrates under R1 (the policy with the most protocol surface), plus
-/// spot-checks of R2 and static cells.
+/// The shared-seam substrates the classic matrix runs on; socket-only
+/// fault families get their own matrix ([`socket_matrix`]) because
+/// their seams (connection drops, partial writes, slow peers) do not
+/// exist on the in-process substrates.
+const CLASSIC: [Substrate; 2] = [Substrate::Sim, Substrate::Threaded];
+
+/// The scenario matrix for one seed: every shared-seam fault family on
+/// the sim and threaded substrates under R1 (the policy with the most
+/// protocol surface), plus spot-checks of R2 and static cells.
 pub fn matrix(seed: u64) -> Vec<Scenario> {
     let mut cells = Vec::new();
     for family in FaultFamily::ALL {
-        for substrate in Substrate::ALL {
+        if family.socket_only() {
+            continue;
+        }
+        for substrate in CLASSIC {
             cells.push(Scenario {
                 seed,
                 family,
@@ -316,7 +333,7 @@ pub fn matrix(seed: u64) -> Vec<Scenario> {
             });
         }
     }
-    for substrate in Substrate::ALL {
+    for substrate in CLASSIC {
         cells.push(Scenario {
             seed,
             family: FaultFamily::NotifyLoss,
@@ -336,6 +353,25 @@ pub fn matrix(seed: u64) -> Vec<Scenario> {
         substrate: Substrate::Sim,
         policy: Policy::R2,
     });
+    cells
+}
+
+/// The socket-substrate matrix for one seed: every socket-only fault
+/// family (connection drop, partial write, slow peer) under every
+/// policy, so each wire-level fault is exercised against the static,
+/// prospective, and retrospective data planes.
+pub fn socket_matrix(seed: u64) -> Vec<Scenario> {
+    let mut cells = Vec::new();
+    for family in FaultFamily::SOCKET {
+        for policy in Policy::ALL {
+            cells.push(Scenario {
+                seed,
+                family,
+                substrate: Substrate::Socket,
+                policy,
+            });
+        }
+    }
     cells
 }
 
@@ -413,6 +449,7 @@ fn execute(substrate: Substrate, policy: Policy, plan: &FaultPlan) -> Result<(Ru
     let summary = match substrate {
         Substrate::Sim => run_sim(policy, plan, Arc::clone(&hook))?,
         Substrate::Threaded => run_threaded(policy, plan, Arc::clone(&hook))?,
+        Substrate::Socket => run_socket(policy, plan, Arc::clone(&hook))?,
     };
     // Crash and burst events are realised by the runner, not the hook,
     // and always apply once the run starts.
@@ -519,6 +556,83 @@ fn run_threaded(policy: Policy, plan: &FaultPlan, hook: Arc<PlanHook>) -> Result
     Ok(summarize_threaded(report))
 }
 
+fn run_socket(policy: Policy, plan: &FaultPlan, hook: Arc<PlanHook>) -> Result<RunSummary> {
+    if !plan.crashes().is_empty() || !plan.consumer_crashes().is_empty() {
+        return Err(GridError::Config(
+            "crash faults have no socket analogue; the socket families are \
+             conn_drop, partial_write, and slow_peer"
+                .into(),
+        ));
+    }
+    let w = workload(policy);
+    // The socket substrate scripts its adaptations (the decision stack
+    // is exercised by the other substrates); each policy gets the wire
+    // spec mirroring its workload plan plus the scripted move that
+    // policy would make against the standing node-2 imbalance.
+    let (stage, adaptations, cost_scale) = match policy {
+        Policy::R1 => (
+            WireStageSpec::HashJoin {
+                build_schema: w.tables[0].schema().clone(),
+                probe_schema: w.tables[1].schema().clone(),
+                build_key: 0,
+                probe_key: 0,
+                build_cost_ms: 0.1,
+                probe_cost_ms: 0.5,
+            },
+            vec![ScriptedAdaptation {
+                after_routed: 120,
+                weights: vec![0.75, 0.25],
+                retrospective: true,
+            }],
+            0.05,
+        ),
+        Policy::R2 => (
+            service_call_spec(&w),
+            vec![ScriptedAdaptation {
+                after_routed: 60,
+                weights: vec![0.8, 0.2],
+                retrospective: false,
+            }],
+            0.01,
+        ),
+        Policy::Static => (service_call_spec(&w), Vec::new(), 0.01),
+    };
+    let mut config = SocketConfig::new(stage, standard_resolver());
+    config.cost_scale = cost_scale;
+    config.receive_cost_ms = 0.5;
+    config.checkpoint_interval = 8;
+    config.recall_timeout_ms = 2_000;
+    config.chaos = Some(hook as Arc<dyn ChaosHook>);
+    config.adaptations = adaptations;
+    if let Some(node) = w.perturb_node {
+        config
+            .perturbations
+            .insert(node, Perturbation::CostFactor(IMBALANCE_FACTOR));
+    }
+    // Like the threaded executor, socket perturbations are constant for
+    // the whole run: a burst's start time is dropped.
+    for (evaluator, _from_ms, factor) in plan.bursts() {
+        config.perturbations.insert(
+            NodeId::new((evaluator % WORKERS) as u32 + 1),
+            Perturbation::CostFactor(factor),
+        );
+    }
+    let report = SocketExecutor::new(w.catalog(), config).run(&w.plan)?;
+    Ok(summarize_socket(report))
+}
+
+/// The wire spec mirroring [`call_plan`]'s `ServiceCallFactory`.
+fn service_call_spec(w: &Workload) -> WireStageSpec {
+    WireStageSpec::ServiceCall {
+        input_schema: w.tables[0].schema().clone(),
+        service: "Square".into(),
+        service_cost_ms: 1.0,
+        arg_cols: vec![0],
+        output_name: "sq".into(),
+        keep_input: false,
+    }
+}
+
 /// Folds the workload's standing imbalance and the plan's perturbation
 /// bursts into one schedule per node.
 fn perturbation_schedules(w: &Workload, plan: &FaultPlan) -> Vec<(NodeId, PerturbationSchedule)> {
@@ -572,6 +686,23 @@ fn summarize_threaded(report: ThreadedReport) -> RunSummary {
         nodes_failed: report.nodes_failed,
         final_distribution: report.final_distribution,
         obs: report.obs,
+    }
+}
+
+/// The socket substrate has no node-failure machinery (a dead process
+/// is a dead connection, healed by reconnect + retransmission) and no
+/// observability timeline yet, so `nodes_failed` is always zero and
+/// `obs` is `None` — the timeline/teardown oracles pass trivially.
+fn summarize_socket(report: SocketReport) -> RunSummary {
+    RunSummary {
+        results: RunSummary::multiset(&report.results),
+        log_audits: report.log_audits,
+        adaptations_deployed: report.adaptations_deployed,
+        state_tuples_migrated: report.state_tuples_migrated,
+        tuples_recalled: report.tuples_recalled,
+        nodes_failed: 0,
+        final_distribution: report.final_distribution,
+        obs: None,
     }
 }
 
@@ -729,22 +860,80 @@ mod tests {
     use crate::plan::FaultEvent;
 
     #[test]
-    fn matrix_covers_every_family_on_both_substrates() {
+    fn matrix_covers_every_shared_family_on_sim_and_threads() {
         let cells = matrix(1);
         for family in FaultFamily::ALL {
-            for substrate in Substrate::ALL {
-                assert!(
+            for substrate in CLASSIC {
+                assert_eq!(
                     cells
                         .iter()
                         .any(|c| c.family == family && c.substrate == substrate),
-                    "matrix must cover {}/{}",
+                    !family.socket_only(),
+                    "matrix coverage wrong for {}/{}",
                     family.name(),
                     substrate.name()
                 );
             }
         }
+        assert!(cells.iter().all(|c| c.substrate != Substrate::Socket));
         assert!(cells.iter().any(|c| c.policy == Policy::R2));
         assert!(cells.iter().any(|c| c.policy == Policy::Static));
+    }
+
+    #[test]
+    fn socket_matrix_covers_every_socket_family_under_every_policy() {
+        let cells = socket_matrix(1);
+        assert_eq!(cells.len(), FaultFamily::SOCKET.len() * Policy::ALL.len());
+        for family in FaultFamily::SOCKET {
+            for policy in Policy::ALL {
+                assert!(
+                    cells.iter().any(|c| c.family == family
+                        && c.policy == policy
+                        && c.substrate == Substrate::Socket),
+                    "socket matrix must cover {}/{}",
+                    family.name(),
+                    policy.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crash_plans_are_rejected_on_sockets() {
+        let mut runner = Runner::new();
+        let scenario = Scenario {
+            seed: 1,
+            family: FaultFamily::NodeCrash,
+            substrate: Substrate::Socket,
+            policy: Policy::Static,
+        };
+        let plan = FaultPlan {
+            seed: 1,
+            events: vec![FaultEvent::CrashConsumer { worker: 0, nth: 3 }],
+        };
+        let outcome = runner.run_with_plan(scenario, plan);
+        assert!(!outcome.passed());
+        assert!(
+            outcome
+                .error
+                .as_deref()
+                .unwrap_or("")
+                .contains("no socket analogue"),
+            "{outcome:?}"
+        );
+    }
+
+    #[test]
+    fn socket_conn_drop_cell_passes_under_static() {
+        let mut runner = Runner::new();
+        let outcome = runner.run_scenario(Scenario {
+            seed: 1,
+            family: FaultFamily::ConnDrop,
+            substrate: Substrate::Socket,
+            policy: Policy::Static,
+        });
+        assert!(outcome.passed(), "{outcome:?}");
+        assert_eq!(outcome.verdicts.len(), ORACLES.len());
     }
 
     #[test]

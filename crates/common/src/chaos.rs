@@ -121,6 +121,34 @@ pub trait ChaosHook: fmt::Debug + Send + Sync {
         let _ = worker;
         false
     }
+
+    /// Returns `true` to tear the socket connection to worker `worker`
+    /// down immediately before the next data frame is written (socket
+    /// substrate only). The worker observes EOF, reconnects, and the
+    /// link layer retransmits the unacknowledged outbox suffix.
+    fn conn_drop(&self, worker: usize) -> bool {
+        let _ = worker;
+        false
+    }
+
+    /// Returns `true` to write the next data frame to worker `worker` in
+    /// deliberately tiny chunks (socket substrate only), exercising the
+    /// incremental frame decoder against short writes that split headers
+    /// and payloads at arbitrary byte boundaries.
+    fn partial_write(&self, worker: usize) -> bool {
+        let _ = worker;
+        false
+    }
+
+    /// Extra stall (model ms, scaled like other costs) that worker
+    /// `worker` injects before every socket read (socket substrate
+    /// only). A slow peer stops draining its receive buffer, TCP flow
+    /// control pushes back on the coordinator's writer, and the
+    /// producer-side SPSC rings fill until producers park.
+    fn slow_peer_stall_ms(&self, worker: usize) -> f64 {
+        let _ = worker;
+        0.0
+    }
 }
 
 /// A hook that injects nothing — usable wherever a concrete default is
@@ -149,5 +177,8 @@ mod tests {
         assert_eq!(hook.stall_ms(StallSite::Producer, 0), 0.0);
         assert_eq!(hook.stall_ms(StallSite::Consumer, 1), 0.0);
         assert!(!hook.crash_worker(0));
+        assert!(!hook.conn_drop(0));
+        assert!(!hook.partial_write(1));
+        assert_eq!(hook.slow_peer_stall_ms(2), 0.0);
     }
 }

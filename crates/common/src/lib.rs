@@ -22,6 +22,7 @@ pub mod sync;
 pub mod time;
 pub mod tuple;
 pub mod value;
+pub mod wire;
 
 pub use chaos::{ChaosHook, NetAction, NotifyKind, NullChaos, RecallPhase, StallSite};
 pub use dist::{BucketMap, BucketMove, DistributionVector};

@@ -532,6 +532,94 @@ mod tests {
         );
     }
 
+    /// Socket-sized payloads: each slot carries a whole tuple block, so
+    /// a block whose `items.len()` exceeds the ring capacity (or the
+    /// remaining free slots) must backpressure the producer as a unit —
+    /// never split across slots, never merged with a neighbour. The
+    /// tightest rings (capacity 1 and 2) force every oversized block
+    /// through the park/wrap path.
+    #[test]
+    fn property_oversized_blocks_backpressure_without_splitting() {
+        Check::new("ring_oversized_blocks").cases(12).run(
+            |g: &mut DetRng| {
+                let cap = g.usize_in(1, 3); // capacity-1 and capacity-2 rings
+                let blocks: Vec<Vec<u64>> = g.vec_of(1, 30, |g| {
+                    // Block payloads deliberately larger than the ring:
+                    // up to 8x the capacity, plus occasional empties.
+                    let len = if g.flip() {
+                        g.usize_in(cap + 1, cap * 8 + 2)
+                    } else {
+                        g.usize_in(0, 2)
+                    };
+                    (0..len).map(|_| g.next_u64()).collect()
+                });
+                let seed = g.next_u64();
+                (cap, blocks, seed)
+            },
+            |(cap, blocks, seed)| {
+                let (tx, rx) = ring::<Vec<u64>>(*cap);
+                let send = blocks.clone();
+                let producer = thread::spawn(move || {
+                    for b in send {
+                        tx.push(b).expect("receiver alive");
+                    }
+                });
+                // Slow consumer: drain with pauses so the producer hits
+                // the full ring and parks mid-schedule.
+                let mut rng = DetRng::seeded(*seed);
+                let mut got: Vec<Vec<u64>> = Vec::with_capacity(blocks.len());
+                while got.len() < blocks.len() {
+                    if rng.uniform() < 0.3 {
+                        thread::sleep(Duration::from_micros(rng.below(200)));
+                    }
+                    if let Some(b) = rx.pop_wait(Duration::from_millis(200)) {
+                        got.push(b);
+                    }
+                }
+                producer.join().expect("producer ok");
+                if rx.pop().is_some() {
+                    return Err("items left after all blocks arrived".into());
+                }
+                if &got == blocks {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "blocks split or reordered: sent lens {:?}, got lens {:?}",
+                        blocks.iter().map(Vec::len).collect::<Vec<_>>(),
+                        got.iter().map(Vec::len).collect::<Vec<_>>()
+                    ))
+                }
+            },
+        );
+    }
+
+    /// A full ring refuses an oversized block atomically: `try_push`
+    /// hands the whole payload back untouched, and the later blocking
+    /// `push` delivers that same payload intact once a slot frees.
+    #[test]
+    fn oversized_block_refusal_is_atomic() {
+        for cap in [1usize, 2] {
+            let (tx, rx) = ring::<Vec<u64>>(cap);
+            for i in 0..cap {
+                tx.try_push(vec![i as u64]).unwrap();
+            }
+            let big: Vec<u64> = (0..64).collect();
+            let refused = tx.try_push(big.clone()).expect_err("ring is full");
+            assert_eq!(refused, big, "refused block must come back intact");
+            let h = thread::spawn(move || tx.push(refused).expect("receiver alive"));
+            thread::sleep(Duration::from_millis(10));
+            for i in 0..cap {
+                assert_eq!(
+                    rx.pop_wait(Duration::from_millis(200)),
+                    Some(vec![i as u64])
+                );
+            }
+            h.join().unwrap();
+            assert_eq!(rx.pop_wait(Duration::from_millis(200)), Some(big));
+            assert_eq!(rx.pop(), None);
+        }
+    }
+
     #[test]
     fn waker_wakes_registered_thread() {
         let waker = Arc::new(Waker::new());

@@ -12,8 +12,10 @@ use std::ops::{Add, AddAssign, Sub};
 
 /// A point in virtual time, in milliseconds since query start.
 ///
-/// Construction clamps NaN to zero so that `SimTime` is totally ordered and
-/// can be used as a key in the simulator's event queue.
+/// Construction keeps the inner value finite and non-negative so that
+/// `SimTime` is totally ordered and can be used as a key in the
+/// simulator's event queue, and so that no arithmetic on two `SimTime`s
+/// (`inf - inf`, `inf + -inf`) can manufacture a NaN downstream.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SimTime(f64);
 
@@ -21,11 +23,30 @@ impl SimTime {
     /// Time zero: the start of the simulation.
     pub const ZERO: SimTime = SimTime(0.0);
 
-    /// Creates a timestamp from milliseconds. Negative or NaN inputs clamp
-    /// to zero: virtual time never runs backwards.
+    /// Creates a timestamp from milliseconds, rejecting non-finite input
+    /// with a loud error instead of silently clamping it. This is the
+    /// constructor for boundary code handling untrusted arithmetic (e.g.
+    /// perturbation delays feeding the event queue): a NaN delay that
+    /// would otherwise clamp to time zero reorders the queue silently.
+    pub fn try_from_millis(ms: f64) -> crate::Result<Self> {
+        if !ms.is_finite() {
+            return Err(crate::GridError::Execution(format!(
+                "non-finite SimTime ({ms} ms): virtual timestamps must be finite"
+            )));
+        }
+        Ok(SimTime::from_millis(ms))
+    }
+
+    /// Creates a timestamp from milliseconds. Negative and NaN inputs
+    /// clamp to zero (virtual time never runs backwards), positive
+    /// infinity to the largest finite time — use
+    /// [`SimTime::try_from_millis`] where a non-finite input is a bug
+    /// worth surfacing rather than absorbing.
     pub fn from_millis(ms: f64) -> Self {
         if ms.is_nan() || ms < 0.0 {
             SimTime(0.0)
+        } else if ms == f64::INFINITY {
+            SimTime(f64::MAX)
         } else {
             SimTime(ms)
         }
@@ -72,7 +93,8 @@ impl PartialOrd for SimTime {
 
 impl Ord for SimTime {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Safe: construction forbids NaN.
+        // Safe: construction clamps to finite non-negative values, so no
+        // arithmetic on SimTimes can produce NaN.
         self.0.partial_cmp(&other.0).expect("SimTime is never NaN")
     }
 }
@@ -116,7 +138,51 @@ mod tests {
     fn construction_clamps_invalid() {
         assert_eq!(SimTime::from_millis(-5.0), SimTime::ZERO);
         assert_eq!(SimTime::from_millis(f64::NAN), SimTime::ZERO);
+        assert_eq!(SimTime::from_millis(f64::INFINITY).as_millis(), f64::MAX);
+        assert_eq!(SimTime::from_millis(f64::NEG_INFINITY), SimTime::ZERO);
         assert_eq!(SimTime::from_millis(3.5).as_millis(), 3.5);
+    }
+
+    #[test]
+    fn try_from_millis_rejects_non_finite_loudly() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = SimTime::try_from_millis(bad).unwrap_err();
+            assert!(err.to_string().contains("non-finite SimTime"), "{err}");
+        }
+        assert_eq!(SimTime::try_from_millis(2.0).unwrap().as_millis(), 2.0);
+        // Negative finite input still clamps, matching `from_millis`.
+        assert_eq!(SimTime::try_from_millis(-1.0).unwrap(), SimTime::ZERO);
+    }
+
+    /// Property: over an adversarial schedule of offsets — including the
+    /// non-finite perturbation delays that once reached the event queue —
+    /// every constructed timestamp stays finite and the total order never
+    /// panics. `Ord::cmp` on a NaN inner value would abort this test.
+    #[test]
+    fn ordering_survives_non_finite_offset_schedules() {
+        let deltas = [
+            0.0,
+            1.5,
+            -3.0,
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MAX,
+            -f64::MAX,
+            f64::MIN_POSITIVE,
+        ];
+        let mut times = vec![SimTime::ZERO];
+        for (i, &a) in deltas.iter().enumerate() {
+            for &b in &deltas[i..] {
+                let t = SimTime::from_millis(a) + b;
+                assert!(t.as_millis().is_finite(), "{a} + {b} -> {t}");
+                times.push(t.offset(a));
+            }
+        }
+        // Sorting exercises cmp across every pair class; a panic here is
+        // the regression.
+        times.sort();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
     }
 
     #[test]

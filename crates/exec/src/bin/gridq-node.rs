@@ -1,0 +1,60 @@
+//! `gridq-node`: a standalone evaluator worker for the socket substrate.
+//!
+//! The coordinator ([`gridq_exec::socket::SocketExecutor`]) spawns one
+//! of these per stage partition when configured with
+//! `WorkerLaunch::Spawn`, passing the listener address and the worker's
+//! partition index on the command line. Everything else — the operator
+//! to run, cost model parameters, perturbations, chaos stalls — arrives
+//! over the connection in the `CONFIG` frame, so this binary is nothing
+//! but argument parsing around [`gridq_exec::socket::worker_main`].
+//!
+//! Usage: `gridq-node --addr <tcp:host:port|unix:/path> --index <n>`
+
+use std::process::ExitCode;
+
+use gridq_exec::socket::{parse_addr, standard_resolver, worker_main};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: gridq-node --addr <tcp:host:port|unix:/path> --index <worker>");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut addr = None;
+    let mut index = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--addr" => addr = args.next(),
+            "--index" => index = args.next(),
+            other => {
+                eprintln!("gridq-node: unknown flag `{other}`");
+                return usage();
+            }
+        }
+    }
+    let (Some(addr), Some(index)) = (addr, index) else {
+        return usage();
+    };
+    let addr = match parse_addr(&addr) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("gridq-node: {e}");
+            return usage();
+        }
+    };
+    let index: usize = match index.parse() {
+        Ok(i) => i,
+        Err(_) => {
+            eprintln!("gridq-node: --index must be an unsigned integer");
+            return usage();
+        }
+    };
+    match worker_main(&addr, index, &standard_resolver()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("gridq-node[{index}]: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

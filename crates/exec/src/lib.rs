@@ -28,8 +28,10 @@
 //! distribution — so stateful hash-partitioned stages repartition
 //! mid-flight without losing or duplicating a tuple.
 
+mod dedup;
 mod failover;
 mod recall;
+pub mod socket;
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -54,8 +56,9 @@ use gridq_engine::evaluator::{PartitionEvaluator, StreamTag};
 use gridq_engine::physical::Catalog;
 use gridq_grid::Perturbation;
 use gridq_obs::{Obs, ObsConfig, ObsReport, TimelineKind};
-use gridq_recovery::{Checkpoint, LogAudit, SharedRecoveryLog};
+use gridq_recovery::{AckOutcome, Checkpoint, LogAudit, SharedRecoveryLog};
 
+use dedup::DedupFilter;
 pub use failover::{DeliveryGap, FailoverConfig, RetryPolicy};
 use failover::{HeartbeatMonitor, RetryBackoff};
 use recall::{Ctrl, ProducerGuard, RecallGate};
@@ -218,6 +221,11 @@ pub struct ThreadedReport {
     /// only: R1 adaptivity, chaos, or failover; indexed like
     /// `DistributedPlan::sources`).
     pub log_audits: Vec<LogAudit>,
+    /// High-water mark of live consumer dedup-filter entries (tuple keys
+    /// plus block keys), maximised over partitions. Bounded by the
+    /// unacknowledged recovery-log windows, not by the input size — the
+    /// regression oracle for the at-least-once filter's memory.
+    pub dedup_peak_entries: u64,
     /// The final routing distribution.
     pub final_distribution: Vec<f64>,
     /// Observability snapshot (metrics registry and adaptivity timeline);
@@ -365,11 +373,19 @@ fn spin_for(model_ms: f64, scale: f64) {
 }
 
 fn perturbed(base_ms: f64, perturbation: Option<&Perturbation>) -> f64 {
-    match perturbation {
+    let out = match perturbation {
         None | Some(Perturbation::None) => base_ms,
         Some(Perturbation::CostFactor(k)) => base_ms * k,
         Some(Perturbation::SleepMs(extra)) => base_ms + extra,
         Some(Perturbation::NormalFactor { mean, .. }) => base_ms * mean,
+    };
+    // A non-finite delay/factor is a rejected sample (see
+    // Perturbation::apply): fall back to the unperturbed cost instead of
+    // poisoning downstream wall-clock arithmetic.
+    if out.is_finite() {
+        out
+    } else {
+        base_ms
     }
 }
 
@@ -1227,7 +1243,7 @@ impl ThreadedExecutor {
             } else {
                 50
             };
-            consumer_handles.push(thread::spawn(move || -> (u64, Vec<Tuple>) {
+            consumer_handles.push(thread::spawn(move || -> (u64, u64) {
                 let started = Instant::now();
                 let mut processed = 0u64;
                 let mut outputs_total = 0u64;
@@ -1245,13 +1261,12 @@ impl ThreadedExecutor {
                 let mut held_probes: Vec<(usize, Tuple)> = Vec::new();
                 // Resilient-mode dedup: the transport is at-least-once
                 // (retransmission, chaos duplication), processing must be
-                // effectively-once. `(source, seq)` identifies a tuple.
-                let mut seen: HashSet<(usize, u64)> = HashSet::new();
-                // Whole-block dedup, the fast path over `seen`: closed
-                // windows only shrink on retransmission, so a block that
-                // re-arrives with an identical (source, first_seq,
-                // last_seq, count) range is the same block.
-                let mut seen_blocks: HashSet<(usize, u64, u64, usize)> = HashSet::new();
+                // effectively-once. The filter works at two granularities
+                // — whole-block range keys and `(source, seq)` tuple keys
+                // — and evicts both when the covering recovery-log window
+                // is acknowledged, keeping it O(unacked windows) instead
+                // of O(tuples ever delivered).
+                let mut dedup = DedupFilter::new();
                 // Modelled processing cost accrued but not yet spent in
                 // real time; paid once per block (or control message)
                 // instead of once per tuple, which is where batching wins
@@ -1268,32 +1283,44 @@ impl ThreadedExecutor {
                 // outputs are owned downstream, so a later crash of this
                 // consumer can never lose them (replay covers exactly the
                 // unacknowledged windows).
-                let apply_ack =
-                    |source: usize, cp: Checkpoint, epoch: u64, out: &mut Vec<Tuple>| {
-                        let Some(logs) = &logs else { return };
-                        if resilient && !out.is_empty() {
-                            let _ = results.send(std::mem::take(out));
+                let apply_ack = |source: usize,
+                                 cp: Checkpoint,
+                                 epoch: u64,
+                                 out: &mut Vec<Tuple>,
+                                 dedup: &mut DedupFilter| {
+                    let Some(logs) = &logs else { return };
+                    if resilient && !out.is_empty() {
+                        let _ = results.send(std::mem::take(out));
+                    }
+                    let outcome = match chaos
+                        .as_ref()
+                        .map_or(NetAction::Deliver, |c| c.on_ack(source, i))
+                    {
+                        NetAction::Drop => None,
+                        NetAction::Duplicate => {
+                            let first = logs[source].acknowledge(cp.dest, cp.id, epoch);
+                            let _ = logs[source].acknowledge(cp.dest, cp.id, epoch);
+                            Some(first)
                         }
-                        match chaos
-                            .as_ref()
-                            .map_or(NetAction::Deliver, |c| c.on_ack(source, i))
-                        {
-                            NetAction::Drop => {}
-                            NetAction::Duplicate => {
-                                let _ = logs[source].acknowledge(cp.dest, cp.id, epoch);
-                                let _ = logs[source].acknowledge(cp.dest, cp.id, epoch);
+                        NetAction::DelayMs(extra) => {
+                            if extra.is_finite() && extra > 0.0 {
+                                spin_for(extra, scale);
                             }
-                            NetAction::DelayMs(extra) => {
-                                if extra.is_finite() && extra > 0.0 {
-                                    spin_for(extra, scale);
-                                }
-                                let _ = logs[source].acknowledge(cp.dest, cp.id, epoch);
-                            }
-                            NetAction::Deliver => {
-                                let _ = logs[source].acknowledge(cp.dest, cp.id, epoch);
-                            }
+                            Some(logs[source].acknowledge(cp.dest, cp.id, epoch))
                         }
+                        NetAction::Deliver => Some(logs[source].acknowledge(cp.dest, cp.id, epoch)),
                     };
+                    // Once the log accepts the ack the window can never be
+                    // retransmitted again, so its dedup entries are dead
+                    // weight — evict them. (`Duplicate` means somebody
+                    // already acked it, same conclusion.)
+                    if matches!(
+                        outcome,
+                        Some(AckOutcome::Accepted(_)) | Some(AckOutcome::Duplicate)
+                    ) {
+                        dedup.window_acked(source, cp.id);
+                    }
+                };
                 // Evaluates one tuple, accruing the modelled (and
                 // perturbed) cost into `due` for the caller to pay as one
                 // sleep. Shared by the streaming path, the held-probe
@@ -1398,24 +1425,49 @@ impl ThreadedExecutor {
                                     due: &mut f64,
                                     held_probes: &mut Vec<(usize, Tuple)>,
                                     pending_acks: &mut Vec<(usize, Checkpoint, u64)>,
-                                    seen: &mut HashSet<(usize, u64)>,
-                                    seen_blocks: &mut HashSet<(usize, u64, u64, usize)>,
+                                    dedup: &mut DedupFilter,
                                     build_eos_seen: usize| {
                     let source = block.source;
                     let retransmit = block.retransmit;
                     let dup = resilient
                         && block.range_key().is_some_and(|(first, last, count)| {
-                            !seen_blocks.insert((source, first, last, count))
+                            dedup.block_is_dup(source, (first, last, count as u64))
                         });
                     let building = build_eos_needed > 0 && build_eos_seen < build_eos_needed;
-                    for staged in block.items {
+                    // The covering marker for each tuple is the next one
+                    // at a higher index in the block: retransmissions
+                    // always repack a window's tuples with its marker, so
+                    // an already-acked marker id shadows every tuple ahead
+                    // of it even after their per-tuple keys were evicted.
+                    let marker_ids: Vec<(usize, u64)> = block
+                        .items
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(idx, item)| match item {
+                            Staged::Marker(cp, _) => Some((idx, cp.id)),
+                            Staged::Tuple(..) => None,
+                        })
+                        .collect();
+                    let mut next_marker = 0usize;
+                    for (idx, staged) in block.items.into_iter().enumerate() {
+                        while next_marker < marker_ids.len() && marker_ids[next_marker].0 < idx {
+                            next_marker += 1;
+                        }
                         match staged {
                             Staged::Tuple(stream, tuple) => {
                                 if dup {
                                     continue;
                                 }
-                                if resilient && !seen.insert((source, tuple.seq())) {
-                                    continue;
+                                if resilient {
+                                    if marker_ids
+                                        .get(next_marker)
+                                        .is_some_and(|&(_, id)| dedup.is_acked(source, id))
+                                    {
+                                        continue;
+                                    }
+                                    if dedup.tuple_is_dup(source, tuple.seq()) {
+                                        continue;
+                                    }
                                 }
                                 if retransmit {
                                     // A retransmitted window was addressed
@@ -1485,11 +1537,18 @@ impl ThreadedExecutor {
                                 // until a retransmission's ack supersedes
                                 // it, a duplicate is absorbed by the log
                                 // itself. Probe-window acks are deferred
-                                // while the build phase is incomplete.
+                                // while the build phase is incomplete. The
+                                // window closes at the *marker*, not the
+                                // ack: entries delivered since the last
+                                // marker are now covered by this id and
+                                // will be evicted when its ack lands.
+                                if resilient {
+                                    dedup.close_window(source, cp.id);
+                                }
                                 if resilient && building && Some(source) != build_source {
                                     pending_acks.push((source, cp, epoch));
                                 } else {
-                                    apply_ack(source, cp, epoch, out);
+                                    apply_ack(source, cp, epoch, out, dedup);
                                 }
                             }
                         }
@@ -1508,7 +1567,7 @@ impl ThreadedExecutor {
                     ($r:expr) => {
                         while let Some(block) = $r.pop() {
                             if chaos.as_ref().is_some_and(|c| c.crash_worker(i)) {
-                                return (processed, Vec::new());
+                                return (processed, dedup.peak());
                             }
                             handle_block(
                                 block,
@@ -1522,8 +1581,7 @@ impl ThreadedExecutor {
                                 &mut due,
                                 &mut held_probes,
                                 &mut pending_acks,
-                                &mut seen,
-                                &mut seen_blocks,
+                                &mut dedup,
                                 build_eos_seen,
                             );
                         }
@@ -1576,7 +1634,7 @@ impl ThreadedExecutor {
                         // Dying here means no flush, no acks, no control
                         // replies — exactly a vanished node.
                         if chaos.as_ref().is_some_and(|c| c.crash_worker(i)) {
-                            return (processed, Vec::new());
+                            return (processed, dedup.peak());
                         }
                         match msg {
                             Msg::Eos {
@@ -1636,7 +1694,7 @@ impl ThreadedExecutor {
                                     // deferred window acks are now true
                                     // processing receipts, so release them.
                                     for (source, cp, epoch) in std::mem::take(&mut pending_acks) {
-                                        apply_ack(source, cp, epoch, &mut out);
+                                        apply_ack(source, cp, epoch, &mut out, &mut dedup);
                                     }
                                 }
                                 if eos_seen == eos_needed {
@@ -1814,7 +1872,7 @@ impl ThreadedExecutor {
                                 // and the recall barrier already guarantees
                                 // exactly-once for this path.
                                 if resilient {
-                                    seen.insert((source, tuple.seq()));
+                                    dedup.note_delivered(source, tuple.seq());
                                 }
                                 if stream == StreamTag::Probe
                                     && build_eos_needed > 0
@@ -1874,7 +1932,7 @@ impl ThreadedExecutor {
                             let Some(block) = r.pop() else { break };
                             progressed = true;
                             if chaos.as_ref().is_some_and(|c| c.crash_worker(i)) {
-                                return (processed, Vec::new());
+                                return (processed, dedup.peak());
                             }
                             handle_block(
                                 block,
@@ -1888,8 +1946,7 @@ impl ThreadedExecutor {
                                 &mut due,
                                 &mut held_probes,
                                 &mut pending_acks,
-                                &mut seen,
-                                &mut seen_blocks,
+                                &mut dedup,
                                 build_eos_seen,
                             );
                         }
@@ -1941,7 +1998,7 @@ impl ThreadedExecutor {
                     let _ = raw.send(Raw::Done(i));
                 }
                 let _ = results.send(std::mem::take(&mut out));
-                (processed, Vec::new())
+                (processed, dedup.peak())
             }));
         }
         drop(result_tx);
@@ -2376,9 +2433,13 @@ impl ThreadedExecutor {
         }
         drop(backstop);
         let mut per_partition = Vec::with_capacity(partitions);
+        let mut dedup_peak_entries = 0u64;
         for (i, h) in consumer_handles.into_iter().enumerate() {
             match h.join() {
-                Ok((processed, _)) => per_partition.push(processed),
+                Ok((processed, peak)) => {
+                    per_partition.push(processed);
+                    dedup_peak_entries = dedup_peak_entries.max(peak);
+                }
                 Err(_) => panicked.push(format!("consumer {i}")),
             }
         }
@@ -2431,6 +2492,7 @@ impl ThreadedExecutor {
             log_audits: logs
                 .map(|logs| logs.iter().map(SharedRecoveryLog::audit).collect())
                 .unwrap_or_default(),
+            dedup_peak_entries,
             final_distribution,
             obs: obs.as_ref().map(Obs::report),
         })
@@ -3069,6 +3131,70 @@ mod tests {
             "the duplicated ack must be counted: {:?}",
             report.log_audits
         );
+    }
+
+    /// Duplicates every data batch, forever: sustained at-least-once
+    /// pressure on the consumer dedup filter.
+    #[derive(Debug)]
+    struct AlwaysDuplicate;
+
+    impl ChaosHook for AlwaysDuplicate {
+        fn on_data(&self, _source: usize, _dest: usize) -> NetAction {
+            NetAction::Duplicate
+        }
+    }
+
+    #[test]
+    fn consumer_dedup_memory_is_bounded_by_unacked_windows() {
+        let total = 2000usize;
+        let table = int_table("t", total);
+        let plan = call_plan(&table, 2);
+        let clean = ThreadedExecutor::new(
+            catalog(&[&table]),
+            ThreadedConfig {
+                adaptivity: AdaptivityConfig::disabled(),
+                cost_scale: 0.002,
+                ..Default::default()
+            },
+        )
+        .run(&plan)
+        .unwrap();
+        let report = ThreadedExecutor::new(
+            catalog(&[&table]),
+            ThreadedConfig {
+                adaptivity: AdaptivityConfig::disabled(),
+                cost_scale: 0.002,
+                checkpoint_interval: 8,
+                chaos: Some(Arc::new(AlwaysDuplicate)),
+                ..Default::default()
+            },
+        )
+        .run(&plan)
+        .unwrap();
+        assert_eq!(
+            multiset(&clean.results),
+            multiset(&report.results),
+            "every duplicate must be absorbed"
+        );
+        assert!(
+            report.dedup_peak_entries > 0,
+            "resilient runs must track the filter's high-water mark"
+        );
+        // The filter must stay O(unacked windows), not O(history): each
+        // of the 2000 input tuples is delivered twice, so an unbounded
+        // filter would end the run holding well over `total` entries.
+        // Acks are applied inline at marker processing here, so the live
+        // set is a handful of in-flight windows plus block range keys.
+        assert!(
+            report.dedup_peak_entries < (total / 8) as u64,
+            "dedup peak {} must stay far below the {} tuples delivered",
+            report.dedup_peak_entries,
+            total
+        );
+        for audit in &report.log_audits {
+            assert!(audit.conserved(), "log audit must balance: {audit:?}");
+            assert_eq!(audit.unacked, 0, "all windows eventually acked: {audit:?}");
+        }
     }
 
     /// Drops every data batch to one destination, forever: a dead link.

@@ -32,15 +32,52 @@ pub enum Perturbation {
 
 impl Perturbation {
     /// Applies the perturbation to a base per-tuple cost, drawing any
-    /// randomness from `rng`.
+    /// randomness from `rng`. A non-finite product (a NaN or infinite
+    /// delay/factor slipping past [`Perturbation::validate`]) falls back
+    /// to the unperturbed base cost: the sample is rejected rather than
+    /// poisoning the event queue's total order.
     pub fn apply(&self, base_ms: f64, rng: &mut DetRng) -> f64 {
-        match self {
+        // Reject invalid parameters before touching the rng: a NaN
+        // NormalFactor bound would trip the sampler's range assertion.
+        if self.validate().is_err() {
+            return base_ms;
+        }
+        let out = match self {
             Perturbation::None => base_ms,
             Perturbation::CostFactor(k) => base_ms * k,
             Perturbation::SleepMs(ms) => base_ms + ms,
             Perturbation::NormalFactor { mean, lo, hi } => {
                 base_ms * rng.normal_clamped(*mean, *lo, *hi)
             }
+        };
+        if out.is_finite() {
+            out
+        } else {
+            base_ms
+        }
+    }
+
+    /// Rejects non-finite delays and factors with a loud error. Run
+    /// entry points validate every installed schedule so a NaN
+    /// perturbation delay is refused at construction time instead of
+    /// being silently clamped somewhere inside the event queue.
+    pub fn validate(&self) -> gridq_common::Result<()> {
+        let bad = match self {
+            Perturbation::None => None,
+            Perturbation::CostFactor(k) if !k.is_finite() => Some(format!("CostFactor({k})")),
+            Perturbation::SleepMs(ms) if !ms.is_finite() => Some(format!("SleepMs({ms})")),
+            Perturbation::NormalFactor { mean, lo, hi }
+                if !(mean.is_finite() && lo.is_finite() && hi.is_finite()) =>
+            {
+                Some(format!("NormalFactor {{ {mean}, {lo}, {hi} }}"))
+            }
+            _ => None,
+        };
+        match bad {
+            Some(which) => Err(gridq_common::GridError::Config(format!(
+                "non-finite perturbation {which}: delays and factors must be finite"
+            ))),
+            None => Ok(()),
         }
     }
 
@@ -119,6 +156,42 @@ impl PerturbationSchedule {
     /// True if no phase ever applies load.
     pub fn is_trivial(&self) -> bool {
         self.phases.iter().all(|(_, p)| *p == Perturbation::None)
+    }
+
+    /// Validates every phase (see [`Perturbation::validate`]), naming the
+    /// offending phase index in the error.
+    pub fn validate(&self) -> gridq_common::Result<()> {
+        for (i, (_, p)) in self.phases.iter().enumerate() {
+            p.validate()
+                .map_err(|e| gridq_common::GridError::Config(format!("schedule phase {i}: {e}")))?;
+        }
+        Ok(())
+    }
+
+    /// Counts phases holding non-finite delays/factors. Such phases are
+    /// inert at apply time ([`Perturbation::apply`] rejects the sample),
+    /// so this is the reporting side: run entry points surface the count
+    /// as a metric, mirroring `detector.rejected_samples`.
+    pub fn non_finite_phases(&self) -> u64 {
+        self.phases
+            .iter()
+            .filter(|(_, p)| p.validate().is_err())
+            .count() as u64
+    }
+
+    /// Drops phases holding non-finite delays/factors (replacing each
+    /// with an unperturbed phase so interval boundaries are preserved)
+    /// and returns how many were rejected — the count-and-continue path
+    /// run entry points use, mirroring `detector.rejected_samples`.
+    pub fn sanitize(&mut self) -> u64 {
+        let mut rejected = 0;
+        for (_, p) in &mut self.phases {
+            if p.validate().is_err() {
+                *p = Perturbation::None;
+                rejected += 1;
+            }
+        }
+        rejected
     }
 }
 
@@ -239,6 +312,56 @@ mod tests {
             Perturbation::CostFactor(3.0)
         );
         assert_eq!(*s.active_at(SimTime::from_millis(99.0)), Perturbation::None);
+    }
+
+    /// Property: non-finite perturbation delays are rejected at
+    /// validation, and even unvalidated they can never produce a
+    /// non-finite cost out of `apply` — the sample falls back to the
+    /// base cost instead of reaching the event queue as NaN.
+    #[test]
+    fn non_finite_delays_are_rejected_and_contained() {
+        use gridq_common::check::{Check, Gen};
+
+        Check::new("perturbation_non_finite_delays").cases(200).run(
+            |rng| {
+                let bad = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY];
+                let v = *rng.pick(&bad);
+                let p = match rng.usize_in(0, 3) {
+                    0 => Perturbation::SleepMs(v),
+                    1 => Perturbation::CostFactor(v),
+                    _ => Perturbation::NormalFactor {
+                        mean: v,
+                        lo: v,
+                        hi: v,
+                    },
+                };
+                (p, rng.f64_in(0.0, 50.0))
+            },
+            |(p, base)| {
+                if p.validate().is_ok() {
+                    return Err(format!("{p:?} passed validation"));
+                }
+                let s = PerturbationSchedule::constant(p.clone());
+                if s.validate().is_ok() {
+                    return Err(format!("schedule holding {p:?} passed validation"));
+                }
+                let mut rng = DetRng::seeded(7);
+                let applied = p.apply(*base, &mut rng);
+                if !applied.is_finite() {
+                    return Err(format!("{p:?}.apply({base}) -> {applied}"));
+                }
+                // The rejected sample leaves the cost unperturbed, and the
+                // timestamp it feeds stays finite.
+                if applied != *base {
+                    return Err(format!("{p:?}.apply({base}) -> {applied}, want base"));
+                }
+                let t = SimTime::from_millis(applied);
+                if !t.as_millis().is_finite() {
+                    return Err(format!("timestamp {t} not finite"));
+                }
+                Ok(())
+            },
+        );
     }
 
     /// Property check of `active_at` against a naive reference scan, with

@@ -42,6 +42,10 @@ pub const CLOCK_SITES: &[&str] = &[
     // ring serves the threaded substrate exclusively (the simulator has
     // no rings — buffers travel through the virtual-time event queue).
     "crates/common/src/sync/ring.rs",
+    // The socket substrate runs over real kernel sockets: reconnect
+    // budgets, recall barriers, and handshake deadlines are wall-clock
+    // timeouts by nature, like the failover detector above.
+    "crates/exec/src/socket.rs",
 ];
 
 /// The one file allowed to name `std::sync::{Mutex, RwLock, Condvar}`:
@@ -52,6 +56,7 @@ pub const SYNC_SITE: &str = "crates/common/src/sync.rs";
 /// or history whose growth must be visibly bounded.
 const BOUNDED_NAME_PATTERNS: &[&str] = &[
     "Window", "Log", "Timeline", "History", "Journal", "Buffer", "Recorder", "Trace", "Ring",
+    "Dedup",
 ];
 
 /// Idents that count as visible eviction evidence inside an impl block.
@@ -462,11 +467,13 @@ fn no_println(cx: &mut RuleCx<'_>) {
 }
 
 /// `unbounded-push`: inside impls of window/log/history-named types,
-/// `.push(` / `.push_back(` must be accompanied by visible eviction
-/// (`pop_front`, `truncate`, `drain`, ...) somewhere in the impl, or an
-/// explicit `// lint: bounded-by <reason>` annotation. Monitoring state
-/// that grows per-event without bound is the PR 2 "tracked streams
-/// outlive the query" hazard.
+/// `.push(` / `.push_back(` / `.insert(` must be accompanied by visible
+/// eviction (`pop_front`, `truncate`, `drain`, ...) somewhere in the
+/// impl, or an explicit `// lint: bounded-by <reason>` annotation.
+/// Monitoring state that grows per-event without bound is the PR 2
+/// "tracked streams outlive the query" hazard; the consumer dedup sets
+/// that grew one key per delivered tuple (fixed alongside this rule's
+/// `Dedup`/`insert` extension) are the same hazard on the data plane.
 fn unbounded_push(cx: &mut RuleCx<'_>) {
     let file = cx.file;
     if file.kind != FileKind::Lib {
@@ -488,7 +495,7 @@ fn unbounded_push(cx: &mut RuleCx<'_>) {
         }
         for ci in start..end {
             let t = file.ct(ci);
-            let is_push = (t.is_ident("push") || t.is_ident("push_back"))
+            let is_push = (t.is_ident("push") || t.is_ident("push_back") || t.is_ident("insert"))
                 && ci >= 1
                 && file.ct(ci - 1).is_punct('.')
                 && ci + 1 < file.code_len()
@@ -500,7 +507,7 @@ fn unbounded_push(cx: &mut RuleCx<'_>) {
                     Some("bounded-by"),
                     line,
                     format!(
-                        "`{name}` pushes without visible eviction: bound the growth or \
+                        "`{name}` grows without visible eviction: bound the growth or \
                          annotate `// lint: bounded-by <reason>`"
                     ),
                 );

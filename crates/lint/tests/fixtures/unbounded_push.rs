@@ -67,3 +67,26 @@ impl DrainedRing {
         self.slots.drain(..).collect()
     }
 }
+
+pub struct SeenDedup {
+    keys: std::collections::HashSet<u64>,
+}
+
+impl SeenDedup {
+    pub fn note(&mut self, k: u64) {
+        self.keys.insert(k);
+    }
+}
+
+pub struct WindowedDedup {
+    keys: std::collections::HashSet<u64>,
+}
+
+impl WindowedDedup {
+    pub fn note(&mut self, k: u64) {
+        self.keys.insert(k);
+    }
+    pub fn ack(&mut self, k: u64) {
+        self.keys.remove(&k);
+    }
+}

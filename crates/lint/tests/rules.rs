@@ -180,10 +180,11 @@ fn no_println_is_silent_in_binaries_and_tests() {
 #[test]
 fn unbounded_push_requires_eviction_or_annotation() {
     let report = lint_at("crates/obs/src/events.rs", UNBOUNDED_PUSH);
-    // EventLog and RetryRing fire; BoundedWindow and DrainedRing have
-    // eviction; AnnotatedTrace is suppressed with a reason; LogicalPlan
-    // must not match `Log`.
-    assert_eq!(count(&report, "unbounded-push"), 2, "{:?}", report.findings);
+    // EventLog, RetryRing, and SeenDedup (`.insert(` growth) fire;
+    // BoundedWindow, DrainedRing, and WindowedDedup have eviction;
+    // AnnotatedTrace is suppressed with a reason; LogicalPlan must not
+    // match `Log`.
+    assert_eq!(count(&report, "unbounded-push"), 3, "{:?}", report.findings);
     assert!(report
         .findings
         .iter()
@@ -192,6 +193,10 @@ fn unbounded_push_requires_eviction_or_annotation() {
         .findings
         .iter()
         .any(|f| f.message.contains("RetryRing")));
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.message.contains("SeenDedup")));
     assert_eq!(report.suppressed_inline, 1);
 }
 

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! The socket transport under the process-per-node execution substrate.
+//!
+//! Three layers, each testable without the one above it:
+//!
+//! - [`frame`] — a length-prefixed binary frame: fixed 23-byte header
+//!   (magic, kind, link sequence number, cumulative acknowledgement,
+//!   payload length) followed by the payload. The incremental
+//!   [`frame::Decoder`] accepts bytes at arbitrary split points, so short
+//!   writes and coalesced reads — the normal behaviour of a real socket,
+//!   and the `partial_write` chaos family's weapon — cannot corrupt the
+//!   stream.
+//! - [`link`] — per-connection reliability on top of frames: every
+//!   application frame is sequenced, kept in an outbox until the peer's
+//!   cumulative ack covers it, retransmitted after a reconnect, and
+//!   deduplicated at the receiver by sequence number. This is what turns
+//!   a dropped TCP connection (`conn_drop` chaos) into a retryable event
+//!   instead of lost tuples.
+//! - [`endpoint`] — the actual sockets: one enum over `TcpStream` and
+//!   `UnixStream` so the substrate runs identically over loopback TCP
+//!   and Unix domain sockets (CI uses the latter; no ports, no firewall).
+//!
+//! The crate deliberately contains no threads and no clocks: all timing
+//! policy (reconnect backoff, read throttling) lives in the executor
+//! that drives it, keeping this layer deterministic and unit-testable.
+
+pub mod endpoint;
+pub mod frame;
+pub mod link;
+
+pub use endpoint::{Addr, Listener, Stream};
+pub use frame::{Decoder, Frame};
+pub use link::{LinkState, Receive};

@@ -418,6 +418,16 @@ impl<'a> Run<'a> {
         } else {
             None
         };
+        // Non-finite perturbation phases are rejected samples: they never
+        // perturb (Perturbation::apply falls back to the base cost), and
+        // the count is surfaced like `detector.rejected_samples`.
+        let rejected_perturbations = sim.env.rejected_perturbation_phases();
+        if rejected_perturbations > 0 {
+            if let Some(o) = &obs {
+                o.sink()
+                    .incr("env.rejected_perturbations", rejected_perturbations);
+            }
+        }
         let mut diagnoser =
             Diagnoser::new(stage.id, partitions, router.current_distribution(), adapt);
         let mut responder = Responder::new(adapt);

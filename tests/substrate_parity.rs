@@ -1,10 +1,15 @@
-//! Cross-substrate equivalence: the simulator and the threaded executor
-//! must produce *identical result multisets* for the same plan under the
-//! same perturbation — statically, under prospective (R2) adaptation,
-//! and under retrospective (R1) adaptation of a stateful hash join.
+//! Cross-substrate equivalence: the simulator, the threaded executor,
+//! and the socket substrate must produce *identical result multisets*
+//! for the same plan under the same perturbation — statically, under
+//! prospective (R2) adaptation, and under retrospective (R1) adaptation
+//! of a stateful hash join.
 //!
 //! Result values are compared as sorted multisets of rendered rows
-//! because the two substrates assign sequence numbers independently.
+//! because the substrates assign sequence numbers independently. The
+//! socket substrate scripts its adaptation trigger (the decision stack
+//! is covered by the sim/threaded cells); what these cells pin is that
+//! the *wire* data plane — real frames over real connections — routes,
+//! recalls, and collects the same tuples as the in-process substrates.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -12,12 +17,17 @@ use std::sync::Arc;
 use gridq::adapt::{AdaptivityConfig, AssessmentPolicy, ResponsePolicy};
 use gridq::chaos::{FaultEvent, FaultPlan, PlanHook};
 use gridq::common::{NodeId, SimTime, Tuple};
+use gridq::engine::service::Service;
+use gridq::exec::socket::{
+    ScriptedAdaptation, ServiceResolver, SocketConfig, SocketExecutor, WireStageSpec,
+};
 use gridq::exec::{FailoverConfig, RetryPolicy, ThreadedConfig, ThreadedExecutor};
 use gridq::grid::{
     GridEnvironment, NetworkModel, NodeSpec, Perturbation, PerturbationSchedule, ResourceRegistry,
 };
 use gridq::sim::{ExecutionReport, Simulation, SimulationConfig};
 use gridq::workload::experiments::{Q1Experiment, Q2Experiment};
+use gridq::workload::{protein_interactions, protein_sequences, EntropyAnalyser};
 
 fn multiset(tuples: &[Tuple]) -> Vec<String> {
     let mut rows: Vec<String> = tuples.iter().map(|t| format!("{:?}", t.values())).collect();
@@ -87,6 +97,39 @@ fn perturb_node_2() -> HashMap<NodeId, Perturbation> {
     let mut perturbations = HashMap::new();
     perturbations.insert(NodeId::new(2), Perturbation::CostFactor(10.0));
     perturbations
+}
+
+/// Resolver for the Q1 experiment's analysis service: spec names cross
+/// the wire, implementations are reconstructed locally.
+fn entropy_resolver() -> ServiceResolver {
+    Arc::new(|name: &str, cost_ms: f64| {
+        (name == "EntropyAnalyser")
+            .then(|| Arc::new(EntropyAnalyser::new(cost_ms)) as Arc<dyn Service>)
+    })
+}
+
+/// The wire form of Q1's `ServiceCallFactory`.
+fn q1_wire_spec(q1: &Q1Experiment) -> WireStageSpec {
+    WireStageSpec::ServiceCall {
+        input_schema: protein_sequences(1, q1.seq_len, q1.seed).schema().clone(),
+        service: "EntropyAnalyser".into(),
+        service_cost_ms: q1.ws_cost_ms,
+        arg_cols: vec![1],
+        output_name: "entropy".into(),
+        keep_input: false,
+    }
+}
+
+/// The wire form of Q2's `HashJoinFactory`.
+fn q2_wire_spec(q2: &Q2Experiment) -> WireStageSpec {
+    WireStageSpec::HashJoin {
+        build_schema: protein_sequences(1, q2.seq_len, q2.seed).schema().clone(),
+        probe_schema: protein_interactions(1, 1, q2.seed).schema().clone(),
+        build_key: 0,
+        probe_key: 0,
+        build_cost_ms: q2.build_cost_ms,
+        probe_cost_ms: q2.probe_cost_ms,
+    }
 }
 
 #[test]
@@ -287,6 +330,143 @@ fn node_failure_runs_match_the_unfaulted_reference() {
     );
     assert_eq!(multiset(&reference.results), multiset(&threaded.results));
     for audit in &threaded.log_audits {
+        assert!(audit.conserved(), "log audit must balance: {audit:?}");
+    }
+}
+
+/// Static three-way parity: the same Q1 plan over the simulator, the
+/// threaded executor, and real socket connections returns one multiset.
+#[test]
+fn socket_static_run_agrees_with_both_in_process_substrates() {
+    let q1 = q1();
+    let sim = run_sim(
+        q1.catalog(),
+        &q1.plan(),
+        q1.sim_config(AdaptivityConfig::disabled()),
+        None,
+    );
+    let threaded = ThreadedExecutor::new(
+        q1.catalog(),
+        ThreadedConfig {
+            adaptivity: AdaptivityConfig::disabled(),
+            cost_scale: 0.002,
+            ..Default::default()
+        },
+    )
+    .run(&q1.plan())
+    .unwrap();
+    let mut config = SocketConfig::new(q1_wire_spec(&q1), entropy_resolver());
+    config.cost_scale = 0.002;
+    let socket = SocketExecutor::new(q1.catalog(), config)
+        .run(&q1.plan())
+        .unwrap();
+    assert_eq!(socket.results.len(), 600);
+    assert_eq!(socket.reconnects, 0, "healthy run: {socket:?}");
+    assert_eq!(multiset(&sim.results), multiset(&socket.results));
+    assert_eq!(multiset(&threaded.results), multiset(&socket.results));
+}
+
+/// Prospective parity: a mid-run routing swap over the wire must not
+/// change what the query returns, matching the R2 runs on the
+/// in-process substrates (whose swap the control loop triggers).
+#[test]
+fn socket_prospective_swap_agrees_with_r2_on_both_substrates() {
+    let q1 = q1();
+    let a1r2 = AdaptivityConfig::with_policies(AssessmentPolicy::A1, ResponsePolicy::R2);
+    let sim = run_sim(
+        q1.catalog(),
+        &q1.plan(),
+        q1.sim_config(a1r2.clone()),
+        Some(NodeId::new(2)),
+    );
+    let threaded = ThreadedExecutor::new(
+        q1.catalog(),
+        ThreadedConfig {
+            adaptivity: a1r2,
+            cost_scale: 0.01,
+            perturbations: perturb_node_2(),
+            receive_cost_ms: 1.0,
+            ..Default::default()
+        },
+    )
+    .run(&q1.plan())
+    .unwrap();
+    let mut config = SocketConfig::new(q1_wire_spec(&q1), entropy_resolver());
+    config.cost_scale = 0.01;
+    config.perturbations = perturb_node_2();
+    config.adaptations = vec![ScriptedAdaptation {
+        after_routed: 150,
+        weights: vec![0.9, 0.1],
+        retrospective: false,
+    }];
+    let socket = SocketExecutor::new(q1.catalog(), config)
+        .run(&q1.plan())
+        .unwrap();
+    assert_eq!(
+        socket.adaptations_deployed, 1,
+        "the scripted swap must deploy: {socket:?}"
+    );
+    assert_eq!(socket.results.len(), 600);
+    assert_eq!(multiset(&sim.results), multiset(&socket.results));
+    assert_eq!(multiset(&threaded.results), multiset(&socket.results));
+}
+
+/// Retrospective stateful parity: a drain–migrate–resume recall over
+/// real connections — operator state shipped between worker processes'
+/// address spaces via the coordinator — preserves the join's multiset
+/// exactly, matching the R1 runs on both in-process substrates.
+#[test]
+fn socket_retrospective_recall_agrees_with_r1_on_both_substrates() {
+    let q2 = q2();
+    let mut plan = q2.plan();
+    plan.sources[0].scan_cost_ms = 1.0;
+    plan.sources[1].scan_cost_ms = 10.0;
+    let a1r1 = AdaptivityConfig::with_policies(AssessmentPolicy::A1, ResponsePolicy::R1);
+    let sim = run_sim(
+        q2.catalog(),
+        &plan,
+        q2.sim_config(a1r1.clone()),
+        Some(NodeId::new(2)),
+    );
+    let threaded = ThreadedExecutor::new(
+        q2.catalog(),
+        ThreadedConfig {
+            adaptivity: a1r1,
+            cost_scale: 0.01,
+            perturbations: perturb_node_2(),
+            checkpoint_interval: 8,
+            ..Default::default()
+        },
+    )
+    .run(&plan)
+    .unwrap();
+    let mut config = SocketConfig::new(q2_wire_spec(&q2), entropy_resolver());
+    // The slow probe scan (10 ms model) at this scale keeps producers
+    // streaming for ~150 ms; the scripted recall triggers a third of
+    // the way in, so there is live state and in-flight work to migrate.
+    config.cost_scale = 0.05;
+    config.checkpoint_interval = 8;
+    config.perturbations = perturb_node_2();
+    config.adaptations = vec![ScriptedAdaptation {
+        after_routed: 150,
+        weights: vec![0.25, 0.75],
+        retrospective: true,
+    }];
+    let socket = SocketExecutor::new(q2.catalog(), config)
+        .run(&plan)
+        .unwrap();
+    assert_eq!(
+        socket.recalls_completed, 1,
+        "the scripted recall must complete: {socket:?}"
+    );
+    assert!(
+        socket.state_tuples_migrated >= 1,
+        "a recall at these weights moves build state: {socket:?}"
+    );
+    assert_eq!(socket.results.len(), 300);
+    assert_eq!(multiset(&sim.results), multiset(&socket.results));
+    assert_eq!(multiset(&threaded.results), multiset(&socket.results));
+    for audit in &socket.log_audits {
         assert!(audit.conserved(), "log audit must balance: {audit:?}");
     }
 }
