@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use gridq_common::obs::{MetricSink, NullSink};
 use gridq_common::stats::ChangeDetector;
-use gridq_common::{PartitionId, SimTime, TrimmedWindow};
+use gridq_common::{PartitionId, QueryId, SimTime, TrimmedWindow};
 
 use crate::config::AdaptivityConfig;
 use crate::notifications::{ProducerId, M1, M2};
@@ -74,13 +74,15 @@ struct Tracked {
 
 /// Groups and filters raw monitoring events. One detector instance runs
 /// on each node hosting a monitored subplan (grouping keys keep streams
-/// from different partitions separate even when co-hosted).
+/// from different partitions — and different queries — separate even
+/// when co-hosted, so a service plane can share one detector across
+/// concurrent queries without cross-talk).
 #[derive(Debug)]
 pub struct MonitoringEventDetector {
     window_len: usize,
     thres_m: f64,
-    m1: HashMap<PartitionId, Tracked>,
-    m2: HashMap<(ProducerId, PartitionId), Tracked>,
+    m1: HashMap<(QueryId, PartitionId), Tracked>,
+    m2: HashMap<(QueryId, ProducerId, PartitionId), Tracked>,
     sink: Arc<dyn MetricSink>,
     /// Raw events received.
     pub raw_events_seen: u64,
@@ -132,7 +134,8 @@ impl MonitoringEventDetector {
     pub fn on_m1(&mut self, event: &M1) -> DetectorOutput {
         self.raw_events_seen += 1;
         self.sink.incr("detector.raw_events", 1);
-        let tracked = Self::tracked(&mut self.m1, event.partition, self.window_len, self.thres_m);
+        let key = (event.query, event.partition);
+        let tracked = Self::tracked(&mut self.m1, key, self.window_len, self.thres_m);
         let cost_ok = tracked.window.push(event.cost_per_tuple_ms);
         let wait_ok = tracked.wait_window.push(event.leaf_wait_ms);
         if !cost_ok {
@@ -145,7 +148,7 @@ impl MonitoringEventDetector {
         // non-finite, nothing was stored. Staying Quiet (rather than
         // panicking or poisoning the gate) is the whole point of
         // rejecting such samples.
-        let Some(tracked) = self.m1.get_mut(&event.partition) else {
+        let Some(tracked) = self.m1.get_mut(&key) else {
             return DetectorOutput::Quiet;
         };
         let Some(avg) = tracked.window.trimmed_mean() else {
@@ -174,7 +177,7 @@ impl MonitoringEventDetector {
     pub fn on_m2(&mut self, event: &M2) -> DetectorOutput {
         self.raw_events_seen += 1;
         self.sink.incr("detector.raw_events", 1);
-        let key = (event.producer, event.recipient);
+        let key = (event.query, event.producer, event.recipient);
         let tracked = Self::tracked(&mut self.m2, key, self.window_len, self.thres_m);
         if !tracked.window.push(event.cost_per_tuple_ms()) {
             self.reject();
@@ -208,20 +211,24 @@ impl MonitoringEventDetector {
         self.m1.len() + self.m2.len()
     }
 
-    /// Drops all window/gate state for one partition: its M1 stream and
-    /// every M2 stream delivering to it. Call when a partition is retired
-    /// (e.g. its node failed) so detector state cannot grow without bound
-    /// across a long-running session.
-    pub fn retire_partition(&mut self, partition: PartitionId) {
-        self.m1.remove(&partition);
-        self.m2.retain(|(_, recipient), _| *recipient != partition);
+    /// Drops all window/gate state for one of `query`'s partitions: its
+    /// M1 stream and every M2 stream delivering to it. Call when a
+    /// partition is retired (e.g. its node failed) so detector state
+    /// cannot grow without bound across a long-running session. Streams
+    /// belonging to other queries are untouched.
+    pub fn retire_partition(&mut self, query: QueryId, partition: PartitionId) {
+        self.m1.remove(&(query, partition));
+        self.m2
+            .retain(|(q, _, recipient), _| *q != query || *recipient != partition);
     }
 
-    /// Drops all tracked streams. Call at query teardown; counters are
-    /// preserved for reporting.
-    pub fn reset_for_query(&mut self) {
-        self.m1.clear();
-        self.m2.clear();
+    /// Drops every stream tracked for `query`. Call at that query's
+    /// teardown; counters and co-resident queries' streams are
+    /// preserved. (A global clear here was the service-plane footgun:
+    /// one query's teardown must never evict another's windows.)
+    pub fn reset_for_query(&mut self, query: QueryId) {
+        self.m1.retain(|(q, _), _| *q != query);
+        self.m2.retain(|(q, _, _), _| *q != query);
     }
 }
 
@@ -393,11 +400,71 @@ mod tests {
         assert_eq!(d.tracked_streams(), 4);
         // Retiring partition 0 drops its M1 stream and the M2 stream
         // delivering to it.
-        d.retire_partition(PartitionId::new(SubplanId::new(1), 0));
+        d.retire_partition(QueryId::new(0), PartitionId::new(SubplanId::new(1), 0));
         assert_eq!(d.tracked_streams(), 2);
-        d.reset_for_query();
+        d.reset_for_query(QueryId::new(0));
         assert_eq!(d.tracked_streams(), 0);
         // Counters survive for reporting.
         assert_eq!(d.raw_events_seen, 4);
+    }
+
+    fn m1_for(query: u32, partition_index: u32, cost: f64, at_ms: f64) -> M1 {
+        let mut e = m1(partition_index, cost, at_ms);
+        e.query = QueryId::new(query);
+        e
+    }
+
+    #[test]
+    fn queries_are_tracked_independently() {
+        // Two queries sharing a detector each get their own window and
+        // gate, even for the same partition index.
+        let mut d = MonitoringEventDetector::new(&config());
+        assert!(matches!(
+            d.on_m1(&m1_for(1, 0, 2.0, 0.0)),
+            DetectorOutput::Cost(_)
+        ));
+        assert!(matches!(
+            d.on_m1(&m1_for(2, 0, 2.0, 0.0)),
+            DetectorOutput::Cost(_)
+        ));
+        assert_eq!(d.tracked_streams(), 2);
+        // Retiring query 1's partition leaves query 2's stream tracked.
+        d.retire_partition(QueryId::new(1), PartitionId::new(SubplanId::new(1), 0));
+        assert_eq!(d.tracked_streams(), 1);
+    }
+
+    #[test]
+    fn teardown_of_one_query_leaves_the_other_adapting() {
+        // Regression for the service-plane footgun: two interleaved
+        // queries; tearing the first down must not evict the second's
+        // detector windows, and the second must still notice a sustained
+        // cost shift afterwards.
+        let mut d = MonitoringEventDetector::new(&config());
+        for i in 0..10 {
+            let _ = d.on_m1(&m1_for(1, 0, 2.0, i as f64));
+            let _ = d.on_m1(&m1_for(2, 0, 2.0, i as f64));
+            let mut e2 = m2(0, 5.0, 10);
+            e2.query = QueryId::new(2);
+            let _ = d.on_m2(&e2);
+        }
+        assert_eq!(d.tracked_streams(), 3);
+        // Query 1 finishes and tears down.
+        d.reset_for_query(QueryId::new(1));
+        assert_eq!(d.tracked_streams(), 2, "query 2's streams must survive");
+        // Query 2's established baseline is intact: a stable sample stays
+        // quiet (a fresh window would re-notify on first observation)...
+        assert_eq!(d.on_m1(&m1_for(2, 0, 2.0, 10.0)), DetectorOutput::Quiet);
+        // ...and a genuine 10x shift still fires.
+        let mut fired = false;
+        for i in 11..40 {
+            if matches!(
+                d.on_m1(&m1_for(2, 0, 20.0, i as f64)),
+                DetectorOutput::Cost(_)
+            ) {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired, "query 2 must keep adapting after query 1 teardown");
     }
 }

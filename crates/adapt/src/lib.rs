@@ -41,6 +41,7 @@ pub mod detector;
 pub mod diagnoser;
 pub mod notifications;
 pub mod responder;
+pub mod tenancy;
 
 pub use bus::{Notification, PubSubBus, Topic};
 pub use config::{AdaptivityConfig, AssessmentPolicy, ResponsePolicy};
@@ -48,3 +49,4 @@ pub use detector::{CommUpdate, CostUpdate, DetectorOutput, MonitoringEventDetect
 pub use diagnoser::{Diagnoser, Imbalance};
 pub use notifications::{ProducerId, M1, M2};
 pub use responder::{AdaptationCommand, Responder, ResponderDecision};
+pub use tenancy::{CrossQueryDiagnoser, TenancyConfig, TenantCostUpdate, TenantRebalance};

@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [table1|fig2a|fig2b|fig3a|fig3b|fig4|fig5|overheads|monfreq|ablation|obsdemo|threaded|sockets|all]
+//! repro [table1|fig2a|fig2b|fig3a|fig3b|fig4|fig5|overheads|monfreq|ablation|obsdemo|threaded|sockets|service|all]
 //!       [--small] [--obs-out PATH] [--json-out PATH]
 //! repro gate --baseline PATH --current PATH [--min-ratio 0.8]
 //! repro trajectory --bench PATH --label NAME --out PATH
@@ -33,6 +33,12 @@
 //! `sockets` benchmarks the socket substrate in the same three shapes
 //! (with the routing swap and recall scripted); `--json-out PATH`
 //! writes the `BENCH_sockets.json` CI artifact.
+//!
+//! `service` drives the query service plane with the closed-loop load
+//! driver (concurrent sessions over both substrates through one
+//! admission-bounded service, seeds 1/7/1303); `--json-out PATH` writes
+//! the `BENCH_service.json` CI artifact. `GRIDQ_SERVICE_SESSIONS`
+//! overrides the session count (default 64).
 
 use gridq_bench::runners::{self, ReproConfig, Series};
 
@@ -76,8 +82,10 @@ fn main() {
         eprintln!("error: --obs-out only applies to the obsdemo experiment");
         std::process::exit(2);
     }
-    if json_out.is_some() && which != "threaded" && which != "sockets" {
-        eprintln!("error: --json-out only applies to the threaded and sockets benchmarks");
+    if json_out.is_some() && which != "threaded" && which != "sockets" && which != "service" {
+        eprintln!(
+            "error: --json-out only applies to the threaded, sockets, and service benchmarks"
+        );
         std::process::exit(2);
     }
     let result = if which == "threaded" {
@@ -97,6 +105,16 @@ fn main() {
                     gridq_common::GridError::Execution(format!("cannot write {path}: {e}"))
                 })?;
                 eprintln!("sockets benchmark artifact written to {path}");
+            }
+            Ok(bench.series)
+        })
+    } else if which == "service" {
+        runners::service_bench(&config).and_then(|bench| {
+            if let Some(path) = &json_out {
+                std::fs::write(path, &bench.json).map_err(|e| {
+                    gridq_common::GridError::Execution(format!("cannot write {path}: {e}"))
+                })?;
+                eprintln!("service benchmark artifact written to {path}");
             }
             Ok(bench.series)
         })
@@ -242,7 +260,7 @@ fn run(which: &str, config: &ReproConfig) -> gridq_common::Result<Vec<Series>> {
         other => Err(gridq_common::GridError::Config(format!(
             "unknown experiment `{other}`; expected one of table1, fig2a, fig2b, \
              fig3a, fig3b, fig4, fig5, overheads, monfreq, ablation, obsdemo, \
-             threaded, sockets, all"
+             threaded, sockets, service, all"
         ))),
     }
 }

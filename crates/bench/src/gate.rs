@@ -30,12 +30,14 @@ impl ScenarioPerf {
     }
 }
 
-/// The bench artifact tags the gate understands, one per wall-clock
-/// substrate.
-const BENCH_TAGS: [&str; 2] = ["threaded", "sockets"];
+/// The bench artifact tags the gate understands: one per wall-clock
+/// substrate, plus the service-plane driver artifact (whose scenarios
+/// carry the same name/results/median triple, so the same throughput
+/// gate applies).
+const BENCH_TAGS: [&str; 3] = ["threaded", "sockets", "service"];
 
-/// The artifact's `bench` tag, validated against the known substrate
-/// tags (`threaded` or `sockets`).
+/// The artifact's `bench` tag, validated against the known tags
+/// (`threaded`, `sockets`, or `service`).
 pub fn bench_tag(which: &str, text: &str) -> Result<String> {
     let doc = Json::parse(text)
         .map_err(|e| GridError::Config(format!("{which}: not valid JSON: {e}")))?;

@@ -1031,6 +1031,199 @@ pub fn sockets_bench(config: &ReproConfig) -> Result<SocketsBench> {
     })
 }
 
+/// The service-plane benchmark artifact.
+pub struct ServiceBench {
+    /// Summary series for the console.
+    pub series: Vec<Series>,
+    /// The JSON document for `BENCH_service.json`.
+    pub json: String,
+}
+
+/// Drives the query service plane with the closed-loop load driver: for
+/// each schedule seed (1, 7, 1303), a population of concurrent sessions
+/// submits small Q1 queries — even sessions on the threaded substrate,
+/// odd sessions over sockets — through one [`QueryService`] with a
+/// 4-slot admission bound. What this artifact tracks is the *service
+/// plane's* cost (admission, queueing, multiplexing over shared nodes),
+/// not raw substrate throughput (`BENCH_threaded.json` does that), so
+/// each query is deliberately tiny. The run is loud about correctness:
+/// any incomplete or wrong-cardinality query fails the bench.
+/// `GRIDQ_SERVICE_SESSIONS` overrides the session count (default 64).
+///
+/// [`QueryService`]: gridq_exec::QueryService
+pub fn service_bench(config: &ReproConfig) -> Result<ServiceBench> {
+    use gridq_engine::AdmissionConfig;
+    use gridq_exec::socket::{ServiceResolver, SocketConfig, WireStageSpec};
+    use gridq_exec::{QueryOutcome, QueryRun, QueryService, QuerySubmission, ServiceConfig};
+    use gridq_workload::driver::{self, LoadConfig, QueryBackend, SessionOutcome};
+    use gridq_workload::{protein_sequences, EntropyAnalyser};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    let sessions: usize = std::env::var("GRIDQ_SERVICE_SESSIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+        .max(1);
+
+    // Per-query shape: a Q1 an order of magnitude smaller than the
+    // paper's, so dozens of concurrent queries stay cheap.
+    let q1 = Q1Experiment {
+        tuples: (config.q1.tuples / 20).max(40),
+        ..config.q1.clone()
+    };
+
+    struct Backend<'a> {
+        service: &'a QueryService,
+        q1: Q1Experiment,
+        resolver: ServiceResolver,
+        expected: usize,
+        result_tuples: AtomicU64,
+    }
+
+    impl Backend<'_> {
+        fn q1_spec(&self) -> WireStageSpec {
+            WireStageSpec::ServiceCall {
+                input_schema: protein_sequences(1, self.q1.seq_len, self.q1.seed)
+                    .schema()
+                    .clone(),
+                service: "EntropyAnalyser".into(),
+                service_cost_ms: self.q1.ws_cost_ms,
+                arg_cols: vec![1],
+                output_name: "entropy".into(),
+                keep_input: false,
+            }
+        }
+    }
+
+    impl QueryBackend for Backend<'_> {
+        fn run_query(&self, session: usize, _seq: usize) -> SessionOutcome {
+            let run = if session.is_multiple_of(2) {
+                QueryRun::threaded(ThreadedConfig {
+                    adaptivity: off(),
+                    cost_scale: 0.002,
+                    ..Default::default()
+                })
+            } else {
+                let mut sc = SocketConfig::new(self.q1_spec(), Arc::clone(&self.resolver));
+                sc.cost_scale = 0.002;
+                QueryRun::Socket(Box::new(sc))
+            };
+            let (_id, outcome) = self.service.submit_and_wait(QuerySubmission {
+                catalog: self.q1.catalog(),
+                plan: self.q1.plan(),
+                run,
+            });
+            match outcome {
+                QueryOutcome::Rejected { .. } => SessionOutcome::Rejected,
+                QueryOutcome::Failed { error } => SessionOutcome::Failed(error),
+                done => {
+                    let n = done.results().map_or(0, <[_]>::len);
+                    self.result_tuples.fetch_add(n as u64, Ordering::Relaxed);
+                    SessionOutcome::Completed {
+                        correct: n == self.expected,
+                    }
+                }
+            }
+        }
+    }
+
+    let resolver: ServiceResolver = Arc::new(|name: &str, cost_ms: f64| {
+        (name == "EntropyAnalyser").then(|| {
+            Arc::new(EntropyAnalyser::new(cost_ms)) as Arc<dyn gridq_engine::service::Service>
+        })
+    });
+
+    let mut cells = Vec::new();
+    let mut scenario_objs = Vec::new();
+    for seed in [1u64, 7, 1303] {
+        let service = QueryService::new(ServiceConfig {
+            admission: AdmissionConfig {
+                max_concurrent: 4,
+                // Deep enough that no session is rejected: the bench
+                // measures queueing, and a rejection is a correctness
+                // failure here.
+                queue_depth: sessions,
+            },
+            ..ServiceConfig::default()
+        })?;
+        let backend = Backend {
+            service: &service,
+            q1: q1.clone(),
+            resolver: Arc::clone(&resolver),
+            expected: q1.tuples,
+            result_tuples: AtomicU64::new(0),
+        };
+        let load = LoadConfig {
+            sessions,
+            queries_per_session: 1,
+            seed,
+            arrival_window_ms: 50.0,
+            mean_think_ms: 5.0,
+            time_scale: 1.0,
+        };
+        let report = driver::run(&load, &backend);
+        if !report.all_correct() {
+            return Err(GridError::Execution(format!(
+                "service bench seed {seed}: {} submitted, {} completed, {} correct, \
+                 {} rejected, {} failed — the service plane dropped or corrupted queries",
+                report.submitted, report.completed, report.correct, report.rejected, report.failed
+            )));
+        }
+        let stats = service.admission_stats();
+        let results = backend.result_tuples.load(Ordering::Relaxed);
+        let name = format!("service_seed{seed}");
+        cells.push(Cell::new(format!("{name}: wall ms"), None, report.wall_ms));
+        cells.push(Cell::new(
+            format!("{name}: latency p95 ms"),
+            None,
+            report.latency.p95_ms,
+        ));
+        cells.push(Cell::new(
+            format!("{name}: peak queued"),
+            None,
+            stats.peak_queued as f64,
+        ));
+        let mut obj = JsonObj::new();
+        obj.str("name", &name)
+            .int("samples", 1)
+            .int("sessions", sessions as u64)
+            .int("results", results)
+            .num("wall_ms_median", report.wall_ms)
+            .int("submitted", report.submitted)
+            .int("completed", report.completed)
+            .int("correct", report.correct)
+            .int("rejected", report.rejected)
+            .int("failed", report.failed)
+            .num("latency_mean_ms", report.latency.mean_ms)
+            .num("latency_p50_ms", report.latency.p50_ms)
+            .num("latency_p95_ms", report.latency.p95_ms)
+            .num("latency_max_ms", report.latency.max_ms)
+            .int("admitted", stats.admitted)
+            .int("enqueued", stats.enqueued)
+            .int("peak_running", stats.peak_running as u64)
+            .int("peak_queued", stats.peak_queued as u64);
+        scenario_objs.push(obj.finish());
+    }
+
+    let mut doc = JsonObj::new();
+    doc.str("bench", "service")
+        .int("sessions", sessions as u64)
+        .int("q1_tuples", q1.tuples as u64)
+        .raw("scenarios", &format!("[{}]", scenario_objs.join(",")));
+    Ok(ServiceBench {
+        series: vec![Series {
+            id: "service",
+            title: format!(
+                "query service plane — closed-loop driver ({sessions} sessions, \
+                 threaded + sockets, seeds 1/7/1303)"
+            ),
+            cells,
+        }],
+        json: doc.finish(),
+    })
+}
+
 /// Every artifact, in paper order.
 pub fn all(config: &ReproConfig) -> Result<Vec<Series>> {
     let mut out = Vec::new();
@@ -1072,6 +1265,40 @@ mod tests {
         assert_eq!(r1.get("name").and_then(Json::as_str), Some("q2_r1_recall"));
         assert!(r1.get("recalls_completed").and_then(Json::as_u64).unwrap() >= 1);
         assert!(!bench.series.is_empty());
+    }
+
+    #[test]
+    fn service_bench_emits_parseable_json_the_gate_accepts() {
+        use gridq_obs::Json;
+        // Only this test reads the override, so the process-global env
+        // write cannot race another test.
+        std::env::set_var("GRIDQ_SERVICE_SESSIONS", "8");
+        let bench = service_bench(&ReproConfig::tiny()).unwrap();
+        std::env::remove_var("GRIDQ_SERVICE_SESSIONS");
+        let doc = Json::parse(&bench.json).expect("artifact must be valid JSON");
+        assert_eq!(doc.get("bench").and_then(Json::as_str), Some("service"));
+        let scenarios = doc
+            .get("scenarios")
+            .and_then(Json::as_array)
+            .expect("scenarios array");
+        assert_eq!(scenarios.len(), 3, "one scenario per schedule seed");
+        for s in scenarios {
+            assert_eq!(s.get("submitted").and_then(Json::as_u64), Some(8));
+            assert_eq!(
+                s.get("completed").and_then(Json::as_u64),
+                s.get("correct").and_then(Json::as_u64),
+                "every completed query must verify"
+            );
+            assert_eq!(s.get("rejected").and_then(Json::as_u64), Some(0));
+            assert!(s.get("wall_ms_median").and_then(Json::as_f64).unwrap() > 0.0);
+            assert!(s.get("results").and_then(Json::as_u64).unwrap() > 0);
+            assert!(s.get("peak_running").and_then(Json::as_u64).unwrap() <= 4);
+        }
+        // The regression gate and the trajectory record both accept the
+        // service artifact.
+        let gate = crate::gate::evaluate(&bench.json, &bench.json, 0.8).unwrap();
+        assert!(gate.passed());
+        assert!(crate::trajectory::append(None, "test", &bench.json).is_ok());
     }
 
     #[test]

@@ -20,6 +20,12 @@
 //! 5. **Teardown** — the adaptivity layer's per-stream maps are empty
 //!    after teardown (`adapt.tracked_streams_after_teardown == 0`), even
 //!    when a chaos fault killed a node mid-run.
+//! 6. **Tenant isolation** — in a co-residency cell (two queries through
+//!    one `QueryService`, faults aimed at only one of them), the
+//!    *unfaulted* query conserves its result multiset and keeps recall
+//!    safety against its own solo reference: one tenant's faults must
+//!    never bleed into another tenant's state. Single-query cells pass
+//!    this oracle trivially.
 
 use gridq_common::Tuple;
 use gridq_obs::{ObsReport, TimelineKind};
@@ -216,11 +222,18 @@ pub fn timeline_causality(run: &RunSummary) -> Verdict {
                         format!("deploy seq {} links missing diagnosis", event.seq),
                     );
                 };
-                let TimelineKind::Diagnosis { notify_seq, .. } = &diagnosis.kind else {
-                    return Verdict::fail(
-                        "timeline_causality",
-                        format!("deploy seq {} links a non-diagnosis event", event.seq),
-                    );
+                // A deploy's diagnosis-level parent is either the
+                // per-query diagnoser's proposal or a cross-query tenant
+                // rebalance; both link back to a detector notification.
+                let notify_seq = match &diagnosis.kind {
+                    TimelineKind::Diagnosis { notify_seq, .. } => notify_seq,
+                    TimelineKind::TenantRebalance { notify_seq, .. } => notify_seq,
+                    _ => {
+                        return Verdict::fail(
+                            "timeline_causality",
+                            format!("deploy seq {} links a non-diagnosis event", event.seq),
+                        )
+                    }
                 };
                 let Some(notify) = find(*notify_seq) else {
                     if evicted_ok {
@@ -333,8 +346,40 @@ pub fn teardown(run: &RunSummary) -> Verdict {
     }
 }
 
+/// Oracle 6: the co-resident *unfaulted* query is isolated from its
+/// faulted tenant — its results conserve and its recall safety holds
+/// against its own solo reference. The verdict condenses the isolation
+/// contract into one line so a co-residency cell fails with "tenant
+/// isolation broken", not with a generic conservation message that could
+/// be mistaken for the faulted query's own (tolerated) failure.
+pub fn tenant_isolation(reference: &RunSummary, co_resident: &RunSummary) -> Verdict {
+    let checks = [
+        conservation(reference, co_resident),
+        log_conservation(co_resident),
+        recall_safety(co_resident),
+    ];
+    if let Some(broken) = checks.iter().find(|v| !v.passed) {
+        return Verdict::fail(
+            "tenant_isolation",
+            format!(
+                "co-resident unfaulted query leaked state ({}): {}",
+                broken.oracle, broken.detail
+            ),
+        );
+    }
+    Verdict::pass(
+        "tenant_isolation",
+        format!(
+            "unfaulted co-resident query conserved {} rows with recall safety intact",
+            co_resident.results.len()
+        ),
+    )
+}
+
 /// Runs every oracle against the pair of runs, in the order they are
-/// documented above.
+/// documented above. For a single-query cell the tenant-isolation oracle
+/// has no co-resident query to judge and passes trivially, keeping the
+/// verdict list's length and order stable across every cell.
 pub fn judge(reference: &RunSummary, run: &RunSummary) -> Vec<Verdict> {
     vec![
         conservation(reference, run),
@@ -342,6 +387,25 @@ pub fn judge(reference: &RunSummary, run: &RunSummary) -> Vec<Verdict> {
         recall_safety(run),
         timeline_causality(run),
         teardown(run),
+        Verdict::pass(
+            "tenant_isolation",
+            "single-query cell; no co-resident query to isolate",
+        ),
+    ]
+}
+
+/// Judges a tenant-interference cell: every oracle runs against the
+/// *unfaulted* co-resident query (the faulted query may legitimately
+/// fail its own oracles — what the cell asserts is that its co-tenant
+/// does not), capped by the real tenant-isolation verdict.
+pub fn judge_tenant(reference: &RunSummary, co_resident: &RunSummary) -> Vec<Verdict> {
+    vec![
+        conservation(reference, co_resident),
+        log_conservation(co_resident),
+        recall_safety(co_resident),
+        timeline_causality(co_resident),
+        teardown(co_resident),
+        tenant_isolation(reference, co_resident),
     ]
 }
 
@@ -445,6 +509,25 @@ mod tests {
         let run = RunSummary::default();
         assert!(timeline_causality(&run).passed);
         assert!(teardown(&run).passed);
-        assert_eq!(judge(&run, &run).len(), 5);
+        assert_eq!(judge(&run, &run).len(), 6);
+        assert_eq!(judge_tenant(&run, &run).len(), 6);
+    }
+
+    #[test]
+    fn tenant_isolation_condenses_the_co_resident_checks() {
+        let reference = summary(&["a", "b"]);
+        assert!(tenant_isolation(&reference, &summary(&["a", "b"])).passed);
+        // A leak into the co-resident query names the broken invariant.
+        let leaked = tenant_isolation(&reference, &summary(&["a"]));
+        assert!(!leaked.passed);
+        assert!(leaked.detail.contains("conservation"), "{}", leaked.detail);
+        let moved = RunSummary {
+            results: vec!["a".into(), "b".into()],
+            state_tuples_migrated: 3,
+            ..Default::default()
+        };
+        let v = tenant_isolation(&reference, &moved);
+        assert!(!v.passed);
+        assert!(v.detail.contains("recall_safety"), "{}", v.detail);
     }
 }

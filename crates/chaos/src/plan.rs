@@ -521,11 +521,18 @@ pub enum FaultFamily {
     /// Stall worker reads so kernel backpressure reaches the producers
     /// (socket substrate only).
     SlowPeer,
+    /// Co-resident query interference (service plane only): two queries
+    /// share one `QueryService`'s evaluator nodes, and the faults —
+    /// stalls, data delays, dropped notifications — hit only the first.
+    /// The cell is judged by the tenant-isolation oracle: the *unfaulted*
+    /// co-resident query must still conserve its results and keep
+    /// recall safety against its own solo reference.
+    TenantInterference,
 }
 
 impl FaultFamily {
     /// Every family, in matrix order.
-    pub const ALL: [FaultFamily; 13] = [
+    pub const ALL: [FaultFamily; 14] = [
         FaultFamily::NotifyLoss,
         FaultFamily::AckChaos,
         FaultFamily::DataDelay,
@@ -539,6 +546,7 @@ impl FaultFamily {
         FaultFamily::ConnDrop,
         FaultFamily::PartialWrite,
         FaultFamily::SlowPeer,
+        FaultFamily::TenantInterference,
     ];
 
     /// The transport families only the socket substrate's seams realise.
@@ -554,6 +562,14 @@ impl FaultFamily {
     /// never fire there.
     pub fn socket_only(&self) -> bool {
         FaultFamily::SOCKET.contains(self)
+    }
+
+    /// True for the family that needs the multi-query service plane
+    /// (two co-resident queries through one `QueryService`). The
+    /// single-query matrix loops skip it; [`matrix`](crate::matrix)
+    /// pins its cells to the threaded substrate explicitly.
+    pub fn service_plane(&self) -> bool {
+        matches!(self, FaultFamily::TenantInterference)
     }
 
     /// Stable name used in JSON and CLI arguments.
@@ -572,6 +588,7 @@ impl FaultFamily {
             FaultFamily::ConnDrop => "conn_drop",
             FaultFamily::PartialWrite => "partial_write",
             FaultFamily::SlowPeer => "slow_peer",
+            FaultFamily::TenantInterference => "tenant_interference",
         }
     }
 
@@ -787,6 +804,37 @@ impl FaultPlan {
                     events.push(FaultEvent::SlowPeer {
                         worker: rng.usize_in(0, workers),
                         ms: rng.f64_in(1.0, 8.0),
+                    });
+                }
+            }
+            FaultFamily::TenantInterference => {
+                // Interference-shaped pressure on the faulted query only:
+                // consumer stalls and data delays slow it down (raising
+                // the co-tenant contention the cross-query diagnoser
+                // sees), and an occasional dropped notification exercises
+                // the best-effort monitoring contract under co-residency.
+                // No drops or crashes — the cell studies isolation, not
+                // the faulted query's own recovery.
+                for _ in 0..rng.usize_in(1, 3) {
+                    events.push(FaultEvent::StallConsumer {
+                        worker: rng.usize_in(0, workers),
+                        nth: rng.i64_in(1, 20) as u64,
+                        ms: rng.f64_in(5.0, 60.0),
+                    });
+                }
+                for _ in 0..rng.usize_in(1, 3) {
+                    events.push(FaultEvent::DelayData {
+                        source: rng.usize_in(0, sources),
+                        dest: rng.usize_in(0, workers),
+                        nth: rng.i64_in(1, 6) as u64,
+                        delay_ms: rng.f64_in(5.0, 60.0),
+                    });
+                }
+                if rng.flip() {
+                    events.push(FaultEvent::DropNotify {
+                        kind: NotifyKind::M1,
+                        index: rng.usize_in(0, workers),
+                        nth: rng.i64_in(1, 5) as u64,
                     });
                 }
             }

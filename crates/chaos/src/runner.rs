@@ -44,7 +44,7 @@ use gridq_obs::Json;
 use gridq_sim::{ExecutionReport, Simulation, SimulationConfig};
 
 use crate::hook::PlanHook;
-use crate::oracle::{judge, RunSummary, Verdict};
+use crate::oracle::{judge, judge_tenant, RunSummary, Verdict};
 use crate::plan::{FaultFamily, FaultPlan, Topology};
 
 /// Which execution substrate a scenario runs on.
@@ -295,12 +295,13 @@ impl ScenarioOutcome {
 }
 
 /// The stable oracle names, in judging order.
-pub const ORACLES: [&str; 5] = [
+pub const ORACLES: [&str; 6] = [
     "conservation",
     "log_conservation",
     "recall_safety",
     "timeline_causality",
     "teardown",
+    "tenant_isolation",
 ];
 
 /// Stage partitions in every chaos workload.
@@ -321,7 +322,7 @@ const CLASSIC: [Substrate; 2] = [Substrate::Sim, Substrate::Threaded];
 pub fn matrix(seed: u64) -> Vec<Scenario> {
     let mut cells = Vec::new();
     for family in FaultFamily::ALL {
-        if family.socket_only() {
+        if family.socket_only() || family.service_plane() {
             continue;
         }
         for substrate in CLASSIC {
@@ -332,6 +333,16 @@ pub fn matrix(seed: u64) -> Vec<Scenario> {
                 policy: Policy::R1,
             });
         }
+    }
+    // Co-residency cells run only where the service plane multiplexes
+    // live queries: the threaded substrate, under both response policies.
+    for policy in [Policy::R1, Policy::R2] {
+        cells.push(Scenario {
+            seed,
+            family: FaultFamily::TenantInterference,
+            substrate: Substrate::Threaded,
+            policy,
+        });
     }
     for substrate in CLASSIC {
         cells.push(Scenario {
@@ -417,9 +428,19 @@ impl Runner {
                 return outcome;
             }
         };
-        match execute(scenario.substrate, scenario.policy, &outcome.plan) {
-            Ok((summary, fired)) => {
-                outcome.verdicts = judge(&reference, &summary);
+        // Tenant-interference cells run two co-resident queries through
+        // the service plane and judge the *unfaulted* one; every other
+        // cell runs the single-query workload and judges it directly.
+        let judged = if scenario.family == FaultFamily::TenantInterference {
+            execute_tenant(scenario.substrate, scenario.policy, &outcome.plan)
+                .map(|(summary, fired)| (judge_tenant(&reference, &summary), fired))
+        } else {
+            execute(scenario.substrate, scenario.policy, &outcome.plan)
+                .map(|(summary, fired)| (judge(&reference, &summary), fired))
+        };
+        match judged {
+            Ok((verdicts, fired)) => {
+                outcome.verdicts = verdicts;
                 outcome.fired_events = fired;
             }
             Err(e) => outcome.error = Some(e.to_string()),
@@ -455,6 +476,99 @@ fn execute(substrate: Substrate, policy: Policy, plan: &FaultPlan) -> Result<(Ru
     // and always apply once the run starts.
     let realised = plan.events.iter().filter(|e| !e.hook_mediated()).count();
     Ok((summary, hook.fired().len() + realised))
+}
+
+/// Executes a tenant-interference cell: two copies of the policy's
+/// workload run co-resident through one [`QueryService`] on the threaded
+/// substrate, with the fault plan's chaos hook attached to the *first*
+/// query only. Returns the **unfaulted second** query's summary — the
+/// tenant-isolation oracle judges that one against the cached solo
+/// reference — plus the number of fault events that fired in the first.
+fn execute_tenant(
+    substrate: Substrate,
+    policy: Policy,
+    plan: &FaultPlan,
+) -> Result<(RunSummary, usize)> {
+    use gridq_engine::AdmissionConfig;
+    use gridq_exec::{QueryOutcome, QueryRun, QueryService, QuerySubmission, ServiceConfig};
+
+    if substrate != Substrate::Threaded {
+        return Err(GridError::Config(
+            "tenant_interference needs the service plane, which multiplexes live \
+             queries only on the threaded substrate"
+                .into(),
+        ));
+    }
+    if !plan.crashes().is_empty() || !plan.consumer_crashes().is_empty() {
+        return Err(GridError::Config(
+            "tenant_interference studies isolation, not crash recovery; its plans \
+             carry stalls, delays, and notify drops only"
+                .into(),
+        ));
+    }
+    let hook = Arc::new(PlanHook::new(plan));
+    // Two independent copies of the same fixed workload: identical
+    // tables, identical plans, so the co-resident query's reference is
+    // the same cached solo run the single-query cells use.
+    let faulted_w = workload(policy);
+    let clean_w = workload(policy);
+    let base = |chaos: Option<Arc<dyn ChaosHook>>| {
+        let mut perturbations = HashMap::new();
+        if let Some(node) = faulted_w.perturb_node {
+            perturbations.insert(node, Perturbation::CostFactor(IMBALANCE_FACTOR));
+        }
+        for (evaluator, _from_ms, factor) in plan.bursts() {
+            perturbations.insert(
+                NodeId::new((evaluator % WORKERS) as u32 + 1),
+                Perturbation::CostFactor(factor),
+            );
+        }
+        ThreadedConfig {
+            adaptivity: policy.adaptivity(),
+            cost_scale: match policy {
+                Policy::R1 => 0.01,
+                _ => 0.002,
+            },
+            perturbations,
+            checkpoint_interval: 8,
+            recall_timeout_ms: 500,
+            chaos,
+            ..Default::default()
+        }
+    };
+    let service = QueryService::new(ServiceConfig {
+        admission: AdmissionConfig {
+            max_concurrent: 2,
+            queue_depth: 2,
+        },
+        ..ServiceConfig::default()
+    })?;
+    let report = service.run_batch(vec![
+        QuerySubmission {
+            catalog: faulted_w.catalog(),
+            plan: faulted_w.plan,
+            run: QueryRun::threaded(base(Some(Arc::clone(&hook) as Arc<dyn ChaosHook>))),
+        },
+        QuerySubmission {
+            catalog: clean_w.catalog(),
+            plan: clean_w.plan,
+            run: QueryRun::threaded(base(None)),
+        },
+    ]);
+    let co_resident = match report.queries.into_iter().nth(1) {
+        Some((_, QueryOutcome::Threaded(r))) => summarize_threaded(r),
+        Some((id, other)) => {
+            return Err(GridError::Execution(format!(
+                "co-resident query {id} did not complete on the threaded substrate: {other:?}"
+            )))
+        }
+        None => {
+            return Err(GridError::Execution(
+                "service batch returned no co-resident outcome".into(),
+            ))
+        }
+    };
+    Ok((co_resident, hook.fired().len()))
 }
 
 fn run_sim(policy: Policy, plan: &FaultPlan, hook: Arc<PlanHook>) -> Result<RunSummary> {
@@ -864,11 +978,18 @@ mod tests {
         let cells = matrix(1);
         for family in FaultFamily::ALL {
             for substrate in CLASSIC {
+                // Service-plane cells exist only where the service plane
+                // does: the threaded substrate.
+                let expected = if family.service_plane() {
+                    substrate == Substrate::Threaded
+                } else {
+                    !family.socket_only()
+                };
                 assert_eq!(
                     cells
                         .iter()
                         .any(|c| c.family == family && c.substrate == substrate),
-                    !family.socket_only(),
+                    expected,
                     "matrix coverage wrong for {}/{}",
                     family.name(),
                     substrate.name()
@@ -878,6 +999,57 @@ mod tests {
         assert!(cells.iter().all(|c| c.substrate != Substrate::Socket));
         assert!(cells.iter().any(|c| c.policy == Policy::R2));
         assert!(cells.iter().any(|c| c.policy == Policy::Static));
+        // Both response policies get a co-residency cell.
+        for policy in [Policy::R1, Policy::R2] {
+            assert!(cells
+                .iter()
+                .any(|c| c.family == FaultFamily::TenantInterference && c.policy == policy));
+        }
+    }
+
+    #[test]
+    fn tenant_interference_isolates_the_unfaulted_co_resident_query() {
+        let mut runner = Runner::new();
+        for policy in [Policy::R1, Policy::R2] {
+            let scenario = Scenario {
+                seed: 7,
+                family: FaultFamily::TenantInterference,
+                substrate: Substrate::Threaded,
+                policy,
+            };
+            let outcome = runner.run_scenario(scenario);
+            assert!(outcome.passed(), "{}: {outcome:?}", scenario.label());
+            assert!(
+                outcome.fired_events > 0,
+                "faults must land in the faulted query"
+            );
+            let isolation = outcome
+                .verdicts
+                .iter()
+                .find(|v| v.oracle == "tenant_isolation")
+                .expect("tenant_isolation verdict present");
+            assert!(
+                isolation.detail.contains("co-resident"),
+                "the real isolation oracle must run, not the trivial pass: {}",
+                isolation.detail
+            );
+        }
+        // The service plane lives on the threaded substrate only; a sim
+        // tenant cell is a loud error, not a vacuous pass.
+        let sim = runner.run_scenario(Scenario {
+            seed: 7,
+            family: FaultFamily::TenantInterference,
+            substrate: Substrate::Sim,
+            policy: Policy::R1,
+        });
+        assert!(!sim.passed());
+        assert!(
+            sim.error
+                .as_deref()
+                .unwrap_or_default()
+                .contains("service plane"),
+            "{sim:?}"
+        );
     }
 
     #[test]

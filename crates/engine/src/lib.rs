@@ -28,5 +28,8 @@ pub use evaluator::{EvaluatorFactory, PartitionEvaluator, StreamTag};
 pub use expr::Expr;
 pub use logical::LogicalPlan;
 pub use physical::Catalog;
-pub use service::{FnService, Service, ServiceRegistry};
+pub use service::{
+    AdmissionConfig, AdmissionController, AdmissionDecision, AdmissionStats, FnService, Service,
+    ServiceRegistry,
+};
 pub use table::Table;

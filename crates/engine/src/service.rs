@@ -1,16 +1,24 @@
-//! Callable services ("typed foreign functions").
+//! Callable services ("typed foreign functions") and the query service
+//! plane's admission control.
 //!
 //! In OGSA-DQP arbitrary web services can be invoked from queries through
 //! the *operation call* operator. Here a [`Service`] is any object that
 //! maps argument values to a result value and advertises a base invocation
 //! cost; the Grid substrate scales that cost by the hosting node's current
 //! performance.
+//!
+//! The same OGSA-DQP heritage makes the engine a long-lived *service*,
+//! not a one-shot program: the [`AdmissionController`] is the pure state
+//! machine behind that service plane. It allocates [`QueryId`] epochs,
+//! bounds the number of concurrently running queries, parks the overflow
+//! in a bounded FIFO run queue, and rejects loudly — every rejection is
+//! returned to the caller *and* counted, never silently dropped.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 
-use gridq_common::{DataType, GridError, Result, Value};
+use gridq_common::{DataType, GridError, QueryId, Result, Value};
 
 /// The type signature of a service.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -161,6 +169,191 @@ where
     }
 }
 
+/// Bounds for the query service plane.
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// Maximum number of queries running at once.
+    pub max_concurrent: usize,
+    /// Maximum number of queries parked in the FIFO run queue; further
+    /// submissions are rejected.
+    pub queue_depth: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_concurrent: 4,
+            queue_depth: 64,
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// Validates the bounds.
+    pub fn validate(&self) -> Result<()> {
+        if self.max_concurrent == 0 {
+            return Err(GridError::Config(
+                "admission: max_concurrent must be at least 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The controller's answer to one submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionDecision {
+    /// The query runs now.
+    Admitted(QueryId),
+    /// The query is parked in the run queue at `position` (0 = next up).
+    Enqueued {
+        /// The allocated id (admission later promotes it in FIFO order).
+        id: QueryId,
+        /// Queue position at enqueue time.
+        position: usize,
+    },
+    /// The service is saturated; the query will never run. The id is
+    /// still allocated so the rejection can be reported against it.
+    Rejected {
+        /// The allocated (and immediately retired) id.
+        id: QueryId,
+        /// Human-readable saturation report.
+        reason: String,
+    },
+}
+
+impl AdmissionDecision {
+    /// The id allocated for the submission, whatever its fate.
+    pub fn id(&self) -> QueryId {
+        match self {
+            AdmissionDecision::Admitted(id) => *id,
+            AdmissionDecision::Enqueued { id, .. } => *id,
+            AdmissionDecision::Rejected { id, .. } => *id,
+        }
+    }
+}
+
+/// Admission statistics, surfaced in service reports.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Submissions admitted straight to a run slot.
+    pub admitted: u64,
+    /// Submissions parked in the run queue (counted once at enqueue).
+    pub enqueued: u64,
+    /// Submissions rejected because queue and run slots were full.
+    pub rejected: u64,
+    /// Queries whose completion was recorded.
+    pub completed: u64,
+    /// High-water mark of concurrently running queries.
+    pub peak_running: usize,
+    /// High-water mark of the run queue.
+    pub peak_queued: usize,
+}
+
+/// Pure admission state machine for the query service plane. `QueryId`s
+/// are allocated from a monotonic epoch counter, so an id is never
+/// reused within a service lifetime — recovery-log windows and timeline
+/// events tagged with it can always be attributed unambiguously.
+#[derive(Debug)]
+pub struct AdmissionController {
+    config: AdmissionConfig,
+    next_epoch: u32,
+    running: Vec<QueryId>,
+    queue: VecDeque<QueryId>,
+    stats: AdmissionStats,
+}
+
+impl AdmissionController {
+    /// Creates a controller with the given bounds.
+    pub fn new(config: AdmissionConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(AdmissionController {
+            config,
+            next_epoch: 1,
+            running: Vec::new(),
+            queue: VecDeque::new(),
+            stats: AdmissionStats::default(),
+        })
+    }
+
+    fn allocate(&mut self) -> QueryId {
+        let id = QueryId::new(self.next_epoch);
+        self.next_epoch = self.next_epoch.wrapping_add(1);
+        id
+    }
+
+    /// Submits one query. Never blocks: the answer is immediate and a
+    /// full service answers [`AdmissionDecision::Rejected`] rather than
+    /// stalling the caller.
+    pub fn submit(&mut self) -> AdmissionDecision {
+        let id = self.allocate();
+        if self.running.len() < self.config.max_concurrent {
+            self.running.push(id);
+            self.stats.admitted += 1;
+            self.stats.peak_running = self.stats.peak_running.max(self.running.len());
+            return AdmissionDecision::Admitted(id);
+        }
+        if self.queue.len() < self.config.queue_depth {
+            let position = self.queue.len();
+            self.queue.push_back(id);
+            self.stats.enqueued += 1;
+            self.stats.peak_queued = self.stats.peak_queued.max(self.queue.len());
+            return AdmissionDecision::Enqueued { id, position };
+        }
+        self.stats.rejected += 1;
+        AdmissionDecision::Rejected {
+            id,
+            reason: format!(
+                "service saturated: {} running (max {}), {} queued (depth {})",
+                self.running.len(),
+                self.config.max_concurrent,
+                self.queue.len(),
+                self.config.queue_depth
+            ),
+        }
+    }
+
+    /// Records that `id` finished (successfully or not) and promotes the
+    /// longest-waiting queued query into the freed slot, FIFO. Returns
+    /// the promoted id, if any. Completing an unknown or queued-only id
+    /// is an error — the service plane must not double-free run slots.
+    pub fn complete(&mut self, id: QueryId) -> Result<Option<QueryId>> {
+        let Some(pos) = self.running.iter().position(|r| *r == id) else {
+            return Err(GridError::Execution(format!(
+                "admission: completed query {id} is not running"
+            )));
+        };
+        self.running.remove(pos);
+        self.stats.completed += 1;
+        let promoted = self.queue.pop_front();
+        if let Some(next) = promoted {
+            self.running.push(next);
+            self.stats.peak_running = self.stats.peak_running.max(self.running.len());
+        }
+        Ok(promoted)
+    }
+
+    /// Currently running query ids, admission order.
+    pub fn running(&self) -> &[QueryId] {
+        &self.running
+    }
+
+    /// Currently queued query ids, FIFO order.
+    pub fn queued(&self) -> impl Iterator<Item = QueryId> + '_ {
+        self.queue.iter().copied()
+    }
+
+    /// Admission statistics so far.
+    pub fn stats(&self) -> &AdmissionStats {
+        &self.stats
+    }
+
+    /// The configured bounds.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.config
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,5 +442,79 @@ mod tests {
             Value::Int(4)
         );
         assert_eq!(reg.len(), 1);
+    }
+
+    fn admission(max_concurrent: usize, queue_depth: usize) -> AdmissionController {
+        AdmissionController::new(AdmissionConfig {
+            max_concurrent,
+            queue_depth,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn admits_up_to_bound_then_queues_then_rejects() {
+        let mut a = admission(2, 1);
+        assert!(matches!(a.submit(), AdmissionDecision::Admitted(_)));
+        assert!(matches!(a.submit(), AdmissionDecision::Admitted(_)));
+        assert!(matches!(
+            a.submit(),
+            AdmissionDecision::Enqueued { position: 0, .. }
+        ));
+        let AdmissionDecision::Rejected { reason, .. } = a.submit() else {
+            panic!("fourth submission must be rejected");
+        };
+        assert!(reason.contains("saturated"), "loud reason, got: {reason}");
+        assert_eq!(a.stats().admitted, 2);
+        assert_eq!(a.stats().enqueued, 1);
+        assert_eq!(a.stats().rejected, 1);
+    }
+
+    #[test]
+    fn completion_promotes_fifo() {
+        let mut a = admission(1, 4);
+        let first = a.submit().id();
+        let second = a.submit().id();
+        let third = a.submit().id();
+        assert_eq!(a.running(), [first]);
+        let promoted = a.complete(first).unwrap();
+        assert_eq!(promoted, Some(second), "oldest queued query goes first");
+        assert_eq!(a.complete(second).unwrap(), Some(third));
+        assert_eq!(a.complete(third).unwrap(), None);
+        assert_eq!(a.stats().completed, 3);
+        assert!(a.running().is_empty());
+    }
+
+    #[test]
+    fn query_ids_are_unique_epochs() {
+        let mut a = admission(1, 0);
+        let mut seen = Vec::new();
+        for _ in 0..10 {
+            let id = a.submit().id();
+            assert!(!seen.contains(&id), "epoch {id} reused");
+            seen.push(id);
+            // Complete if running so later submissions exercise all paths.
+            let _ = a.complete(id);
+        }
+    }
+
+    #[test]
+    fn completing_a_non_running_query_is_an_error() {
+        let mut a = admission(1, 1);
+        let running = a.submit().id();
+        let queued = a.submit().id();
+        assert!(a.complete(queued).is_err(), "queued id is not running");
+        assert!(a.complete(QueryId::new(999)).is_err());
+        assert!(a.complete(running).is_ok());
+        assert!(a.complete(running).is_err(), "double completion rejected");
+    }
+
+    #[test]
+    fn zero_concurrency_is_rejected_at_construction() {
+        assert!(AdmissionController::new(AdmissionConfig {
+            max_concurrent: 0,
+            queue_depth: 1,
+        })
+        .is_err());
     }
 }

@@ -1,0 +1,224 @@
+//! Property-based tests on the service plane's admission controller:
+//! the pure state machine that bounds concurrent queries, parks the
+//! overflow in a FIFO run queue, and rejects loudly when saturated.
+//! Randomized arrival/completion schedules drive it through every path;
+//! the invariants here are what the multi-query service relies on.
+
+use std::collections::VecDeque;
+
+use gridq_common::check::{shrink_vec, Check, Gen};
+use gridq_common::{DetRng, QueryId};
+use gridq_engine::service::{AdmissionConfig, AdmissionController, AdmissionDecision};
+
+/// One step of a randomized schedule. Interpreted against the live
+/// controller state so a shrunk prefix replays deterministically:
+/// values below 160 submit a query, the rest complete the running query
+/// the value indexes (a no-op when nothing runs).
+type Schedule = (usize, usize, Vec<u8>);
+
+fn schedule(rng: &mut DetRng) -> Schedule {
+    (
+        rng.usize_in(1, 5),
+        rng.usize_in(0, 5),
+        rng.vec_of(1, 120, |r| r.u32_in(0, 256) as u8),
+    )
+}
+
+fn controller(max_concurrent: usize, queue_depth: usize) -> AdmissionController {
+    AdmissionController::new(AdmissionConfig {
+        max_concurrent,
+        queue_depth,
+    })
+    .expect("bounds are generated valid")
+}
+
+/// Drives one schedule, asserting the stepwise invariants via `observe`
+/// (called after every operation). Returns the controller for final
+/// checks.
+fn drive(
+    (max_concurrent, queue_depth, ops): &Schedule,
+    mut observe: impl FnMut(&AdmissionController, &AdmissionDecision) -> Result<(), String>,
+) -> Result<AdmissionController, String> {
+    let mut a = controller(*max_concurrent, *queue_depth);
+    for &op in ops {
+        if op < 160 {
+            let decision = a.submit();
+            observe(&a, &decision)?;
+        } else if !a.running().is_empty() {
+            let victim = a.running()[op as usize % a.running().len()];
+            a.complete(victim).map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(a)
+}
+
+/// The concurrency bound and the queue depth are never exceeded, at any
+/// step of any schedule, and the peak statistics respect them too.
+#[test]
+fn bounds_are_never_exceeded() {
+    Check::new("admission bounds are never exceeded").run_shrink(
+        schedule,
+        |(m, q, ops)| shrink_vec(ops).into_iter().map(|o| (*m, *q, o)).collect(),
+        |sched @ (max_concurrent, queue_depth, _)| {
+            let a = drive(sched, |a, _| {
+                if a.running().len() > *max_concurrent {
+                    return Err(format!(
+                        "{} running exceeds bound {max_concurrent}",
+                        a.running().len()
+                    ));
+                }
+                let queued = a.queued().count();
+                if queued > *queue_depth {
+                    return Err(format!("{queued} queued exceeds depth {queue_depth}"));
+                }
+                Ok(())
+            })?;
+            let stats = a.stats();
+            if stats.peak_running > *max_concurrent || stats.peak_queued > *queue_depth {
+                return Err(format!("peaks exceed bounds: {stats:?}"));
+            }
+            Ok(())
+        },
+    );
+}
+
+/// A submission against a full service is rejected *loudly* — a
+/// non-empty saturation report, counted in the stats — and rejection
+/// happens exactly when both the run slots and the queue are full.
+#[test]
+fn saturation_rejects_loudly_and_only_when_full() {
+    Check::new("saturation rejects loudly").run_shrink(
+        schedule,
+        |(m, q, ops)| shrink_vec(ops).into_iter().map(|o| (*m, *q, o)).collect(),
+        |sched @ (max_concurrent, queue_depth, _)| {
+            let mut rejections = 0u64;
+            let a = drive(sched, |a, decision| {
+                let full =
+                    a.running().len() == *max_concurrent && a.queued().count() == *queue_depth;
+                match decision {
+                    AdmissionDecision::Rejected { reason, .. } => {
+                        rejections += 1;
+                        if reason.is_empty() || !reason.contains("saturated") {
+                            return Err(format!("rejection must be loud, got {reason:?}"));
+                        }
+                        if !full {
+                            return Err(format!(
+                                "rejected while not saturated: {} running, {} queued",
+                                a.running().len(),
+                                a.queued().count()
+                            ));
+                        }
+                    }
+                    AdmissionDecision::Admitted(_) | AdmissionDecision::Enqueued { .. } => {
+                        // The submission was accepted, so the service
+                        // cannot have been full *before* it (accepting
+                        // grew one of the two sets to at most its bound).
+                    }
+                }
+                Ok(())
+            })?;
+            if a.stats().rejected != rejections {
+                return Err(format!(
+                    "rejections counted {} != observed {rejections}",
+                    a.stats().rejected
+                ));
+            }
+            Ok(())
+        },
+    );
+}
+
+/// No deadlock: whatever state a schedule leaves behind, completing the
+/// running queries drains the whole service — every accepted query
+/// eventually runs and completes, and nothing is left parked.
+#[test]
+fn the_queue_always_drains() {
+    Check::new("admission queue always drains").run_shrink(
+        schedule,
+        |(m, q, ops)| shrink_vec(ops).into_iter().map(|o| (*m, *q, o)).collect(),
+        |sched| {
+            let mut a = drive(sched, |_, _| Ok(()))?;
+            // Drain: complete whatever runs until the service is idle.
+            // Bounded by the total accepted population, so a cycle here
+            // is a real livelock, not a slow test.
+            let accepted = a.stats().admitted + a.stats().enqueued;
+            let mut steps = 0u64;
+            while let Some(&head) = a.running().first() {
+                a.complete(head).map_err(|e| e.to_string())?;
+                steps += 1;
+                if steps > accepted {
+                    return Err(format!("drain did not terminate after {steps} completions"));
+                }
+            }
+            if a.queued().count() != 0 {
+                return Err("idle service still holds queued queries".into());
+            }
+            let stats = a.stats();
+            if stats.completed != accepted {
+                return Err(format!("every accepted query must complete: {stats:?}"));
+            }
+            Ok(())
+        },
+    );
+}
+
+/// FIFO fairness: promotions out of the run queue happen in exactly the
+/// order the queries were enqueued, under any completion order of the
+/// running set — and reported enqueue positions match the queue state.
+#[test]
+fn promotion_order_is_fifo() {
+    Check::new("admission promotion order is fifo").run_shrink(
+        schedule,
+        |(m, q, ops)| shrink_vec(ops).into_iter().map(|o| (*m, *q, o)).collect(),
+        |(max_concurrent, queue_depth, ops)| {
+            let mut a = controller(*max_concurrent, *queue_depth);
+            let mut waiting: VecDeque<QueryId> = VecDeque::new();
+            for &op in ops {
+                if op < 160 {
+                    match a.submit() {
+                        AdmissionDecision::Enqueued { id, position } => {
+                            if position != waiting.len() {
+                                return Err(format!(
+                                    "enqueued at {position}, expected {}",
+                                    waiting.len()
+                                ));
+                            }
+                            waiting.push_back(id);
+                        }
+                        AdmissionDecision::Admitted(_) | AdmissionDecision::Rejected { .. } => {}
+                    }
+                } else if !a.running().is_empty() {
+                    let victim = a.running()[op as usize % a.running().len()];
+                    let promoted = a.complete(victim).map_err(|e| e.to_string())?;
+                    if promoted != waiting.pop_front() {
+                        return Err(format!("promotion broke FIFO order: got {promoted:?}"));
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Epoch uniqueness: every submission — admitted, enqueued, or rejected
+/// — receives a `QueryId` no other submission of the service's lifetime
+/// ever saw.
+#[test]
+fn epochs_are_never_reused() {
+    Check::new("admission epochs are never reused").run_shrink(
+        schedule,
+        |(m, q, ops)| shrink_vec(ops).into_iter().map(|o| (*m, *q, o)).collect(),
+        |sched| {
+            let mut seen: Vec<QueryId> = Vec::new();
+            drive(sched, |_, decision| {
+                let id = decision.id();
+                if seen.contains(&id) {
+                    return Err(format!("epoch {id} allocated twice"));
+                }
+                seen.push(id);
+                Ok(())
+            })?;
+            Ok(())
+        },
+    );
+}

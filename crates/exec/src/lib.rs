@@ -31,6 +31,7 @@
 mod dedup;
 mod failover;
 mod recall;
+pub mod service;
 pub mod socket;
 
 use std::collections::{HashMap, HashSet};
@@ -41,8 +42,8 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use gridq_adapt::{
-    AdaptivityConfig, DetectorOutput, Diagnoser, MonitoringEventDetector, ProducerId, Responder,
-    ResponsePolicy, M1, M2,
+    AdaptationCommand, AdaptivityConfig, DetectorOutput, Diagnoser, MonitoringEventDetector,
+    ProducerId, Responder, ResponsePolicy, M1, M2,
 };
 use gridq_common::cast;
 use gridq_common::sync::ring::{ring, RingReceiver, RingSender, Waker};
@@ -62,6 +63,10 @@ use dedup::DedupFilter;
 pub use failover::{DeliveryGap, FailoverConfig, RetryPolicy};
 use failover::{HeartbeatMonitor, RetryBackoff};
 use recall::{Ctrl, ProducerGuard, RecallGate};
+pub use service::{
+    ContentionLedger, QueryOutcome, QueryRun, QueryService, QuerySubmission, ServiceConfig,
+    ServiceReport, TenancyHandle,
+};
 
 type LogItem = (StreamTag, Tuple);
 type SharedLogs = Arc<Vec<SharedRecoveryLog<LogItem>>>;
@@ -106,6 +111,13 @@ pub struct ThreadedConfig {
     /// Heartbeat/lease failure detection and the failover recall.
     /// Requires R1 adaptivity: failover rides the recall machinery.
     pub failover: FailoverConfig,
+    /// Service-plane tenancy handle, injected by [`QueryService`] when
+    /// this query shares evaluator nodes with co-resident queries: the
+    /// contention ledger inflates consumers' modelled costs, and the
+    /// adaptivity thread feeds the shared cross-query diagnoser /
+    /// deploys its tenant rebalances. `None` (the default) runs the
+    /// query exactly as before the service plane existed.
+    pub tenancy: Option<TenancyHandle>,
 }
 
 impl Default for ThreadedConfig {
@@ -121,6 +133,7 @@ impl Default for ThreadedConfig {
             chaos: None,
             delivery_retry: RetryPolicy::default(),
             failover: FailoverConfig::default(),
+            tenancy: None,
         }
     }
 }
@@ -188,6 +201,10 @@ pub struct ThreadedReport {
     pub raw_m2_events: u64,
     /// Adaptations deployed into the router.
     pub adaptations_deployed: u64,
+    /// Of those, deploys proposed by the *cross-query* diagnoser: weight
+    /// shifts away from a node contended by a co-resident query
+    /// (service-plane runs only; always 0 without a tenancy handle).
+    pub tenant_rebalances: u64,
     /// Retrospective recalls that ran the full drain-migrate-resume
     /// protocol.
     pub recalls_completed: u64,
@@ -357,6 +374,7 @@ struct AdaptStats {
     m1: u64,
     m2: u64,
     deployed: u64,
+    tenant_rebalances: u64,
     recalls_completed: u64,
     recalls_aborted: u64,
     state_tuples_migrated: u64,
@@ -1237,6 +1255,14 @@ impl ThreadedExecutor {
             let query = plan.query;
             let processed_ctr = processed_ctr.clone();
             let chaos = self.config.chaos.clone();
+            // Service-plane contention: co-resident queries on this node
+            // inflate the modelled per-tuple cost. The counter is read
+            // lock-free per tuple; the slope is fixed for the run.
+            let contention = self
+                .config
+                .tenancy
+                .as_ref()
+                .map(|t| (t.ledger().counter(node), t.ledger().alpha()));
             let failover_on = self.config.failover.enabled;
             let recv_slice_ms = if failover_on {
                 self.config.failover.heartbeat_ms.min(50)
@@ -1343,13 +1369,18 @@ impl ThreadedExecutor {
                     let stall = chaos
                         .as_ref()
                         .map_or(0.0, |c| c.stall_ms(StallSite::Consumer, i));
-                    let model_cost = perturbed(outcome.base_cost_ms, perturbation.as_ref())
+                    let tenants_factor = contention.as_ref().map_or(1.0, |(ctr, alpha)| {
+                        let extra = ctr.load(Ordering::Relaxed).saturating_sub(1);
+                        1.0 + alpha * cast::count_to_f64(u64::from(extra))
+                    });
+                    let model_cost = (perturbed(outcome.base_cost_ms, perturbation.as_ref())
                         + receive_cost
                         + if stall.is_finite() {
                             stall.max(0.0)
                         } else {
                             0.0
-                        };
+                        })
+                        * tenants_factor;
                     *due += model_cost;
                     *processed += 1;
                     processed_total.fetch_add(1, Ordering::Relaxed);
@@ -2022,6 +2053,8 @@ impl ThreadedExecutor {
             let obs = obs.clone();
             let failover_cfg = self.config.failover.clone();
             let flogs = logs.clone();
+            let query = plan.query;
+            let tenancy = self.config.tenancy.clone();
             thread::spawn(move || -> AdaptStats {
                 let mut detector = MonitoringEventDetector::new(&adapt);
                 let mut diagnoser = Diagnoser::new(stage_id, partitions_u32, initial, &adapt);
@@ -2163,6 +2196,10 @@ impl ThreadedExecutor {
                         Raw::Beat(_) | Raw::Done(_) => continue,
                         Raw::ProducersDone => break,
                     };
+                    // Commands to deploy this round, each with the seq of
+                    // its diagnosis-level timeline event and whether it
+                    // came from the cross-query (tenant) diagnoser.
+                    let mut pending: Vec<(AdaptationCommand, u64, bool)> = Vec::new();
                     let imbalance = match output {
                         DetectorOutput::Quiet => None,
                         DetectorOutput::Cost(update) => {
@@ -2175,6 +2212,40 @@ impl ThreadedExecutor {
                                     raw_seq,
                                 },
                             );
+                            // Service plane: the same smoothed cost feeds
+                            // the shared cross-query diagnoser, which sees
+                            // *all* tenants' placements and may attribute
+                            // the shift to a co-resident query.
+                            if let Some(t) = &tenancy {
+                                if let Some(r) = t.observe_cost(
+                                    query,
+                                    update.partition,
+                                    update.avg_cost_ms,
+                                    update.at,
+                                ) {
+                                    let tenant_seq = record(
+                                        update.at,
+                                        TimelineKind::TenantRebalance {
+                                            query: r.query.to_string(),
+                                            induced_by: r.induced_by.to_string(),
+                                            node: r.node.to_string(),
+                                            proposed: r.proposed.weights().to_vec(),
+                                            notify_seq,
+                                        },
+                                    );
+                                    t.deployed(query, r.proposed.clone());
+                                    pending.push((
+                                        AdaptationCommand {
+                                            stage: stage_id,
+                                            new_distribution: r.proposed,
+                                            retrospective: adapt.response == ResponsePolicy::R1,
+                                            at: r.at,
+                                        },
+                                        tenant_seq,
+                                        true,
+                                    ));
+                                }
+                            }
                             diagnoser
                                 .on_cost_update(&update)
                                 .map(|imb| (imb, notify_seq))
@@ -2221,7 +2292,11 @@ impl ThreadedExecutor {
                                 diagnosis_seq,
                             },
                         );
-                        let Some(mut cmd) = cmd else { continue };
+                        if let Some(cmd) = cmd {
+                            pending.push((cmd, diagnosis_seq, false));
+                        }
+                    }
+                    for (mut cmd, diagnosis_seq, tenant) in pending {
                         // A diagnosis computed from pre-failure observations
                         // may still weight a dead partition; zero it so no
                         // adaptation resurrects routing to a lost worker.
@@ -2255,6 +2330,9 @@ impl ThreadedExecutor {
                                 .is_ok()
                             {
                                 stats.deployed += 1;
+                                if tenant {
+                                    stats.tenant_rebalances += 1;
+                                }
                                 record(
                                     cmd.at,
                                     TimelineKind::Deploy {
@@ -2322,6 +2400,9 @@ impl ThreadedExecutor {
                                     continue;
                                 };
                                 stats.deployed += 1;
+                                if tenant {
+                                    stats.tenant_rebalances += 1;
+                                }
                                 let deploy_seq = record(
                                     cmd.at,
                                     TimelineKind::Deploy {
@@ -2395,7 +2476,7 @@ impl ThreadedExecutor {
                             detector.tracked_streams() + diagnoser.tracked_cost_entries(),
                         ));
                 }
-                detector.reset_for_query();
+                detector.reset_for_query(query);
                 diagnoser.reset_for_query();
                 let after = detector.tracked_streams() + diagnoser.tracked_cost_entries();
                 debug_assert_eq!(after, 0);
@@ -2480,6 +2561,7 @@ impl ThreadedExecutor {
             raw_m1_events: stats.m1,
             raw_m2_events: stats.m2,
             adaptations_deployed: stats.deployed,
+            tenant_rebalances: stats.tenant_rebalances,
             recalls_completed: stats.recalls_completed,
             recalls_aborted: stats.recalls_aborted,
             state_tuples_migrated: stats.state_tuples_migrated,

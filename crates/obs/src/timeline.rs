@@ -110,6 +110,23 @@ pub enum TimelineKind {
         /// Sequence number of the matching [`TimelineKind::RecallStart`].
         start_seq: u64,
     },
+    /// The cross-query diagnoser proposed a tenant rebalance: one
+    /// query's weights shift away from a node whose cost is inflated by
+    /// a co-resident query. Plays the diagnosis role in the causal
+    /// chain — a [`TimelineKind::Deploy`] may link here through its
+    /// `diagnosis_seq`.
+    TenantRebalance {
+        /// The query whose distribution shifts.
+        query: String,
+        /// The co-resident tenant diagnosed as the contention source.
+        induced_by: String,
+        /// The contended node.
+        node: String,
+        /// Proposed per-partition weights for `query`.
+        proposed: Vec<f64>,
+        /// Sequence number of the detector notification behind this.
+        notify_seq: u64,
+    },
     /// The failure detector declared a node dead: its heartbeat lease
     /// expired (threaded substrate) or a `NodeFail` event fired
     /// (simulator).
@@ -143,6 +160,7 @@ impl TimelineKind {
             TimelineKind::Deploy { .. } => "deploy",
             TimelineKind::RecallStart { .. } => "recall_start",
             TimelineKind::RecallFinish { .. } => "recall_finish",
+            TimelineKind::TenantRebalance { .. } => "tenant_rebalance",
             TimelineKind::NodeDown { .. } => "node_down",
             TimelineKind::Failover { .. } => "failover",
         }
@@ -257,6 +275,19 @@ impl TimelineEvent {
                     .int("state_tuples_migrated", *state_tuples_migrated)
                     .int("tuples_recalled", *tuples_recalled)
                     .int("start_seq", *start_seq);
+            }
+            TimelineKind::TenantRebalance {
+                query,
+                induced_by,
+                node,
+                proposed,
+                notify_seq,
+            } => {
+                obj.str("query", query)
+                    .str("induced_by", induced_by)
+                    .str("node", node)
+                    .raw("proposed", &num_array(proposed))
+                    .int("notify_seq", *notify_seq);
             }
             TimelineKind::NodeDown { partition } => {
                 obj.str("partition", partition);

@@ -1759,8 +1759,9 @@ impl<'a> Run<'a> {
         // from routing.
         for &ci in &dead_now {
             let pid = PartitionId::new(self.stage_id, ci as u32);
+            let query = self.plan.query;
             for d in self.detectors.values_mut() {
-                d.retire_partition(pid);
+                d.retire_partition(query, pid);
             }
         }
 
@@ -1926,8 +1927,9 @@ impl<'a> Run<'a> {
                 .gauge("adapt.tracked_streams_at_teardown")
                 .set(streams as f64);
         }
+        let query = self.plan.query;
         for d in self.detectors.values_mut() {
-            d.reset_for_query();
+            d.reset_for_query(query);
         }
         self.diagnoser.reset_for_query();
         let after: usize = self

@@ -1,0 +1,368 @@
+//! The closed-loop load driver.
+//!
+//! Simulates a population of concurrent user *sessions* against a query
+//! service. Each session is closed-loop: it submits a query, waits for
+//! the outcome, "thinks" for a while, and submits the next — the
+//! classic interactive-workload model, which is what makes admission
+//! control observable (an open-loop driver would just pile up rejects).
+//!
+//! The driver is deterministic where it can be: the arrival stagger and
+//! think-time schedule are precomputed from a [`DetRng`] seed, so two
+//! runs with the same seed issue the same request pattern. Only the
+//! measured latencies depend on the substrate's real timing.
+//!
+//! The crate deliberately does not depend on any executor: the service
+//! under test is abstracted as a [`QueryBackend`], so the same driver
+//! loads the threaded service plane, the socket substrate, or a
+//! virtual-time stub in unit tests.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use gridq_common::sync::Mutex;
+use gridq_common::{cast, DetRng};
+use gridq_obs::json::{int_array, JsonObj};
+
+/// What one query submission came to, as judged by the backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionOutcome {
+    /// The query ran to completion. `correct` reports whether the
+    /// backend verified the result (e.g. against a reference multiset);
+    /// backends without a reference report `true`.
+    Completed {
+        /// Result-correctness verdict.
+        correct: bool,
+    },
+    /// Admission control refused the query (loudly).
+    Rejected,
+    /// The query was admitted but failed.
+    Failed(String),
+}
+
+/// The service under load. Implementations block until the submitted
+/// query completes — the driver's session threads provide the
+/// concurrency.
+pub trait QueryBackend: Send + Sync {
+    /// Runs the `seq`-th query of `session` to completion.
+    fn run_query(&self, session: usize, seq: usize) -> SessionOutcome;
+}
+
+/// Load shape: how many sessions, how fast they arrive, how long they
+/// think.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Number of concurrent sessions.
+    pub sessions: usize,
+    /// Queries each session submits before leaving.
+    pub queries_per_session: usize,
+    /// Schedule seed.
+    pub seed: u64,
+    /// Sessions arrive uniformly over this window, milliseconds.
+    pub arrival_window_ms: f64,
+    /// Mean think time between a completion and the next submission,
+    /// milliseconds (exponential, clamped at 4x mean).
+    pub mean_think_ms: f64,
+    /// Multiplier applied to every scheduled delay when sleeping
+    /// (schedules stay comparable across seeds while tests shrink real
+    /// time; `0.0` disables sleeping entirely).
+    pub time_scale: f64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            sessions: 64,
+            queries_per_session: 1,
+            seed: 1,
+            arrival_window_ms: 50.0,
+            mean_think_ms: 10.0,
+            time_scale: 1.0,
+        }
+    }
+}
+
+/// One session's precomputed schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSchedule {
+    /// Delay before the session's first submission, milliseconds.
+    pub arrival_ms: f64,
+    /// Think time after each completed query, milliseconds (one entry
+    /// per query).
+    pub think_ms: Vec<f64>,
+}
+
+/// Precomputes every session's arrival/think schedule from the seed.
+/// Pure: same config, same schedules, regardless of what the backend
+/// later does with them.
+pub fn schedules(config: &LoadConfig) -> Vec<SessionSchedule> {
+    let mut root = DetRng::seeded(config.seed);
+    (0..config.sessions)
+        .map(|s| {
+            let mut rng = root.fork(s as u64);
+            let arrival_ms = rng.uniform_range(0.0, config.arrival_window_ms.max(0.0));
+            let think_ms = (0..config.queries_per_session)
+                .map(|_| {
+                    // Exponential think time via inverse CDF, clamped so
+                    // one session cannot stall the run's tail.
+                    let u = rng.uniform().clamp(1e-9, 1.0 - 1e-9);
+                    (-u.ln() * config.mean_think_ms).min(config.mean_think_ms * 4.0)
+                })
+                .collect();
+            SessionSchedule {
+                arrival_ms,
+                think_ms,
+            }
+        })
+        .collect()
+}
+
+/// Latency summary over completed queries, milliseconds.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyStats {
+    /// Arithmetic mean.
+    pub mean_ms: f64,
+    /// Median.
+    pub p50_ms: f64,
+    /// 95th percentile.
+    pub p95_ms: f64,
+    /// Maximum.
+    pub max_ms: f64,
+}
+
+impl LatencyStats {
+    fn from_sorted(sorted: &[f64]) -> Self {
+        if sorted.is_empty() {
+            return LatencyStats::default();
+        }
+        let n = sorted.len();
+        let sum: f64 = sorted.iter().sum();
+        LatencyStats {
+            mean_ms: sum / cast::usize_to_f64(n),
+            p50_ms: sorted[(n - 1) / 2],
+            p95_ms: sorted[(95 * (n - 1)) / 100],
+            max_ms: sorted[n - 1],
+        }
+    }
+}
+
+/// What a driver run measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Sessions driven.
+    pub sessions: usize,
+    /// Queries submitted across all sessions.
+    pub submitted: u64,
+    /// Queries that ran to completion.
+    pub completed: u64,
+    /// Of the completed, how many the backend verified correct.
+    pub correct: u64,
+    /// Queries refused at admission.
+    pub rejected: u64,
+    /// Queries that failed after admission.
+    pub failed: u64,
+    /// End-to-end driver wall time, milliseconds.
+    pub wall_ms: f64,
+    /// Latency of completed queries (admission wait included — that is
+    /// the latency a user sees).
+    pub latency: LatencyStats,
+    /// Queries completed per session.
+    pub per_session_completed: Vec<u64>,
+    /// The schedule seed, for reproduction.
+    pub seed: u64,
+}
+
+impl LoadReport {
+    /// True when every submitted query completed with a correct result.
+    pub fn all_correct(&self) -> bool {
+        self.submitted == self.completed && self.completed == self.correct
+    }
+
+    /// Serializes the report as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObj::new();
+        obj.int("sessions", self.sessions as u64)
+            .int("seed", self.seed)
+            .int("submitted", self.submitted)
+            .int("completed", self.completed)
+            .int("correct", self.correct)
+            .int("rejected", self.rejected)
+            .int("failed", self.failed)
+            .num("wall_ms", self.wall_ms)
+            .num("latency_mean_ms", self.latency.mean_ms)
+            .num("latency_p50_ms", self.latency.p50_ms)
+            .num("latency_p95_ms", self.latency.p95_ms)
+            .num("latency_max_ms", self.latency.max_ms)
+            .raw(
+                "per_session_completed",
+                &int_array(&self.per_session_completed),
+            );
+        obj.finish()
+    }
+}
+
+/// Runs the closed-loop driver against a backend: one thread per
+/// session, each following its precomputed schedule.
+pub fn run(config: &LoadConfig, backend: &dyn QueryBackend) -> LoadReport {
+    let plans = schedules(config);
+    let started = Instant::now();
+    let submitted = AtomicU64::new(0);
+    let completed = AtomicU64::new(0);
+    let correct = AtomicU64::new(0);
+    let rejected = AtomicU64::new(0);
+    let failed = AtomicU64::new(0);
+    let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::new());
+    let per_session: Mutex<Vec<u64>> = Mutex::new(vec![0; config.sessions]);
+    let scale = if config.time_scale.is_finite() {
+        config.time_scale.max(0.0)
+    } else {
+        1.0
+    };
+    let sleep_ms = |ms: f64| {
+        let real = ms * scale;
+        if real > 0.0 {
+            thread::sleep(Duration::from_secs_f64(real / 1000.0));
+        }
+    };
+    thread::scope(|s| {
+        for (session, plan) in plans.iter().enumerate() {
+            let submitted = &submitted;
+            let completed = &completed;
+            let correct = &correct;
+            let rejected = &rejected;
+            let failed = &failed;
+            let latencies = &latencies;
+            let per_session = &per_session;
+            let sleep_ms = &sleep_ms;
+            s.spawn(move || {
+                sleep_ms(plan.arrival_ms);
+                for (seq, think) in plan.think_ms.iter().enumerate() {
+                    submitted.fetch_add(1, Ordering::Relaxed);
+                    let t0 = Instant::now();
+                    match backend.run_query(session, seq) {
+                        SessionOutcome::Completed { correct: ok } => {
+                            completed.fetch_add(1, Ordering::Relaxed);
+                            if ok {
+                                correct.fetch_add(1, Ordering::Relaxed);
+                            }
+                            latencies.lock().push(t0.elapsed().as_secs_f64() * 1000.0);
+                            per_session.lock()[session] += 1;
+                        }
+                        SessionOutcome::Rejected => {
+                            rejected.fetch_add(1, Ordering::Relaxed);
+                        }
+                        SessionOutcome::Failed(_) => {
+                            failed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    sleep_ms(*think);
+                }
+            });
+        }
+    });
+    let mut lat = latencies.into_inner();
+    lat.sort_by(f64::total_cmp);
+    LoadReport {
+        sessions: config.sessions,
+        submitted: submitted.into_inner(),
+        completed: completed.into_inner(),
+        correct: correct.into_inner(),
+        rejected: rejected.into_inner(),
+        failed: failed.into_inner(),
+        wall_ms: started.elapsed().as_secs_f64() * 1000.0,
+        latency: LatencyStats::from_sorted(&lat),
+        per_session_completed: per_session.into_inner(),
+        seed: config.seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn schedules_are_deterministic_per_seed() {
+        let config = LoadConfig {
+            sessions: 16,
+            queries_per_session: 3,
+            seed: 7,
+            ..LoadConfig::default()
+        };
+        let a = schedules(&config);
+        let b = schedules(&config);
+        assert_eq!(a, b, "same seed must give the same schedule");
+        let c = schedules(&LoadConfig {
+            seed: 8,
+            ..config.clone()
+        });
+        assert_ne!(a, c, "different seeds must differ");
+        assert!(a
+            .iter()
+            .all(|s| s.arrival_ms >= 0.0 && s.arrival_ms <= config.arrival_window_ms));
+    }
+
+    struct CountingBackend {
+        calls: AtomicUsize,
+        reject_every: usize,
+    }
+
+    impl QueryBackend for CountingBackend {
+        fn run_query(&self, _session: usize, _seq: usize) -> SessionOutcome {
+            let n = self.calls.fetch_add(1, Ordering::Relaxed) + 1;
+            if self.reject_every != 0 && n.is_multiple_of(self.reject_every) {
+                SessionOutcome::Rejected
+            } else {
+                SessionOutcome::Completed { correct: true }
+            }
+        }
+    }
+
+    #[test]
+    fn driver_accounts_every_submission() {
+        let backend = CountingBackend {
+            calls: AtomicUsize::new(0),
+            reject_every: 5,
+        };
+        let config = LoadConfig {
+            sessions: 20,
+            queries_per_session: 2,
+            seed: 1,
+            time_scale: 0.0,
+            ..LoadConfig::default()
+        };
+        let report = run(&config, &backend);
+        assert_eq!(report.submitted, 40);
+        assert_eq!(report.completed + report.rejected + report.failed, 40);
+        assert_eq!(report.rejected, 8);
+        assert_eq!(report.correct, report.completed);
+        assert_eq!(
+            report.per_session_completed.iter().sum::<u64>(),
+            report.completed
+        );
+        assert!(
+            !report.all_correct(),
+            "rejections must be loud in the report"
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"submitted\":40"), "json export: {json}");
+    }
+
+    #[test]
+    fn fully_completed_run_reports_all_correct() {
+        let backend = CountingBackend {
+            calls: AtomicUsize::new(0),
+            reject_every: 0,
+        };
+        let config = LoadConfig {
+            sessions: 8,
+            queries_per_session: 1,
+            seed: 3,
+            time_scale: 0.0,
+            ..LoadConfig::default()
+        };
+        let report = run(&config, &backend);
+        assert!(report.all_correct());
+        assert!(report.latency.max_ms >= report.latency.p50_ms);
+    }
+}
